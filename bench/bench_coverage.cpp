@@ -1,0 +1,77 @@
+// Reproduces the Sec. 5 fault-coverage analysis as an empirical campaign:
+// per fault class, the coverage of the proposed TWMarch (exact and MISR
+// checked) against the nontransparent SMarch+AMarch reference, the full
+// word-oriented march, Scheme 1 [12], the TOMT model [13], and the ablated
+// TSMarch-only test.
+//
+// "all" = detected under every evaluated initial content (what the paper's
+// theorem speaks about), "any" = under at least one.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/coverage.h"
+#include "analysis/fault_list.h"
+#include "analysis/report.h"
+#include "march/library.h"
+#include "util/table.h"
+
+int main() {
+  using namespace twm;
+  const std::size_t kWords = 4;
+  const unsigned kWidth = 4;
+  const std::vector<std::uint64_t> seeds{0, 1, 2};  // 0 = all-zero contents
+
+  std::cout << "== Sec. 5: empirical fault coverage (March C-, N=" << kWords
+            << ", B=" << kWidth << ", contents: zero + 2 random) ==\n\n";
+
+  CoverageEvaluator eval(kWords, kWidth);
+  const MarchTest march = march_by_name("March C-");
+
+  struct ClassSpec {
+    std::string name;
+    std::vector<Fault> faults;
+  };
+  std::vector<ClassSpec> classes;
+  classes.push_back({"SAF", all_safs(kWords, kWidth)});
+  classes.push_back({"TF", all_tfs(kWords, kWidth)});
+  for (FaultClass cls : {FaultClass::CFst, FaultClass::CFid, FaultClass::CFin}) {
+    classes.push_back(
+        {to_string(cls) + " inter", all_cfs(kWords, kWidth, cls, CfScope::InterWord)});
+    classes.push_back(
+        {to_string(cls) + " intra", all_cfs(kWords, kWidth, cls, CfScope::IntraWord)});
+  }
+
+  const SchemeKind schemes[] = {
+      SchemeKind::NontransparentReference, SchemeKind::WordOrientedMarch,
+      SchemeKind::ProposedExact,           SchemeKind::ProposedMisr,
+      SchemeKind::ProposedSymmetricXor,    SchemeKind::TsmarchOnly,
+      SchemeKind::Scheme1Exact,            SchemeKind::TomtModel,
+  };
+
+  Table t({"fault class", "faults", "scheme", "coverage (all contents)", "any content"});
+  for (const auto& spec : classes) {
+    bool first = true;
+    for (SchemeKind k : schemes) {
+      const auto out = eval.evaluate(k, march, spec.faults, seeds);
+      t.add_row({first ? spec.name : "", first ? std::to_string(spec.faults.size()) : "",
+                 to_string(k), coverage_str(out), pct_str(out.pct_any())});
+      first = false;
+    }
+    t.add_rule();
+  }
+  t.print(std::cout);
+
+  // The theorem check: per-fault verdict equality at the reference content.
+  std::vector<Fault> everything;
+  for (auto& spec : classes)
+    for (auto& f : spec.faults) everything.push_back(f);
+  const auto ref =
+      eval.per_fault(SchemeKind::NontransparentReference, march, everything, {0});
+  const auto prop = eval.per_fault(SchemeKind::ProposedExact, march, everything, {0});
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < everything.size(); ++i) agree += (ref[i] == prop[i]);
+  std::printf("\ntheorem (Sec. 5): per-fault verdicts TWMarch vs SMarch+AMarch at zero "
+              "content: %zu/%zu agree\n",
+              agree, everything.size());
+  return 0;
+}

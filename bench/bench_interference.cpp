@@ -1,0 +1,71 @@
+// Idle-time interference study (the quantitative form of the paper's
+// motivation): session completion probability and expected cost for the
+// three schemes' session lengths, across functional write rates, with
+// Monte-Carlo confirmation.
+//
+// Scenario: March C-, B = 32, N = 256 words; a functional write arriving in
+// any controller step aborts the session (the TBIST controller restores and
+// retries at the next idle window).
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/interference.h"
+#include "core/complexity.h"
+#include "march/library.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace twm;
+  const auto& info = march_info("March C-");
+  const std::uint64_t n = 256;
+
+  struct Scheme {
+    const char* name;
+    std::uint64_t session_steps;
+  };
+  const Scheme schemes[] = {
+      {"this work", formula_proposed(info.ops, info.reads, 32).total() * n + 1},
+      {"scheme 1 [12]", formula_scheme1(info.ops, info.reads, 32).total() * n + 1},
+      {"scheme 2 [13]", formula_tomt(32).total() * n + 1},
+  };
+
+  std::cout << "== idle-time interference: March C-, B=32, N=" << n << " ==\n"
+            << "(p = functional-write probability per memory cycle; MC = 2000 trials)\n\n";
+
+  Table t({"p (writes/cycle)", "scheme", "session len", "P(complete)", "E[attempts]",
+           "E[total steps]", "MC attempts"});
+  for (double p : {1e-6, 1e-5, 5e-5, 1e-4, 2e-4}) {
+    bool first = true;
+    for (const auto& s : schemes) {
+      const InterferenceModel m{s.session_steps, p};
+      Rng rng(99);
+      double mc = 0;
+      const int trials = 2000;
+      bool mc_feasible = m.completion_probability() > 1e-4;
+      if (mc_feasible) {
+        for (int i = 0; i < trials; ++i) mc += double(simulate_interference(m, rng).attempts);
+        mc /= trials;
+      }
+      char pc[32], ea[32], es[32], mcs[32];
+      std::snprintf(pc, sizeof pc, "%.4f", m.completion_probability());
+      std::snprintf(ea, sizeof ea, "%.2f", m.expected_attempts());
+      std::snprintf(es, sizeof es, "%.3g", m.expected_total_steps());
+      if (mc_feasible)
+        std::snprintf(mcs, sizeof mcs, "%.2f", mc);
+      else
+        std::snprintf(mcs, sizeof mcs, "(skipped)");
+      char plabel[32];
+      std::snprintf(plabel, sizeof plabel, "%.0e", p);
+      t.add_row({first ? plabel : "", s.name, std::to_string(s.session_steps), pc, ea, es, mcs});
+      first = false;
+    }
+    t.add_rule();
+  }
+  t.print(std::cout);
+
+  std::cout << "\nCompletion probability decays exponentially in session length, so the\n"
+               "paper's ~2x / ~5x shorter sessions translate into super-linear gains in\n"
+               "completed scrubs per idle budget once traffic is non-negligible.\n";
+  return 0;
+}

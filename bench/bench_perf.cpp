@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks for the library itself: transform cost,
+// march-simulation throughput (linear in N — the march property the paper's
+// complexity analysis builds on), MISR throughput, and full transparent
+// sessions per scheme (the wall-clock counterpart of Table 3).
+#include <benchmark/benchmark.h>
+
+#include "bist/engine.h"
+#include "core/scheme1.h"
+#include "core/tomt.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "memsim/memory.h"
+#include "util/rng.h"
+
+namespace {
+using namespace twm;
+
+void BM_TwmTransform(benchmark::State& state) {
+  const MarchTest bit = march_by_name("March C-");
+  const unsigned width = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto r = twm_transform(bit, width);
+    benchmark::DoNotOptimize(r.twmarch.op_count());
+  }
+}
+BENCHMARK(BM_TwmTransform)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Scheme1Transform(benchmark::State& state) {
+  const MarchTest bit = march_by_name("March C-");
+  const unsigned width = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto r = scheme1_transform(bit, width);
+    benchmark::DoNotOptimize(r.transparent.op_count());
+  }
+}
+BENCHMARK(BM_Scheme1Transform)->Arg(8)->Arg(32)->Arg(128);
+
+// Transparent session wall-clock vs memory size: linear in N.
+void BM_SessionProposed(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  const unsigned width = 32;
+  const TwmResult r = twm_transform(march_by_name("March C-"), width);
+  Rng rng(1);
+  Memory mem(words, width);
+  mem.fill_random(rng);
+  MarchRunner runner(mem);
+  for (auto _ : state) {
+    auto out = runner.run_transparent_session(r.twmarch, r.prediction, width);
+    benchmark::DoNotOptimize(out.detected_exact);
+  }
+  state.SetItemsProcessed(state.iterations() * words *
+                          (r.twmarch.op_count() + r.prediction.op_count()));
+}
+BENCHMARK(BM_SessionProposed)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SessionScheme1(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  const unsigned width = 32;
+  const Scheme1Result r = scheme1_transform(march_by_name("March C-"), width);
+  Rng rng(1);
+  Memory mem(words, width);
+  mem.fill_random(rng);
+  MarchRunner runner(mem);
+  for (auto _ : state) {
+    auto out = runner.run_transparent_session(r.transparent, r.prediction, width);
+    benchmark::DoNotOptimize(out.detected_exact);
+  }
+  state.SetItemsProcessed(state.iterations() * words *
+                          (r.transparent.op_count() + r.prediction.op_count()));
+}
+BENCHMARK(BM_SessionScheme1)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SessionTomt(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  const unsigned width = 32;
+  Rng rng(1);
+  Memory mem(words, width);
+  mem.fill_random(rng);
+  const auto ledger = make_parity_ledger(mem);
+  for (auto _ : state) {
+    auto out = run_tomt(mem, ledger);
+    benchmark::DoNotOptimize(out.detected);
+  }
+  state.SetItemsProcessed(state.iterations() * words * tomt_test(width).op_count());
+}
+BENCHMARK(BM_SessionTomt)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MisrFeed(benchmark::State& state) {
+  const unsigned width = static_cast<unsigned>(state.range(0));
+  Misr misr(width);
+  Rng rng(2);
+  const BitVec word = rng.next_word(width);
+  for (auto _ : state) {
+    misr.feed(word);
+    benchmark::DoNotOptimize(misr.signature());
+  }
+}
+BENCHMARK(BM_MisrFeed)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FaultyWrite(benchmark::State& state) {
+  Rng rng(3);
+  Memory mem(1024, 32);
+  mem.fill_random(rng);
+  mem.inject(Fault::cfid({10, 3}, Transition::Up, {20, 7}, true));
+  const BitVec d = rng.next_word(32);
+  std::size_t a = 0;
+  for (auto _ : state) {
+    mem.write(a, d);
+    a = (a + 1) & 1023;
+  }
+}
+BENCHMARK(BM_FaultyWrite);
+
+}  // namespace
+
+BENCHMARK_MAIN();

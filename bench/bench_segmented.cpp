@@ -1,0 +1,82 @@
+// Segmented scrubbing study (extension): test the memory one segment per
+// idle window.  Session length shrinks by the segment count — an
+// exponential completion-probability win — while coupling faults whose
+// aggressor and victim land in different segments escape.
+//
+// Campaign: March C-, B = 8, N = 16 words, exhaustive inter-word CFid;
+// segments 1 / 2 / 4 / 8; a fault counts detected when *any* segment's
+// session flags it.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/fault_list.h"
+#include "analysis/interference.h"
+#include "bist/engine.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "memsim/segment.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+using namespace twm;
+
+bool detect_segmented(const TwmResult& twm, const Fault& f, std::size_t words, unsigned width,
+                      std::size_t segments, std::uint64_t seed) {
+  Memory mem(words, width);
+  Rng rng(seed);
+  mem.fill_random(rng);
+  mem.inject(f);
+  const std::size_t seg_len = words / segments;
+  for (std::size_t s = 0; s < segments; ++s) {
+    SegmentView view(mem, s * seg_len, seg_len);
+    MarchRunner runner(view);
+    if (runner.run_transparent_session(twm.twmarch, twm.prediction, width).detected_exact)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  using namespace twm;
+  const std::size_t kWords = 16;
+  const unsigned kWidth = 8;
+  const double p = 1e-4;  // functional-write probability per cycle
+
+  const TwmResult twm = twm_transform(march_by_name("March C-"), kWidth);
+  const auto faults = all_cfs(kWords, kWidth, FaultClass::CFid, CfScope::InterWord);
+
+  std::cout << "== segmented transparent scrubbing (March C-, B=" << kWidth
+            << ", N=" << kWords << ", inter-word CFid campaign, p=" << p << ") ==\n\n";
+
+  Table t({"segments", "session len (ops)", "P(complete)", "E[attempts]",
+           "inter-word CFid coverage", "cross-segment escapes"});
+  const std::size_t per_word = twm.twmarch.op_count() + twm.prediction.op_count();
+  for (std::size_t segments : {1u, 2u, 4u, 8u}) {
+    const std::size_t seg_words = kWords / segments;
+    const InterferenceModel m{per_word * seg_words + 1, p};
+
+    std::size_t detected = 0, cross = 0, cross_escaped = 0;
+    for (const Fault& f : faults) {
+      const bool same_segment = (f.aggressor.word / seg_words) == (f.victim.word / seg_words);
+      if (!same_segment) ++cross;
+      const bool d = detect_segmented(twm, f, kWords, kWidth, segments, 3);
+      detected += d;
+      if (!same_segment && !d) ++cross_escaped;
+    }
+    char pc[32], ea[32], cov[32];
+    std::snprintf(pc, sizeof pc, "%.3f", m.completion_probability());
+    std::snprintf(ea, sizeof ea, "%.2f", m.expected_attempts());
+    std::snprintf(cov, sizeof cov, "%.1f%%", 100.0 * detected / faults.size());
+    t.add_row({std::to_string(segments), std::to_string(m.session_steps), pc, ea, cov,
+               std::to_string(cross_escaped) + "/" + std::to_string(cross)});
+  }
+  t.print(std::cout);
+  std::cout << "\nSegmenting trades cross-segment coupling coverage for session\n"
+               "completion probability; intra-segment coverage is untouched.  A\n"
+               "rotating segment offset would recover the boundary pairs over\n"
+               "successive scrub rounds.\n";
+  return 0;
+}

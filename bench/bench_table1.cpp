@@ -1,0 +1,80 @@
+// Reproduces Table 1: the content of a word while the first three ATMarch
+// elements execute, for a memory with 8-bit words.
+//
+// The paper prints the content symbolically (b7..b0 with a bar over the
+// bits currently inverted).  We execute ATMarch on a single-word memory and
+// print, after every operation, both the symbolic form (derived from the
+// XOR displacement) and a concrete example with a = 10110010.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bist/engine.h"
+#include "core/twm_ta.h"
+#include "memsim/memory.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace twm;
+
+// Symbolic content "b7 b6 .. b0" with '~' marking inverted bits.
+std::string symbolic(const BitVec& displacement) {
+  std::string s;
+  for (unsigned i = displacement.width(); i-- > 0;) {
+    s += displacement.get(i) ? "~b" : " b";
+    s += std::to_string(i);
+  }
+  return s;
+}
+
+class Tracer final : public EngineObserver {
+ public:
+  Tracer(const Memory& mem, const BitVec& a, Table& table) : mem_(mem), a_(a), table_(table) {}
+
+  void on_op(std::size_t element, std::size_t, std::size_t, const Op& op,
+             const BitVec&) override {
+    if (element != last_element_) {
+      table_.add_rule();
+      last_element_ = element;
+    }
+    const BitVec content = mem_.peek(0);
+    table_.add_row({"AT" + std::to_string(element + 1), op.to_string(), symbolic(content ^ a_),
+                    content.to_string()});
+  }
+
+ private:
+  const Memory& mem_;
+  BitVec a_;
+  Table& table_;
+  std::size_t last_element_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace
+
+int main() {
+  using namespace twm;
+  std::printf("== Table 1: word content during the first three ATMarch elements (B=8) ==\n\n");
+
+  const BitVec a = BitVec::from_string("10110010");
+  Memory mem(1, 8);
+  mem.load({a});
+
+  const MarchTest at = atmarch(8, /*base_inverted=*/false);
+
+  Table table({"element", "operation", "content (symbolic)", "content (a=10110010)"});
+  table.add_row({"-", "(initial)", symbolic(BitVec::zeros(8)), a.to_string()});
+
+  Tracer tracer(mem, a, table);
+  MarchRunner runner(mem);
+  runner.set_observer(&tracer);
+  StreamRecorder sink;
+  runner.run_test(at, sink);
+
+  table.print(std::cout);
+
+  std::printf("\ncontent restored to a: %s\n", mem.peek(0) == a ? "yes" : "NO");
+  std::printf("ATMarch length: %zu operations per word (5*log2(B)+1 = %u)\n", at.op_count(),
+              5u * 3u + 1u);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Table 3: time complexity (coefficient of N) of the three
+// transparent schemes for March C- and March U across word widths
+// 16/32/64/128 — plus the paper's headline ratios and its Sec. 4 example
+// (TWMarch(March U), B=8, 29N), and the measured counts of the tests this
+// library generates.
+#include <cstdio>
+#include <iostream>
+
+#include "core/complexity.h"
+#include "march/library.h"
+#include "util/table.h"
+
+int main() {
+  using namespace twm;
+  std::cout << "== Table 3: complexity comparison across word widths ==\n"
+            << "(total = TCP + TCM, operations per word; formula values)\n\n";
+
+  Table t({"Test", "Word size", "[12] TCM", "[12] TCP", "[12] total", "[13] total",
+           "this TCM", "this TCP", "this total", "measured TCM", "measured total"});
+
+  for (const char* name : {"March C-", "March U"}) {
+    const auto& info = march_info(name);
+    const MarchTest bit = march_by_name(name);
+    t.add_rule();
+    for (unsigned b : {16u, 32u, 64u, 128u}) {
+      const auto s1 = formula_scheme1(info.ops, info.reads, b);
+      const auto s2 = formula_tomt(b);
+      const auto pr = formula_proposed(info.ops, info.reads, b);
+      const auto me = measured_proposed(bit, b);
+      t.add_row({name, std::to_string(b) + " bits", coeff_str(s1.tcm), coeff_str(s1.tcp),
+                 coeff_str(s1.total()), coeff_str(s2.total()), coeff_str(pr.tcm),
+                 coeff_str(pr.tcp), coeff_str(pr.total()), coeff_str(me.tcm),
+                 coeff_str(me.total())});
+    }
+  }
+  t.print(std::cout);
+
+  // Headline claims (abstract / Sec. 5 / conclusions).
+  const auto& c = march_info("March C-");
+  const double prop = formula_proposed(c.ops, c.reads, 32).total();
+  const double s1 = formula_scheme1(c.ops, c.reads, 32).total();
+  const double s2 = formula_tomt(32).total();
+  std::printf("\nMarch C-, B=32: proposed/scheme1 = %.1f%% (paper: ~56%%), "
+              "proposed/scheme2 = %.1f%% (paper: ~19%%)\n",
+              100.0 * prop / s1, 100.0 * prop / s2);
+
+  // Sec. 4 worked example.
+  const auto u8 = measured_proposed(march_by_name("March U"), 8);
+  std::printf("Sec. 4 example: TWMarch(March U), B=8: measured TCM = %zuN (paper: 29N), "
+              "prediction = %zuN\n",
+              u8.tcm, u8.tcp);
+
+  // Sensitivity to the underlying march (Sec. 6 remark): spread between the
+  // shortest and longest catalogued march per scheme at B = 64.
+  std::size_t min_p = SIZE_MAX, max_p = 0, min_s1 = SIZE_MAX, max_s1 = 0;
+  for (const auto& info : march_catalog()) {
+    const auto p = formula_proposed(info.ops, info.reads, 64).total();
+    const auto s = formula_scheme1(info.ops, info.reads, 64).total();
+    min_p = std::min(min_p, p);
+    max_p = std::max(max_p, p);
+    min_s1 = std::min(min_s1, s);
+    max_s1 = std::max(max_s1, s);
+  }
+  std::printf("march-dependence at B=64: proposed spans %zuN..%zuN (x%.2f), "
+              "scheme 1 spans %zuN..%zuN (x%.2f)\n",
+              min_p, max_p, double(max_p) / min_p, min_s1, max_s1, double(max_s1) / min_s1);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Field repair: the detect -> diagnose -> remap -> retest loop (BIST+BISR)
+// built from the transparent scheme plus word-level redundancy.
+//
+// A comparator-observed transparent session localizes the failing word from
+// the position of the first deviating read — no golden data needed — and a
+// spare word takes it out of service, all without disturbing the live
+// contents of the healthy words.
+//
+//   $ ./field_repair
+#include <cstdio>
+
+#include "analysis/diagnosis.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "memsim/repair.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace twm;
+  const std::size_t kWords = 32;
+  const std::size_t kSpares = 2;
+  const unsigned kWidth = 16;
+
+  RepairableMemory mem(kWords, kSpares, kWidth);
+  Rng rng(2025);
+  for (std::size_t a = 0; a < kWords; ++a) mem.write(a, rng.next_word(kWidth));
+
+  const TwmResult twm = twm_transform(march_by_name("March C-"), kWidth);
+  std::printf("memory: %zu words x %u bits, %zu spare words\n", kWords, kWidth, kSpares);
+  std::printf("test:   TWMarch(March C-), %zu ops/word\n\n", twm.twmarch.op_count());
+
+  // Life is good.
+  Diagnosis d = diagnose_transparent(mem, twm.twmarch, twm.prediction);
+  std::printf("initial scrub: %s\n", d.fault_found ? "FAULT" : "clean");
+
+  // Wear-out: a cell in physical word 19 gets stuck, and (unluckily) the
+  // first spare has a defect from manufacturing that escaped test.
+  mem.physical().inject(Fault::saf({19, 7}, true));
+  mem.physical().inject(Fault::tf({kWords, 3}, Transition::Up));  // spare 0
+  std::printf("\n(wear-out: SAF in word 19; latent TF in spare 0)\n\n");
+
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    d = diagnose_transparent(mem, twm.twmarch, twm.prediction);
+    if (!d.fault_found) {
+      std::printf("scrub %d: clean — repair complete, %zu spare(s) left\n", attempt,
+                  mem.spares_left());
+      return 0;
+    }
+    std::printf("scrub %d: fault at word %zu (syndrome %s, element %zu, %zu deviating reads)\n",
+                attempt, d.suspect_word, d.bit_syndrome.to_string().c_str(),
+                d.location.element, d.mismatch_count);
+    if (!mem.repair(d.suspect_word)) {
+      std::printf("         out of spares — memory must be retired\n");
+      return 1;
+    }
+    std::printf("         remapped word %zu onto a spare (%zu left)\n", d.suspect_word,
+                mem.spares_left());
+  }
+  std::printf("repair did not converge\n");
+  return 1;
+}

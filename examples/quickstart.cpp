@@ -1,0 +1,53 @@
+// Quickstart: transform a classical bit-oriented march into a transparent
+// word-oriented march with TWM_TA, run it on a simulated embedded memory,
+// and watch it (a) preserve the live contents and (b) catch an injected
+// fault via MISR signature comparison.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "bist/engine.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "march/printer.h"
+#include "memsim/memory.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace twm;
+
+  // 1. Pick a bit-oriented march and a word width.
+  const MarchTest bit_march = march_by_name("March C-");
+  const unsigned width = 32;
+  std::cout << "input:  " << to_string(bit_march) << "\n\n";
+
+  // 2. Transform it (Algorithm 1 of the paper).
+  const TwmResult twm = twm_transform(bit_march, width);
+  std::cout << "TSMarch: " << to_string(twm.tsmarch) << "\n";
+  std::cout << "ATMarch: " << to_string(twm.atmarch) << "\n";
+  std::printf("TWMarch: %zu ops/word, prediction: %zu ops/word\n\n",
+              twm.twmarch.op_count(), twm.prediction.op_count());
+
+  // 3. A 256-word embedded memory holding live application data.
+  Rng rng(2024);
+  Memory mem(256, width);
+  mem.fill_random(rng);
+  const auto before = mem.snapshot();
+
+  // 4. Healthy memory: prediction and test signatures agree and the
+  //    contents survive untouched (that's the "transparent" in the title).
+  MarchRunner runner(mem);
+  auto out = runner.run_transparent_session(twm.twmarch, twm.prediction, width);
+  std::printf("healthy:  detected=%s  contents preserved=%s\n",
+              out.detected_misr ? "yes" : "no", mem.equals(before) ? "yes" : "no");
+
+  // 5. A transition fault develops in the field; the next idle-time session
+  //    flags it without ever needing golden data.
+  mem.inject(Fault::tf({123, 17}, Transition::Up));
+  out = runner.run_transparent_session(twm.twmarch, twm.prediction, width);
+  std::printf("faulty:   detected=%s  (signatures %s vs %s)\n", out.detected_misr ? "yes" : "no",
+              out.signature_predicted.to_string().substr(0, 8).c_str(),
+              out.signature_observed.to_string().substr(0, 8).c_str());
+  return out.detected_misr ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// SoC memory-core audit: given a set of embedded memories of different
+// geometries and an idle-window cycle budget per core, pick the cheapest
+// transparent scheme that fits, then validate the chosen tests by a
+// sampled fault-injection campaign on each core.
+//
+//   $ ./soc_memory_audit
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/coverage.h"
+#include "analysis/fault_list.h"
+#include "analysis/report.h"
+#include "core/complexity.h"
+#include "march/library.h"
+#include "util/table.h"
+
+int main() {
+  using namespace twm;
+
+  struct Core {
+    std::string name;
+    std::size_t words;
+    unsigned width;
+    std::string march;
+    std::size_t idle_budget;  // memory operations available per idle window
+  };
+  const Core cores[] = {
+      {"cpu-l1-tags", 256, 16, "March C-", 24000},
+      {"dsp-scratch", 1024, 32, "March U", 80000},
+      {"nic-ring", 512, 64, "March C-", 48000},
+      {"video-line", 2048, 128, "MATS+", 160000},
+  };
+
+  std::cout << "== transparent-test budget audit ==\n\n";
+  Table t({"core", "geometry", "march", "proposed (ops)", "scheme1 (ops)", "TOMT (ops)",
+           "fits budget"});
+  for (const auto& c : cores) {
+    const auto& info = march_info(c.march);
+    const auto p = formula_proposed(info.ops, info.reads, c.width);
+    const auto s1 = formula_scheme1(info.ops, info.reads, c.width);
+    const auto s2 = formula_tomt(c.width);
+    const std::size_t p_ops = p.total() * c.words;
+    const std::size_t s1_ops = s1.total() * c.words;
+    const std::size_t s2_ops = s2.total() * c.words;
+    std::string fits;
+    fits += p_ops <= c.idle_budget ? "proposed " : "";
+    fits += s1_ops <= c.idle_budget ? "scheme1 " : "";
+    fits += s2_ops <= c.idle_budget ? "tomt" : "";
+    if (fits.empty()) fits = "none";
+    t.add_row({c.name, std::to_string(c.words) + "x" + std::to_string(c.width), c.march,
+               std::to_string(p_ops), std::to_string(s1_ops), std::to_string(s2_ops), fits});
+  }
+  t.print(std::cout);
+
+  // Validate the proposed tests on scaled-down twins of two cores with a
+  // sampled fault campaign (exhaustive SAF/TF, sampled coupling faults).
+  std::cout << "\n== sampled fault-injection validation (scaled-down twins) ==\n\n";
+  Table v({"core twin", "fault class", "coverage (all contents)"});
+  for (const auto& c : {cores[0], cores[1]}) {
+    const std::size_t words = 6;
+    CoverageEvaluator eval(words, c.width);
+    const MarchTest march = march_by_name(c.march);
+    Rng rng(5);
+
+    const auto safs = all_safs(words, c.width);
+    const auto tfs = all_tfs(words, c.width);
+    const auto cfs = sampled_cfs(words, c.width, FaultClass::CFid, CfScope::Both, 80, rng);
+
+    v.add_row({c.name, "SAF",
+               coverage_str(eval.evaluate(SchemeKind::ProposedExact, march, safs, {0, 3}))});
+    v.add_row({"", "TF",
+               coverage_str(eval.evaluate(SchemeKind::ProposedExact, march, tfs, {0, 3}))});
+    v.add_row({"", "CFid (sampled)",
+               coverage_str(eval.evaluate(SchemeKind::ProposedExact, march, cfs, {0, 3}))});
+    v.add_rule();
+  }
+  v.print(std::cout);
+  return 0;
+}

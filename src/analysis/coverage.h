@@ -1,0 +1,90 @@
+// Fault-coverage evaluation (reproduces the Sec. 5 analysis empirically).
+//
+// For each fault in a list, a fresh memory is built, loaded with seeded
+// random contents, the fault is injected, and the selected test scheme is
+// run; the fault counts as detected when the scheme's checker fires.
+//
+// Schemes:
+//   NontransparentReference  SMarch then AMarch with absolute data and a
+//                            direct comparator — the paper's coverage
+//                            reference (SMarch + AMarch).
+//   WordOrientedMarch        classical multi-background word-oriented march
+//                            (Sec. 3), direct comparator.
+//   ProposedExact            TWMarch, prediction/test read streams compared
+//                            exactly (aliasing-free).
+//   ProposedMisr             TWMarch with MISR signature comparison.
+//   TsmarchOnly              ablation: the proposed test *without* ATMarch.
+//   Scheme1Exact             baseline [12], exact stream comparison.
+//   TomtModel                baseline [13] behavioural model (parity ledger
+//                            + read-back comparator).
+//
+// Because transparent tests operate on live data, detection may in
+// principle depend on the initial contents; evaluate() therefore runs every
+// fault under each seed in `seeds` and reports both the number of faults
+// detected under every content (detected_all — what the paper's theorem
+// promises) and under at least one content (detected_any).
+//
+// Seed 0 is special: it loads all-zero contents, the base the
+// nontransparent reference operates on.  With zero contents a transparent
+// session performs operation-for-operation the same port traffic as the
+// nontransparent reference, so per-fault verdicts must agree exactly — the
+// sharpest checkable form of the paper's coverage-equality theorem.
+#ifndef TWM_ANALYSIS_COVERAGE_H
+#define TWM_ANALYSIS_COVERAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "march/test.h"
+#include "memsim/fault.h"
+
+namespace twm {
+
+enum class SchemeKind {
+  NontransparentReference,
+  WordOrientedMarch,
+  ProposedExact,
+  ProposedMisr,
+  ProposedSymmetricXor,  // symmetrized TWMarch, XOR accumulator, TCP = 0
+  TsmarchOnly,
+  Scheme1Exact,
+  TomtModel,
+};
+
+std::string to_string(SchemeKind k);
+
+struct CoverageOutcome {
+  std::size_t total = 0;
+  std::size_t detected_all = 0;  // detected under every evaluated content
+  std::size_t detected_any = 0;  // detected under at least one content
+
+  double pct_all() const { return total ? 100.0 * detected_all / total : 0.0; }
+  double pct_any() const { return total ? 100.0 * detected_any / total : 0.0; }
+};
+
+class CoverageEvaluator {
+ public:
+  CoverageEvaluator(std::size_t words, unsigned width) : words_(words), width_(width) {}
+
+  CoverageOutcome evaluate(SchemeKind scheme, const MarchTest& bit_march,
+                           const std::vector<Fault>& faults,
+                           const std::vector<std::uint64_t>& seeds) const;
+
+  // Verdict per fault (detected under every seed); used to prove coverage
+  // *equality* between schemes, not just equal percentages.
+  std::vector<bool> per_fault(SchemeKind scheme, const MarchTest& bit_march,
+                              const std::vector<Fault>& faults,
+                              const std::vector<std::uint64_t>& seeds) const;
+
+ private:
+  bool run_one(SchemeKind scheme, const MarchTest& bit_march, const Fault& fault,
+               std::uint64_t seed) const;
+
+  std::size_t words_;
+  unsigned width_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_ANALYSIS_COVERAGE_H

@@ -1,0 +1,98 @@
+#include "analysis/fault_list.h"
+
+#include <stdexcept>
+
+namespace twm {
+namespace {
+
+bool scope_ok(const CellAddr& agg, const CellAddr& vic, CfScope scope) {
+  switch (scope) {
+    case CfScope::IntraWord: return agg.word == vic.word;
+    case CfScope::InterWord: return agg.word != vic.word;
+    case CfScope::Both: return true;
+  }
+  return false;
+}
+
+// All class variants of a coupling fault between a fixed cell pair.
+void push_variants(std::vector<Fault>& out, FaultClass cls, CellAddr agg, CellAddr vic) {
+  switch (cls) {
+    case FaultClass::CFst:
+      for (bool s : {false, true})
+        for (bool v : {false, true}) out.push_back(Fault::cfst(agg, s, vic, v));
+      break;
+    case FaultClass::CFid:
+      for (Transition t : {Transition::Up, Transition::Down})
+        for (bool v : {false, true}) out.push_back(Fault::cfid(agg, t, vic, v));
+      break;
+    case FaultClass::CFin:
+      for (Transition t : {Transition::Up, Transition::Down})
+        out.push_back(Fault::cfin(agg, t, vic));
+      break;
+    default:
+      throw std::invalid_argument("push_variants: not a coupling fault class");
+  }
+}
+
+}  // namespace
+
+std::vector<Fault> all_safs(std::size_t words, unsigned width) {
+  std::vector<Fault> out;
+  out.reserve(words * width * 2);
+  for (std::size_t w = 0; w < words; ++w)
+    for (unsigned b = 0; b < width; ++b)
+      for (bool v : {false, true}) out.push_back(Fault::saf({w, b}, v));
+  return out;
+}
+
+std::vector<Fault> all_tfs(std::size_t words, unsigned width) {
+  std::vector<Fault> out;
+  out.reserve(words * width * 2);
+  for (std::size_t w = 0; w < words; ++w)
+    for (unsigned b = 0; b < width; ++b)
+      for (Transition t : {Transition::Up, Transition::Down})
+        out.push_back(Fault::tf({w, b}, t));
+  return out;
+}
+
+std::vector<Fault> all_rets(std::size_t words, unsigned width, unsigned hold_units) {
+  std::vector<Fault> out;
+  out.reserve(words * width * 2);
+  for (std::size_t w = 0; w < words; ++w)
+    for (unsigned b = 0; b < width; ++b)
+      for (bool v : {false, true}) out.push_back(Fault::ret({w, b}, v, hold_units));
+  return out;
+}
+
+std::vector<Fault> all_cfs(std::size_t words, unsigned width, FaultClass cls, CfScope scope) {
+  std::vector<Fault> out;
+  for (std::size_t aw = 0; aw < words; ++aw)
+    for (unsigned ab = 0; ab < width; ++ab)
+      for (std::size_t vw = 0; vw < words; ++vw)
+        for (unsigned vb = 0; vb < width; ++vb) {
+          const CellAddr agg{aw, ab};
+          const CellAddr vic{vw, vb};
+          if (agg == vic || !scope_ok(agg, vic, scope)) continue;
+          push_variants(out, cls, agg, vic);
+        }
+  return out;
+}
+
+std::vector<Fault> sampled_cfs(std::size_t words, unsigned width, FaultClass cls, CfScope scope,
+                               std::size_t count, Rng& rng) {
+  std::vector<Fault> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const CellAddr agg{static_cast<std::size_t>(rng.next_below(words)),
+                       static_cast<unsigned>(rng.next_below(width))};
+    const CellAddr vic{static_cast<std::size_t>(rng.next_below(words)),
+                       static_cast<unsigned>(rng.next_below(width))};
+    if (agg == vic || !scope_ok(agg, vic, scope)) continue;
+    std::vector<Fault> variants;
+    push_variants(variants, cls, agg, vic);
+    out.push_back(variants[rng.next_below(variants.size())]);
+  }
+  return out;
+}
+
+}  // namespace twm

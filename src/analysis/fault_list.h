@@ -1,0 +1,37 @@
+// Fault-list generation for coverage campaigns.
+//
+// Exhaustive generators enumerate every single fault of a class in an
+// N x B memory; the coupling-fault space is quadratic in the cell count, so
+// sampled generators are provided for larger geometries.
+#ifndef TWM_ANALYSIS_FAULT_LIST_H
+#define TWM_ANALYSIS_FAULT_LIST_H
+
+#include <cstddef>
+#include <vector>
+
+#include "memsim/fault.h"
+#include "util/rng.h"
+
+namespace twm {
+
+enum class CfScope { IntraWord, InterWord, Both };
+
+std::vector<Fault> all_safs(std::size_t words, unsigned width);
+std::vector<Fault> all_tfs(std::size_t words, unsigned width);
+
+// Every data-retention fault decaying to 0 and to 1 after `hold_units`
+// pause units (detected only by marches with Del elements, e.g. March G).
+std::vector<Fault> all_rets(std::size_t words, unsigned width, unsigned hold_units);
+
+// Every coupling fault of class `cls` (CFst: 4 variants per ordered cell
+// pair, CFid: 4, CFin: 2) whose aggressor/victim placement matches `scope`.
+std::vector<Fault> all_cfs(std::size_t words, unsigned width, FaultClass cls, CfScope scope);
+
+// `count` coupling faults of class `cls` drawn uniformly (with replacement)
+// from the scope's ordered cell pairs and variants.
+std::vector<Fault> sampled_cfs(std::size_t words, unsigned width, FaultClass cls, CfScope scope,
+                               std::size_t count, Rng& rng);
+
+}  // namespace twm
+
+#endif  // TWM_ANALYSIS_FAULT_LIST_H

@@ -1,0 +1,64 @@
+#include "analysis/interference.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace twm {
+
+double InterferenceModel::completion_probability() const {
+  if (write_prob_per_step < 0.0 || write_prob_per_step > 1.0)
+    throw std::invalid_argument("InterferenceModel: p outside [0,1]");
+  return std::pow(1.0 - write_prob_per_step, static_cast<double>(session_steps));
+}
+
+double InterferenceModel::expected_attempts() const {
+  const double q = completion_probability();
+  if (q <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / q;
+}
+
+double InterferenceModel::expected_total_steps() const {
+  const double p = write_prob_per_step;
+  const std::uint64_t L = session_steps;
+  if (p == 0.0) return static_cast<double>(L);
+  const double q = completion_probability();
+  if (q <= 0.0) return std::numeric_limits<double>::infinity();
+  // E[steps of one attempt | aborted] * E[# aborted attempts] + L.
+  // An attempt aborts at step k (1-indexed) with prob (1-p)^(k-1) p, for
+  // k = 1..L; conditional mean:
+  const double one_minus = 1.0 - p;
+  const double fail_prob = 1.0 - q;
+  // Sum k (1-p)^(k-1) p for k=1..L  (unconditional partial expectation).
+  const double partial =
+      (1.0 - std::pow(one_minus, L) * (1.0 + L * p)) / p;
+  const double mean_abort_len = partial / fail_prob;
+  const double aborted_attempts = fail_prob / q;  // E[failures before success]
+  return aborted_attempts * mean_abort_len + static_cast<double>(L);
+}
+
+InterferenceSim simulate_interference(const InterferenceModel& m, Rng& rng,
+                                      std::uint64_t max_attempts) {
+  InterferenceSim sim;
+  const double p = m.write_prob_per_step;
+  const std::uint64_t scale = 1ull << 32;
+  const auto threshold = static_cast<std::uint64_t>(p * static_cast<double>(scale));
+  while (sim.attempts < max_attempts) {
+    ++sim.attempts;
+    bool aborted = false;
+    for (std::uint64_t s = 0; s < m.session_steps; ++s) {
+      ++sim.total_steps;
+      if ((rng.next_u64() & (scale - 1)) < threshold) {
+        aborted = true;
+        break;
+      }
+    }
+    if (!aborted) {
+      sim.completed = true;
+      return sim;
+    }
+  }
+  return sim;
+}
+
+}  // namespace twm

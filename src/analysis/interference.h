@@ -1,0 +1,53 @@
+// Idle-time interference model.
+//
+// The paper's core motivation (Sec. 1/4): transparent tests run in system
+// idle state, so a shorter test is less likely to be interrupted and
+// re-run.  With functional writes arriving as a Bernoulli process of
+// probability p per controller step, a session of L steps completes only
+// if no write lands inside it:
+//
+//   P(complete) = (1-p)^L
+//   E[attempts] = (1-p)^-L
+//   E[wasted steps per success] ~ geometric restart cost (closed form below)
+//
+// This module provides the closed forms and a discrete-time simulator to
+// validate them; bench_interference tabulates the three schemes' session
+// lengths against write rates, which turns Table 3's op counts into the
+// paper's actual argument — completion probability collapses exponentially
+// in session length.
+#ifndef TWM_ANALYSIS_INTERFERENCE_H
+#define TWM_ANALYSIS_INTERFERENCE_H
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace twm {
+
+struct InterferenceModel {
+  std::uint64_t session_steps = 0;  // L: TCP + TCM per word, times N (+1)
+  double write_prob_per_step = 0.0;  // p
+
+  // Probability a session runs to completion uninterrupted.
+  double completion_probability() const;
+  // Expected number of attempts until one completes (geometric).
+  double expected_attempts() const;
+  // Expected total steps spent (aborted attempts' partial cost + the final
+  // full session).  Closed form for the geometric/truncated process.
+  double expected_total_steps() const;
+};
+
+struct InterferenceSim {
+  std::uint64_t attempts = 0;
+  std::uint64_t total_steps = 0;
+  bool completed = false;
+};
+
+// Monte-Carlo of the same process: repeat sessions until one completes (or
+// `max_attempts` is hit), drawing a write in each step with probability p.
+InterferenceSim simulate_interference(const InterferenceModel& m, Rng& rng,
+                                      std::uint64_t max_attempts = 100000);
+
+}  // namespace twm
+
+#endif  // TWM_ANALYSIS_INTERFERENCE_H

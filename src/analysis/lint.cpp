@@ -1,0 +1,115 @@
+#include "analysis/lint.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/pair_trace.h"
+#include "bist/engine.h"
+#include "march/generator.h"
+#include "memsim/memory.h"
+
+namespace twm {
+namespace {
+
+// Looking ahead from `start`, is cell `vic` read before it is written?
+bool read_confirms(const std::vector<PairEventRecord>& evs, std::size_t start, bool vic_is_i) {
+  for (std::size_t k = start + 1; k < evs.size(); ++k) {
+    const auto& ev = evs[k];
+    const bool touches_vic = vic_is_i ? ev.touches_i : ev.touches_j;
+    if (!touches_vic) continue;
+    if (ev.kind == OpKind::Read) return true;
+    return false;  // rewritten before observation
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string MarchLint::summary() const {
+  std::ostringstream os;
+  os << (initializes ? "init " : "") << (consistent ? "consistent " : "INCONSISTENT ")
+     << "SAF:" << (detects_saf ? "y" : "n") << " TF:" << (detects_tf ? "y" : "n")
+     << " AF:" << (detects_af ? "y" : "n") << " CF:" << (full_inter_cf ? "full" : "partial");
+  return os.str();
+}
+
+MarchLint lint_march(const MarchTest& bit_march) {
+  for (const auto& e : bit_march.elements)
+    for (const auto& op : e.ops)
+      if (op.data.relative || !op.data.pattern.empty())
+        throw std::invalid_argument("lint_march: plain bit-oriented march required");
+
+  MarchLint lint;
+  lint.initializes = !bit_march.empty() && bit_march.elements.front().all_writes();
+  lint.consistent = is_consistent_bit_march(bit_march);
+  if (!lint.consistent) return lint;
+
+  // Execute on a fault-free 2-cell memory and derive the capability
+  // predicates from the observed event trace.
+  Memory mem(2, 1);
+  PairStateTrace trace(mem, {0, 0}, {1, 0});
+  MarchRunner runner(mem);
+  runner.set_observer(&trace);
+  runner.run_direct(bit_march);
+  const auto& evs = trace.events();
+
+  // SAF: cell i is read in both logic states.
+  bool read0 = false, read1 = false;
+  // TF: each transition of cell i is read-confirmed.
+  bool tf_up = false, tf_down = false;
+  // Inter-cell CF conditions: confirmed[agg=i?0:1][dir up?0:1][neighbour v].
+  bool confirmed[2][2][2] = {};
+
+  for (std::size_t k = 0; k < evs.size(); ++k) {
+    const auto& ev = evs[k];
+    if (ev.kind == OpKind::Read) {
+      if (ev.touches_i) (ev.after_i ? read1 : read0) = true;
+      continue;
+    }
+    if (ev.touches_i && ev.before_i != ev.after_i) {
+      const int dir = ev.after_i ? 0 : 1;
+      if (read_confirms(evs, k, /*vic_is_i=*/true)) (dir == 0 ? tf_up : tf_down) = true;
+      // Cell i as aggressor: victim j holds its value; detection needs a
+      // read of j before j is rewritten.
+      if (read_confirms(evs, k, /*vic_is_i=*/false)) confirmed[0][dir][ev.after_j] = true;
+    }
+    if (ev.touches_j && ev.before_j != ev.after_j) {
+      const int dir = ev.after_j ? 0 : 1;
+      if (read_confirms(evs, k, /*vic_is_i=*/true)) confirmed[1][dir][ev.after_i] = true;
+    }
+  }
+
+  lint.detects_saf = read0 && read1;
+  lint.detects_tf = tf_up && tf_down;
+
+  lint.full_inter_cf = true;
+  for (int a = 0; a < 2; ++a)
+    for (int d = 0; d < 2; ++d)
+      for (int v = 0; v < 2; ++v)
+        if (!confirmed[a][d][v]) lint.full_inter_cf = false;
+
+  // AF (van de Goor): an ascending element that reads the current value and
+  // ends having inverted it, and a descending element doing the same.
+  bool af_up = false, af_down = false;
+  bool value = false;  // tracked cell value; init element has no reads
+  for (const auto& e : bit_march.elements) {
+    const bool entry = value;
+    bool inverted_after_read = false;
+    bool seen_read = false;
+    for (const auto& op : e.ops) {
+      if (op.is_read() && op.data.complement == entry) seen_read = true;
+      if (op.is_write()) value = op.data.complement;
+    }
+    inverted_after_read = seen_read && value != entry;
+    if (inverted_after_read) {
+      if (e.order == AddrOrder::Down)
+        af_down = true;
+      else
+        af_up = true;  // Up or Any (executed ascending)
+    }
+  }
+  lint.detects_af = af_up && af_down;
+  return lint;
+}
+
+}  // namespace twm

@@ -1,0 +1,45 @@
+// Static capability analysis ("lint") of bit-oriented march tests.
+//
+// Classical march-test theory ties fault-detection capability to the
+// presence of structural patterns in the element list; this module derives
+// those predicates without executing anything:
+//
+//   SAF   — every cell is read at least once in each logic state;
+//   TF    — each transition direction is written and the result is read
+//           before the cell is rewritten;
+//   AF    — van de Goor's condition: an ascending element reading x before
+//           writing ~x, and a descending element doing the same (for some
+//           x), so decoder aliasing in either address direction is caught;
+//   CF    — the four read-verified neighbour conditions of Fig. 1(a)
+//           (approximated: both orders traverse both states with reads).
+//
+// tests/lint_test.cpp cross-validates the predicates against the empirical
+// coverage evaluator on the whole catalog — the lint must never claim a
+// capability the simulator refutes.
+#ifndef TWM_ANALYSIS_LINT_H
+#define TWM_ANALYSIS_LINT_H
+
+#include <string>
+
+#include "march/test.h"
+
+namespace twm {
+
+struct MarchLint {
+  bool initializes = false;     // starts with an all-write element
+  bool consistent = false;      // reads expect the last written value
+  bool detects_saf = false;
+  bool detects_tf = false;
+  bool detects_af = false;
+  bool full_inter_cf = false;   // all 12 inter-cell excitation conditions
+
+  std::string summary() const;
+};
+
+// Analyzes a plain (nontransparent, pattern-free) bit-oriented march.
+// Throws std::invalid_argument on transparent or patterned input.
+MarchLint lint_march(const MarchTest& bit_march);
+
+}  // namespace twm
+
+#endif  // TWM_ANALYSIS_LINT_H

@@ -1,0 +1,74 @@
+#include "analysis/pair_trace.h"
+
+#include <sstream>
+
+namespace twm {
+
+std::string PairEventRecord::describe() const {
+  std::ostringstream os;
+  os << (kind == OpKind::Read ? "r" : "w") << " @w" << addr << "  (" << before_i << before_j
+     << ")->(" << after_i << after_j << ")";
+  return os.str();
+}
+
+PairStateTrace::PairStateTrace(const Memory& mem, CellAddr i, CellAddr j)
+    : mem_(mem), i_(i), j_(j) {
+  last_i_ = mem_.peek(i_.word).get(i_.bit);
+  last_j_ = mem_.peek(j_.word).get(j_.bit);
+}
+
+void PairStateTrace::on_op(std::size_t element, std::size_t op_index, std::size_t addr,
+                           const Op& op, const BitVec& /*value*/) {
+  PairEventRecord ev;
+  ev.element = element;
+  ev.op_index = op_index;
+  ev.kind = op.kind;
+  ev.addr = addr;
+  ev.touches_i = (addr == i_.word);
+  ev.touches_j = (addr == j_.word);
+  ev.before_i = last_i_;
+  ev.before_j = last_j_;
+  ev.after_i = mem_.peek(i_.word).get(i_.bit);
+  ev.after_j = mem_.peek(j_.word).get(j_.bit);
+  last_i_ = ev.after_i;
+  last_j_ = ev.after_j;
+  events_.push_back(ev);
+}
+
+std::set<std::pair<bool, bool>> PairStateTrace::states_visited() const {
+  std::set<std::pair<bool, bool>> s;
+  if (!events_.empty()) s.insert({events_.front().before_i, events_.front().before_j});
+  for (const auto& e : events_) s.insert({e.after_i, e.after_j});
+  return s;
+}
+
+IntraPairConditions analyze_intra_pair(const std::vector<PairEventRecord>& events) {
+  IntraPairConditions cond;
+  // Pending write events (direction, victim-flip) awaiting a confirming
+  // read; a write of the victim's word cancels unconfirmed ones.
+  struct Pending {
+    int dir;
+    int vic_flip;
+  };
+  std::vector<Pending> pending;
+
+  for (const auto& ev : events) {
+    if (!(ev.touches_i && ev.touches_j)) continue;  // same word for intra-pair
+    if (ev.kind == OpKind::Write) {
+      // Any write re-stores the victim: earlier unconfirmed activations are
+      // overwritten before observation.
+      pending.clear();
+      if (ev.before_i != ev.after_i) {
+        const int dir = (!ev.before_i && ev.after_i) ? 0 : 1;
+        const int vic_flip = (ev.before_j != ev.after_j) ? 1 : 0;
+        pending.push_back({dir, vic_flip});
+      }
+    } else {
+      for (const auto& p : pending) cond.covered[p.dir][p.vic_flip] = true;
+      pending.clear();
+    }
+  }
+  return cond;
+}
+
+}  // namespace twm

@@ -1,0 +1,86 @@
+// Cell-pair state tracing (reproduces Figure 1).
+//
+// Figure 1(a): any two cells of a bit-oriented memory traverse all four
+// joint states — with every transition direction under every neighbour
+// state — when a 100%-CF march (e.g. March C-) runs; the transparent solid
+// march inherits the traversal, so inter-word CF coverage is preserved.
+//
+// Figure 1(b): two bits *within* a word only see word-wide operations.  The
+// detection conditions are write events classified by (aggressor
+// transition, victim simultaneously written?, victim value), each followed
+// by a read of the victim's word before the victim is rewritten.  Solid
+// backgrounds can only produce both-bits-flip events; the checkerboard
+// ATMarch adds the aggressor-flips/victim-holds events — that is exactly
+// why TWM_TA appends it.
+#ifndef TWM_ANALYSIS_PAIR_TRACE_H
+#define TWM_ANALYSIS_PAIR_TRACE_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bist/engine.h"
+#include "memsim/memory.h"
+
+namespace twm {
+
+struct PairEventRecord {
+  std::size_t element = 0;
+  std::size_t op_index = 0;
+  OpKind kind = OpKind::Read;
+  std::size_t addr = 0;   // word the operation touched
+  bool touches_i = false;  // operation's word contains cell i / j
+  bool touches_j = false;
+  bool before_i = false, before_j = false;  // pair state before the op
+  bool after_i = false, after_j = false;    // pair state after the op
+
+  std::string describe() const;
+};
+
+// EngineObserver that samples the two chosen cells around every operation.
+class PairStateTrace final : public EngineObserver {
+ public:
+  PairStateTrace(const Memory& mem, CellAddr i, CellAddr j);
+
+  void on_op(std::size_t element, std::size_t op_index, std::size_t addr, const Op& op,
+             const BitVec& value) override;
+
+  const std::vector<PairEventRecord>& events() const { return events_; }
+
+  // Joint states (Di, Dj) occupied at any point of the trace.
+  std::set<std::pair<bool, bool>> states_visited() const;
+
+  // Number of recorded events (the paper's Fig. 1(a) walks 18 steps for
+  // March C- on a two-cell memory).
+  std::size_t step_count() const { return events_.size(); }
+
+ private:
+  const Memory& mem_;
+  CellAddr i_, j_;
+  bool last_i_, last_j_;
+  std::vector<PairEventRecord> events_;
+};
+
+// Detection-condition bookkeeping for an ordered (aggressor, victim) bit
+// pair inside one word, extracted from a PairStateTrace where cell i is the
+// aggressor and cell j the victim.
+struct IntraPairConditions {
+  // covered[direction][victim_simultaneously_flips]
+  //   direction: 0 = aggressor up, 1 = aggressor down.
+  bool covered[2][2] = {{false, false}, {false, false}};
+
+  bool aggressor_flip_victim_holds_both_dirs() const {
+    return covered[0][0] && covered[1][0];
+  }
+  bool all() const {
+    return covered[0][0] && covered[0][1] && covered[1][0] && covered[1][1];
+  }
+};
+
+// A condition counts as covered only when the triggering write is followed
+// by a read of the victim's word before the victim is written again.
+IntraPairConditions analyze_intra_pair(const std::vector<PairEventRecord>& events);
+
+}  // namespace twm
+
+#endif  // TWM_ANALYSIS_PAIR_TRACE_H

@@ -1,0 +1,18 @@
+#include "analysis/report.h"
+
+#include <cstdio>
+
+namespace twm {
+
+std::string pct_str(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", pct);
+  return buf;
+}
+
+std::string coverage_str(const CoverageOutcome& o) {
+  return std::to_string(o.detected_all) + "/" + std::to_string(o.total) + " (" +
+         pct_str(o.pct_all()) + ")";
+}
+
+}  // namespace twm

@@ -1,0 +1,20 @@
+// Small formatting helpers shared by the bench binaries.
+#ifndef TWM_ANALYSIS_REPORT_H
+#define TWM_ANALYSIS_REPORT_H
+
+#include <string>
+
+#include "analysis/coverage.h"
+
+namespace twm {
+
+// "100.0%" style percentage.
+std::string pct_str(double pct);
+
+// "detected/total (pct)" summary of a coverage outcome (the detected-under-
+// all-contents figure, which is what the paper's theorem claims).
+std::string coverage_str(const CoverageOutcome& o);
+
+}  // namespace twm
+
+#endif  // TWM_ANALYSIS_REPORT_H

@@ -1,0 +1,38 @@
+#include "bist/address_gen.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+AddressGen::AddressGen(AddrOrder order, std::size_t num_words) : order_(order), n_(num_words) {
+  if (num_words == 0) throw std::invalid_argument("AddressGen: empty memory");
+  reset();
+}
+
+void AddressGen::reset() {
+  remaining_ = n_;
+  cur_ = (order_ == AddrOrder::Down) ? n_ - 1 : 0;
+}
+
+void AddressGen::advance() {
+  if (done()) throw std::logic_error("AddressGen::advance past end");
+  --remaining_;
+  if (remaining_ == 0) return;
+  if (order_ == AddrOrder::Down)
+    --cur_;
+  else
+    ++cur_;
+}
+
+std::vector<std::size_t> AddressGen::sequence(AddrOrder order, std::size_t num_words) {
+  AddressGen g(order, num_words);
+  std::vector<std::size_t> out;
+  out.reserve(num_words);
+  while (!g.done()) {
+    out.push_back(g.current());
+    g.advance();
+  }
+  return out;
+}
+
+}  // namespace twm

@@ -1,0 +1,39 @@
+// Address sequence generator for march elements.
+//
+// AddrOrder::Any is executed ascending by convention (any consistent order
+// is permitted by march semantics; using the same one keeps prediction and
+// test passes aligned).
+#ifndef TWM_BIST_ADDRESS_GEN_H
+#define TWM_BIST_ADDRESS_GEN_H
+
+#include <cstddef>
+#include <vector>
+
+#include "march/op.h"
+
+namespace twm {
+
+class AddressGen {
+ public:
+  AddressGen(AddrOrder order, std::size_t num_words);
+
+  bool done() const { return remaining_ == 0; }
+  std::size_t current() const { return cur_; }
+  void advance();
+  void reset();
+
+  std::size_t num_words() const { return n_; }
+
+  // Convenience: the full sequence as a vector.
+  static std::vector<std::size_t> sequence(AddrOrder order, std::size_t num_words);
+
+ private:
+  AddrOrder order_;
+  std::size_t n_;
+  std::size_t cur_ = 0;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace twm
+
+#endif  // TWM_BIST_ADDRESS_GEN_H

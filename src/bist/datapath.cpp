@@ -1,0 +1,56 @@
+#include "bist/datapath.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+BistDatapath::BistDatapath(MemoryIf& mem, BistProgram test_program, unsigned misr_width)
+    : mem_(mem),
+      test_(std::move(test_program)),
+      pred_(prediction_program(test_)),
+      misr_width_(misr_width ? misr_width : mem.word_width()) {
+  if (test_.width != mem_.word_width())
+    throw std::invalid_argument("BistDatapath: program/memory width mismatch");
+}
+
+void BistDatapath::run_program(const BistProgram& prog, bool predict, Misr& misr) {
+  const std::size_t n = mem_.num_words();
+  BitVec wreg = BitVec::zeros(prog.width);
+
+  for (const ElementDescriptor& elem : prog.elements) {
+    if (elem.pause_before) mem_.elapse(1);
+    // ADDR counter sweeps the element's direction; all ops of the element
+    // run on one word before the counter steps.
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t addr = elem.descending ? n - 1 - step : step;
+      for (std::uint16_t i = 0; i < elem.op_count; ++i) {
+        const MicroOp& u = prog.ops[elem.first_op + i];
+        const BitVec& mask = prog.masks[u.mask_index];
+        ++cycles_;
+        if (u.write) {
+          mem_.write(addr, wreg ^ mask);
+          continue;
+        }
+        const BitVec data = mem_.read(addr);
+        misr.feed(predict ? data ^ mask : data);
+        wreg = data ^ mask;  // WREG load: estimate of the word's `a`
+      }
+    }
+  }
+}
+
+bool BistDatapath::run_session() {
+  cycles_ = 0;
+  Misr pred_misr(misr_width_);
+  run_program(pred_, /*predict=*/true, pred_misr);
+  predicted_ = pred_misr.signature();
+
+  Misr obs_misr(misr_width_);
+  run_program(test_, /*predict=*/false, obs_misr);
+  observed_ = obs_misr.signature();
+
+  ++cycles_;  // compare cycle
+  return predicted_ != observed_;
+}
+
+}  // namespace twm

@@ -1,0 +1,59 @@
+// Register-level transparent-BIST datapath.
+//
+// Interprets a BistProgram with exactly the state a synthesized engine
+// carries — nothing scales with memory size:
+//
+//   PC        micro-op index within the current element
+//   ELEM      element index
+//   ADDR      address up/down counter
+//   WREG      word register: initial-content estimate of the word in flight
+//             (loaded at each element-start Read as data XOR mask)
+//   MISR      signature register
+//   PHASE     predict / test
+//
+// Write data is formed as WREG XOR mask — the paper's transparent
+// operations are all of this shape, which is why the datapath needs no
+// adder and no golden-data storage.  One cycle per memory operation.
+//
+// tests/datapath_test.cpp proves cycle-level equivalence with the
+// behavioural MarchRunner on the whole catalog (same signatures, same
+// final memory state) — the standard RTL-vs-reference-model check.
+#ifndef TWM_BIST_DATAPATH_H
+#define TWM_BIST_DATAPATH_H
+
+#include "bist/microcode.h"
+#include "bist/misr.h"
+#include "memsim/memory.h"
+
+namespace twm {
+
+class BistDatapath {
+ public:
+  // `misr_width` 0 selects the memory word width.
+  BistDatapath(MemoryIf& mem, BistProgram test_program, unsigned misr_width = 0);
+
+  // Runs the prediction pass then the test pass to completion and returns
+  // the fault verdict (signature mismatch).  Cycle count available after.
+  bool run_session();
+
+  std::uint64_t cycles() const { return cycles_; }
+  const BitVec& predicted_signature() const { return predicted_; }
+  const BitVec& observed_signature() const { return observed_; }
+
+ private:
+  // Executes one program over the memory, feeding `misr`; `predict` mode
+  // XORs the mask into read data instead of deriving write data.
+  void run_program(const BistProgram& prog, bool predict, Misr& misr);
+
+  MemoryIf& mem_;
+  BistProgram test_;
+  BistProgram pred_;
+  unsigned misr_width_;
+  std::uint64_t cycles_ = 0;
+  BitVec predicted_;
+  BitVec observed_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_BIST_DATAPATH_H

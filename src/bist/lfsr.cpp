@@ -1,0 +1,34 @@
+#include "bist/lfsr.h"
+
+#include <stdexcept>
+
+#include "bist/misr.h"
+
+namespace twm {
+
+Lfsr::Lfsr(unsigned width, std::uint64_t seed) : Lfsr(width, seed, Misr::default_taps(width)) {}
+
+Lfsr::Lfsr(unsigned width, std::uint64_t seed, const std::vector<unsigned>& taps)
+    : state_(BitVec::from_uint(width, seed)), poly_(BitVec::zeros(width)) {
+  if (width == 0) throw std::invalid_argument("Lfsr: zero width");
+  if (state_.all_zero()) throw std::invalid_argument("Lfsr: seed must be non-zero");
+  for (unsigned t : taps) {
+    if (t >= width) throw std::invalid_argument("Lfsr: tap exponent >= width");
+    poly_.set(t, true);
+  }
+  // The x^0 term is what reinjects the shifted-out bit; without it the
+  // register drains to zero.
+  if (!poly_.get(0)) throw std::invalid_argument("Lfsr: taps must include 0");
+}
+
+const BitVec& Lfsr::next() {
+  const unsigned w = state_.width();
+  const bool out = state_.get(w - 1);
+  BitVec next_state = BitVec::zeros(w);
+  for (unsigned i = w; i-- > 1;) next_state.set(i, state_.get(i - 1));
+  if (out) next_state ^= poly_;
+  state_ = next_state;
+  return state_;
+}
+
+}  // namespace twm

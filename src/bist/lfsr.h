@@ -1,0 +1,32 @@
+// Galois LFSR: pseudo-random pattern source for BIST-style stimulus
+// (background selection, address scrambling in the examples).
+#ifndef TWM_BIST_LFSR_H
+#define TWM_BIST_LFSR_H
+
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace twm {
+
+class Lfsr {
+ public:
+  // Seed must be non-zero (all-zero is the LFSR's fixed point); the
+  // polynomial defaults to the MISR table for the width.
+  Lfsr(unsigned width, std::uint64_t seed);
+  Lfsr(unsigned width, std::uint64_t seed, const std::vector<unsigned>& taps);
+
+  unsigned width() const { return state_.width(); }
+
+  // Advances one step and returns the new state.
+  const BitVec& next();
+  const BitVec& state() const { return state_; }
+
+ private:
+  BitVec state_;
+  BitVec poly_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_BIST_LFSR_H

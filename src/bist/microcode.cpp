@@ -1,0 +1,72 @@
+#include "bist/microcode.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace twm {
+
+BistProgram compile_program(const MarchTest& transparent, unsigned width) {
+  if (transparent.op_count() == 0)
+    throw std::invalid_argument("compile_program: empty test");
+  if (!transparent.is_transparent())
+    throw std::invalid_argument("compile_program: test must be transparent");
+  if (!transparent.every_element_begins_with_read())
+    throw std::invalid_argument("compile_program: elements must begin with a Read");
+
+  BistProgram prog;
+  prog.width = width;
+  std::map<BitVec, std::uint16_t> mask_index;
+  auto intern = [&](const BitVec& m) {
+    auto [it, inserted] = mask_index.try_emplace(m, static_cast<std::uint16_t>(prog.masks.size()));
+    if (inserted) prog.masks.push_back(m);
+    return it->second;
+  };
+
+  for (const auto& e : transparent.elements) {
+    if (e.ops.empty()) continue;
+    ElementDescriptor desc;
+    desc.descending = (e.order == AddrOrder::Down);
+    desc.pause_before = e.pause_before;
+    desc.first_op = static_cast<std::uint16_t>(prog.ops.size());
+    desc.op_count = static_cast<std::uint16_t>(e.ops.size());
+    for (std::size_t i = 0; i < e.ops.size(); ++i) {
+      MicroOp u;
+      u.write = e.ops[i].is_write();
+      u.mask_index = intern(e.ops[i].data.mask(width));
+      u.element_start = (i == 0);
+      u.last_in_element = (i + 1 == e.ops.size());
+      prog.ops.push_back(u);
+    }
+    prog.elements.push_back(desc);
+  }
+  return prog;
+}
+
+BistProgram prediction_program(const BistProgram& prog) {
+  BistProgram p;
+  p.width = prog.width;
+  p.masks = prog.masks;
+  for (const auto& e : prog.elements) {
+    ElementDescriptor desc;
+    desc.descending = e.descending;
+    desc.pause_before = e.pause_before;
+    desc.first_op = static_cast<std::uint16_t>(p.ops.size());
+    std::uint16_t count = 0;
+    for (std::uint16_t i = 0; i < e.op_count; ++i) {
+      const MicroOp& u = prog.ops[e.first_op + i];
+      if (u.write) continue;
+      MicroOp r = u;
+      r.element_start = (count == 0);
+      r.last_in_element = false;
+      p.ops.push_back(r);
+      ++count;
+    }
+    if (count == 0) continue;
+    p.ops.back().last_in_element = true;
+    desc.op_count = count;
+    p.elements.push_back(desc);
+  }
+  return p;
+}
+
+}  // namespace twm

@@ -1,0 +1,61 @@
+// March-test microcode: the program representation a hardware BIST engine
+// actually stores.
+//
+// A march test compiles to a small ROM of micro-instructions, one per
+// operation, each carrying: the port action (read/write), an index into a
+// mask ROM (the XOR distance of the operation's data from the word's
+// initial content), the element's address direction, and loop-boundary
+// flags.  The datapath (bist/datapath.h) interprets this ROM with exactly
+// the registers a synthesized engine would have; compile() is the software
+// that a test engineer runs at integration time, not silicon.
+//
+// Masks are deduplicated: TWMarch(March C-) at B = 32 needs only 7 mask
+// words (0, ~0, D1..D5) regardless of test length — this is the hardware
+// cost the paper's log2(B)-sized ATMarch keeps small, and mask_rom_size()
+// exposes it for the area comparison in bench_catalog.
+#ifndef TWM_BIST_MICROCODE_H
+#define TWM_BIST_MICROCODE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "march/test.h"
+
+namespace twm {
+
+struct MicroOp {
+  bool write = false;        // port action
+  std::uint16_t mask_index = 0;  // index into the mask ROM
+  bool last_in_element = false;  // advance the address counter after this op
+  bool element_start = false;    // first op of an element (word-register load point)
+};
+
+struct ElementDescriptor {
+  bool descending = false;   // address counter direction
+  bool pause_before = false;  // march Del: one elapse() unit before the sweep
+  std::uint16_t first_op = 0;  // index of the element's first MicroOp
+  std::uint16_t op_count = 0;
+};
+
+struct BistProgram {
+  std::vector<MicroOp> ops;               // operation ROM
+  std::vector<ElementDescriptor> elements;  // element sequencing ROM
+  std::vector<BitVec> masks;              // mask ROM (deduplicated)
+  unsigned width = 0;
+
+  std::size_t mask_rom_size() const { return masks.size(); }
+  std::size_t op_rom_size() const { return ops.size(); }
+};
+
+// Compiles a *transparent* march test into a BIST program.  Throws
+// std::invalid_argument for nontransparent input (a hardware transparent
+// BIST has no absolute-data source) or empty tests.
+BistProgram compile_program(const MarchTest& transparent, unsigned width);
+
+// The read-only program of the signature-prediction pass: same masks, the
+// Write micro-ops dropped.
+BistProgram prediction_program(const BistProgram& prog);
+
+}  // namespace twm
+
+#endif  // TWM_BIST_MICROCODE_H

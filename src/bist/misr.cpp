@@ -1,0 +1,52 @@
+#include "bist/misr.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+std::vector<unsigned> Misr::default_taps(unsigned width) {
+  switch (width) {
+    case 1: return {0};
+    case 2: return {1, 0};
+    case 3: return {1, 0};
+    case 4: return {1, 0};
+    case 8: return {4, 3, 2, 0};
+    case 16: return {12, 3, 1, 0};
+    case 32: return {22, 2, 1, 0};
+    case 64: return {4, 3, 1, 0};
+    case 128: return {7, 2, 1, 0};
+    default: return {1, 0};
+  }
+}
+
+Misr::Misr(unsigned width) : Misr(width, default_taps(width)) {}
+
+Misr::Misr(unsigned width, const std::vector<unsigned>& taps)
+    : state_(BitVec::zeros(width)), poly_(BitVec::zeros(width)) {
+  if (width == 0) throw std::invalid_argument("Misr: zero width");
+  for (unsigned t : taps) {
+    if (t >= width) throw std::invalid_argument("Misr: tap exponent >= width");
+    poly_.set(t, true);
+  }
+}
+
+void Misr::step() {
+  const unsigned w = state_.width();
+  const bool out = state_.get(w - 1);
+  BitVec next = BitVec::zeros(w);
+  for (unsigned i = w; i-- > 1;) next.set(i, state_.get(i - 1));
+  if (out) next ^= poly_;
+  state_ = next;
+}
+
+void Misr::feed(const BitVec& input) {
+  const unsigned w = state_.width();
+  step();
+  // Fold the input into width-sized chunks.
+  BitVec folded = BitVec::zeros(w);
+  for (unsigned i = 0; i < input.width(); ++i)
+    if (input.get(i)) folded.flip(i % w);
+  state_ ^= folded;
+}
+
+}  // namespace twm

@@ -1,0 +1,50 @@
+// Multiple-input signature register (MISR).
+//
+// Galois-style MISR over GF(2): each step shifts the state left by one, adds
+// the feedback polynomial when the bit shifted out is 1, and XORs in the
+// input word.  Used by transparent BIST to compact the read-data stream of
+// the prediction pass and of the test pass; the two signatures are equal in
+// a fault-free memory and differ (up to the usual 2^-W aliasing probability)
+// when a fault distorts the test-pass stream.
+#ifndef TWM_BIST_MISR_H
+#define TWM_BIST_MISR_H
+
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace twm {
+
+class Misr {
+ public:
+  // Uses a built-in feedback polynomial (primitive for widths 2, 3, 4, 8,
+  // 16, 32, 64; irreducible for 128; x^W + x + 1 fallback otherwise, which
+  // still compacts correctly but with unscreened aliasing structure).
+  explicit Misr(unsigned width);
+  // Explicit feedback taps: exponents of the polynomial x^W + .. + 1,
+  // excluding W and including the listed intermediate terms (the +1 term is
+  // implied by tap 0 being present or not; pass tap 0 explicitly).
+  Misr(unsigned width, const std::vector<unsigned>& taps);
+
+  unsigned width() const { return state_.width(); }
+
+  // Folds `input` into the signature.  Inputs wider than the MISR are
+  // XOR-folded in width-sized chunks; narrower inputs are zero-extended.
+  void feed(const BitVec& input);
+
+  void reset() { state_ = BitVec::zeros(state_.width()); }
+  const BitVec& signature() const { return state_; }
+
+  // Default feedback taps for a width (see constructor).
+  static std::vector<unsigned> default_taps(unsigned width);
+
+ private:
+  void step();  // one shift of the underlying LFSR
+
+  BitVec state_;
+  BitVec poly_;  // feedback pattern XORed in when the MSB shifts out
+};
+
+}  // namespace twm
+
+#endif  // TWM_BIST_MISR_H

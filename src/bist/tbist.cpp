@@ -1,0 +1,199 @@
+#include "bist/tbist.h"
+
+#include <stdexcept>
+
+#include "bist/address_gen.h"
+
+namespace twm {
+
+TbistController::TbistController(Memory& mem, Config cfg)
+    : mem_(mem),
+      cfg_(std::move(cfg)),
+      pred_(cfg_.misr_width ? cfg_.misr_width : mem.word_width()),
+      obs_(cfg_.misr_width ? cfg_.misr_width : mem.word_width()),
+      cur_base_(BitVec::zeros(mem.word_width())),
+      cur_mask_(BitVec::zeros(mem.word_width())) {
+  if (!cfg_.test.is_transparent())
+    throw std::invalid_argument("TbistController: test must be transparent");
+  if (cfg_.prediction.write_count() != 0)
+    throw std::invalid_argument("TbistController: prediction test must be read-only");
+  if (!cfg_.test.every_element_begins_with_read())
+    throw std::invalid_argument("TbistController: every test element must begin with a Read");
+
+  // Displacement after each test element = mask of its last write (carried
+  // forward when an element writes nothing).
+  const unsigned w = mem_.word_width();
+  BitVec m = BitVec::zeros(w);
+  for (const auto& e : cfg_.test.elements) {
+    for (const auto& op : e.ops)
+      if (op.is_write()) m = op.data.mask(w);
+    elem_exit_mask_.push_back(m);
+  }
+}
+
+void TbistController::enter_phase(State s) {
+  state_ = s;
+  elem_ = 0;
+  op_ = 0;
+  const MarchTest& t = active_test();
+  if (!t.elements.empty() && t.elements[0].pause_before) mem_.elapse(1);
+  addr_ = (!t.elements.empty() && t.elements[0].order == AddrOrder::Down)
+              ? mem_.num_words() - 1
+              : 0;
+  cur_base_valid_ = false;
+  cur_mask_ = (s == State::Test && elem_ != 0) ? elem_exit_mask_[elem_ - 1]
+                                               : BitVec::zeros(mem_.word_width());
+}
+
+void TbistController::start_session() {
+  if (state_ != State::Idle && state_ != State::Done)
+    throw std::logic_error("TbistController::start_session: session already active");
+  pred_.reset();
+  obs_.reset();
+  checkpoints_.clear();
+  boundary_mismatch_ = false;
+  failing_element_ = 0;
+  ++stats_.sessions_started;
+  enter_phase(State::Predict);
+}
+
+void TbistController::on_element_boundary() {
+  if (!cfg_.element_checkpoints) return;
+  if (state_ == State::Predict) {
+    checkpoints_.push_back(pred_.signature());
+  } else if (state_ == State::Test && !boundary_mismatch_ && elem_ < checkpoints_.size() &&
+             obs_.signature() != checkpoints_[elem_]) {
+    // First mismatching boundary: localize.  The session still runs to the
+    // end so the transparent test restores the memory contents itself.
+    boundary_mismatch_ = true;
+    failing_element_ = elem_;
+  }
+}
+
+bool TbistController::advance_cursor() {
+  const MarchTest& t = active_test();
+  const MarchElement& e = t.elements[elem_];
+  if (++op_ < e.ops.size()) return true;
+  op_ = 0;
+  cur_base_valid_ = false;
+  // Next address in this element's order.
+  const bool down = e.order == AddrOrder::Down;
+  const bool last_addr = down ? (addr_ == 0) : (addr_ + 1 == mem_.num_words());
+  if (!last_addr) {
+    addr_ = down ? addr_ - 1 : addr_ + 1;
+    // The next word has not been touched by this element yet: its
+    // displacement is the element's entry mask.
+    if (state_ == State::Test)
+      cur_mask_ = elem_ == 0 ? BitVec::zeros(mem_.word_width()) : elem_exit_mask_[elem_ - 1];
+    return true;
+  }
+  // Next element.
+  on_element_boundary();
+  if (state_ == State::Test) cur_mask_ = elem_exit_mask_[elem_];
+  while (++elem_ < t.elements.size()) {
+    if (t.elements[elem_].pause_before) mem_.elapse(1);
+    if (!t.elements[elem_].ops.empty()) break;
+  }
+  if (elem_ >= t.elements.size()) return false;
+  addr_ = (t.elements[elem_].order == AddrOrder::Down) ? mem_.num_words() - 1 : 0;
+  return true;
+}
+
+bool TbistController::step() {
+  if (state_ == State::Idle || state_ == State::Done) return false;
+  ++stats_.steps;
+
+  if (state_ == State::Compare) {
+    last_failed_ = pred_.signature() != obs_.signature();
+    if (last_failed_) ++stats_.failures_detected;
+    ++stats_.sessions_completed;
+    state_ = State::Done;
+    return false;
+  }
+
+  const MarchTest& t = active_test();
+  if (t.elements.empty()) {
+    state_ = State::Compare;
+    return true;
+  }
+  const Op& op = t.elements[elem_].ops[op_];
+  const unsigned w = mem_.word_width();
+  const BitVec mask = op.data.mask(w);
+
+  if (state_ == State::Predict) {
+    const BitVec raw = mem_.read(addr_);
+    pred_.feed(raw ^ mask);
+  } else {  // Test
+    if (op.is_read()) {
+      const BitVec v = mem_.read(addr_);
+      obs_.feed(v);
+      cur_base_ = v ^ mask;
+      cur_base_valid_ = true;
+      cur_mask_ = mask;  // fault-free content is now base ^ mask
+    } else {
+      if (!cur_base_valid_)
+        throw std::logic_error("TbistController: write before read within element");
+      mem_.write(addr_, cur_base_ ^ mask);
+      cur_mask_ = mask;
+    }
+  }
+
+  if (!advance_cursor()) {
+    // Phase finished.
+    if (state_ == State::Predict) {
+      enter_phase(State::Test);
+      cur_mask_ = BitVec::zeros(w);
+    } else {
+      state_ = State::Compare;
+    }
+  }
+  return true;
+}
+
+bool TbistController::run_session_to_completion() {
+  if (state_ == State::Idle || state_ == State::Done) start_session();
+  while (step()) {
+  }
+  return last_session_failed();
+}
+
+bool TbistController::word_done_in_current_element(std::size_t addr) const {
+  const MarchTest& t = active_test();
+  if (elem_ >= t.elements.size()) return true;
+  const bool down = t.elements[elem_].order == AddrOrder::Down;
+  return down ? addr > addr_ : addr < addr_;
+}
+
+BitVec TbistController::displacement(std::size_t addr) const {
+  const unsigned w = mem_.word_width();
+  if (state_ != State::Test) return BitVec::zeros(w);
+  if (addr == addr_) return cur_mask_;
+  if (word_done_in_current_element(addr)) return elem_exit_mask_[elem_];
+  return elem_ == 0 ? BitVec::zeros(w) : elem_exit_mask_[elem_ - 1];
+}
+
+void TbistController::restore_all() {
+  for (std::size_t a = 0; a < mem_.num_words(); ++a) {
+    const BitVec m = displacement(a);
+    if (m.all_zero()) continue;
+    const BitVec v = mem_.read(a);
+    mem_.write(a, v ^ m);
+  }
+}
+
+BitVec TbistController::functional_read(std::size_t addr) {
+  ++stats_.functional_reads;
+  return mem_.read(addr) ^ displacement(addr);
+}
+
+void TbistController::functional_write(std::size_t addr, const BitVec& data) {
+  ++stats_.functional_writes;
+  if (state_ == State::Predict || state_ == State::Test || state_ == State::Compare) {
+    restore_all();
+    ++stats_.sessions_aborted;
+    state_ = State::Idle;
+  }
+  mem_.write(addr, data);
+}
+
+}  // namespace twm

@@ -1,0 +1,129 @@
+// Transparent-BIST controller.
+//
+// Models the hardware a transparent word-oriented march scheme needs in an
+// SoC: a cycle-stepped FSM that, during system idle time, runs the
+// signature-prediction pass and then the transparent test pass, one memory
+// operation per step, and compares MISR signatures at the end.
+//
+// The paper's motivation (Sec. 1/4) is that shorter transparent tests
+// reduce interference with normal operation, because a session occupies the
+// memory port.  The controller makes that concrete:
+//
+//  * functional READS are serviced at any time: during the test pass the
+//    controller knows each word's current XOR displacement from its
+//    functional content (the mask of the last write applied to it), so it
+//    returns read-value XOR mask — the functional data;
+//  * functional WRITES invalidate the predicted signature, so they abort
+//    the session: the controller first sweeps test-displaced words back to
+//    their functional content, then services the write.  Aborted sessions
+//    are counted; the test reruns at the next idle window.
+//
+// Session cost in steps is exactly TCP + TCM (+1 compare), which is what
+// Tables 2/3 compare across schemes.
+#ifndef TWM_BIST_TBIST_H
+#define TWM_BIST_TBIST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/misr.h"
+#include "march/test.h"
+#include "memsim/memory.h"
+
+namespace twm {
+
+class TbistController {
+ public:
+  enum class State { Idle, Predict, Test, Compare, Done };
+
+  struct Config {
+    MarchTest test;        // transparent word-oriented march (TWMarch)
+    MarchTest prediction;  // its signature-prediction test
+    unsigned misr_width = 0;  // 0: use the memory word width
+    // Record the predicted signature at every element boundary and compare
+    // during the test pass: a failing session then stops at the first
+    // mismatching element (earlier detection, element-level localization)
+    // instead of running to the final compare.  Requires the prediction
+    // test to have one element per test element (true for every TWMarch).
+    bool element_checkpoints = false;
+  };
+
+  struct Stats {
+    std::uint64_t sessions_started = 0;
+    std::uint64_t sessions_completed = 0;
+    std::uint64_t sessions_aborted = 0;
+    std::uint64_t failures_detected = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t functional_reads = 0;
+    std::uint64_t functional_writes = 0;
+  };
+
+  TbistController(Memory& mem, Config cfg);
+
+  // Begins a session (Predict phase).  Only legal from Idle or Done.
+  void start_session();
+
+  // Executes one memory operation (or the final compare).  Returns true
+  // while the session is still running.  No-op in Idle/Done.
+  bool step();
+
+  // Runs the current session to completion; returns the fault verdict.
+  bool run_session_to_completion();
+
+  State state() const { return state_; }
+  // Valid in Done: true if the signatures mismatched (fault detected).
+  bool last_session_failed() const { return last_failed_; }
+  // With element_checkpoints: index of the first test element whose
+  // boundary signature mismatched.  Valid when a failed session recorded a
+  // boundary mismatch (first_failing_element_known()); the session still
+  // runs to completion so the test's own writes restore the contents.
+  std::size_t failing_element() const { return failing_element_; }
+  bool first_failing_element_known() const { return boundary_mismatch_; }
+  const Stats& stats() const { return stats_; }
+  const BitVec& predicted_signature() const { return pred_.signature(); }
+  const BitVec& observed_signature() const { return obs_.signature(); }
+
+  // System-side port: always legal; see file comment for semantics.
+  BitVec functional_read(std::size_t addr);
+  void functional_write(std::size_t addr, const BitVec& data);
+
+ private:
+  const MarchTest& active_test() const { return state_ == State::Predict ? cfg_.prediction : cfg_.test; }
+  void enter_phase(State s);
+  bool advance_cursor();  // moves to the next op/addr/element; false at phase end
+  // XOR displacement of `addr` from functional content, in the current state.
+  BitVec displacement(std::size_t addr) const;
+  void restore_all();  // sweep every displaced word back to functional content
+  bool word_done_in_current_element(std::size_t addr) const;
+
+  Memory& mem_;
+  Config cfg_;
+  State state_ = State::Idle;
+  bool last_failed_ = false;
+  Stats stats_;
+
+  Misr pred_;
+  Misr obs_;
+
+  // Cursor within the active phase's test.
+  std::size_t elem_ = 0;
+  std::size_t op_ = 0;
+  std::size_t addr_ = 0;
+
+  void on_element_boundary();
+
+  // Element-boundary signature checkpoints (element_checkpoints mode).
+  std::vector<BitVec> checkpoints_;
+  std::size_t failing_element_ = 0;
+  bool boundary_mismatch_ = false;
+
+  // Test-phase transparency bookkeeping.
+  BitVec cur_base_;        // initial-content estimate of the word in flight
+  bool cur_base_valid_ = false;
+  BitVec cur_mask_;        // displacement of the word in flight
+  std::vector<BitVec> elem_exit_mask_;  // displacement after each test element
+};
+
+}  // namespace twm
+
+#endif  // TWM_BIST_TBIST_H

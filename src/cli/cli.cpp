@@ -1,0 +1,233 @@
+#include "cli/cli.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "analysis/lint.h"
+#include "bist/engine.h"
+#include "core/complexity.h"
+#include "core/scheme1.h"
+#include "core/symmetric.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "march/printer.h"
+#include "memsim/memory.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace twm {
+namespace {
+
+struct Options {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;      // --key value
+  std::vector<std::string> faults;               // repeated --fault specs
+};
+
+std::optional<Options> parse_args(const std::vector<std::string>& args, std::ostream& err) {
+  Options o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      o.positional.push_back(a);
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      err << "error: flag " << a << " needs a value\n";
+      return std::nullopt;
+    }
+    const std::string value = args[++i];
+    if (a == "--fault")
+      o.faults.push_back(value);
+    else
+      o.flags[a.substr(2)] = value;
+  }
+  return o;
+}
+
+std::optional<unsigned> flag_unsigned(const Options& o, const std::string& key,
+                                      std::optional<unsigned> fallback, std::ostream& err) {
+  auto it = o.flags.find(key);
+  if (it == o.flags.end()) {
+    if (!fallback) err << "error: --" << key << " is required\n";
+    return fallback;
+  }
+  try {
+    return static_cast<unsigned>(std::stoul(it->second));
+  } catch (const std::exception&) {
+    err << "error: --" << key << " expects a number, got '" << it->second << "'\n";
+    return std::nullopt;
+  }
+}
+
+// Parses "saf:W.B=V", "tf:W.B=u|d", "ret:W.B=V".
+std::optional<Fault> parse_fault(const std::string& spec, std::ostream& err) {
+  const auto colon = spec.find(':');
+  const auto dot = spec.find('.');
+  const auto eq = spec.find('=');
+  if (colon == std::string::npos || dot == std::string::npos || eq == std::string::npos ||
+      !(colon < dot && dot < eq)) {
+    err << "error: bad fault spec '" << spec << "' (want kind:word.bit=value)\n";
+    return std::nullopt;
+  }
+  try {
+    const std::string kind = spec.substr(0, colon);
+    const std::size_t word = std::stoul(spec.substr(colon + 1, dot - colon - 1));
+    const unsigned bit = static_cast<unsigned>(std::stoul(spec.substr(dot + 1, eq - dot - 1)));
+    const std::string val = spec.substr(eq + 1);
+    if (kind == "saf") return Fault::saf({word, bit}, val == "1");
+    if (kind == "tf")
+      return Fault::tf({word, bit}, val == "u" ? Transition::Up : Transition::Down);
+    if (kind == "ret") return Fault::ret({word, bit}, val == "1", 1);
+    err << "error: unknown fault kind '" << kind << "'\n";
+    return std::nullopt;
+  } catch (const std::exception&) {
+    err << "error: bad fault spec '" << spec << "'\n";
+    return std::nullopt;
+  }
+}
+
+int cmd_list(std::ostream& out) {
+  Table t({"march", "S", "Q", "capabilities", "origin"});
+  for (const auto& info : march_catalog()) {
+    const MarchLint lint = lint_march(march_by_name(info.name));
+    t.add_row({info.name, std::to_string(info.ops), std::to_string(info.reads), lint.summary(),
+               info.reference});
+  }
+  t.print(out);
+  return 0;
+}
+
+int cmd_show(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.positional.size() < 2) {
+    err << "usage: show <march>\n";
+    return 1;
+  }
+  const MarchTest m = march_by_name(o.positional[1]);
+  out << to_string(m) << "\n";
+  out << "lint: " << lint_march(m).summary() << "\n";
+  return 0;
+}
+
+int cmd_transform(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.positional.size() < 2) {
+    err << "usage: transform <march> --width B [--scheme twm|s1|sym]\n";
+    return 1;
+  }
+  const auto width = flag_unsigned(o, "width", std::nullopt, err);
+  if (!width) return 1;
+  const MarchTest m = march_by_name(o.positional[1]);
+  const auto scheme_it = o.flags.find("scheme");
+  const std::string scheme = scheme_it == o.flags.end() ? "twm" : scheme_it->second;
+
+  if (scheme == "twm" || scheme == "sym") {
+    const TwmResult r = twm_transform(m, *width);
+    out << to_string(r.tsmarch) << "\n" << to_string(r.atmarch) << "\n";
+    if (scheme == "sym") {
+      const SymmetricTest st = symmetrize(r.twmarch, *width);
+      out << to_string(st.test) << "\n";
+      out << "expected signature constant (per odd N): " << st.mask_xor.to_string() << "\n";
+      out << "TCM=" << st.test.op_count() << "N TCP=0\n";
+    } else {
+      out << "prediction: " << to_string(r.prediction) << "\n";
+      out << "TCM=" << r.twmarch.op_count() << "N TCP=" << r.prediction.op_count() << "N\n";
+    }
+    return 0;
+  }
+  if (scheme == "s1") {
+    const Scheme1Result r = scheme1_transform(m, *width);
+    out << to_string(r.transparent) << "\n";
+    out << "TCM=" << r.transparent.op_count() << "N TCP=" << r.prediction.op_count() << "N\n";
+    return 0;
+  }
+  err << "error: unknown scheme '" << scheme << "'\n";
+  return 1;
+}
+
+int cmd_complexity(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.positional.size() < 2) {
+    err << "usage: complexity <march> --width B\n";
+    return 1;
+  }
+  const auto width = flag_unsigned(o, "width", std::nullopt, err);
+  if (!width) return 1;
+  const auto& info = march_info(o.positional[1]);
+  const MarchTest m = march_by_name(info.name);
+
+  Table t({"scheme", "TCM (formula)", "TCP (formula)", "TCM (measured)", "TCP (measured)"});
+  const auto p = formula_proposed(info.ops, info.reads, *width);
+  const auto mp = measured_proposed(m, *width);
+  t.add_row({"this work", coeff_str(p.tcm), coeff_str(p.tcp), coeff_str(mp.tcm),
+             coeff_str(mp.tcp)});
+  const auto s1 = formula_scheme1(info.ops, info.reads, *width);
+  const auto ms1 = measured_scheme1(m, *width);
+  t.add_row({"scheme 1 [12]", coeff_str(s1.tcm), coeff_str(s1.tcp), coeff_str(ms1.tcm),
+             coeff_str(ms1.tcp)});
+  const auto s2 = formula_tomt(*width);
+  t.add_row({"scheme 2 [13]", coeff_str(s2.tcm), "0", coeff_str(measured_tomt(*width).tcm), "0"});
+  t.print(out);
+  return 0;
+}
+
+int cmd_simulate(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.positional.size() < 2) {
+    err << "usage: simulate <march> --width B --words N [--seed S] [--fault kind:w.b=v]...\n";
+    return 1;
+  }
+  const auto width = flag_unsigned(o, "width", std::nullopt, err);
+  const auto words = flag_unsigned(o, "words", std::nullopt, err);
+  if (!width || !words) return 1;
+  const auto seed = flag_unsigned(o, "seed", 1u, err);
+  if (!seed) return 1;
+
+  Memory mem(*words, *width);
+  Rng rng(*seed);
+  mem.fill_random(rng);
+  for (const auto& spec : o.faults) {
+    const auto f = parse_fault(spec, err);
+    if (!f) return 1;
+    mem.inject(*f);
+    out << "injected: " << f->describe() << "\n";
+  }
+  const auto snapshot = mem.snapshot();
+
+  const TwmResult r = twm_transform(march_by_name(o.positional[1]), *width);
+  MarchRunner runner(mem);
+  const auto res = runner.run_transparent_session(r.twmarch, r.prediction, *width);
+  out << "session: " << (r.twmarch.op_count() + r.prediction.op_count()) << " ops/word x "
+      << *words << " words\n";
+  out << "verdict: " << (res.detected_misr ? "FAULT DETECTED" : "clean") << "  (signatures "
+      << res.signature_predicted.to_string() << " / " << res.signature_observed.to_string()
+      << ")\n";
+  out << "contents preserved: " << (mem.equals(snapshot) ? "yes" : "no (fault distorted them)")
+      << "\n";
+  return res.detected_misr ? 2 : 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  const auto usage = [&err] {
+    err << "usage: twm_cli <list|show|transform|complexity|simulate> ...\n"
+           "see src/cli/cli.h for the full synopsis\n";
+    return 1;
+  };
+  const auto opts = parse_args(args, err);
+  if (!opts) return 1;
+  if (opts->positional.empty()) return usage();
+  const std::string& cmd = opts->positional[0];
+  try {
+    if (cmd == "list") return cmd_list(out);
+    if (cmd == "show") return cmd_show(*opts, out, err);
+    if (cmd == "transform") return cmd_transform(*opts, out, err);
+    if (cmd == "complexity") return cmd_complexity(*opts, out, err);
+    if (cmd == "simulate") return cmd_simulate(*opts, out, err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
+
+}  // namespace twm

@@ -1,0 +1,32 @@
+// Command-line interface core (the `twm_cli` tool).
+//
+// Kept as a library function so the argument handling and output are unit
+// tested; tools/twm_cli.cpp is a two-line wrapper.
+//
+// Commands:
+//   list                                   catalog with lint capabilities
+//   show <march>                           print a march and its lint
+//   transform <march> --width B [--scheme twm|s1|sym]
+//                                          print the transparent test(s),
+//                                          prediction, and complexities
+//   complexity <march> --width B           formula + measured costs, all schemes
+//   simulate <march> --width B --words N [--seed S]
+//            [--fault saf:W.B=V | tf:W.B=u | tf:W.B=d | ret:W.B=V]
+//                                          run a transparent session and
+//                                          report the verdict
+// Returns 0 on success (for simulate: also when no fault is detected), 1 on
+// usage errors, 2 when simulate detects a fault.
+#ifndef TWM_CLI_CLI_H
+#define TWM_CLI_CLI_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace twm {
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace twm
+
+#endif  // TWM_CLI_CLI_H

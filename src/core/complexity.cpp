@@ -1,0 +1,36 @@
+#include "core/complexity.h"
+
+#include "core/scheme1.h"
+#include "core/tomt.h"
+#include "core/twm_ta.h"
+#include "util/backgrounds.h"
+
+namespace twm {
+
+SchemeComplexity formula_proposed(std::size_t s, std::size_t q, unsigned width) {
+  const std::size_t m = log2_exact(width);
+  return {s + 5 * m, q + 2 * m};
+}
+
+SchemeComplexity formula_scheme1(std::size_t s, std::size_t q, unsigned width) {
+  const std::size_t m = log2_exact(width);
+  return {s * (1 + m), q * (1 + m)};
+}
+
+SchemeComplexity formula_tomt(unsigned width) { return {7 + 8 * std::size_t{width}, 0}; }
+
+SchemeComplexity measured_proposed(const MarchTest& bit_march, unsigned width) {
+  const TwmResult r = twm_transform(bit_march, width);
+  return {r.twmarch.op_count(), r.prediction.op_count()};
+}
+
+SchemeComplexity measured_scheme1(const MarchTest& bit_march, unsigned width) {
+  const Scheme1Result r = scheme1_transform(bit_march, width);
+  return {r.transparent.op_count(), r.prediction.op_count()};
+}
+
+SchemeComplexity measured_tomt(unsigned width) { return {tomt_test(width).op_count(), 0}; }
+
+std::string coeff_str(std::size_t coeff) { return std::to_string(coeff) + "N"; }
+
+}  // namespace twm

@@ -1,0 +1,88 @@
+#include "core/nicolaidis.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+MarchTest nicolaidis_transparent(const MarchTest& march, bool defer_restore) {
+  if (march.empty() || march.op_count() == 0)
+    throw std::invalid_argument("nicolaidis_transparent: empty march test");
+  for (const auto& e : march.elements)
+    for (const auto& op : e.ops)
+      if (op.data.relative)
+        throw std::invalid_argument("nicolaidis_transparent: input already transparent");
+
+  MarchTest t;
+  t.name = "T" + march.name;
+  t.elements = march.elements;
+
+  // Step 1 (part a): drop the initialization element, remembering the value
+  // it establishes.  The transparency substitution identifies the memory's
+  // arbitrary initial content `a` with the state *after* initialization, so
+  // every datum must be taken relative to the init value: with any(w1) as
+  // init, w1 becomes w(a) and w0 becomes w(~a).
+  DataSpec init_value;  // absolute; defaults to 0 when there is no init element
+  if (t.elements.front().all_writes()) {
+    for (const auto& op : t.elements.front().ops) init_value = op.data;
+    t.elements.erase(t.elements.begin());
+  }
+  if (t.elements.empty())
+    throw std::invalid_argument("nicolaidis_transparent: march has only an init element");
+
+  // Step 2: make every operation relative to the initial content.
+  for (auto& e : t.elements)
+    for (auto& op : e.ops) {
+      op.data.relative = true;
+      op.data.complement ^= init_value.complement;
+      if (!init_value.pattern.empty()) {
+        if (op.data.pattern.empty()) {
+          op.data.pattern = init_value.pattern;
+          op.data.label = init_value.label;
+        } else {
+          op.data.pattern ^= init_value.pattern;
+          op.data.label.clear();
+        }
+      }
+    }
+
+  // Step 1 (part b): ensure every element begins with a Read.  The expected
+  // data of an inserted Read is the content left by the previous element.
+  DataSpec content;  // mask 0 relative: the initial content `a`
+  content.relative = true;
+  for (auto& e : t.elements) {
+    if (!e.begins_with_read()) e.ops.insert(e.ops.begin(), Op::read(content));
+    for (const auto& op : e.ops)
+      if (op.is_write()) content = op.data;
+  }
+
+  // Step 3: restore the initial content if the test inverted it (or, for
+  // pattern backgrounds, left any nonzero XOR distance from it).
+  const bool displaced = content.complement || !content.pattern.empty();
+  if (displaced && !defer_restore) {
+    DataSpec initial;
+    initial.relative = true;
+    MarchElement restore;
+    restore.order = AddrOrder::Any;
+    restore.ops = {Op::read(content), Op::write(initial)};
+    t.elements.push_back(std::move(restore));
+  }
+  return t;
+}
+
+MarchTest prediction_test(const MarchTest& transparent) {
+  MarchTest p;
+  p.name = transparent.name + "-pred";
+  for (const auto& e : transparent.elements) {
+    MarchElement pe;
+    pe.order = e.order;
+    pe.pause_before = e.pause_before;
+    for (const auto& op : e.ops)
+      if (op.is_read()) pe.ops.push_back(op);
+    // Keep read-less elements only for their pause (the prediction pass
+    // must age retention faults the same way the test pass does).
+    if (!pe.ops.empty() || pe.pause_before) p.elements.push_back(std::move(pe));
+  }
+  return p;
+}
+
+}  // namespace twm

@@ -1,0 +1,34 @@
+// Classical transparent-march transformation rules (Nicolaidis [11, 12]),
+// Sec. 3 of the paper:
+//
+//  Step 1  Remove the initialization march element (a leading all-Write
+//          element — it cannot activate faults once data is arbitrary) and
+//          prepend a Read to every element whose first operation is a Write
+//          (the BIST needs the current content to derive write data).
+//  Step 2  Make every operation's data relative to the word's initial
+//          content: w0/w1 -> w(a)/w(~a), r0/r1 -> r(a)/r(~a) (and, for
+//          pattern operations, w(D) -> w(a^D) etc.).
+//  Step 3  If the final Write leaves the inverse of the initial content,
+//          append a restoring element any(r <content>, w a).
+//  Step 4  The signature-prediction test is the transparent test with all
+//          Write operations removed.
+//
+// TWM_TA defers Step 3 to its ATMarch (whose closing element restores), so
+// the transform takes a defer_restore flag.
+#ifndef TWM_CORE_NICOLAIDIS_H
+#define TWM_CORE_NICOLAIDIS_H
+
+#include "march/test.h"
+
+namespace twm {
+
+// Steps 1-3.  The input must be a nontransparent march (bit-oriented, solid,
+// or word-oriented with pattern backgrounds).
+MarchTest nicolaidis_transparent(const MarchTest& march, bool defer_restore = false);
+
+// Step 4.  Removes Writes (and then-empty elements) from a transparent test.
+MarchTest prediction_test(const MarchTest& transparent);
+
+}  // namespace twm
+
+#endif  // TWM_CORE_NICOLAIDIS_H

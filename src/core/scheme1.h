@@ -1,0 +1,26 @@
+// Scheme 1 baseline [12]: conventional transparent word-oriented march.
+//
+// Sec. 3 of the paper: the bit-oriented march is run once per data
+// background D0..Dlog2(B) (pass k maps w0 -> w(a^Dk), w1 -> w(~(a^Dk)) ...
+// after the transparency rules are applied per bit), each pass's leading
+// initialization element is turned into a read-then-rewrite that moves the
+// memory from the previous pass's final content to the new background, and
+// a final T4' element restores the initial content.  This reproduces the
+// paper's T1'/T2'/T3'/T4' construction exactly.
+#ifndef TWM_CORE_SCHEME1_H
+#define TWM_CORE_SCHEME1_H
+
+#include "march/test.h"
+
+namespace twm {
+
+struct Scheme1Result {
+  MarchTest transparent;  // T1'; T2'; ..; T4'
+  MarchTest prediction;   // Writes removed
+};
+
+Scheme1Result scheme1_transform(const MarchTest& bit_march, unsigned width);
+
+}  // namespace twm
+
+#endif  // TWM_CORE_SCHEME1_H

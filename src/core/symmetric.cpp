@@ -1,0 +1,71 @@
+#include "core/symmetric.h"
+
+#include <stdexcept>
+
+#include "bist/engine.h"
+
+namespace twm {
+
+bool is_symmetric(const MarchTest& transparent) {
+  return transparent.read_count() % 2 == 0;
+}
+
+BitVec SymmetricTest::expected_signature(std::size_t num_words) const {
+  return (num_words % 2 == 0) ? BitVec::zeros(mask_xor.width()) : mask_xor;
+}
+
+SymmetricTest symmetrize(const MarchTest& transparent, unsigned width) {
+  if (!transparent.is_transparent())
+    throw std::invalid_argument("symmetrize: input must be a transparent march");
+  const auto final_spec = transparent.final_write_spec();
+  if (final_spec.has_value() && !final_spec->mask(width).all_zero())
+    throw std::invalid_argument("symmetrize: test must restore the initial content");
+
+  SymmetricTest st;
+  st.test = transparent;
+  st.test.name = "Sym-" + transparent.name;
+
+  if (!is_symmetric(st.test)) {
+    DataSpec initial;
+    initial.relative = true;
+    MarchElement balance;
+    balance.order = AddrOrder::Any;
+    balance.ops = {Op::read(initial)};
+    st.test.elements.push_back(std::move(balance));
+  }
+
+  st.mask_xor = BitVec::zeros(width);
+  for (const auto& e : st.test.elements)
+    for (const auto& op : e.ops)
+      if (op.is_read()) st.mask_xor ^= op.data.mask(width);
+  return st;
+}
+
+namespace {
+
+// Order-insensitive XOR compactor (the symmetric scheme's signature
+// register).
+class XorAccumulator final : public ReadSink {
+ public:
+  explicit XorAccumulator(unsigned width) : acc_(BitVec::zeros(width)) {}
+  void on_read(std::size_t, const BitVec& value) override { acc_ ^= value; }
+  const BitVec& value() const { return acc_; }
+
+ private:
+  BitVec acc_;
+};
+
+}  // namespace
+
+SymmetricOutcome run_symmetric_session(Memory& mem, const SymmetricTest& st) {
+  XorAccumulator acc(mem.word_width());
+  MarchRunner runner(mem);
+  runner.run_test(st.test, acc);
+
+  SymmetricOutcome out;
+  out.signature = acc.value();
+  out.detected = out.signature != st.expected_signature(mem.num_words());
+  return out;
+}
+
+}  // namespace twm

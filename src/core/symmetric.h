@@ -1,0 +1,66 @@
+// Symmetric transparent BIST (Yarmolik/Hellebrand, DATE 1999 — reference
+// [18] of the paper under reproduction).
+//
+// The classical transparent flow needs two passes: a read-only prediction
+// pass that computes the expected signature, then the test pass.  The
+// symmetric idea removes the prediction pass: if the compactor is an
+// order-insensitive XOR accumulator and every word is read an *even*
+// number of times, the content-dependent part of the signature cancels —
+// the fault-free signature is a constant computable at transform time, so
+// TCP = 0.
+//
+// The price is aliasing: an error contributes to the XOR signature once per
+// faulty read, so error effects that recur an even number of times at the
+// same bit position cancel (the aliasing problem the paper's introduction
+// attributes to this family of schemes).  bench_aliasing quantifies the
+// loss against the MISR + prediction flow.
+//
+// symmetrize() takes any transparent march (e.g. a TWMarch) and appends a
+// balancing read element when the per-word read count is odd; the returned
+// descriptor carries the constant expected signature as a function of the
+// word count N.
+#ifndef TWM_CORE_SYMMETRIC_H
+#define TWM_CORE_SYMMETRIC_H
+
+#include <cstddef>
+
+#include "march/test.h"
+#include "memsim/memory.h"
+
+namespace twm {
+
+// True iff the content contribution to an XOR-accumulated signature
+// cancels for every possible memory content: each word is read an even
+// number of times.  (March semantics apply every element to every word, so
+// this is a property of the op list alone.)
+bool is_symmetric(const MarchTest& transparent);
+
+struct SymmetricTest {
+  MarchTest test;        // transparent march with even per-word read count
+  BitVec mask_xor;       // XOR of all read-operation masks (one word's worth)
+
+  // Constant fault-free signature of the XOR accumulator after running
+  // `test` on an N-word memory: N copies of mask_xor fold to either zero
+  // (N even) or mask_xor (N odd).
+  BitVec expected_signature(std::size_t num_words) const;
+};
+
+// Balances the read count (appending any(r <final content>) if needed) and
+// precomputes the signature constant.  The input must be a transparent
+// march whose final content equals the initial content (true for every
+// TWMarch) — otherwise the appended read's expectation would be wrong and
+// the test would still displace data; throws std::invalid_argument.
+SymmetricTest symmetrize(const MarchTest& transparent, unsigned width);
+
+struct SymmetricOutcome {
+  bool detected = false;
+  BitVec signature;  // observed accumulator value
+};
+
+// Single-pass symmetric session: runs the test (transparent semantics),
+// XOR-accumulates every read, compares against the precomputed constant.
+SymmetricOutcome run_symmetric_session(Memory& mem, const SymmetricTest& st);
+
+}  // namespace twm
+
+#endif  // TWM_CORE_SYMMETRIC_H

@@ -1,0 +1,104 @@
+#include "core/tomt.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+MarchTest tomt_test(unsigned width) {
+  if (width == 0) throw std::invalid_argument("tomt_test: zero width");
+  MarchTest t;
+  t.name = "TOMT-B" + std::to_string(width);
+
+  DataSpec base;  // a
+  base.relative = true;
+  DataSpec inv;  // ~a
+  inv.relative = true;
+  inv.complement = true;
+
+  MarchElement e;
+  e.order = AddrOrder::Up;
+
+  // Word-level prologue (5 ops): solid up/down transitions of all bits.
+  e.ops = {Op::read(base), Op::write(inv), Op::read(inv), Op::write(base), Op::read(base)};
+
+  // Per-bit block (8 ops): walk a single flipped bit against both solid
+  // backgrounds; starts and ends at `a`.
+  for (unsigned j = 0; j < width; ++j) {
+    BitVec unit = BitVec::zeros(width);
+    unit.set(j, true);
+    DataSpec flip = base;
+    flip.pattern = unit;
+    flip.label = "e" + std::to_string(j);
+    DataSpec flip_inv = inv;
+    flip_inv.pattern = unit;
+    flip_inv.label = flip.label;
+
+    e.ops.push_back(Op::write(flip));
+    e.ops.push_back(Op::read(flip));
+    e.ops.push_back(Op::write(flip_inv));
+    e.ops.push_back(Op::read(flip_inv));
+    e.ops.push_back(Op::write(flip));
+    e.ops.push_back(Op::read(flip));
+    e.ops.push_back(Op::write(base));
+    e.ops.push_back(Op::read(base));
+  }
+
+  // Epilogue (2 ops): parity re-verification reads.
+  e.ops.push_back(Op::read(base));
+  e.ops.push_back(Op::read(base));
+
+  t.elements.push_back(std::move(e));
+  return t;
+}
+
+std::vector<bool> make_parity_ledger(const Memory& mem) {
+  std::vector<bool> ledger(mem.num_words());
+  for (std::size_t i = 0; i < mem.num_words(); ++i) ledger[i] = mem.peek(i).parity();
+  return ledger;
+}
+
+TomtResult run_tomt(Memory& mem, const std::vector<bool>& parity_ledger) {
+  if (parity_ledger.size() != mem.num_words())
+    throw std::invalid_argument("run_tomt: ledger size mismatch");
+
+  const unsigned w = mem.word_width();
+  const MarchTest test = tomt_test(w);
+  const MarchElement& elem = test.elements.front();
+
+  TomtResult res;
+  const std::uint64_t before = mem.op_count();
+
+  for (std::size_t addr = 0; addr < mem.num_words() && !res.detected; ++addr) {
+    BitVec base;
+    bool have_base = false;
+    for (const Op& op : elem.ops) {
+      const BitVec mask = op.data.mask(w);
+      if (op.is_write()) {
+        mem.write(addr, base ^ mask);
+        continue;
+      }
+      const BitVec v = mem.read(addr);
+      if (!have_base) {
+        base = v ^ mask;  // mask is zero for the leading r(a); keeps intent clear
+        have_base = true;
+        // Concurrent parity check on the word's first observation.
+        if (base.parity() != parity_ledger[addr]) {
+          res.detected = true;
+          res.fail_addr = addr;
+          break;
+        }
+        continue;
+      }
+      if (v != (base ^ mask)) {  // read-back comparator
+        res.detected = true;
+        res.fail_addr = addr;
+        break;
+      }
+    }
+  }
+
+  res.operations = mem.op_count() - before;
+  return res;
+}
+
+}  // namespace twm

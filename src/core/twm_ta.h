@@ -1,0 +1,50 @@
+// TWM_TA — the paper's transparent word-oriented march transformation
+// algorithm (Algorithm 1, Sec. 4).
+//
+// Given a bit-oriented march test and a word width B (a power of two):
+//
+//  1. Reinterpret the bit operations with solid all-0/all-1 word data
+//     backgrounds -> SMarch.
+//  2. If the last operation of SMarch is a Write, append a Read.
+//  3. Apply the Nicolaidis rules (Steps 1-2; Step 3 deferred) treating the
+//     words like bits -> TSMarch.
+//  4. Append ATMarch.  Let x be the content TSMarch leaves in every word
+//     (either the initial content a or its inverse ~a) and D1..Dlog2(B) the
+//     checkerboard backgrounds; ATMarch is, for each k:
+//         any( r x, w x^Dk, r x^Dk, w x, r x )
+//     closed by any(r a) when x == a, or by the restoring any(r ~a, w a)
+//     when x == ~a.
+//  5. TWMarch = TSMarch ; ATMarch.  The signature-prediction test is
+//     TWMarch with the Writes removed (Step 4 of [12]).
+//
+// TSMarch preserves the bit-oriented test's SAF/TF and inter-word CF
+// coverage; ATMarch adds the opposite-direction intra-word transitions that
+// solid backgrounds cannot produce, restoring intra-word CF coverage
+// (Sec. 5; reproduced empirically by bench_coverage and tests).
+#ifndef TWM_CORE_TWM_TA_H
+#define TWM_CORE_TWM_TA_H
+
+#include "march/test.h"
+
+namespace twm {
+
+struct TwmResult {
+  MarchTest smarch;      // solid-background reinterpretation (+ appended Read)
+  MarchTest tsmarch;     // transparent solid part
+  MarchTest atmarch;     // added transparent march (checkerboard sweeps)
+  MarchTest twmarch;     // TSMarch ; ATMarch — the test to run
+  MarchTest prediction;  // signature-prediction test (Writes removed)
+  bool final_content_inverted = false;  // which ATMarch branch was taken
+};
+
+// Throws std::invalid_argument for an empty march or a non-power-of-two
+// width (the paper assumes B = 2^m).
+TwmResult twm_transform(const MarchTest& bit_march, unsigned width);
+
+// The ATMarch alone (exposed for analysis/ablation).  `base_inverted`
+// selects the x == ~a branch.
+MarchTest atmarch(unsigned width, bool base_inverted);
+
+}  // namespace twm
+
+#endif  // TWM_CORE_TWM_TA_H

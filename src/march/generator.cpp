@@ -1,0 +1,73 @@
+#include "march/generator.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+MarchTest random_march(Rng& rng, const GeneratorOptions& opts) {
+  if (opts.min_elements < 2 || opts.max_elements < opts.min_elements ||
+      opts.max_ops_per_element < 1 || opts.write_percent > 100)
+    throw std::invalid_argument("random_march: contradictory options");
+
+  MarchTest t;
+  t.name = "random";
+
+  auto order = [&rng] {
+    switch (rng.next_below(3)) {
+      case 0: return AddrOrder::Up;
+      case 1: return AddrOrder::Down;
+      default: return AddrOrder::Any;
+    }
+  };
+
+  // Initialization element.
+  bool value = rng.next_bool();
+  {
+    MarchElement init;
+    init.order = AddrOrder::Any;
+    init.ops = {value ? Op::w1() : Op::w0()};
+    t.elements.push_back(std::move(init));
+  }
+
+  const std::size_t n_elements =
+      opts.min_elements + rng.next_below(opts.max_elements - opts.min_elements + 1);
+  for (std::size_t e = 1; e < n_elements; ++e) {
+    MarchElement elem;
+    elem.order = order();
+    const std::size_t n_ops = 1 + rng.next_below(opts.max_ops_per_element);
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      if (rng.next_below(100) < opts.write_percent) {
+        value = rng.next_bool();
+        elem.ops.push_back(value ? Op::w1() : Op::w0());
+      } else {
+        elem.ops.push_back(value ? Op::r1() : Op::r0());
+      }
+    }
+    t.elements.push_back(std::move(elem));
+  }
+  return t;
+}
+
+bool is_consistent_bit_march(const MarchTest& t) {
+  if (t.empty() || t.elements.front().ops.empty()) return false;
+  const Op& first = t.elements.front().ops.front();
+  if (!first.is_write() || first.data.relative) return false;
+
+  bool value = first.data.complement;
+  bool first_op = true;
+  for (const auto& e : t.elements)
+    for (const auto& op : e.ops) {
+      if (op.data.relative || !op.data.pattern.empty()) return false;
+      if (first_op) {
+        first_op = false;
+        continue;
+      }
+      if (op.is_write())
+        value = op.data.complement;
+      else if (op.data.complement != value)
+        return false;  // read expects stale data
+    }
+  return true;
+}
+
+}  // namespace twm

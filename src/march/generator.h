@@ -1,0 +1,37 @@
+// Random generation of *valid* bit-oriented march tests, for property-based
+// testing of the transformation pipeline.
+//
+// A generated march is always well-formed march-test prose: it starts with
+// an initialization write element, every Read expects the value the
+// preceding operations left in the cell, and address orders are drawn from
+// {up, down, any}.  Such tests are exactly the universe TWM_TA's
+// preconditions admit, so every pipeline invariant (transparency, content
+// preservation, read-first elements, complexity bounds) must hold on all of
+// them — the fuzz sweeps in tests/generator_test.cpp check that.
+#ifndef TWM_MARCH_GENERATOR_H
+#define TWM_MARCH_GENERATOR_H
+
+#include "march/test.h"
+#include "util/rng.h"
+
+namespace twm {
+
+struct GeneratorOptions {
+  std::size_t min_elements = 2;  // including the init element
+  std::size_t max_elements = 7;
+  std::size_t max_ops_per_element = 5;
+  // Probability (percent) that a generated operation is a Write.
+  unsigned write_percent = 50;
+};
+
+// Generates a valid bit-oriented march test.  Throws std::invalid_argument
+// for contradictory options.
+MarchTest random_march(Rng& rng, const GeneratorOptions& opts = {});
+
+// Validity predicate used by the generator's own tests: reads expect what
+// was last written (starting from the init element's value).
+bool is_consistent_bit_march(const MarchTest& t);
+
+}  // namespace twm
+
+#endif  // TWM_MARCH_GENERATOR_H

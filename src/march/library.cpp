@@ -1,0 +1,65 @@
+#include "march/library.h"
+
+#include <stdexcept>
+
+#include "march/parser.h"
+
+namespace twm {
+
+const std::vector<MarchInfo>& march_catalog() {
+  static const std::vector<MarchInfo> catalog = {
+      {"MATS", "{ any(w0); any(r0,w1); any(r1) }", 4, 2, false, "Nair 1979"},
+      {"MATS+", "{ any(w0); up(r0,w1); down(r1,w0) }", 5, 2, false, "Abadir/Reghbati 1983"},
+      {"MATS++", "{ any(w0); up(r0,w1); down(r1,w0,r0) }", 6, 3, false, "van de Goor 1991"},
+      {"March X", "{ any(w0); up(r0,w1); down(r1,w0); any(r0) }", 6, 3, false,
+       "van de Goor 1991"},
+      {"March Y", "{ any(w0); up(r0,w1,r1); down(r1,w0,r0); any(r0) }", 8, 5, false,
+       "van de Goor 1991"},
+      {"March C-", "{ any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0) }", 10,
+       5, true, "Marinescu 1982 / van de Goor 1993"},
+      {"March C", "{ any(w0); up(r0,w1); up(r1,w0); any(r0); down(r0,w1); down(r1,w0); any(r0) }",
+       11, 6, true, "Marinescu 1982"},
+      {"March A", "{ any(w0); up(r0,w1,w0,w1); up(r1,w0,w1); down(r1,w0,w1,w0); down(r0,w1,w0) }",
+       15, 4, true, "Suk/Reddy 1981"},
+      {"March B",
+       "{ any(w0); up(r0,w1,r1,w0,r0,w1); up(r1,w0,w1); down(r1,w0,w1,w0); down(r0,w1,w0) }", 17,
+       6, true, "Suk/Reddy 1981"},
+      {"March U", "{ any(w0); up(r0,w1,r1,w0); up(r0,w1); down(r1,w0,r0,w1); down(r1,w0) }", 13,
+       6, true, "van de Goor/Gaydadjiev 1997"},
+      {"March LR", "{ any(w0); down(r0,w1); up(r1,w0,r0,w1); up(r1,w0); up(r0,w1,r1,w0); up(r0) }",
+       14, 7, true, "van de Goor et al. 1996"},
+      {"March SS",
+       "{ any(w0); up(r0,r0,w0,r0,w1); up(r1,r1,w1,r1,w0); down(r0,r0,w0,r0,w1); "
+       "down(r1,r1,w1,r1,w0); any(r0) }",
+       22, 13, true, "Hamdioui et al. 2002"},
+      {"March LA",
+       "{ any(w0); up(r0,w1,w0,w1,r1); up(r1,w0,w1,w0,r0); down(r0,w1,w0,w1,r1); "
+       "down(r1,w0,w1,w0,r0); down(r0) }",
+       22, 9, true, "van de Goor et al. 1999"},
+      // March B extended with two delayed verify elements: the classic test
+      // for data-retention faults ('del' = march Del pause).
+      {"March G",
+       "{ any(w0); up(r0,w1,r1,w0,r0,w1); up(r1,w0,w1); down(r1,w0,w1,w0); down(r0,w1,w0); "
+       "del any(r0,w1,r1); del any(r1,w0,r0) }",
+       23, 10, true, "van de Goor 1991"},
+  };
+  return catalog;
+}
+
+const MarchInfo& march_info(const std::string& name) {
+  for (const auto& m : march_catalog())
+    if (m.name == name) return m;
+  throw std::out_of_range("march_info: unknown march '" + name + "'");
+}
+
+MarchTest march_by_name(const std::string& name) {
+  return parse_march(march_info(name).spec, name);
+}
+
+std::vector<std::string> march_names() {
+  std::vector<std::string> out;
+  for (const auto& m : march_catalog()) out.push_back(m.name);
+  return out;
+}
+
+}  // namespace twm

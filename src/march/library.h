@@ -1,0 +1,39 @@
+// Library of classical bit-oriented march tests.
+//
+// Each entry records the march in the conventional notation together with
+// its operation counts (the paper's S and Q) and the fault classes it is
+// known to cover at the bit level.
+#ifndef TWM_MARCH_LIBRARY_H
+#define TWM_MARCH_LIBRARY_H
+
+#include <string>
+#include <vector>
+
+#include "march/test.h"
+
+namespace twm {
+
+struct MarchInfo {
+  std::string name;
+  std::string spec;          // DSL accepted by parse_march()
+  std::size_t ops;           // S: read+write operations per word
+  std::size_t reads;         // Q: read operations per word
+  bool full_cf_coverage;     // detects 100% of CFst/CFid/CFin (unlinked)
+  std::string reference;     // literature origin
+};
+
+// All library entries, in canonical order.
+const std::vector<MarchInfo>& march_catalog();
+
+// Parsed march test by name ("March C-", "March U", ...).  Throws
+// std::out_of_range for unknown names.
+MarchTest march_by_name(const std::string& name);
+
+// Catalog metadata by name.
+const MarchInfo& march_info(const std::string& name);
+
+std::vector<std::string> march_names();
+
+}  // namespace twm
+
+#endif  // TWM_MARCH_LIBRARY_H

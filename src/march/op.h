@@ -1,0 +1,73 @@
+// March test operations.
+//
+// A march operation is a Read or Write whose data is described *symbolically*
+// so the same representation covers nontransparent tests (absolute data) and
+// transparent tests (data relative to the word's initial content `a`):
+//
+//   value(width, a) = (relative ? a : 0) ^ (complement ? 11..1 : 0) ^ pattern
+//
+// Examples:  w0  -> {relative=0, complement=0}
+//            w1  -> {relative=0, complement=1}
+//            w(D2)    -> {relative=0, pattern=D2}
+//            w(a)     -> {relative=1, complement=0}
+//            w(~a)    -> {relative=1, complement=1}
+//            w(a^D2)  -> {relative=1, pattern=D2}
+// For Read operations the data spec is the *expected* value.
+#ifndef TWM_MARCH_OP_H
+#define TWM_MARCH_OP_H
+
+#include <string>
+
+#include "util/bitvec.h"
+
+namespace twm {
+
+enum class OpKind { Read, Write };
+
+enum class AddrOrder { Up, Down, Any };
+
+struct DataSpec {
+  bool relative = false;
+  bool complement = false;
+  BitVec pattern;      // empty width-0 BitVec means "no pattern"
+  std::string label;   // optional pretty name for the pattern, e.g. "D1"
+
+  // XOR distance from the word's initial content (relative specs) or from
+  // zero (absolute specs).
+  BitVec mask(unsigned width) const;
+  // Concrete value given the word width and the initial content `a`
+  // (`a` is only consulted when relative).
+  BitVec value(unsigned width, const BitVec& initial) const;
+
+  // Symbolic string, e.g. "0", "1", "a", "~a", "a^D1".
+  std::string to_string() const;
+
+  bool operator==(const DataSpec& o) const {
+    return relative == o.relative && complement == o.complement && pattern == o.pattern;
+  }
+};
+
+struct Op {
+  OpKind kind = OpKind::Read;
+  DataSpec data;
+
+  bool is_read() const { return kind == OpKind::Read; }
+  bool is_write() const { return kind == OpKind::Write; }
+
+  std::string to_string() const;
+
+  static Op read(DataSpec d) { return Op{OpKind::Read, std::move(d)}; }
+  static Op write(DataSpec d) { return Op{OpKind::Write, std::move(d)}; }
+
+  // Bit-oriented / solid-background shorthands.
+  static Op r0() { return read({}); }
+  static Op r1() { return read({false, true, {}, {}}); }
+  static Op w0() { return write({}); }
+  static Op w1() { return write({false, true, {}, {}}); }
+};
+
+std::string to_string(AddrOrder o);
+
+}  // namespace twm
+
+#endif  // TWM_MARCH_OP_H

@@ -1,0 +1,116 @@
+#include "march/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace twm {
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool done() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool accept(char c) {
+    if (!done() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string word() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() && std::isalpha(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (start == pos_) fail("expected identifier");
+    return s_.substr(start, pos_ - start);
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << "march parse error at position " << pos_ << ": " << msg;
+    throw std::invalid_argument(os.str());
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Op parse_op(Cursor& c) {
+  const char k = c.take();
+  if (k != 'r' && k != 'w') c.fail("expected 'r' or 'w'");
+  // Accept both the compact form (r0) and the printer's form (r(0)).
+  const bool parenthesized = c.accept('(');
+  const char v = c.take();
+  if (v != '0' && v != '1') c.fail("expected '0' or '1'");
+  if (parenthesized) c.expect(')');
+  DataSpec d;
+  d.complement = (v == '1');
+  return Op{k == 'r' ? OpKind::Read : OpKind::Write, d};
+}
+
+MarchElement parse_element(Cursor& c) {
+  MarchElement e;
+  std::string ord = c.word();
+  if (ord == "del") {
+    e.pause_before = true;
+    ord = c.word();
+  }
+  if (ord == "up")
+    e.order = AddrOrder::Up;
+  else if (ord == "down")
+    e.order = AddrOrder::Down;
+  else if (ord == "any")
+    e.order = AddrOrder::Any;
+  else
+    c.fail("unknown address order '" + ord + "'");
+  c.expect('(');
+  e.ops.push_back(parse_op(c));
+  while (c.accept(',')) e.ops.push_back(parse_op(c));
+  c.expect(')');
+  return e;
+}
+
+}  // namespace
+
+MarchTest parse_march(const std::string& text, const std::string& name) {
+  Cursor c(text);
+  MarchTest t;
+  t.name = name;
+  c.expect('{');
+  t.elements.push_back(parse_element(c));
+  while (c.accept(';')) t.elements.push_back(parse_element(c));
+  c.expect('}');
+  if (!c.done()) c.fail("trailing characters after '}'");
+  return t;
+}
+
+}  // namespace twm

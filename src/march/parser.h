@@ -1,0 +1,27 @@
+// Parser for bit-oriented march test descriptions.
+//
+// Grammar (whitespace-insensitive):
+//   test    := '{' element (';' element)* '}'
+//   element := ['del'] order '(' op (',' op)* ')'
+//   order   := 'up' | 'down' | 'any'
+//   op      := ('r' | 'w') ('0' | '1')
+//
+// 'del' marks a march delay (pause) before the element — used by
+// retention-fault tests such as March G.
+//
+// Example: "{ any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0) }"
+// Throws std::invalid_argument with a position-annotated message on errors.
+#ifndef TWM_MARCH_PARSER_H
+#define TWM_MARCH_PARSER_H
+
+#include <string>
+
+#include "march/test.h"
+
+namespace twm {
+
+MarchTest parse_march(const std::string& text, const std::string& name = "");
+
+}  // namespace twm
+
+#endif  // TWM_MARCH_PARSER_H

@@ -1,0 +1,31 @@
+#include "march/printer.h"
+
+#include <sstream>
+
+namespace twm {
+
+std::string to_string(const MarchElement& e) {
+  std::ostringstream os;
+  if (e.pause_before) os << "del ";
+  os << to_string(e.order) << "(";
+  for (std::size_t i = 0; i < e.ops.size(); ++i) {
+    if (i) os << ",";
+    os << e.ops[i].to_string();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string to_string(const MarchTest& t) {
+  std::ostringstream os;
+  if (!t.name.empty()) os << t.name << ": ";
+  os << "{ ";
+  for (std::size_t i = 0; i < t.elements.size(); ++i) {
+    if (i) os << "; ";
+    os << to_string(t.elements[i]);
+  }
+  os << " }";
+  return os.str();
+}
+
+}  // namespace twm

@@ -1,0 +1,17 @@
+// Text rendering of march tests in the conventional notation, e.g.
+//   March C-: { any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0) }
+#ifndef TWM_MARCH_PRINTER_H
+#define TWM_MARCH_PRINTER_H
+
+#include <string>
+
+#include "march/test.h"
+
+namespace twm {
+
+std::string to_string(const MarchElement& e);
+std::string to_string(const MarchTest& t);
+
+}  // namespace twm
+
+#endif  // TWM_MARCH_PRINTER_H

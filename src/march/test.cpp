@@ -1,0 +1,60 @@
+#include "march/test.h"
+
+namespace twm {
+
+std::size_t MarchElement::read_count() const {
+  std::size_t n = 0;
+  for (const auto& op : ops) n += op.is_read();
+  return n;
+}
+
+std::size_t MarchElement::write_count() const { return ops.size() - read_count(); }
+
+bool MarchElement::all_writes() const {
+  for (const auto& op : ops)
+    if (op.is_read()) return false;
+  return !ops.empty();
+}
+
+std::size_t MarchTest::op_count() const {
+  std::size_t n = 0;
+  for (const auto& e : elements) n += e.ops.size();
+  return n;
+}
+
+std::size_t MarchTest::read_count() const {
+  std::size_t n = 0;
+  for (const auto& e : elements) n += e.read_count();
+  return n;
+}
+
+std::size_t MarchTest::write_count() const { return op_count() - read_count(); }
+
+bool MarchTest::is_transparent() const {
+  for (const auto& e : elements)
+    for (const auto& op : e.ops)
+      if (!op.data.relative) return false;
+  return op_count() > 0;
+}
+
+bool MarchTest::every_element_begins_with_read() const {
+  for (const auto& e : elements)
+    if (!e.begins_with_read()) return false;
+  return true;
+}
+
+std::optional<DataSpec> MarchTest::final_write_spec() const {
+  std::optional<DataSpec> last;
+  for (const auto& e : elements)
+    for (const auto& op : e.ops)
+      if (op.is_write()) last = op.data;
+  return last;
+}
+
+const Op* MarchTest::last_op() const {
+  for (auto e = elements.rbegin(); e != elements.rend(); ++e)
+    if (!e->ops.empty()) return &e->ops.back();
+  return nullptr;
+}
+
+}  // namespace twm

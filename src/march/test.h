@@ -1,0 +1,59 @@
+// March elements and march tests.
+//
+// A march test is a sequence of march elements; each element applies its
+// operations to every word in a prescribed address order, completing all
+// operations on one word before moving to the next (the standard march
+// execution semantics).
+#ifndef TWM_MARCH_TEST_H
+#define TWM_MARCH_TEST_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "march/op.h"
+
+namespace twm {
+
+struct MarchElement {
+  AddrOrder order = AddrOrder::Any;
+  // March "Del": one idle-time unit elapses before this element starts
+  // (activates data-retention faults; see Memory::elapse()).
+  bool pause_before = false;
+  std::vector<Op> ops;
+
+  std::size_t read_count() const;
+  std::size_t write_count() const;
+  bool begins_with_read() const { return !ops.empty() && ops.front().is_read(); }
+  bool all_writes() const;
+};
+
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  // Number of operations applied per word (the paper's complexity
+  // coefficient: total operations = op_count() * N).
+  std::size_t op_count() const;
+  std::size_t read_count() const;
+  std::size_t write_count() const;
+
+  bool empty() const { return elements.empty(); }
+
+  // True iff every operation's data is relative to the initial content.
+  bool is_transparent() const;
+  // True iff every element starts with a Read (required of transparent
+  // tests so the BIST can derive write data from read data).
+  bool every_element_begins_with_read() const;
+
+  // The data spec of the last Write operation in the test, i.e. the content
+  // every word holds after the test completes (well-formed marches apply
+  // the same final write to all words).  nullopt when the test has no Write.
+  std::optional<DataSpec> final_write_spec() const;
+  const Op* last_op() const;
+};
+
+}  // namespace twm
+
+#endif  // TWM_MARCH_TEST_H

@@ -1,0 +1,39 @@
+// Conventional (nontransparent) word-oriented march construction.
+//
+// Sec. 3 of the paper: a word-oriented march test is obtained by running the
+// bit-oriented march once per data background.  With the standard family
+// {D0=0..0, D1, .., Dlog2(B)} every pair of bit positions is distinguished,
+// which is what intra-word coupling-fault detection requires.
+//
+// This module also provides:
+//  * solid_march(): the bit-oriented test reinterpreted with solid all-0 /
+//    all-1 word backgrounds (the paper's SMarch);
+//  * nontransparent_amarch(): the nontransparent counterpart of the paper's
+//    ATMarch (the AMarch of Sec. 5) used as the coverage reference.
+#ifndef TWM_MARCH_WORD_EXPAND_H
+#define TWM_MARCH_WORD_EXPAND_H
+
+#include "march/test.h"
+
+namespace twm {
+
+// SMarch: w0/w1 (r0/r1) become solid all-0/all-1 word operations.  The
+// representation is width-agnostic (complement flag only), so this is
+// structurally the input test with a new name.
+MarchTest solid_march(const MarchTest& bit_march);
+
+// The classical word-oriented expansion: one pass of the bit-oriented march
+// per background in {D0, .., Dlog2(B)}; pass k maps w0 -> w(Dk),
+// w1 -> w(~Dk), r0 -> r(Dk), r1 -> r(~Dk).
+MarchTest word_oriented_march(const MarchTest& bit_march, unsigned width);
+
+// AMarch (Sec. 5): assuming every word currently holds `base` (all-0 when
+// base_complement == false, all-1 otherwise), for each k = 1..log2(B):
+//   any( r base, w base^Dk, r base^Dk, w base, r base )
+// followed by a final any(r base).  Exercises, for every intra-word bit
+// pair, the opposite-direction transitions the solid backgrounds miss.
+MarchTest nontransparent_amarch(unsigned width, bool base_complement);
+
+}  // namespace twm
+
+#endif  // TWM_MARCH_WORD_EXPAND_H

@@ -1,0 +1,40 @@
+#include "memsim/decoder_fault.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+DecoderFaultMemory::DecoderFaultMemory(MemoryIf& inner, ReadMerge merge)
+    : inner_(inner),
+      merge_(merge),
+      dead_(inner.num_words(), false),
+      targets_(inner.num_words()) {}
+
+void DecoderFaultMemory::inject_no_access(std::size_t addr) {
+  if (addr >= num_words()) throw std::out_of_range("inject_no_access");
+  dead_.at(addr) = true;
+}
+
+void DecoderFaultMemory::inject_alias(std::size_t addr, std::size_t also) {
+  if (addr >= num_words() || also >= num_words()) throw std::out_of_range("inject_alias");
+  if (addr == also) throw std::invalid_argument("inject_alias: self-alias");
+  targets_.at(addr).push_back(also);
+}
+
+BitVec DecoderFaultMemory::read(std::size_t addr) {
+  if (dead_.at(addr)) return BitVec::zeros(word_width());  // floating bus
+  BitVec v = inner_.read(addr);
+  for (std::size_t t : targets_.at(addr)) {
+    const BitVec other = inner_.read(t);
+    v = (merge_ == ReadMerge::And) ? (v & other) : (v | other);
+  }
+  return v;
+}
+
+void DecoderFaultMemory::write(std::size_t addr, const BitVec& data) {
+  if (dead_.at(addr)) return;  // write lost
+  inner_.write(addr, data);
+  for (std::size_t t : targets_.at(addr)) inner_.write(t, data);
+}
+
+}  // namespace twm

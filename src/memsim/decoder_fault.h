@@ -1,0 +1,54 @@
+// Address-decoder faults (AFs) — the classical four decoder defect types,
+// modelled as an address-mapping layer over any memory:
+//
+//   AF1  an address accesses no cell: writes are lost, reads return the
+//        floating-bus value (all zeros here);
+//   AF2  an address accesses multiple cells: writes hit all of them, reads
+//        merge them (wired-AND or wired-OR, technology dependent);
+//   AF3/AF4 (a cell reached by several / by no address) arise as the duals
+//        of AF1/AF2 when injected from the cell's perspective and are
+//        covered by the same mapping layer.
+//
+// The paper's fault model stops at SAF/TF/CF; AFs are the standard
+// companion model (van de Goor), included because any march with the
+// (r, w-inv) element pairs of March C- detects them, and the transparent
+// transforms must preserve that — tests/decoder_fault_test.cpp checks it.
+#ifndef TWM_MEMSIM_DECODER_FAULT_H
+#define TWM_MEMSIM_DECODER_FAULT_H
+
+#include <vector>
+
+#include "memsim/memory.h"
+
+namespace twm {
+
+class DecoderFaultMemory : public MemoryIf {
+ public:
+  enum class ReadMerge { And, Or };
+
+  explicit DecoderFaultMemory(MemoryIf& inner, ReadMerge merge = ReadMerge::And);
+
+  unsigned word_width() const override { return inner_.word_width(); }
+  std::size_t num_words() const override { return inner_.num_words(); }
+
+  BitVec read(std::size_t addr) override;
+  void write(std::size_t addr, const BitVec& data) override;
+  void elapse(unsigned units) override { inner_.elapse(units); }
+
+  // AF1: `addr` decodes to no cell.
+  void inject_no_access(std::size_t addr);
+  // AF2: `addr` additionally decodes to the cell of `also`.
+  void inject_alias(std::size_t addr, std::size_t also);
+
+  bool is_faulted(std::size_t addr) const { return !targets_.at(addr).empty() || dead_.at(addr); }
+
+ private:
+  MemoryIf& inner_;
+  ReadMerge merge_;
+  std::vector<bool> dead_;
+  std::vector<std::vector<std::size_t>> targets_;  // extra cells per address
+};
+
+}  // namespace twm
+
+#endif  // TWM_MEMSIM_DECODER_FAULT_H

@@ -1,0 +1,67 @@
+// Functional fault models for RAM cells (Sec. 2 of the paper):
+//
+//   SAF   stuck-at fault: the cell permanently holds 0 (SAF0) or 1 (SAF1).
+//   TF    transition fault: the cell fails the 0->1 (TF_UP) or the 1->0
+//         (TF_DOWN) transition; the opposite transition still works.
+//   CFst  state coupling fault <s; v>: while the aggressor cell holds state
+//         s, the victim cell is forced to value v.
+//   CFid  idempotent coupling fault <t; v>: when the aggressor undergoes
+//         transition t (up or down), the victim is forced to value v.
+//   CFin  inversion coupling fault <t>: when the aggressor undergoes
+//         transition t, the victim's content is inverted.
+//
+// A cell is addressed by (word index, bit index); coupling faults between
+// cells of the same word are the paper's intra-word CFs, between cells of
+// different words its inter-word CFs.
+#ifndef TWM_MEMSIM_FAULT_H
+#define TWM_MEMSIM_FAULT_H
+
+#include <cstddef>
+#include <string>
+
+namespace twm {
+
+struct CellAddr {
+  std::size_t word = 0;
+  unsigned bit = 0;
+
+  bool operator==(const CellAddr& o) const { return word == o.word && bit == o.bit; }
+};
+
+enum class FaultClass { SAF, TF, CFst, CFid, CFin, RET };
+
+enum class Transition { Up, Down };  // 0->1 / 1->0
+
+struct Fault {
+  FaultClass cls = FaultClass::SAF;
+  CellAddr victim;        // the affected cell
+  CellAddr aggressor;     // coupling faults only
+  bool value = false;     // SAF: stuck value; CFst/CFid: forced value; RET: decay value
+  Transition trans = Transition::Up;  // TF: failing transition; CFid/CFin: trigger
+  bool state = false;     // CFst: aggressor state that activates the fault
+  unsigned retention = 0;  // RET: pause units the cell holds data for
+
+  bool is_coupling() const {
+    return cls == FaultClass::CFst || cls == FaultClass::CFid || cls == FaultClass::CFin;
+  }
+  // Intra-word coupling: aggressor and victim share a word.
+  bool intra_word() const { return is_coupling() && aggressor.word == victim.word; }
+
+  std::string describe() const;
+
+  // Convenience constructors.
+  static Fault saf(CellAddr cell, bool stuck_value);
+  static Fault tf(CellAddr cell, Transition failing);
+  static Fault cfst(CellAddr aggressor, bool aggressor_state, CellAddr victim, bool forced);
+  static Fault cfid(CellAddr aggressor, Transition trigger, CellAddr victim, bool forced);
+  static Fault cfin(CellAddr aggressor, Transition trigger, CellAddr victim);
+  // Data-retention fault: after `hold_units` pause units without a write to
+  // the cell, its content decays to `decay_value` (a leaky DRAM-like cell).
+  static Fault ret(CellAddr cell, bool decay_value, unsigned hold_units);
+};
+
+std::string to_string(FaultClass c);
+
+}  // namespace twm
+
+#endif  // TWM_MEMSIM_FAULT_H

@@ -1,0 +1,130 @@
+#include "memsim/memory.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+Memory::Memory(std::size_t num_words, unsigned word_width)
+    : width_(word_width), state_(num_words, BitVec::zeros(word_width)) {
+  if (num_words == 0 || word_width == 0)
+    throw std::invalid_argument("Memory: empty geometry");
+}
+
+BitVec Memory::read(std::size_t addr) {
+  ++ops_;
+  return state_.at(addr);
+}
+
+void Memory::write(std::size_t addr, const BitVec& data) {
+  ++ops_;
+  if (data.width() != width_) throw std::invalid_argument("Memory::write: width mismatch");
+  const BitVec old = state_.at(addr);
+  BitVec next = data;
+
+  // Step 1: transition faults suppress the failing transition.
+  for (const Fault& f : faults_) {
+    if (f.cls != FaultClass::TF || f.victim.word != addr) continue;
+    const bool o = old.get(f.victim.bit);
+    const bool n = next.get(f.victim.bit);
+    if (o == n) continue;
+    const bool is_up = !o && n;
+    if ((is_up && f.trans == Transition::Up) || (!is_up && f.trans == Transition::Down))
+      next.set(f.victim.bit, o);  // transition fails, cell keeps old value
+  }
+
+  // Step 2: commit.
+  state_[addr] = next;
+
+  // Step 3: dynamic coupling faults triggered by aggressor transitions
+  // caused by this write.
+  for (const Fault& f : faults_) {
+    if ((f.cls != FaultClass::CFid && f.cls != FaultClass::CFin) || f.aggressor.word != addr)
+      continue;
+    const bool o = old.get(f.aggressor.bit);
+    const bool n = state_[addr].get(f.aggressor.bit);
+    if (o == n) continue;
+    const bool is_up = !o && n;
+    const bool match =
+        (is_up && f.trans == Transition::Up) || (!is_up && f.trans == Transition::Down);
+    if (!match) continue;
+    if (f.cls == FaultClass::CFid)
+      set_bit(f.victim, f.value);
+    else
+      set_bit(f.victim, !get_bit(f.victim));
+  }
+
+  // A write refreshes the retention clock of any leaky cell it targets.
+  std::size_t ri = 0;
+  for (const Fault& f : faults_) {
+    if (f.cls != FaultClass::RET) continue;
+    if (f.victim.word == addr) ret_age_[ri] = 0;
+    ++ri;
+  }
+
+  // Steps 4 and 5.
+  enforce_static_faults();
+}
+
+void Memory::elapse(unsigned units) {
+  std::size_t ri = 0;
+  for (const Fault& f : faults_) {
+    if (f.cls != FaultClass::RET) continue;
+    ret_age_[ri] += units;
+    if (ret_age_[ri] >= f.retention) set_bit(f.victim, f.value);
+    ++ri;
+  }
+  // Decay may expose cells to static coupling conditions.
+  if (ri != 0) enforce_static_faults();
+}
+
+void Memory::enforce_static_faults() {
+  // CFst chains are resolved in injection order; two passes give a fixpoint
+  // for all single-fault and non-cyclic multi-fault configurations.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Fault& f : faults_) {
+      if (f.cls != FaultClass::CFst) continue;
+      if (get_bit(f.aggressor) == f.state) set_bit(f.victim, f.value);
+    }
+  }
+  for (const Fault& f : faults_) {
+    if (f.cls == FaultClass::SAF) set_bit(f.victim, f.value);
+  }
+}
+
+void Memory::inject(const Fault& f) {
+  auto check = [this](const CellAddr& c) {
+    if (c.word >= state_.size() || c.bit >= width_)
+      throw std::out_of_range("Memory::inject: cell outside memory");
+  };
+  check(f.victim);
+  if (f.is_coupling()) {
+    check(f.aggressor);
+    if (f.aggressor == f.victim)
+      throw std::invalid_argument("Memory::inject: aggressor == victim");
+  }
+  faults_.push_back(f);
+  if (f.cls == FaultClass::RET) ret_age_.push_back(0);
+  enforce_static_faults();
+}
+
+void Memory::load(const std::vector<BitVec>& contents) {
+  if (contents.size() != state_.size())
+    throw std::invalid_argument("Memory::load: word count mismatch");
+  for (const auto& w : contents)
+    if (w.width() != width_) throw std::invalid_argument("Memory::load: width mismatch");
+  state_ = contents;
+  enforce_static_faults();
+}
+
+void Memory::fill(const BitVec& pattern) {
+  if (pattern.width() != width_) throw std::invalid_argument("Memory::fill: width mismatch");
+  for (auto& w : state_) w = pattern;
+  enforce_static_faults();
+}
+
+void Memory::fill_random(Rng& rng) {
+  for (auto& w : state_) w = rng.next_word(width_);
+  enforce_static_faults();
+}
+
+}  // namespace twm

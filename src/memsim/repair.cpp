@@ -1,0 +1,28 @@
+#include "memsim/repair.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+RepairableMemory::RepairableMemory(std::size_t logical_words, std::size_t spare_words,
+                                   unsigned word_width)
+    : logical_(logical_words),
+      phys_(logical_words + spare_words, word_width),
+      map_(logical_words),
+      next_spare_(logical_words),
+      spares_left_(spare_words) {
+  if (logical_words == 0) throw std::invalid_argument("RepairableMemory: no logical words");
+  for (std::size_t i = 0; i < logical_words; ++i) map_[i] = i;
+}
+
+bool RepairableMemory::repair(std::size_t addr) {
+  if (addr >= logical_) throw std::out_of_range("RepairableMemory::repair");
+  if (spares_left_ == 0) return false;
+  const BitVec data = phys_.read(map_[addr]);  // salvage current content
+  map_[addr] = next_spare_++;
+  --spares_left_;
+  phys_.write(map_[addr], data);
+  return true;
+}
+
+}  // namespace twm

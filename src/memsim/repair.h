@@ -1,0 +1,57 @@
+// Word-level redundancy repair (built-in self-repair substrate).
+//
+// A RepairableMemory presents N logical words backed by N + S physical
+// words; repair(addr) remaps a logical word onto the next free spare, as a
+// row-redundancy fuse would.  Faults live in the *physical* memory, so
+// remapping a defective word genuinely takes its defect out of service —
+// unless the fault sits in the spare itself, which the retest after repair
+// catches (and which tests/diagnosis_test.cpp exercises).
+#ifndef TWM_MEMSIM_REPAIR_H
+#define TWM_MEMSIM_REPAIR_H
+
+#include <vector>
+
+#include "memsim/memory.h"
+
+namespace twm {
+
+class RepairableMemory : public MemoryIf {
+ public:
+  // Physical geometry: logical_words + spare_words.
+  RepairableMemory(std::size_t logical_words, std::size_t spare_words, unsigned word_width);
+
+  unsigned word_width() const override { return phys_.word_width(); }
+  std::size_t num_words() const override { return logical_; }
+
+  BitVec read(std::size_t addr) override { return phys_.read(translate(addr)); }
+  void write(std::size_t addr, const BitVec& data) override {
+    phys_.write(translate(addr), data);
+  }
+  void elapse(unsigned units) override { phys_.elapse(units); }
+
+  // Remaps `addr` onto the next free spare, preserving the logical content
+  // (the spare is loaded with the current data through the port).  Returns
+  // false when no spares remain.  Re-repairing an already remapped word
+  // consumes a further spare.
+  bool repair(std::size_t addr);
+
+  std::size_t spares_left() const { return spares_left_; }
+  bool is_remapped(std::size_t addr) const { return map_.at(addr) != addr; }
+
+  // Access to the physical array (fault injection, inspection).
+  Memory& physical() { return phys_; }
+  const Memory& physical() const { return phys_; }
+
+ private:
+  std::size_t translate(std::size_t addr) const { return map_.at(addr); }
+
+  std::size_t logical_;
+  Memory phys_;
+  std::vector<std::size_t> map_;
+  std::size_t next_spare_;
+  std::size_t spares_left_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_MEMSIM_REPAIR_H

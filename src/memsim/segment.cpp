@@ -1,0 +1,18 @@
+#include "memsim/segment.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+SegmentView::SegmentView(MemoryIf& inner, std::size_t base, std::size_t length)
+    : inner_(inner), base_(base), length_(length) {
+  if (length == 0 || base + length > inner.num_words())
+    throw std::invalid_argument("SegmentView: window outside memory");
+}
+
+std::size_t SegmentView::translate(std::size_t addr) const {
+  if (addr >= length_) throw std::out_of_range("SegmentView: address outside segment");
+  return base_ + addr;
+}
+
+}  // namespace twm

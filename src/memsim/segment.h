@@ -1,0 +1,42 @@
+// Segment view: exposes a contiguous address window [base, base+length) of
+// an underlying memory as a memory of its own.
+//
+// Used for *segmented transparent scrubbing*: testing one segment per idle
+// window shortens each session by the segment ratio — an exponential win in
+// completion probability (see analysis/interference.h) — while faults
+// coupling cells of different segments can no longer be excited-and-
+// observed inside one session, so inter-segment CF coverage degrades.
+// bench_segmented quantifies both sides.
+#ifndef TWM_MEMSIM_SEGMENT_H
+#define TWM_MEMSIM_SEGMENT_H
+
+#include "memsim/memory.h"
+
+namespace twm {
+
+class SegmentView : public MemoryIf {
+ public:
+  SegmentView(MemoryIf& inner, std::size_t base, std::size_t length);
+
+  unsigned word_width() const override { return inner_.word_width(); }
+  std::size_t num_words() const override { return length_; }
+
+  BitVec read(std::size_t addr) override { return inner_.read(translate(addr)); }
+  void write(std::size_t addr, const BitVec& data) override {
+    inner_.write(translate(addr), data);
+  }
+  void elapse(unsigned units) override { inner_.elapse(units); }
+
+  std::size_t base() const { return base_; }
+
+ private:
+  std::size_t translate(std::size_t addr) const;
+
+  MemoryIf& inner_;
+  std::size_t base_;
+  std::size_t length_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_MEMSIM_SEGMENT_H

@@ -1,0 +1,46 @@
+#include "util/backgrounds.h"
+
+#include <stdexcept>
+
+namespace twm {
+
+bool is_power_of_two(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+unsigned log2_exact(unsigned x) {
+  if (!is_power_of_two(x)) throw std::invalid_argument("log2_exact: not a power of two");
+  unsigned n = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+BitVec checkerboard_background(unsigned width, unsigned k) {
+  if (!is_power_of_two(width)) throw std::invalid_argument("checkerboard: width not 2^m");
+  const unsigned m = log2_exact(width);
+  if (k < 1 || k > m) throw std::invalid_argument("checkerboard: k out of range");
+  BitVec d(width);
+  for (unsigned j = 0; j < width; ++j) {
+    const unsigned block = j >> (k - 1);  // floor(j / 2^(k-1))
+    d.set(j, (block % 2) == 0);
+  }
+  return d;
+}
+
+std::vector<BitVec> checkerboard_backgrounds(unsigned width) {
+  const unsigned m = log2_exact(width);
+  std::vector<BitVec> out;
+  out.reserve(m);
+  for (unsigned k = 1; k <= m; ++k) out.push_back(checkerboard_background(width, k));
+  return out;
+}
+
+std::vector<BitVec> standard_backgrounds(unsigned width) {
+  std::vector<BitVec> out;
+  out.push_back(BitVec::zeros(width));
+  for (auto& d : checkerboard_backgrounds(width)) out.push_back(d);
+  return out;
+}
+
+}  // namespace twm

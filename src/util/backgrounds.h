@@ -1,0 +1,37 @@
+// Data-background generators for word-oriented memory testing.
+//
+// The paper (Sec. 4) uses the standard checkerboard family: for a B-bit word
+// (B a power of two), background D_k (k = 1..log2 B) has bit j equal to 1
+// iff floor(j / 2^(k-1)) is even.  Example for B = 8:
+//   D1 = 01010101, D2 = 00110011, D3 = 00001111.
+// Together with the solid background D0 = 00..0 these 1+log2(B) patterns
+// distinguish every pair of bit positions: for any i != j there is a k with
+// D_k[i] != D_k[j] (tests/util_test.cpp proves this property by sweep).
+#ifndef TWM_UTIL_BACKGROUNDS_H
+#define TWM_UTIL_BACKGROUNDS_H
+
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace twm {
+
+// True iff x is a power of two (the paper assumes B is).
+bool is_power_of_two(unsigned x);
+
+// log2 of a power of two.
+unsigned log2_exact(unsigned x);
+
+// Checkerboard background D_k for a B-bit word, k in [1, log2 B].
+BitVec checkerboard_background(unsigned width, unsigned k);
+
+// The full family {D1, .., Dlog2(B)} (without the solid D0).
+std::vector<BitVec> checkerboard_backgrounds(unsigned width);
+
+// The family used by conventional word-oriented march conversion
+// (Sec. 3 of the paper): {D0 = 0..0, D1, .., Dlog2(B)}.
+std::vector<BitVec> standard_backgrounds(unsigned width);
+
+}  // namespace twm
+
+#endif  // TWM_UTIL_BACKGROUNDS_H

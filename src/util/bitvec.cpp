@@ -1,0 +1,135 @@
+#include "util/bitvec.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace twm {
+
+BitVec::BitVec(unsigned width, bool fill) : width_(width) {
+  limbs_.assign((width + kBits - 1) / kBits, fill ? ~0ull : 0ull);
+  normalize();
+}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(static_cast<unsigned>(bits.size()));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    if (c != '0' && c != '1') throw std::invalid_argument("BitVec::from_string: bad char");
+    // bits[0] is the most-significant bit.
+    v.set(static_cast<unsigned>(bits.size() - 1 - i), c == '1');
+  }
+  return v;
+}
+
+BitVec BitVec::from_uint(unsigned width, std::uint64_t value) {
+  BitVec v(width);
+  for (unsigned i = 0; i < width && i < 64; ++i) v.set(i, (value >> i) & 1u);
+  return v;
+}
+
+bool BitVec::get(unsigned i) const {
+  if (i >= width_) throw std::out_of_range("BitVec::get");
+  return (limbs_[i / kBits] >> (i % kBits)) & 1u;
+}
+
+void BitVec::set(unsigned i, bool v) {
+  if (i >= width_) throw std::out_of_range("BitVec::set");
+  const std::uint64_t mask = 1ull << (i % kBits);
+  if (v)
+    limbs_[i / kBits] |= mask;
+  else
+    limbs_[i / kBits] &= ~mask;
+}
+
+void BitVec::flip(unsigned i) { set(i, !get(i)); }
+
+BitVec BitVec::operator~() const {
+  BitVec r(*this);
+  for (auto& l : r.limbs_) l = ~l;
+  r.normalize();
+  return r;
+}
+
+namespace {
+void check_width(const BitVec& a, const BitVec& b) {
+  if (a.width() != b.width()) throw std::invalid_argument("BitVec width mismatch");
+}
+}  // namespace
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  BitVec r(*this);
+  r ^= o;
+  return r;
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  check_width(*this, o);
+  BitVec r(*this);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) r.limbs_[i] &= o.limbs_[i];
+  return r;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  check_width(*this, o);
+  BitVec r(*this);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) r.limbs_[i] |= o.limbs_[i];
+  return r;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  check_width(*this, o);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) limbs_[i] ^= o.limbs_[i];
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return width_ == o.width_ && limbs_ == o.limbs_;
+}
+
+bool BitVec::operator<(const BitVec& o) const {
+  if (width_ != o.width_) return width_ < o.width_;
+  for (std::size_t i = limbs_.size(); i-- > 0;)
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i];
+  return false;
+}
+
+bool BitVec::all_zero() const {
+  for (auto l : limbs_)
+    if (l != 0) return false;
+  return true;
+}
+
+bool BitVec::all_one() const { return popcount() == width_; }
+
+unsigned BitVec::popcount() const {
+  unsigned n = 0;
+  for (auto l : limbs_) n += static_cast<unsigned>(std::popcount(l));
+  return n;
+}
+
+bool BitVec::parity() const { return (popcount() & 1u) != 0; }
+
+std::uint64_t BitVec::low64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+std::string BitVec::to_string() const {
+  std::string s(width_, '0');
+  for (unsigned i = 0; i < width_; ++i)
+    if (get(i)) s[width_ - 1 - i] = '1';
+  return s;
+}
+
+std::size_t BitVec::hash_combine(std::size_t seed) const {
+  auto mix = [&seed](std::uint64_t v) {
+    seed ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+  };
+  mix(width_);
+  for (auto l : limbs_) mix(l);
+  return seed;
+}
+
+void BitVec::normalize() {
+  if (width_ % kBits != 0 && !limbs_.empty())
+    limbs_.back() &= (~0ull >> (kBits - width_ % kBits));
+}
+
+}  // namespace twm

@@ -1,0 +1,68 @@
+// BitVec: a fixed-width vector of bits used to model memory words of
+// arbitrary width (the paper evaluates word widths 16..128; we support any
+// width >= 1).  Bit 0 is the least-significant bit; to_string() prints the
+// most-significant bit first, matching the paper's b_{B-1}..b_0 notation.
+#ifndef TWM_UTIL_BITVEC_H
+#define TWM_UTIL_BITVEC_H
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace twm {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(unsigned width, bool fill = false);
+
+  static BitVec zeros(unsigned width) { return BitVec(width, false); }
+  static BitVec ones(unsigned width) { return BitVec(width, true); }
+  // Builds from a string of '0'/'1' characters, most-significant bit first.
+  static BitVec from_string(const std::string& bits);
+  // Builds from the low `width` bits of `value`.
+  static BitVec from_uint(unsigned width, std::uint64_t value);
+
+  unsigned width() const { return width_; }
+  bool empty() const { return width_ == 0; }
+
+  bool get(unsigned i) const;
+  void set(unsigned i, bool v);
+  void flip(unsigned i);
+
+  BitVec operator~() const;
+  BitVec operator^(const BitVec& o) const;
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec& operator^=(const BitVec& o);
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+  // Lexicographic over (width, bits); enables use as std::map/set key.
+  bool operator<(const BitVec& o) const;
+
+  bool all_zero() const;
+  bool all_one() const;
+  unsigned popcount() const;
+
+  // Parity (XOR) of all bits; used by the TOMT parity-checker model.
+  bool parity() const;
+
+  // Low 64 bits as an integer (bits above 64 ignored).
+  std::uint64_t low64() const;
+
+  std::string to_string() const;  // MSB-first '0'/'1' string.
+
+  // Folds this word into a running hash; used by stream comparators.
+  std::size_t hash_combine(std::size_t seed) const;
+
+ private:
+  void normalize();  // clears bits above width_ in the top limb
+  static constexpr unsigned kBits = 64;
+  unsigned width_ = 0;
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_UTIL_BITVEC_H

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random helpers for reproducible experiments.
+#ifndef TWM_UTIL_RNG_H
+#define TWM_UTIL_RNG_H
+
+#include <cstdint>
+#include <random>
+
+#include "util/bitvec.h"
+
+namespace twm {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : eng_(seed) {}
+
+  std::uint64_t next_u64() { return eng_(); }
+
+  // Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n) {
+    std::uniform_int_distribution<std::uint64_t> d(0, n - 1);
+    return d(eng_);
+  }
+
+  bool next_bool() { return (next_u64() & 1u) != 0; }
+
+  BitVec next_word(unsigned width) {
+    BitVec v(width);
+    for (unsigned i = 0; i < width; ++i) v.set(i, next_bool());
+    return v;
+  }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_UTIL_RNG_H

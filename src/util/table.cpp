@@ -1,0 +1,50 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace twm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  Row r;
+  r.cells = std::move(cells);
+  r.cells.resize(header_.size());
+  r.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c) w[c] = std::max(w[c], r.cells[c].size());
+
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      os << '+' << std::string(w[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      os << "| " << s << std::string(w[c] - s.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const auto& r : rows_) {
+    if (r.rule_before) print_rule();
+    print_cells(r.cells);
+  }
+  print_rule();
+}
+
+}  // namespace twm

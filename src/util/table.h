@@ -1,0 +1,34 @@
+// Minimal fixed-width ASCII table writer used by the bench binaries to print
+// the paper's tables in a readable aligned form.
+#ifndef TWM_UTIL_TABLE_H
+#define TWM_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace twm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Adds a horizontal separator before the next row.
+  void add_rule();
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace twm
+
+#endif  // TWM_UTIL_TABLE_H

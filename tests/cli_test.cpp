@@ -1,0 +1,130 @@
+// Tests for the CLI core: every command's happy path, usage errors, fault
+// specs, and exit codes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/cli.h"
+
+namespace twm {
+namespace {
+
+struct CliRun {
+  int rc;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int rc = run_cli(args, out, err);
+  return {rc, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const auto r = cli({});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(cli({"frobnicate"}).rc, 1);
+}
+
+TEST(Cli, ListShowsCatalog) {
+  const auto r = cli({"list"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("March C-"), std::string::npos);
+  EXPECT_NE(r.out.find("March G"), std::string::npos);
+  EXPECT_NE(r.out.find("CF:full"), std::string::npos);
+}
+
+TEST(Cli, ShowPrintsMarchAndLint) {
+  const auto r = cli({"show", "March U"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("March U: {"), std::string::npos);
+  EXPECT_NE(r.out.find("lint:"), std::string::npos);
+}
+
+TEST(Cli, ShowUnknownMarchFailsCleanly) {
+  const auto r = cli({"show", "March Z"});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, TransformDefaultsToTwm) {
+  const auto r = cli({"transform", "March C-", "--width", "32"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("ATMarch"), std::string::npos);
+  EXPECT_NE(r.out.find("TCM=35N TCP=21N"), std::string::npos);
+}
+
+TEST(Cli, TransformScheme1) {
+  const auto r = cli({"transform", "March C-", "--width", "4", "--scheme", "s1"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("TCM=33N"), std::string::npos);
+}
+
+TEST(Cli, TransformSymmetric) {
+  const auto r = cli({"transform", "March C-", "--width", "8", "--scheme", "sym"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("TCP=0"), std::string::npos);
+}
+
+TEST(Cli, TransformRejectsBadInput) {
+  EXPECT_EQ(cli({"transform", "March C-"}).rc, 1);                              // no width
+  EXPECT_EQ(cli({"transform", "March C-", "--width", "12"}).rc, 1);             // not 2^m
+  EXPECT_EQ(cli({"transform", "March C-", "--width", "x"}).rc, 1);              // not a number
+  EXPECT_EQ(cli({"transform", "March C-", "--width", "8", "--scheme", "zz"}).rc, 1);
+  EXPECT_EQ(cli({"transform", "March C-", "--width"}).rc, 1);                   // missing value
+}
+
+TEST(Cli, ComplexityTable) {
+  const auto r = cli({"complexity", "March U", "--width", "8"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("29N"), std::string::npos);  // the paper's worked example
+  EXPECT_NE(r.out.find("scheme 2 [13]"), std::string::npos);
+}
+
+TEST(Cli, SimulateCleanMemory) {
+  const auto r = cli({"simulate", "March C-", "--width", "8", "--words", "16"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("verdict: clean"), std::string::npos);
+  EXPECT_NE(r.out.find("contents preserved: yes"), std::string::npos);
+}
+
+TEST(Cli, SimulateDetectsInjectedFault) {
+  const auto r = cli({"simulate", "March C-", "--width", "8", "--words", "16", "--fault",
+                      "tf:3.2=u"});
+  EXPECT_EQ(r.rc, 2);
+  EXPECT_NE(r.out.find("injected: TF(^) @w3.b2"), std::string::npos);
+  EXPECT_NE(r.out.find("FAULT DETECTED"), std::string::npos);
+}
+
+TEST(Cli, SimulateMultipleFaults) {
+  const auto r = cli({"simulate", "March C-", "--width", "8", "--words", "8", "--fault",
+                      "saf:1.0=1", "--fault", "saf:2.7=0"});
+  EXPECT_EQ(r.rc, 2);
+}
+
+TEST(Cli, SimulateRejectsBadFaultSpecs) {
+  EXPECT_EQ(cli({"simulate", "March C-", "--width", "8", "--words", "8", "--fault", "bogus"}).rc,
+            1);
+  EXPECT_EQ(cli({"simulate", "March C-", "--width", "8", "--words", "8", "--fault",
+                 "zap:1.0=1"}).rc,
+            1);
+  EXPECT_EQ(cli({"simulate", "March C-", "--width", "8", "--words", "8", "--fault",
+                 "saf:9.0=1"}).rc,
+            1);  // out of range
+}
+
+TEST(Cli, SimulateRetentionFaultWithMarchG) {
+  const auto r = cli({"simulate", "March G", "--width", "8", "--words", "8", "--fault",
+                      "ret:2.2=1", "--seed", "5"});
+  // Detected unless the random content already holds the decay value at
+  // both pauses — March G's complementary pauses make detection certain.
+  EXPECT_EQ(r.rc, 2);
+}
+
+}  // namespace
+}  // namespace twm

@@ -1,0 +1,122 @@
+// Tests for the address-decoder fault model and its detection by
+// (transparent) march tests.
+#include <gtest/gtest.h>
+
+#include "bist/engine.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "march/word_expand.h"
+#include "memsim/decoder_fault.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+BitVec bv(const std::string& s) { return BitVec::from_string(s); }
+
+TEST(DecoderFault, InjectionValidation) {
+  Memory inner(4, 4);
+  DecoderFaultMemory mem(inner);
+  EXPECT_THROW(mem.inject_no_access(4), std::out_of_range);
+  EXPECT_THROW(mem.inject_alias(0, 4), std::out_of_range);
+  EXPECT_THROW(mem.inject_alias(2, 2), std::invalid_argument);
+  EXPECT_FALSE(mem.is_faulted(1));
+  mem.inject_alias(1, 2);
+  EXPECT_TRUE(mem.is_faulted(1));
+}
+
+TEST(DecoderFault, NoAccessLosesWritesAndFloatsReads) {
+  Memory inner(4, 4);
+  DecoderFaultMemory mem(inner);
+  mem.inject_no_access(2);
+  mem.write(2, bv("1111"));
+  EXPECT_EQ(mem.read(2), bv("0000"));      // floating bus
+  EXPECT_EQ(inner.peek(2), bv("0000"));    // cell untouched
+  mem.write(1, bv("1010"));                // healthy neighbours unaffected
+  EXPECT_EQ(mem.read(1), bv("1010"));
+}
+
+TEST(DecoderFault, AliasWritesBothAndMergesReads) {
+  Memory inner(4, 4);
+  DecoderFaultMemory mem(inner, DecoderFaultMemory::ReadMerge::And);
+  mem.inject_alias(0, 3);
+  mem.write(0, bv("1100"));
+  EXPECT_EQ(inner.peek(0), bv("1100"));
+  EXPECT_EQ(inner.peek(3), bv("1100"));  // multi-write
+  // Disturb the aliased cell through its own address, then read address 0:
+  // wired-AND merge.
+  mem.write(3, bv("1010"));
+  EXPECT_EQ(mem.read(0), bv("1000"));
+}
+
+TEST(DecoderFault, OrMergeVariant) {
+  Memory inner(2, 4);
+  DecoderFaultMemory mem(inner, DecoderFaultMemory::ReadMerge::Or);
+  mem.inject_alias(0, 1);
+  inner.load({bv("1100"), bv("1010")});
+  EXPECT_EQ(mem.read(0), bv("1110"));
+}
+
+// March C- (word-oriented, nontransparent) detects both AF types.
+TEST(DecoderFault, WordOrientedMarchDetectsAfs) {
+  const MarchTest wo = word_oriented_march(march_by_name("March C-"), 4);
+  {
+    Memory inner(8, 4);
+    DecoderFaultMemory mem(inner);
+    mem.inject_no_access(5);
+    MarchRunner runner(mem);
+    EXPECT_TRUE(runner.run_direct(wo).mismatch);
+  }
+  {
+    Memory inner(8, 4);
+    DecoderFaultMemory mem(inner);
+    mem.inject_alias(2, 6);
+    MarchRunner runner(mem);
+    EXPECT_TRUE(runner.run_direct(wo).mismatch);
+  }
+}
+
+// The transparent TWMarch must keep that detection capability.
+TEST(DecoderFault, TwmarchDetectsAliasTransparently) {
+  const TwmResult r = twm_transform(march_by_name("March C-"), 4);
+  for (auto [a, b] : {std::pair<std::size_t, std::size_t>{0, 1}, {3, 7}, {6, 2}}) {
+    Rng rng(31);
+    Memory inner(8, 4);
+    inner.fill_random(rng);
+    DecoderFaultMemory mem(inner);
+    mem.inject_alias(a, b);
+    MarchRunner runner(mem);
+    const auto out = runner.run_transparent_session(r.twmarch, r.prediction, 16);
+    EXPECT_TRUE(out.detected_exact) << a << "->" << b;
+  }
+}
+
+TEST(DecoderFault, TwmarchDetectsNoAccessTransparently) {
+  const TwmResult r = twm_transform(march_by_name("March C-"), 4);
+  Rng rng(32);
+  Memory inner(8, 4);
+  inner.fill_random(rng);
+  DecoderFaultMemory mem(inner);
+  mem.inject_no_access(4);
+  MarchRunner runner(mem);
+  // A dead address reads constant zeros while the test expects the solid
+  // inversions to show up: first r(~a) mismatches.
+  EXPECT_TRUE(runner.run_transparent_session(r.twmarch, r.prediction, 16).detected_exact);
+}
+
+TEST(DecoderFault, FaultFreeWrapperIsTransparentPassThrough) {
+  Rng rng(33);
+  Memory inner(8, 4);
+  inner.fill_random(rng);
+  const auto snapshot = inner.snapshot();
+  DecoderFaultMemory mem(inner);
+
+  const TwmResult r = twm_transform(march_by_name("March U"), 4);
+  MarchRunner runner(mem);
+  const auto out = runner.run_transparent_session(r.twmarch, r.prediction, 16);
+  EXPECT_FALSE(out.detected_exact);
+  EXPECT_TRUE(inner.equals(snapshot));
+}
+
+}  // namespace
+}  // namespace twm

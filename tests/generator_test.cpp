@@ -1,0 +1,137 @@
+// Property-based fuzzing of the whole transformation pipeline with randomly
+// generated (but always valid) bit-oriented march tests.
+#include <gtest/gtest.h>
+
+#include "bist/engine.h"
+#include "core/nicolaidis.h"
+#include "core/twm_ta.h"
+#include "march/generator.h"
+#include "march/library.h"
+#include "march/parser.h"
+#include "memsim/memory.h"
+#include "util/backgrounds.h"
+
+namespace twm {
+namespace {
+
+TEST(Generator, RejectsContradictoryOptions) {
+  Rng rng(1);
+  GeneratorOptions bad;
+  bad.min_elements = 1;
+  EXPECT_THROW(random_march(rng, bad), std::invalid_argument);
+  bad = {};
+  bad.max_elements = 1;
+  EXPECT_THROW(random_march(rng, bad), std::invalid_argument);
+  bad = {};
+  bad.write_percent = 101;
+  EXPECT_THROW(random_march(rng, bad), std::invalid_argument);
+}
+
+TEST(Generator, ProducesConsistentMarches) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const MarchTest t = random_march(rng);
+    EXPECT_TRUE(is_consistent_bit_march(t)) << "iteration " << i;
+    EXPECT_GE(t.elements.size(), 2u);
+    EXPECT_TRUE(t.elements.front().all_writes());
+  }
+}
+
+TEST(Generator, ConsistencyPredicateCatchesStaleReads) {
+  // w0 then r1 is inconsistent.
+  EXPECT_FALSE(is_consistent_bit_march(parse_march("{ any(w0); up(r1) }")));
+  EXPECT_TRUE(is_consistent_bit_march(parse_march("{ any(w0); up(r0,w1,r1) }")));
+  EXPECT_FALSE(is_consistent_bit_march(parse_march("{ any(r0); up(w1) }")));  // no init write
+  // The whole catalog is consistent.
+  for (const auto& name : march_names())
+    EXPECT_TRUE(is_consistent_bit_march(march_by_name(name))) << name;
+}
+
+// The pipeline invariants must hold on arbitrary valid inputs, not just the
+// catalog: transparency, read-first elements, prediction consistency, and
+// content preservation.
+TEST(Generator, FuzzTwmPipeline) {
+  Rng rng(7);
+  for (int i = 0; i < 120; ++i) {
+    const MarchTest bit = random_march(rng);
+    const unsigned width = 1u << (1 + rng.next_below(5));  // 2..32
+
+    TwmResult r;
+    try {
+      r = twm_transform(bit, width);
+    } catch (const std::invalid_argument&) {
+      // Only legal rejection: a march that is all init (no activity).
+      ASSERT_EQ(bit.elements.size(), 1u);
+      continue;
+    }
+
+    EXPECT_TRUE(r.twmarch.is_transparent()) << i;
+    EXPECT_TRUE(r.twmarch.every_element_begins_with_read()) << i;
+    EXPECT_EQ(r.prediction.write_count(), 0u) << i;
+
+    Rng content_rng(1000 + i);
+    Memory mem(6, width);
+    mem.fill_random(content_rng);
+    const auto snapshot = mem.snapshot();
+    MarchRunner runner(mem);
+    const auto out = runner.run_transparent_session(r.twmarch, r.prediction, width);
+    EXPECT_FALSE(out.detected_exact) << i;
+    EXPECT_TRUE(mem.equals(snapshot)) << i;
+  }
+}
+
+// Complexity of the generated TWMarch stays within the paper's closed form
+// plus the small additive slack the construction can introduce (appended
+// read-back, ATMarch closing ops).
+TEST(Generator, FuzzComplexityEnvelope) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const MarchTest bit = random_march(rng);
+    if (bit.elements.size() < 2) continue;
+    const unsigned width = 16;
+    TwmResult r;
+    try {
+      r = twm_transform(bit, width);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    const std::size_t s = bit.op_count();
+    const std::size_t formula = s + 5 * log2_exact(width);
+    // Construction slack above the closed form: +1 per non-init element
+    // whose first op is a Write (prepended read), +1 appended read-back,
+    // +1 ATMarch closing write; -1 when the init element is dropped.
+    std::size_t write_first = 0;
+    for (std::size_t e = 1; e < bit.elements.size(); ++e)
+      write_first += !bit.elements[e].begins_with_read();
+    EXPECT_LE(r.twmarch.op_count(), formula + write_first + 2) << i;
+    EXPECT_GE(r.twmarch.op_count() + 1, formula) << i;
+  }
+}
+
+// Nicolaidis transform on random marches: still transparent & restoring.
+TEST(Generator, FuzzNicolaidis) {
+  Rng rng(23);
+  for (int i = 0; i < 120; ++i) {
+    const MarchTest bit = random_march(rng);
+    MarchTest t;
+    try {
+      t = nicolaidis_transparent(bit);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    EXPECT_TRUE(t.is_transparent());
+    EXPECT_TRUE(t.every_element_begins_with_read());
+
+    Memory mem(5, 8);
+    Rng content_rng(2000 + i);
+    mem.fill_random(content_rng);
+    const auto snapshot = mem.snapshot();
+    MarchRunner runner(mem);
+    StreamRecorder sink;
+    runner.run_test(t, sink);
+    EXPECT_TRUE(mem.equals(snapshot)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace twm

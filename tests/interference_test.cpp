@@ -1,0 +1,132 @@
+// Tests for the idle-time interference model: closed forms, Monte-Carlo
+// agreement, and validation against the cycle-stepped TBIST controller.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/interference.h"
+#include "bist/tbist.h"
+#include "core/complexity.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+TEST(Interference, NoTrafficMeansCertainCompletion) {
+  InterferenceModel m{1000, 0.0};
+  EXPECT_DOUBLE_EQ(m.completion_probability(), 1.0);
+  EXPECT_DOUBLE_EQ(m.expected_attempts(), 1.0);
+  EXPECT_DOUBLE_EQ(m.expected_total_steps(), 1000.0);
+}
+
+TEST(Interference, RejectsBadProbability) {
+  InterferenceModel m{10, 1.5};
+  EXPECT_THROW(m.completion_probability(), std::invalid_argument);
+}
+
+TEST(Interference, ClosedFormBasics) {
+  InterferenceModel m{100, 0.01};
+  EXPECT_NEAR(m.completion_probability(), std::pow(0.99, 100), 1e-12);
+  EXPECT_NEAR(m.expected_attempts(), 1.0 / std::pow(0.99, 100), 1e-9);
+  EXPECT_GT(m.expected_total_steps(), 100.0);
+}
+
+TEST(Interference, CompletionDropsExponentiallyWithLength) {
+  const double p = 1e-3;
+  double prev = 1.0;
+  for (std::uint64_t len : {100u, 1000u, 5000u, 20000u}) {
+    InterferenceModel m{len, p};
+    const double q = m.completion_probability();
+    EXPECT_LT(q, prev);
+    prev = q;
+  }
+  // The paper's argument in one assert: halving the session length squares
+  // the completion probability's root.
+  InterferenceModel longm{20000, p}, shortm{10000, p};
+  EXPECT_NEAR(longm.completion_probability(),
+              shortm.completion_probability() * shortm.completion_probability(), 1e-9);
+}
+
+TEST(Interference, MonteCarloMatchesClosedForm) {
+  InterferenceModel m{200, 0.005};  // q ~ 0.367
+  Rng rng(42);
+  const int trials = 3000;
+  double attempts = 0, steps = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto sim = simulate_interference(m, rng);
+    ASSERT_TRUE(sim.completed);
+    attempts += static_cast<double>(sim.attempts);
+    steps += static_cast<double>(sim.total_steps);
+  }
+  attempts /= trials;
+  steps /= trials;
+  EXPECT_NEAR(attempts, m.expected_attempts(), 0.15 * m.expected_attempts());
+  EXPECT_NEAR(steps, m.expected_total_steps(), 0.15 * m.expected_total_steps());
+}
+
+TEST(Interference, SimulationRespectsMaxAttempts) {
+  InterferenceModel m{1000000, 0.5};  // essentially never completes
+  Rng rng(1);
+  const auto sim = simulate_interference(m, rng, 3);
+  EXPECT_FALSE(sim.completed);
+  EXPECT_EQ(sim.attempts, 3u);
+}
+
+// The paper's comparison, restated in completion probabilities: at the same
+// write rate, the proposed scheme's shorter sessions complete far more
+// often than Scheme 1's and TOMT's.
+TEST(Interference, ProposedSchemeCompletesMoreOften) {
+  const auto& info = march_info("March C-");
+  const std::uint64_t n = 256;
+  const double p = 2e-5;
+  const InterferenceModel prop{formula_proposed(info.ops, info.reads, 32).total() * n, p};
+  const InterferenceModel s1{formula_scheme1(info.ops, info.reads, 32).total() * n, p};
+  const InterferenceModel s2{formula_tomt(32).total() * n, p};
+  EXPECT_GT(prop.completion_probability(), s1.completion_probability());
+  EXPECT_GT(prop.completion_probability(), s2.completion_probability());
+  EXPECT_LT(prop.expected_total_steps(), s1.expected_total_steps());
+}
+
+// Cross-validation against the actual controller: drive TBIST sessions
+// under Bernoulli functional writes and compare the abort ratio with the
+// model's prediction.
+TEST(Interference, ControllerAbortRateMatchesModel) {
+  const std::size_t words = 8;
+  const unsigned width = 8;
+  const TwmResult r = twm_transform(march_by_name("March C-"), width);
+  Rng rng(7);
+  Memory mem(words, width);
+  mem.fill_random(rng);
+  TbistController ctrl(mem, {r.twmarch, r.prediction, 0});
+
+  const double p = 0.002;
+  const std::uint64_t scale = 1ull << 32;
+  const auto threshold = static_cast<std::uint64_t>(p * static_cast<double>(scale));
+  const int sessions = 800;
+  int completed = 0;
+  for (int s = 0; s < sessions; ++s) {
+    ctrl.start_session();
+    while (ctrl.step()) {
+      if ((rng.next_u64() & (scale - 1)) < threshold) {
+        ctrl.functional_write(rng.next_below(words), rng.next_word(width));
+        break;
+      }
+    }
+    if (ctrl.state() == TbistController::State::Done) {
+      ++completed;
+      EXPECT_FALSE(ctrl.last_session_failed());
+    }
+  }
+
+  const std::uint64_t session_len =
+      (r.twmarch.op_count() + r.prediction.op_count()) * words + 1;
+  const InterferenceModel model{session_len, p};
+  const double expected = model.completion_probability();
+  const double measured = static_cast<double>(completed) / sessions;
+  EXPECT_NEAR(measured, expected, 0.08) << "expected " << expected;
+}
+
+}  // namespace
+}  // namespace twm

@@ -1,0 +1,132 @@
+// Linked coupling faults: two CFs sharing a victim can mask each other's
+// effect between activation and observation.  Simple marches (March C-)
+// certify only *unlinked* faults; March SS / March LA were designed for
+// linked ones.  The simulator's multi-fault injection makes the
+// distinction observable, and the transparent transform must preserve it.
+#include <gtest/gtest.h>
+
+#include "bist/engine.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "march/word_expand.h"
+#include "memsim/memory.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+// Runs the nontransparent word-oriented (bit-level, width 1) march against
+// a memory with the two given faults injected.
+bool detects_direct(const std::string& march, const std::vector<Fault>& faults,
+                    std::size_t words) {
+  Memory mem(words, 1);
+  for (const auto& f : faults) mem.inject(f);
+  MarchRunner runner(mem);
+  return runner.run_direct(solid_march(march_by_name(march))).mismatch;
+}
+
+bool detects_transparent(const std::string& march, const std::vector<Fault>& faults,
+                         std::size_t words, std::uint64_t seed) {
+  Memory mem(words, 1);
+  if (seed != 0) {
+    Rng rng(seed);
+    mem.fill_random(rng);
+  }
+  for (const auto& f : faults) mem.inject(f);
+  const TwmResult r = twm_transform(march_by_name(march), 1);
+  MarchRunner runner(mem);
+  return runner.run_transparent_session(r.twmarch, r.prediction, 16).detected_exact;
+}
+
+// All ordered linked pairs: two CFids with distinct aggressors and a shared
+// victim, opposite forced values (the masking configuration).
+std::vector<std::vector<Fault>> linked_cfid_pairs(std::size_t words) {
+  std::vector<std::vector<Fault>> pairs;
+  for (std::size_t v = 0; v < words; ++v)
+    for (std::size_t a1 = 0; a1 < words; ++a1)
+      for (std::size_t a2 = 0; a2 < words; ++a2) {
+        if (a1 == v || a2 == v || a1 == a2) continue;
+        for (Transition t1 : {Transition::Up, Transition::Down})
+          for (Transition t2 : {Transition::Up, Transition::Down})
+            for (bool val : {false, true})
+              pairs.push_back({Fault::cfid({a1, 0}, t1, {v, 0}, val),
+                               Fault::cfid({a2, 0}, t2, {v, 0}, !val)});
+      }
+  return pairs;
+}
+
+TEST(LinkedFaults, SimulatorSupportsMaskingPairs) {
+  // A->V forces 1, B->V forces 0; both triggered by the same up-transition
+  // sweep: whichever aggressor is written later wins.
+  Memory mem(3, 1);
+  mem.inject(Fault::cfid({0, 0}, Transition::Up, {1, 0}, true));
+  mem.inject(Fault::cfid({2, 0}, Transition::Up, {1, 0}, false));
+  mem.write(0, BitVec::zeros(1));
+  mem.write(1, BitVec::zeros(1));
+  mem.write(2, BitVec::zeros(1));
+  mem.write(0, BitVec::ones(1));  // forces V to 1
+  EXPECT_TRUE(mem.peek(1).get(0));
+  mem.write(2, BitVec::ones(1));  // second fault masks: V back to 0
+  EXPECT_FALSE(mem.peek(1).get(0));
+}
+
+// Empirical finding (documented in EXPERIMENTS.md): on the opposite-value
+// shared-victim CFid family, March C- and March SS miss the mutually
+// masking configurations (160/192 at 4 cells) while March LA — designed
+// for linked faults — detects every pair.  Its double-write elements
+// (w1,w0,w1) re-trigger each aggressor an odd number of times between
+// victim observations, so the cancellation cannot survive.
+TEST(LinkedFaults, MarchLaBeatsCMinusAndSsOnLinkedPairs) {
+  const std::size_t words = 4;
+  const auto pairs = linked_cfid_pairs(words);
+  std::size_t cminus = 0, ss = 0, la = 0, masked_for_both = 0;
+  for (const auto& pair : pairs) {
+    const bool c = detects_direct("March C-", pair, words);
+    const bool s = detects_direct("March SS", pair, words);
+    const bool l = detects_direct("March LA", pair, words);
+    cminus += c;
+    ss += s;
+    la += l;
+    if (!c && !s) {
+      ++masked_for_both;
+      EXPECT_TRUE(l) << "LA must catch " << pair[0].describe() << " + " << pair[1].describe();
+    }
+    // The longer marches never do worse than March C- on these pairs.
+    EXPECT_TRUE(s || !c) << pair[0].describe() << " + " << pair[1].describe();
+    EXPECT_TRUE(l || !c) << pair[0].describe() << " + " << pair[1].describe();
+  }
+  EXPECT_EQ(ss, cminus);  // SS targets simple-fault completeness, not linkage
+  EXPECT_EQ(la, pairs.size());
+  EXPECT_GT(masked_for_both, 0u) << "mutual masking must be observable";
+}
+
+TEST(LinkedFaults, TransparentCountsMatchDirectCounts) {
+  const std::size_t words = 4;
+  const auto pairs = linked_cfid_pairs(words);
+  std::size_t direct_total = 0, transparent_total = 0;
+  for (const auto& pair : pairs) {
+    direct_total += detects_direct("March C-", pair, words);
+    transparent_total += detects_transparent("March C-", pair, words, 0);
+  }
+  EXPECT_EQ(direct_total, transparent_total);
+  EXPECT_LT(direct_total, pairs.size());  // the masked escapes are real
+}
+
+// At the reference content, the transparent verdict equals the
+// nontransparent one pair-for-pair (the Sec. 5 equality extends to
+// multi-fault configurations that do not distort the resting contents —
+// CFid pairs never do).
+TEST(LinkedFaults, TheoremExtendsToLinkedPairs) {
+  const std::size_t words = 3;
+  for (const auto& march : {"March C-", "March SS"}) {
+    for (const auto& pair : linked_cfid_pairs(words)) {
+      const bool direct = detects_direct(march, pair, words);
+      const bool transparent = detects_transparent(march, pair, words, 0);
+      EXPECT_EQ(direct, transparent)
+          << march << ": " << pair[0].describe() << " + " << pair[1].describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twm

@@ -1,0 +1,225 @@
+// Tests for the march representation: parser, printer, catalog, and the
+// conventional word-oriented expansion.
+#include <gtest/gtest.h>
+
+#include "march/library.h"
+#include "march/parser.h"
+#include "march/printer.h"
+#include "march/word_expand.h"
+#include "util/backgrounds.h"
+
+namespace twm {
+namespace {
+
+TEST(Parser, ParsesMarchCMinus) {
+  const MarchTest t =
+      parse_march("{ any(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0); any(r0) }",
+                  "March C-");
+  ASSERT_EQ(t.elements.size(), 6u);
+  EXPECT_EQ(t.op_count(), 10u);
+  EXPECT_EQ(t.read_count(), 5u);
+  EXPECT_EQ(t.write_count(), 5u);
+  EXPECT_EQ(t.elements[0].order, AddrOrder::Any);
+  EXPECT_EQ(t.elements[1].order, AddrOrder::Up);
+  EXPECT_EQ(t.elements[3].order, AddrOrder::Down);
+  EXPECT_TRUE(t.elements[1].ops[0].is_read());
+  EXPECT_FALSE(t.elements[1].ops[0].data.complement);
+  EXPECT_TRUE(t.elements[1].ops[1].is_write());
+  EXPECT_TRUE(t.elements[1].ops[1].data.complement);
+}
+
+TEST(Parser, WhitespaceInsensitive) {
+  const MarchTest a = parse_march("{any(w0);up(r0,w1)}");
+  const MarchTest b = parse_march("  {  any ( w0 ) ;  up ( r0 , w1 )  }  ");
+  EXPECT_EQ(to_string(a), to_string(b));
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_march(""), std::invalid_argument);
+  EXPECT_THROW(parse_march("{}"), std::invalid_argument);
+  EXPECT_THROW(parse_march("{ sideways(r0) }"), std::invalid_argument);
+  EXPECT_THROW(parse_march("{ up(r2) }"), std::invalid_argument);
+  EXPECT_THROW(parse_march("{ up(x0) }"), std::invalid_argument);
+  EXPECT_THROW(parse_march("{ up(r0) } trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_march("{ up(r0,) }"), std::invalid_argument);
+  EXPECT_THROW(parse_march("{ up r0 }"), std::invalid_argument);
+}
+
+TEST(Printer, RendersConventionalNotation) {
+  const MarchTest t = parse_march("{ any(w0); up(r0,w1); any(r1) }", "X");
+  EXPECT_EQ(to_string(t), "X: { any(w(0)); up(r(0),w(1)); any(r(1)) }");
+}
+
+TEST(Printer, RoundTripThroughParser) {
+  // The parser accepts the printer's parenthesized form, so printing and
+  // re-parsing is the identity for every plain bit-oriented march.
+  for (const auto& info : march_catalog()) {
+    const MarchTest t = march_by_name(info.name);
+    std::string printed = to_string(t);
+    printed = printed.substr(printed.find('{'));
+    const MarchTest back = parse_march(printed, info.name);
+    EXPECT_EQ(to_string(back), to_string(t)) << info.name;
+    EXPECT_EQ(back.op_count(), t.op_count()) << info.name;
+    ASSERT_EQ(back.elements.size(), t.elements.size()) << info.name;
+    for (std::size_t e = 0; e < t.elements.size(); ++e) {
+      EXPECT_EQ(back.elements[e].order, t.elements[e].order);
+      EXPECT_EQ(back.elements[e].pause_before, t.elements[e].pause_before);
+    }
+  }
+}
+
+TEST(Parser, AcceptsBothOpForms) {
+  const MarchTest a = parse_march("{ any(w0); up(r0,w1) }");
+  const MarchTest b = parse_march("{ any(w(0)); up(r(0),w(1)) }");
+  EXPECT_EQ(to_string(a), to_string(b));
+  EXPECT_THROW(parse_march("{ any(w(0) }"), std::invalid_argument);   // unclosed
+  EXPECT_THROW(parse_march("{ any(w(2)) }"), std::invalid_argument);  // bad digit
+}
+
+TEST(Printer, ParserPrinterStable) {
+  for (const auto& info : march_catalog()) {
+    const MarchTest t = parse_march(info.spec, info.name);
+    const std::string printed = to_string(t);
+    EXPECT_NE(printed.find("{"), std::string::npos) << info.name;
+    EXPECT_EQ(t.op_count(), info.ops) << info.name;
+  }
+}
+
+// --- catalog metadata matches the parsed tests -------------------------
+
+class CatalogEntry : public ::testing::TestWithParam<MarchInfo> {};
+
+TEST_P(CatalogEntry, CountsMatchSpec) {
+  const MarchInfo& info = GetParam();
+  const MarchTest t = march_by_name(info.name);
+  EXPECT_EQ(t.op_count(), info.ops);
+  EXPECT_EQ(t.read_count(), info.reads);
+  EXPECT_FALSE(t.is_transparent());
+}
+
+TEST_P(CatalogEntry, StartsWithInitElement) {
+  const MarchTest t = march_by_name(GetParam().name);
+  EXPECT_TRUE(t.elements.front().all_writes());
+}
+
+TEST_P(CatalogEntry, FinalWriteSpecIsSolid) {
+  const auto spec = march_by_name(GetParam().name).final_write_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->relative);
+  EXPECT_TRUE(spec->pattern.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMarches, CatalogEntry, ::testing::ValuesIn(march_catalog()),
+                         [](const ::testing::TestParamInfo<MarchInfo>& info) {
+                           std::string n = info.param.name;
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+TEST(Catalog, UnknownNameThrows) {
+  EXPECT_THROW(march_by_name("March Z"), std::out_of_range);
+  EXPECT_THROW(march_info("nope"), std::out_of_range);
+}
+
+TEST(Catalog, KnownSQValues) {
+  // The paper's complexity discussion uses March C- (S=10, Q=5) and
+  // March U (S=13, Q=6).
+  EXPECT_EQ(march_info("March C-").ops, 10u);
+  EXPECT_EQ(march_info("March C-").reads, 5u);
+  EXPECT_EQ(march_info("March U").ops, 13u);
+  EXPECT_EQ(march_info("March U").reads, 6u);
+}
+
+TEST(Catalog, NamesListedOnce) {
+  auto names = march_names();
+  std::sort(names.begin(), names.end());
+  EXPECT_TRUE(std::adjacent_find(names.begin(), names.end()) == names.end());
+  EXPECT_GE(names.size(), 12u);
+}
+
+// --- word-oriented expansion --------------------------------------------
+
+TEST(WordExpand, SolidMarchKeepsStructure) {
+  const MarchTest bit = march_by_name("March U");
+  const MarchTest s = solid_march(bit);
+  EXPECT_EQ(s.name, "SMarch U");
+  EXPECT_EQ(s.op_count(), bit.op_count());
+  EXPECT_EQ(s.elements.size(), bit.elements.size());
+}
+
+TEST(WordExpand, SolidMarchRejectsNonPlainInput) {
+  MarchTest t = march_by_name("MATS");
+  t.elements[0].ops[0].data.relative = true;
+  EXPECT_THROW(solid_march(t), std::invalid_argument);
+}
+
+TEST(WordExpand, WordOrientedMarchRunsOncePerBackground) {
+  const MarchTest bit = march_by_name("March C-");
+  for (unsigned w : {4u, 8u, 16u}) {
+    const MarchTest wo = word_oriented_march(bit, w);
+    const std::size_t passes = 1 + log2_exact(w);
+    EXPECT_EQ(wo.elements.size(), bit.elements.size() * passes);
+    EXPECT_EQ(wo.op_count(), bit.op_count() * passes);
+  }
+}
+
+TEST(WordExpand, WordOrientedPatternsMatchBackgrounds) {
+  const MarchTest wo = word_oriented_march(march_by_name("MATS+"), 4);
+  // Pass 0 must be pattern-free (solid); pass 1 carries D1 = 0101.
+  const auto& pass0_op = wo.elements[0].ops[0];
+  EXPECT_TRUE(pass0_op.data.pattern.empty());
+  const auto& pass1_op = wo.elements[3].ops[0];
+  ASSERT_FALSE(pass1_op.data.pattern.empty());
+  EXPECT_EQ(pass1_op.data.pattern.to_string(), "0101");
+  EXPECT_EQ(pass1_op.data.label, "D1");
+}
+
+TEST(WordExpand, AmarchShape) {
+  const MarchTest a = nontransparent_amarch(8, false);
+  // log2(8) = 3 sweep elements of 5 ops + closing read.
+  ASSERT_EQ(a.elements.size(), 4u);
+  EXPECT_EQ(a.op_count(), 16u);
+  for (int k = 0; k < 3; ++k) {
+    const auto& e = a.elements[k];
+    ASSERT_EQ(e.ops.size(), 5u);
+    EXPECT_TRUE(e.ops[0].is_read());
+    EXPECT_TRUE(e.ops[1].is_write());
+    EXPECT_FALSE(e.ops[1].data.pattern.empty());
+    EXPECT_TRUE(e.ops[3].is_write());
+    EXPECT_TRUE(e.ops[3].data.pattern.empty());
+  }
+  EXPECT_EQ(a.elements[3].ops.size(), 1u);
+}
+
+TEST(WordExpand, AmarchInvertedBase) {
+  const MarchTest a = nontransparent_amarch(4, true);
+  EXPECT_TRUE(a.elements[0].ops[0].data.complement);
+  // Expected read value of the flipped write: ~a ^ D1 -> complement set and
+  // pattern present.
+  EXPECT_TRUE(a.elements[0].ops[2].data.complement);
+  EXPECT_FALSE(a.elements[0].ops[2].data.pattern.empty());
+}
+
+TEST(MarchTest, LastOpAndFinalWriteSpec) {
+  const MarchTest t = march_by_name("March U");
+  ASSERT_NE(t.last_op(), nullptr);
+  EXPECT_TRUE(t.last_op()->is_write());  // March U ends w0
+  const auto spec = t.final_write_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->complement);  // final write is w0
+
+  const MarchTest c = march_by_name("March C-");
+  ASSERT_NE(c.last_op(), nullptr);
+  EXPECT_TRUE(c.last_op()->is_read());  // March C- ends r0
+}
+
+TEST(MarchTest, EveryElementBeginsWithReadPredicate) {
+  MarchTest t = parse_march("{ up(r0,w1); down(r1) }");
+  EXPECT_TRUE(t.every_element_begins_with_read());
+  t = parse_march("{ up(w1); down(r1) }");
+  EXPECT_FALSE(t.every_element_begins_with_read());
+}
+
+}  // namespace
+}  // namespace twm

@@ -1,0 +1,233 @@
+// Unit tests for the fault-injecting memory simulator: each fault model's
+// activation/observation behaviour, plus fault-free integrity properties.
+#include <gtest/gtest.h>
+
+#include "memsim/memory.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+BitVec bv(const std::string& s) { return BitVec::from_string(s); }
+
+TEST(Memory, GeometryValidation) {
+  EXPECT_THROW(Memory(0, 8), std::invalid_argument);
+  EXPECT_THROW(Memory(8, 0), std::invalid_argument);
+}
+
+TEST(Memory, FaultFreeReadsBackWrites) {
+  Memory m(16, 8);
+  Rng rng(3);
+  std::vector<BitVec> golden(16, BitVec::zeros(8));
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t a = rng.next_below(16);
+    const BitVec d = rng.next_word(8);
+    m.write(a, d);
+    golden[a] = d;
+  }
+  for (std::size_t a = 0; a < 16; ++a) EXPECT_EQ(m.read(a), golden[a]);
+}
+
+TEST(Memory, OpCountMetersPortTraffic) {
+  Memory m(4, 4);
+  EXPECT_EQ(m.op_count(), 0u);
+  m.write(0, bv("1010"));
+  m.read(0);
+  m.read(1);
+  EXPECT_EQ(m.op_count(), 3u);
+  m.reset_op_count();
+  EXPECT_EQ(m.op_count(), 0u);
+}
+
+TEST(Memory, WriteWidthMismatchThrows) {
+  Memory m(4, 4);
+  EXPECT_THROW(m.write(0, BitVec::zeros(8)), std::invalid_argument);
+}
+
+TEST(Memory, LoadValidates) {
+  Memory m(2, 4);
+  EXPECT_THROW(m.load({bv("0000")}), std::invalid_argument);           // word count
+  EXPECT_THROW(m.load({bv("0000"), bv("00000")}), std::invalid_argument);  // width
+}
+
+TEST(Memory, InjectValidatesAddresses) {
+  Memory m(2, 4);
+  EXPECT_THROW(m.inject(Fault::saf({2, 0}, true)), std::out_of_range);
+  EXPECT_THROW(m.inject(Fault::saf({0, 4}, true)), std::out_of_range);
+  EXPECT_THROW(m.inject(Fault::cfin({0, 1}, Transition::Up, {0, 1})), std::invalid_argument);
+}
+
+// --- SAF -----------------------------------------------------------------
+
+TEST(Memory, Saf1ForcesOneOnInjectAndWrite) {
+  Memory m(2, 4);
+  m.inject(Fault::saf({0, 2}, true));
+  EXPECT_TRUE(m.read(0).get(2));  // forced at injection
+  m.write(0, bv("0000"));
+  EXPECT_EQ(m.read(0).to_string(), "0100");  // bit 2 stuck at 1
+  m.write(1, bv("0000"));
+  EXPECT_EQ(m.read(1).to_string(), "0000");  // other word unaffected
+}
+
+TEST(Memory, Saf0SurvivesLoad) {
+  Memory m(1, 4);
+  m.inject(Fault::saf({0, 0}, false));
+  m.load({bv("1111")});
+  EXPECT_EQ(m.read(0).to_string(), "1110");
+}
+
+// --- TF ------------------------------------------------------------------
+
+TEST(Memory, TfUpBlocksRisingOnly) {
+  Memory m(1, 4);
+  m.inject(Fault::tf({0, 1}, Transition::Up));
+  m.write(0, bv("0000"));
+  m.write(0, bv("1111"));
+  EXPECT_EQ(m.read(0).to_string(), "1101");  // bit 1 failed 0->1
+  // A cell already at 1 can fall and stay fallen.
+  m.load({bv("1111")});
+  m.write(0, bv("0000"));
+  EXPECT_EQ(m.read(0).to_string(), "0000");
+}
+
+TEST(Memory, TfDownBlocksFallingOnly) {
+  Memory m(1, 4);
+  m.inject(Fault::tf({0, 1}, Transition::Down));
+  m.load({bv("1111")});
+  m.write(0, bv("0000"));
+  EXPECT_EQ(m.read(0).to_string(), "0010");  // bit 1 failed 1->0
+  m.load({bv("0000")});
+  m.write(0, bv("1111"));
+  EXPECT_EQ(m.read(0).to_string(), "1111");  // rising works
+}
+
+TEST(Memory, TfNoEffectWithoutTransition) {
+  Memory m(1, 4);
+  m.inject(Fault::tf({0, 0}, Transition::Up));
+  m.write(0, bv("0000"));
+  m.write(0, bv("0000"));
+  EXPECT_EQ(m.read(0).to_string(), "0000");
+}
+
+// --- CFid ------------------------------------------------------------------
+
+TEST(Memory, CfidInterWordTriggersOnMatchingTransition) {
+  Memory m(2, 4);
+  // Aggressor w0.b0 rising forces victim w1.b3 to 1.
+  m.inject(Fault::cfid({0, 0}, Transition::Up, {1, 3}, true));
+  m.write(1, bv("0000"));
+  m.write(0, bv("0000"));
+  m.write(0, bv("0001"));  // 0->1 on aggressor
+  EXPECT_EQ(m.read(1).to_string(), "1000");
+  // Falling transition does not trigger.
+  m.write(1, bv("0000"));
+  m.write(0, bv("0000"));
+  EXPECT_EQ(m.read(1).to_string(), "0000");
+}
+
+TEST(Memory, CfidIntraWordSameWrite) {
+  Memory m(1, 4);
+  // Bit 0 rising forces bit 2 to 0 within the same word.
+  m.inject(Fault::cfid({0, 0}, Transition::Up, {0, 2}, false));
+  m.write(0, bv("0000"));
+  m.write(0, bv("1111"));  // bit 0 rises; bit 2's written 1 is overridden
+  EXPECT_EQ(m.read(0).to_string(), "1011");
+}
+
+TEST(Memory, CfidNoTriggerWhenAggressorStable) {
+  Memory m(2, 4);
+  m.inject(Fault::cfid({0, 0}, Transition::Up, {1, 0}, true));
+  m.write(0, bv("0001"));  // initial 0 -> 1: triggers once
+  m.write(1, bv("0000"));
+  m.write(0, bv("0001"));  // 1 -> 1: no transition
+  EXPECT_EQ(m.read(1).to_string(), "0000");
+}
+
+// --- CFin ------------------------------------------------------------------
+
+TEST(Memory, CfinInvertsVictim) {
+  Memory m(2, 2);
+  m.inject(Fault::cfin({0, 0}, Transition::Down, {1, 1}));
+  m.load({bv("01"), bv("00")});
+  m.write(0, bv("00"));  // aggressor falls
+  EXPECT_EQ(m.read(1).to_string(), "10");
+  m.write(0, bv("01"));  // rising: no effect for a Down trigger
+  EXPECT_EQ(m.read(1).to_string(), "10");
+  m.write(0, bv("00"));  // falls again: inverts back
+  EXPECT_EQ(m.read(1).to_string(), "00");
+}
+
+// --- CFst ------------------------------------------------------------------
+
+TEST(Memory, CfstForcesWhileAggressorInState) {
+  Memory m(2, 2);
+  // While w0.b0 == 1, victim w1.b0 is forced to 0.
+  m.inject(Fault::cfst({0, 0}, true, {1, 0}, false));
+  m.write(0, bv("01"));
+  m.write(1, bv("11"));  // write of 1 into the victim is overridden
+  EXPECT_EQ(m.read(1).to_string(), "10");
+  m.write(0, bv("00"));  // condition released
+  m.write(1, bv("11"));
+  EXPECT_EQ(m.read(1).to_string(), "11");
+}
+
+TEST(Memory, CfstEnforcedAtLoad) {
+  Memory m(2, 2);
+  m.inject(Fault::cfst({0, 0}, true, {1, 1}, true));
+  m.load({bv("01"), bv("00")});
+  EXPECT_EQ(m.peek(1).to_string(), "10");
+}
+
+TEST(Memory, CfstIntraWord) {
+  Memory m(1, 4);
+  // While bit 3 == 0, bit 0 forced to 1.
+  m.inject(Fault::cfst({0, 3}, false, {0, 0}, true));
+  m.write(0, bv("0000"));
+  EXPECT_EQ(m.read(0).to_string(), "0001");
+  m.write(0, bv("1000"));  // aggressor leaves state 0
+  EXPECT_EQ(m.read(0).to_string(), "1000");
+}
+
+// --- multiple faults ---------------------------------------------------
+
+TEST(Memory, SafDominatesCoupling) {
+  Memory m(2, 2);
+  m.inject(Fault::cfid({0, 0}, Transition::Up, {1, 0}, true));
+  m.inject(Fault::saf({1, 0}, false));
+  m.write(0, bv("00"));
+  m.write(0, bv("01"));
+  EXPECT_EQ(m.read(1).to_string(), "00");  // stuck-at wins over CFid
+}
+
+TEST(Memory, FaultDescribeStrings) {
+  EXPECT_EQ(Fault::saf({1, 2}, true).describe(), "SAF(1) @w1.b2");
+  EXPECT_EQ(Fault::tf({0, 0}, Transition::Down).describe(), "TF(v) @w0.b0");
+  const auto cf = Fault::cfid({0, 1}, Transition::Up, {0, 3}, false);
+  EXPECT_EQ(cf.describe(), "CFid<^;0> w0.b1->w0.b3 [intra]");
+  EXPECT_TRUE(cf.intra_word());
+  const auto inter = Fault::cfst({0, 0}, true, {1, 0}, true);
+  EXPECT_FALSE(inter.intra_word());
+  EXPECT_EQ(inter.describe(), "CFst<1;1> w0.b0->w1.b0 [inter]");
+}
+
+TEST(Memory, ClearFaultsStopsInjection) {
+  Memory m(1, 2);
+  m.inject(Fault::saf({0, 0}, true));
+  m.clear_faults();
+  m.write(0, bv("00"));
+  EXPECT_EQ(m.read(0).to_string(), "00");
+}
+
+// Property: with no faults, load + snapshot round-trips any contents.
+TEST(Memory, SnapshotRoundTrip) {
+  Memory m(8, 16);
+  Rng rng(9);
+  std::vector<BitVec> contents;
+  for (int i = 0; i < 8; ++i) contents.push_back(rng.next_word(16));
+  m.load(contents);
+  EXPECT_TRUE(m.equals(contents));
+  EXPECT_EQ(m.snapshot(), contents);
+}
+
+}  // namespace
+}  // namespace twm

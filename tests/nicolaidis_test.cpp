@@ -1,0 +1,141 @@
+// Tests for the classical Nicolaidis transparency transformation (Sec. 3 of
+// the paper): structure against the paper's worked example, and the
+// transparency invariant for every catalogued march.
+#include <gtest/gtest.h>
+
+#include "bist/engine.h"
+#include "core/nicolaidis.h"
+#include "march/library.h"
+#include "march/parser.h"
+#include "march/printer.h"
+#include "march/word_expand.h"
+#include "memsim/memory.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+TEST(Nicolaidis, TMarchCMinusMatchesPaper) {
+  // Sec. 3: TMarch C- = { up(ra,w~a); up(r~a,wa); down(ra,w~a); down(r~a,wa); any(ra) }.
+  const MarchTest t = nicolaidis_transparent(march_by_name("March C-"));
+  EXPECT_EQ(to_string(t),
+            "TMarch C-: { up(r(a),w(~a)); up(r(~a),w(a)); down(r(a),w(~a)); "
+            "down(r(~a),w(a)); any(r(a)) }");
+  EXPECT_EQ(t.op_count(), 9u);
+  EXPECT_TRUE(t.is_transparent());
+  EXPECT_TRUE(t.every_element_begins_with_read());
+}
+
+TEST(Nicolaidis, PredictionOfMarchCMinusMatchesPaper) {
+  // Sec. 3: prediction = { up(ra); up(r~a); down(ra); down(r~a); any(ra) }.
+  const MarchTest p = prediction_test(nicolaidis_transparent(march_by_name("March C-")));
+  EXPECT_EQ(to_string(p),
+            "TMarch C--pred: { up(r(a)); up(r(~a)); down(r(a)); down(r(~a)); any(r(a)) }");
+  EXPECT_EQ(p.op_count(), 5u);
+  EXPECT_EQ(p.write_count(), 0u);
+}
+
+TEST(Nicolaidis, InitializationElementRemoved) {
+  const MarchTest t = nicolaidis_transparent(march_by_name("March U"));
+  // Original has 5 elements, the leading any(w0) is dropped.
+  EXPECT_EQ(t.elements.size(), 4u);
+  EXPECT_TRUE(t.elements.front().begins_with_read());
+}
+
+TEST(Nicolaidis, Step3AppendsRestoreWhenContentInverted) {
+  // MATS = { any(w0); any(r0,w1); any(r1) } leaves ~a -> restore appended.
+  const MarchTest t = nicolaidis_transparent(march_by_name("MATS"));
+  EXPECT_EQ(to_string(t),
+            "TMATS: { any(r(a),w(~a)); any(r(~a)); any(r(~a),w(a)) }");
+}
+
+TEST(Nicolaidis, Step3DeferredOnRequest) {
+  const MarchTest t = nicolaidis_transparent(march_by_name("MATS"), /*defer_restore=*/true);
+  EXPECT_EQ(t.elements.size(), 2u);  // no restore element
+  const auto last_write = t.final_write_spec();
+  ASSERT_TRUE(last_write.has_value());
+  EXPECT_TRUE(last_write->complement);
+}
+
+TEST(Nicolaidis, Step1PrependsReadToWriteFirstElements) {
+  // Artificial march whose middle element starts with a write.
+  const MarchTest in = parse_march("{ any(w0); up(r0,w1); down(w0); any(r0) }");
+  const MarchTest t = nicolaidis_transparent(in);
+  // down(w0) becomes down(r~a, wa): read expects the content left by up(..w1).
+  ASSERT_EQ(t.elements.size(), 3u);
+  const MarchElement& e = t.elements[1];
+  ASSERT_EQ(e.ops.size(), 2u);
+  EXPECT_TRUE(e.ops[0].is_read());
+  EXPECT_TRUE(e.ops[0].data.complement);  // expects ~a
+  EXPECT_TRUE(e.ops[1].is_write());
+  EXPECT_FALSE(e.ops[1].data.complement);
+}
+
+TEST(Nicolaidis, RejectsEmptyAndDegenerateInputs) {
+  EXPECT_THROW(nicolaidis_transparent(MarchTest{}), std::invalid_argument);
+  EXPECT_THROW(nicolaidis_transparent(parse_march("{ any(w0) }")), std::invalid_argument);
+}
+
+TEST(Nicolaidis, RejectsAlreadyTransparentInput) {
+  const MarchTest t = nicolaidis_transparent(march_by_name("March C-"));
+  EXPECT_THROW(nicolaidis_transparent(t), std::invalid_argument);
+}
+
+TEST(Nicolaidis, WordOrientedInputSupported) {
+  // The rules also apply to multi-background word-oriented marches (this is
+  // what Scheme 1 builds on).
+  const MarchTest wo = word_oriented_march(march_by_name("MATS+"), 4);
+  const MarchTest t = nicolaidis_transparent(wo);
+  EXPECT_TRUE(t.is_transparent());
+  EXPECT_TRUE(t.every_element_begins_with_read());
+}
+
+// --- transparency property across the whole catalog --------------------
+
+struct TransparencyCase {
+  std::string march;
+  unsigned width;
+  std::uint64_t seed;
+};
+
+class TransparencyProperty : public ::testing::TestWithParam<TransparencyCase> {};
+
+// Running the transparent test on a fault-free memory with arbitrary
+// contents must leave the contents unchanged and raise no detection.
+TEST_P(TransparencyProperty, ContentPreservedAndNoFalseAlarm) {
+  const auto& pc = GetParam();
+  Rng rng(pc.seed);
+  Memory mem(12, pc.width);
+  mem.fill_random(rng);
+  const auto snapshot = mem.snapshot();
+
+  const MarchTest t = nicolaidis_transparent(solid_march(march_by_name(pc.march)));
+  const MarchTest p = prediction_test(t);
+  MarchRunner runner(mem);
+  const auto out = runner.run_transparent_session(t, p, pc.width);
+
+  EXPECT_FALSE(out.detected_exact);
+  EXPECT_FALSE(out.detected_misr);
+  EXPECT_TRUE(mem.equals(snapshot));
+}
+
+std::vector<TransparencyCase> transparency_cases() {
+  std::vector<TransparencyCase> cases;
+  for (const auto& info : march_catalog())
+    for (unsigned w : {1u, 4u, 8u, 32u})
+      cases.push_back({info.name, w, 1000 + w});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(CatalogSweep, TransparencyProperty,
+                         ::testing::ValuesIn(transparency_cases()),
+                         [](const ::testing::TestParamInfo<TransparencyCase>& info) {
+                           std::string n =
+                               info.param.march + "_w" + std::to_string(info.param.width);
+                           for (auto& c : n)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace twm

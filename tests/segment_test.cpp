@@ -1,0 +1,120 @@
+// Tests for the segment view and segmented transparent scrubbing.
+#include <gtest/gtest.h>
+
+#include "analysis/fault_list.h"
+#include "bist/engine.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "memsim/segment.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+TEST(Segment, WindowValidation) {
+  Memory mem(8, 4);
+  EXPECT_THROW(SegmentView(mem, 4, 5), std::invalid_argument);
+  EXPECT_THROW(SegmentView(mem, 0, 0), std::invalid_argument);
+  SegmentView ok(mem, 6, 2);
+  EXPECT_EQ(ok.num_words(), 2u);
+  EXPECT_THROW(ok.read(2), std::out_of_range);
+}
+
+TEST(Segment, TranslatesAddresses) {
+  Memory mem(8, 4);
+  SegmentView view(mem, 4, 4);
+  view.write(0, BitVec::from_string("1010"));
+  EXPECT_EQ(mem.peek(4).to_string(), "1010");
+  EXPECT_EQ(view.read(0).to_string(), "1010");
+  EXPECT_EQ(view.word_width(), 4u);
+}
+
+TEST(Segment, TransparentSessionPerSegmentPreservesAll) {
+  Rng rng(9);
+  Memory mem(16, 8);
+  mem.fill_random(rng);
+  const auto snapshot = mem.snapshot();
+  const TwmResult twm = twm_transform(march_by_name("March C-"), 8);
+  for (std::size_t s = 0; s < 4; ++s) {
+    SegmentView view(mem, s * 4, 4);
+    MarchRunner runner(view);
+    const auto out = runner.run_transparent_session(twm.twmarch, twm.prediction, 8);
+    EXPECT_FALSE(out.detected_exact) << "segment " << s;
+  }
+  EXPECT_TRUE(mem.equals(snapshot));
+}
+
+TEST(Segment, IntraSegmentFaultsStayDetected) {
+  const TwmResult twm = twm_transform(march_by_name("March C-"), 8);
+  Rng rng(10);
+  Memory mem(16, 8);
+  mem.fill_random(rng);
+  mem.inject(Fault::cfid({2, 0}, Transition::Up, {3, 5}, true));  // both in segment 0
+  bool detected = false;
+  for (std::size_t s = 0; s < 4 && !detected; ++s) {
+    SegmentView view(mem, s * 4, 4);
+    MarchRunner runner(view);
+    detected = runner.run_transparent_session(twm.twmarch, twm.prediction, 8).detected_exact;
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(Segment, CrossSegmentCouplingCanEscape) {
+  // Aggressor in segment 0, victim in segment 3: when the victim's segment
+  // is tested, the aggressor never transitions; when the aggressor's is,
+  // the victim's corruption is never read inside the session.  (The victim
+  // value is restored... no — it stays corrupted, but transparent testing
+  // of segment 3 later re-baselines on the corrupted value.)
+  const TwmResult twm = twm_transform(march_by_name("March C-"), 8);
+  Memory mem(16, 8);  // zero contents: deterministic
+  mem.inject(Fault::cfid({1, 0}, Transition::Up, {13, 0}, true));
+
+  bool detected = false;
+  for (std::size_t s = 0; s < 4 && !detected; ++s) {
+    SegmentView view(mem, s * 4, 4);
+    MarchRunner runner(view);
+    detected = runner.run_transparent_session(twm.twmarch, twm.prediction, 8).detected_exact;
+  }
+  EXPECT_FALSE(detected);
+
+  // The unsegmented session sees it.
+  Memory whole(16, 8);
+  whole.inject(Fault::cfid({1, 0}, Transition::Up, {13, 0}, true));
+  MarchRunner runner(whole);
+  EXPECT_TRUE(runner.run_transparent_session(twm.twmarch, twm.prediction, 8).detected_exact);
+}
+
+TEST(Segment, SegmentedCoverageDropsOnlyOnCrossPairs) {
+  const std::size_t words = 8;
+  const unsigned width = 4;
+  const TwmResult twm = twm_transform(march_by_name("March C-"), width);
+  const auto faults = all_cfs(words, width, FaultClass::CFid, CfScope::InterWord);
+
+  auto detect = [&](const Fault& f, std::size_t segments) {
+    Memory mem(words, width);
+    Rng rng(4);
+    mem.fill_random(rng);
+    mem.inject(f);
+    const std::size_t seg_len = words / segments;
+    for (std::size_t s = 0; s < segments; ++s) {
+      SegmentView view(mem, s * seg_len, seg_len);
+      MarchRunner runner(view);
+      if (runner.run_transparent_session(twm.twmarch, twm.prediction, width).detected_exact)
+        return true;
+    }
+    return false;
+  };
+
+  for (const Fault& f : faults) {
+    const bool whole = detect(f, 1);
+    const bool halves = detect(f, 2);
+    const bool same_half = (f.aggressor.word / 4) == (f.victim.word / 4);
+    if (same_half)
+      EXPECT_EQ(whole, halves) << f.describe();
+    else
+      EXPECT_FALSE(halves) << f.describe() << " crosses the boundary";
+  }
+}
+
+}  // namespace
+}  // namespace twm

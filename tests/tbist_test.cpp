@@ -1,0 +1,222 @@
+// Tests for the transparent-BIST controller: session sequencing, step
+// accounting against the paper's complexity, fault detection, and the
+// idle-time interaction semantics (functional reads corrected mid-session,
+// functional writes abort + restore).
+#include <gtest/gtest.h>
+
+#include "bist/tbist.h"
+#include "core/twm_ta.h"
+#include "march/library.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+TbistController::Config config_for(const std::string& march, unsigned width) {
+  const TwmResult r = twm_transform(march_by_name(march), width);
+  return {r.twmarch, r.prediction, 0};
+}
+
+TEST(Tbist, RejectsIllFormedConfigs) {
+  Memory mem(8, 8);
+  const TwmResult r = twm_transform(march_by_name("March C-"), 8);
+  {
+    TbistController::Config bad{r.twmarch, r.twmarch, 0};  // prediction has writes
+    EXPECT_THROW(TbistController(mem, bad), std::invalid_argument);
+  }
+  {
+    MarchTest not_transparent = march_by_name("March C-");
+    TbistController::Config bad{not_transparent, r.prediction, 0};
+    EXPECT_THROW(TbistController(mem, bad), std::invalid_argument);
+  }
+}
+
+TEST(Tbist, SessionCostIsTcpPlusTcmPlusCompare) {
+  Rng rng(3);
+  Memory mem(16, 8);
+  mem.fill_random(rng);
+  const TwmResult r = twm_transform(march_by_name("March C-"), 8);
+  TbistController ctrl(mem, {r.twmarch, r.prediction, 0});
+
+  ctrl.start_session();
+  EXPECT_EQ(ctrl.state(), TbistController::State::Predict);
+  while (ctrl.step()) {
+  }
+  EXPECT_EQ(ctrl.state(), TbistController::State::Done);
+  EXPECT_FALSE(ctrl.last_session_failed());
+
+  const std::uint64_t expected_steps =
+      (r.prediction.op_count() + r.twmarch.op_count()) * mem.num_words() + 1;
+  EXPECT_EQ(ctrl.stats().steps, expected_steps);
+  EXPECT_EQ(ctrl.stats().sessions_completed, 1u);
+  EXPECT_EQ(ctrl.predicted_signature(), ctrl.observed_signature());
+}
+
+TEST(Tbist, SessionIsTransparent) {
+  Rng rng(4);
+  Memory mem(12, 16);
+  mem.fill_random(rng);
+  const auto snapshot = mem.snapshot();
+  TbistController ctrl(mem, config_for("March U", 16));
+  EXPECT_FALSE(ctrl.run_session_to_completion());
+  EXPECT_TRUE(mem.equals(snapshot));
+}
+
+TEST(Tbist, DetectsFaultAppearingBetweenSessions) {
+  Rng rng(5);
+  Memory mem(16, 8);
+  mem.fill_random(rng);
+  TbistController ctrl(mem, config_for("March C-", 8));
+
+  EXPECT_FALSE(ctrl.run_session_to_completion());  // healthy
+  mem.inject(Fault::tf({7, 2}, Transition::Down));
+  EXPECT_TRUE(ctrl.run_session_to_completion());  // caught in the next session
+  EXPECT_EQ(ctrl.stats().failures_detected, 1u);
+  EXPECT_EQ(ctrl.stats().sessions_started, 2u);
+}
+
+TEST(Tbist, StartWhileActiveThrows) {
+  Memory mem(4, 8);
+  TbistController ctrl(mem, config_for("March C-", 8));
+  ctrl.start_session();
+  ctrl.step();
+  EXPECT_THROW(ctrl.start_session(), std::logic_error);
+}
+
+TEST(Tbist, StepOutsideSessionIsNoop) {
+  Memory mem(4, 8);
+  TbistController ctrl(mem, config_for("March C-", 8));
+  EXPECT_FALSE(ctrl.step());
+  EXPECT_EQ(ctrl.stats().steps, 0u);
+}
+
+TEST(Tbist, FunctionalReadsCorrectedMidSession) {
+  Rng rng(6);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  const auto snapshot = mem.snapshot();
+  TbistController ctrl(mem, config_for("March C-", 8));
+  ctrl.start_session();
+
+  // At every step of the whole session, a functional read of every word
+  // must return the functional (pre-session) data.
+  std::size_t checked = 0;
+  while (ctrl.step()) {
+    for (std::size_t a = 0; a < mem.num_words(); ++a) {
+      ASSERT_EQ(ctrl.functional_read(a), snapshot[a])
+          << "addr " << a << " after step " << ctrl.stats().steps;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_FALSE(ctrl.last_session_failed());
+}
+
+TEST(Tbist, FunctionalWriteAbortsAndRestores) {
+  Rng rng(7);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  auto expected = mem.snapshot();
+  TbistController ctrl(mem, config_for("March C-", 8));
+
+  ctrl.start_session();
+  // Run deep into the test pass so several words are displaced.
+  for (int i = 0; i < 150; ++i) ctrl.step();
+  EXPECT_EQ(ctrl.state(), TbistController::State::Test);
+
+  const BitVec newdata = BitVec::from_string("10110001");
+  ctrl.functional_write(3, newdata);
+  expected[3] = newdata;
+
+  EXPECT_EQ(ctrl.state(), TbistController::State::Idle);
+  EXPECT_EQ(ctrl.stats().sessions_aborted, 1u);
+  EXPECT_TRUE(mem.equals(expected)) << "abort must restore displaced words";
+
+  // The next session runs clean on the updated contents.
+  EXPECT_FALSE(ctrl.run_session_to_completion());
+}
+
+TEST(Tbist, FunctionalWriteDuringPredictAborts) {
+  Rng rng(8);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  auto expected = mem.snapshot();
+  TbistController ctrl(mem, config_for("March C-", 8));
+  ctrl.start_session();
+  for (int i = 0; i < 10; ++i) ctrl.step();  // still in Predict (read-only)
+  EXPECT_EQ(ctrl.state(), TbistController::State::Predict);
+
+  const BitVec d = BitVec::from_string("00000001");
+  ctrl.functional_write(0, d);
+  expected[0] = d;
+  EXPECT_EQ(ctrl.state(), TbistController::State::Idle);
+  EXPECT_TRUE(mem.equals(expected));
+}
+
+TEST(Tbist, CheckpointsLocalizeFailingElement) {
+  Rng rng(21);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  const TwmResult r = twm_transform(march_by_name("March C-"), 8);
+  TbistController ctrl(mem, {r.twmarch, r.prediction, 0, /*element_checkpoints=*/true});
+
+  // Clean session: no boundary mismatch recorded.
+  EXPECT_FALSE(ctrl.run_session_to_completion());
+  EXPECT_FALSE(ctrl.first_failing_element_known());
+
+  // A rising-edge TF is activated by element 0's w(~a) (cell initially 0)
+  // or element 1's w(a) (cell initially 1) and observed by the following
+  // element's reads — so the first mismatching boundary is element 1 or 2,
+  // far from the final ATMarch elements.
+  mem.inject(Fault::tf({2, 4}, Transition::Up));
+  EXPECT_TRUE(ctrl.run_session_to_completion());
+  ASSERT_TRUE(ctrl.first_failing_element_known());
+  EXPECT_GE(ctrl.failing_element(), 1u);
+  EXPECT_LE(ctrl.failing_element(), 2u);
+}
+
+TEST(Tbist, CheckpointSessionStaysTransparent) {
+  Rng rng(22);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  const auto snapshot = mem.snapshot();
+  const TwmResult r = twm_transform(march_by_name("March U"), 8);
+  TbistController ctrl(mem, {r.twmarch, r.prediction, 0, true});
+  EXPECT_FALSE(ctrl.run_session_to_completion());
+  EXPECT_TRUE(mem.equals(snapshot));
+}
+
+TEST(Tbist, CheckpointAndFinalCompareAgree) {
+  // Any fault flagged by the final compare that was activated before the
+  // last element must also be visible at a boundary.
+  Rng rng(23);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  const TwmResult r = twm_transform(march_by_name("March C-"), 8);
+  TbistController ctrl(mem, {r.twmarch, r.prediction, 0, true});
+  mem.inject(Fault::saf({5, 1}, !mem.peek(5).get(1)));
+  EXPECT_TRUE(ctrl.run_session_to_completion());
+  EXPECT_TRUE(ctrl.first_failing_element_known());
+  EXPECT_LT(ctrl.failing_element(), r.twmarch.elements.size());
+}
+
+TEST(Tbist, AbortResumeCycleEventuallyCatchesFault) {
+  Rng rng(9);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  TbistController ctrl(mem, config_for("March C-", 8));
+  mem.inject(Fault::saf({4, 4}, true));
+
+  // Interrupt the first two attempts with system writes, then let one run
+  // through: the completed session must detect.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    ctrl.start_session();
+    for (int i = 0; i < 60; ++i) ctrl.step();
+    ctrl.functional_write(1, BitVec::zeros(8));
+  }
+  EXPECT_EQ(ctrl.stats().sessions_aborted, 2u);
+  EXPECT_TRUE(ctrl.run_session_to_completion());
+}
+
+}  // namespace
+}  // namespace twm

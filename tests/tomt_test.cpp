@@ -1,0 +1,107 @@
+// Tests for the TOMT baseline model (Scheme 2 [13]): structure, calibrated
+// complexity, transparency, and its concurrent detection paths.
+#include <gtest/gtest.h>
+
+#include "core/complexity.h"
+#include "core/tomt.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+TEST(Tomt, OpCountMatchesCalibratedComplexity) {
+  for (unsigned w : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    EXPECT_EQ(tomt_test(w).op_count(), 7u + 8u * w) << "width " << w;
+    EXPECT_EQ(measured_tomt(w).tcm, formula_tomt(w).tcm) << "width " << w;
+  }
+}
+
+TEST(Tomt, TestIsTransparentSingleElement) {
+  const MarchTest t = tomt_test(8);
+  ASSERT_EQ(t.elements.size(), 1u);
+  EXPECT_TRUE(t.is_transparent());
+  EXPECT_TRUE(t.elements[0].begins_with_read());
+}
+
+TEST(Tomt, RejectsZeroWidth) { EXPECT_THROW(tomt_test(0), std::invalid_argument); }
+
+TEST(Tomt, LedgerSizeValidated) {
+  Memory mem(4, 8);
+  EXPECT_THROW(run_tomt(mem, std::vector<bool>(3)), std::invalid_argument);
+}
+
+TEST(Tomt, FaultFreeRunIsTransparentAndSilent) {
+  Rng rng(5);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  const auto snapshot = mem.snapshot();
+  const auto ledger = make_parity_ledger(mem);
+
+  const TomtResult res = run_tomt(mem, ledger);
+  EXPECT_FALSE(res.detected);
+  EXPECT_TRUE(mem.equals(snapshot));
+  EXPECT_EQ(res.operations, (7u + 8u * 8u) * 8u);  // full sweep executed
+}
+
+TEST(Tomt, ParityLedgerCatchesPreexistingCorruption) {
+  Rng rng(6);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  const auto ledger = make_parity_ledger(mem);
+  // Single-bit corruption after the ledger was established (a soft error).
+  BitVec v = mem.peek(3);
+  v.flip(2);
+  auto contents = mem.snapshot();
+  contents[3] = v;
+  mem.load(contents);
+
+  const TomtResult res = run_tomt(mem, ledger);
+  EXPECT_TRUE(res.detected);
+  EXPECT_EQ(res.fail_addr, 3u);
+}
+
+TEST(Tomt, ReadBackComparatorCatchesTf) {
+  Rng rng(7);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  const auto ledger = make_parity_ledger(mem);
+  mem.inject(Fault::tf({5, 1}, Transition::Up));
+
+  // The TF is activated by TOMT's own write sequence regardless of the
+  // initial value of the cell (every bit sees both transitions).
+  EXPECT_TRUE(run_tomt(mem, ledger).detected);
+}
+
+TEST(Tomt, ReadBackComparatorCatchesSaf) {
+  Rng rng(8);
+  Memory mem(8, 8);
+  mem.fill_random(rng);
+  const auto ledger = make_parity_ledger(mem);
+  mem.inject(Fault::saf({2, 7}, false));
+  EXPECT_TRUE(run_tomt(mem, ledger).detected);
+}
+
+TEST(Tomt, DetectsIntraWordCfid) {
+  Rng rng(9);
+  Memory mem(4, 8);
+  mem.fill_random(rng);
+  const auto ledger = make_parity_ledger(mem);
+  mem.inject(Fault::cfid({1, 0}, Transition::Up, {1, 5}, true));
+  EXPECT_TRUE(run_tomt(mem, ledger).detected);
+}
+
+TEST(Tomt, StopsAtFirstFailingWord) {
+  Rng rng(10);
+  Memory mem(8, 4);
+  mem.fill_random(rng);
+  const auto ledger = make_parity_ledger(mem);
+  mem.inject(Fault::saf({0, 0}, true));
+  mem.inject(Fault::saf({6, 0}, true));
+  const TomtResult res = run_tomt(mem, ledger);
+  ASSERT_TRUE(res.detected);
+  EXPECT_EQ(res.fail_addr, 0u);
+  EXPECT_LT(res.operations, (7u + 8u * 4u) * 8u);  // aborted early
+}
+
+}  // namespace
+}  // namespace twm

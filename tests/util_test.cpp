@@ -1,0 +1,231 @@
+// Unit and property tests for the util substrate: BitVec, data backgrounds,
+// table formatting, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/backgrounds.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace twm {
+namespace {
+
+TEST(BitVec, ConstructionAndFill) {
+  BitVec z(8);
+  EXPECT_EQ(z.width(), 8u);
+  EXPECT_TRUE(z.all_zero());
+  EXPECT_FALSE(z.all_one());
+
+  BitVec o = BitVec::ones(8);
+  EXPECT_TRUE(o.all_one());
+  EXPECT_EQ(o.popcount(), 8u);
+}
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.width(), 0u);
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(70);  // spans two limbs
+  v.set(0, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_FALSE(v.get(35));
+  EXPECT_EQ(v.popcount(), 2u);
+  v.flip(69);
+  EXPECT_FALSE(v.get(69));
+  EXPECT_EQ(v.popcount(), 1u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(4);
+  EXPECT_THROW(v.get(4), std::out_of_range);
+  EXPECT_THROW(v.set(4, true), std::out_of_range);
+}
+
+TEST(BitVec, FromStringMsbFirst) {
+  BitVec v = BitVec::from_string("1010");
+  EXPECT_EQ(v.width(), 4u);
+  EXPECT_TRUE(v.get(3));
+  EXPECT_FALSE(v.get(2));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_FALSE(v.get(0));
+  EXPECT_EQ(v.to_string(), "1010");
+}
+
+TEST(BitVec, FromStringRejectsBadChars) {
+  EXPECT_THROW(BitVec::from_string("10x1"), std::invalid_argument);
+}
+
+TEST(BitVec, FromUint) {
+  BitVec v = BitVec::from_uint(8, 0xA5);
+  EXPECT_EQ(v.to_string(), "10100101");
+  EXPECT_EQ(v.low64(), 0xA5u);
+}
+
+TEST(BitVec, XorAndNot) {
+  BitVec a = BitVec::from_string("1100");
+  BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  EXPECT_EQ((~a).to_string(), "0011");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+}
+
+TEST(BitVec, NotNormalizesTopLimb) {
+  // ~ of a 4-bit vector must not set bits above the width.
+  BitVec a(4);
+  BitVec n = ~a;
+  EXPECT_TRUE(n.all_one());
+  EXPECT_EQ(n.popcount(), 4u);
+}
+
+TEST(BitVec, WidthMismatchThrows) {
+  BitVec a(4), b(8);
+  EXPECT_THROW(a ^ b, std::invalid_argument);
+  EXPECT_THROW(a & b, std::invalid_argument);
+}
+
+TEST(BitVec, EqualityAndOrdering) {
+  BitVec a = BitVec::from_string("0101");
+  BitVec b = BitVec::from_string("0101");
+  BitVec c = BitVec::from_string("0110");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(BitVec, Parity) {
+  EXPECT_FALSE(BitVec::from_string("0000").parity());
+  EXPECT_TRUE(BitVec::from_string("0001").parity());
+  EXPECT_FALSE(BitVec::from_string("0011").parity());
+  EXPECT_TRUE(BitVec::from_string("0111").parity());
+}
+
+TEST(BitVec, XorIsInvolution) {
+  Rng rng(7);
+  for (unsigned w : {1u, 5u, 64u, 65u, 128u}) {
+    BitVec a = rng.next_word(w);
+    BitVec m = rng.next_word(w);
+    EXPECT_EQ((a ^ m) ^ m, a) << "width " << w;
+  }
+}
+
+TEST(BitVec, HashDiffersForDifferentWords) {
+  BitVec a = BitVec::from_string("0101");
+  BitVec b = BitVec::from_string("1010");
+  EXPECT_NE(a.hash_combine(0), b.hash_combine(0));
+}
+
+// --- backgrounds -------------------------------------------------------
+
+TEST(Backgrounds, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_THROW(log2_exact(3), std::invalid_argument);
+}
+
+TEST(Backgrounds, PaperExampleWidth8) {
+  // Sec. 4: D1 = 01010101, D2 = 00110011, D3 = 00001111.
+  EXPECT_EQ(checkerboard_background(8, 1).to_string(), "01010101");
+  EXPECT_EQ(checkerboard_background(8, 2).to_string(), "00110011");
+  EXPECT_EQ(checkerboard_background(8, 3).to_string(), "00001111");
+}
+
+TEST(Backgrounds, Width4Family) {
+  // Sec. 3 example backgrounds 0000, 0101, 0011.
+  const auto std_bgs = standard_backgrounds(4);
+  ASSERT_EQ(std_bgs.size(), 3u);
+  EXPECT_EQ(std_bgs[0].to_string(), "0000");
+  EXPECT_EQ(std_bgs[1].to_string(), "0101");
+  EXPECT_EQ(std_bgs[2].to_string(), "0011");
+}
+
+TEST(Backgrounds, CountIsLog2B) {
+  for (unsigned w : {2u, 4u, 8u, 16u, 32u, 64u, 128u})
+    EXPECT_EQ(checkerboard_backgrounds(w).size(), log2_exact(w)) << "width " << w;
+}
+
+TEST(Backgrounds, RejectsBadWidths) {
+  EXPECT_THROW(checkerboard_background(12, 1), std::invalid_argument);
+  EXPECT_THROW(checkerboard_background(8, 0), std::invalid_argument);
+  EXPECT_THROW(checkerboard_background(8, 4), std::invalid_argument);
+}
+
+class BackgroundProperty : public ::testing::TestWithParam<unsigned> {};
+
+// The property that makes ATMarch work: the checkerboard family
+// distinguishes every pair of bit positions.
+TEST_P(BackgroundProperty, EveryBitPairDistinguished) {
+  const unsigned w = GetParam();
+  const auto ds = checkerboard_backgrounds(w);
+  for (unsigned i = 0; i < w; ++i)
+    for (unsigned j = i + 1; j < w; ++j) {
+      bool distinguished = false;
+      for (const auto& d : ds)
+        if (d.get(i) != d.get(j)) {
+          distinguished = true;
+          break;
+        }
+      EXPECT_TRUE(distinguished) << "bits " << i << "," << j << " width " << w;
+    }
+}
+
+// Each background has exactly half its bits set (balanced patterns).
+TEST_P(BackgroundProperty, Balanced) {
+  const unsigned w = GetParam();
+  for (const auto& d : checkerboard_backgrounds(w)) EXPECT_EQ(d.popcount(), w / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BackgroundProperty,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u, 128u));
+
+// --- rng ---------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, WordsCoverBothValues) {
+  Rng rng(1);
+  BitVec acc_or(64), acc_and = BitVec::ones(64);
+  for (int i = 0; i < 32; ++i) {
+    BitVec w = rng.next_word(64);
+    acc_or = acc_or | w;
+    acc_and = acc_and & w;
+  }
+  EXPECT_TRUE(acc_or.all_one());    // every position saw a 1
+  EXPECT_TRUE(acc_and.all_zero());  // every position saw a 0
+}
+
+// --- table ---------------------------------------------------------------
+
+TEST(Table, AlignsAndRules) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_rule();
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| longer-name "), std::string::npos);
+  // header rule + added rule + top/bottom
+  size_t rules = 0;
+  for (size_t p = s.find("+--"); p != std::string::npos; p = s.find("+--", p + 1)) ++rules;
+  EXPECT_GE(rules, 4u);
+}
+
+}  // namespace
+}  // namespace twm

@@ -1,0 +1,10 @@
+// twm_cli — command-line front end; see src/cli/cli.h for the synopsis.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  return twm::run_cli(std::vector<std::string>(argv + 1, argv + argc), std::cout, std::cerr);
+}
