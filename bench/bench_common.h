@@ -1,0 +1,70 @@
+// Shared command-line handling for the bench executables.
+//
+// Every bench that evaluates fault coverage accepts
+//   --backend=scalar|packed   simulation backend (default: packed)
+//   --threads=N               worker threads for the campaign (default: 1)
+//   --json=PATH               where to write the bench's JSON result line
+// so the batched bit-parallel engine can be compared against the scalar
+// reference from the command line without recompiling.
+#ifndef TWM_BENCH_BENCH_COMMON_H
+#define TWM_BENCH_BENCH_COMMON_H
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "analysis/coverage.h"
+
+namespace twm::bench {
+
+struct BenchArgs {
+  CoverageOptions coverage{CoverageBackend::Packed, 1};
+  std::string json;  // empty = no JSON artifact
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& default_json = "") {
+  BenchArgs a;
+  a.json = default_json;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto starts = [&](const char* p) { return arg.rfind(p, 0) == 0; };
+    if (starts("--backend=")) {
+      const std::string v = arg.substr(10);
+      if (v == "scalar")
+        a.coverage.backend = CoverageBackend::Scalar;
+      else if (v == "packed")
+        a.coverage.backend = CoverageBackend::Packed;
+      else {
+        std::fprintf(stderr, "unknown backend '%s' (want scalar|packed)\n", v.c_str());
+        std::exit(1);
+      }
+    } else if (starts("--threads=")) {
+      a.coverage.threads = static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+      if (a.coverage.threads == 0) a.coverage.threads = 1;
+    } else if (starts("--json=")) {
+      a.json = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (want --backend=scalar|packed --threads=N "
+                   "--json=PATH)\n",
+                   arg.c_str());
+      std::exit(1);
+    }
+  }
+  return a;
+}
+
+// Wall-clock seconds of a callable.
+template <typename F>
+double time_seconds(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace twm::bench
+
+#endif  // TWM_BENCH_BENCH_COMMON_H

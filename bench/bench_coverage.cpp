@@ -6,23 +6,34 @@
 //
 // "all" = detected under every evaluated initial content (what the paper's
 // theorem speaks about), "any" = under at least one.
+//
+// The campaign runs on the backend selected by --backend=scalar|packed
+// (default packed: 63 faults + 1 golden lane per bit-parallel pass) with
+// --threads=N workers, then times both backends on the combined fault list
+// and writes the throughput comparison to BENCH_coverage.json (--json=PATH
+// overrides).
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "analysis/coverage.h"
 #include "analysis/fault_list.h"
 #include "analysis/report.h"
+#include "bench_common.h"
 #include "march/library.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace twm;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, "BENCH_coverage.json");
   const std::size_t kWords = 4;
   const unsigned kWidth = 4;
   const std::vector<std::uint64_t> seeds{0, 1, 2};  // 0 = all-zero contents
 
   std::cout << "== Sec. 5: empirical fault coverage (March C-, N=" << kWords
-            << ", B=" << kWidth << ", contents: zero + 2 random) ==\n\n";
+            << ", B=" << kWidth << ", contents: zero + 2 random, backend="
+            << to_string(args.coverage.backend) << ", threads=" << args.coverage.threads
+            << ") ==\n\n";
 
   CoverageEvaluator eval(kWords, kWidth);
   const MarchTest march = march_by_name("March C-");
@@ -52,7 +63,7 @@ int main() {
   for (const auto& spec : classes) {
     bool first = true;
     for (SchemeKind k : schemes) {
-      const auto out = eval.evaluate(k, march, spec.faults, seeds);
+      const auto out = eval.evaluate(k, march, spec.faults, seeds, args.coverage);
       t.add_row({first ? spec.name : "", first ? std::to_string(spec.faults.size()) : "",
                  to_string(k), coverage_str(out), pct_str(out.pct_any())});
       first = false;
@@ -65,13 +76,47 @@ int main() {
   std::vector<Fault> everything;
   for (auto& spec : classes)
     for (auto& f : spec.faults) everything.push_back(f);
-  const auto ref =
-      eval.per_fault(SchemeKind::NontransparentReference, march, everything, {0});
-  const auto prop = eval.per_fault(SchemeKind::ProposedExact, march, everything, {0});
+  const auto ref = eval.per_fault(SchemeKind::NontransparentReference, march, everything, {0},
+                                  args.coverage);
+  const auto prop =
+      eval.per_fault(SchemeKind::ProposedExact, march, everything, {0}, args.coverage);
   std::size_t agree = 0;
   for (std::size_t i = 0; i < everything.size(); ++i) agree += (ref[i] == prop[i]);
   std::printf("\ntheorem (Sec. 5): per-fault verdicts TWMarch vs SMarch+AMarch at zero "
               "content: %zu/%zu agree\n",
               agree, everything.size());
-  return 0;
+
+  // Backend throughput: the same campaign slice (every scheme's hottest
+  // path is per_fault over the combined list) on the scalar reference vs
+  // the bit-parallel batched engine, both with the requested thread count.
+  const CoverageOptions scalar_opts{CoverageBackend::Scalar, args.coverage.threads};
+  const CoverageOptions packed_opts{CoverageBackend::Packed, args.coverage.threads};
+  std::vector<bool> v_scalar, v_packed;
+  const double t_scalar = bench::time_seconds([&] {
+    v_scalar = eval.per_fault(SchemeKind::ProposedExact, march, everything, seeds, scalar_opts);
+  });
+  const double t_packed = bench::time_seconds([&] {
+    v_packed = eval.per_fault(SchemeKind::ProposedExact, march, everything, seeds, packed_opts);
+  });
+  const double fps_scalar = everything.size() / t_scalar;
+  const double fps_packed = everything.size() / t_packed;
+  const double speedup = t_scalar / t_packed;
+  std::printf("\nbackend throughput (TWMarch exact, %zu faults x %zu contents, %u threads):\n",
+              everything.size(), seeds.size(), args.coverage.threads);
+  std::printf("  scalar: %8.0f faults/s  (%.3fs)\n", fps_scalar, t_scalar);
+  std::printf("  packed: %8.0f faults/s  (%.3fs)  -> %.1fx\n", fps_packed, t_packed, speedup);
+  std::printf("  verdict equality: %s\n", v_scalar == v_packed ? "EXACT" : "MISMATCH");
+
+  if (!args.json.empty()) {
+    std::ofstream js(args.json);
+    js << "{\"bench\":\"coverage\",\"march\":\"March C-\",\"words\":" << kWords
+       << ",\"width\":" << kWidth << ",\"faults\":" << everything.size()
+       << ",\"seeds\":" << seeds.size() << ",\"threads\":" << args.coverage.threads
+       << ",\"scalar_faults_per_sec\":" << fps_scalar
+       << ",\"packed_faults_per_sec\":" << fps_packed << ",\"speedup\":" << speedup
+       << ",\"verdicts_equal\":" << (v_scalar == v_packed ? "true" : "false")
+       << ",\"theorem_agree\":" << agree << ",\"theorem_total\":" << everything.size() << "}\n";
+    std::printf("  wrote %s\n", args.json.c_str());
+  }
+  return v_scalar == v_packed ? 0 : 1;
 }

@@ -4,12 +4,16 @@
 // library actually generates.
 #include <iostream>
 
+#include "analysis/coverage.h"
+#include "analysis/fault_list.h"
+#include "bench_common.h"
 #include "core/complexity.h"
 #include "march/library.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace twm;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   std::cout << "== Table 2: time complexity of transparent test schemes ==\n"
             << "(S = ops, Q = reads of the bit-oriented march; B = word width; N words)\n\n";
 
@@ -42,5 +46,24 @@ int main() {
   meas.add_row({"This work", coeff_str(m_p.tcm), coeff_str(m_p.tcp),
                 "prediction keeps 3log2B+1 ATMarch reads"});
   meas.print(std::cout);
+
+  // The complexity win must not trade away basic coverage: SAF+TF coverage
+  // of the three schemes at the table's word width, evaluated with the
+  // configured backend.
+  {
+    const std::size_t words = 4;
+    CoverageEvaluator eval(words, b);
+    const MarchTest march = march_by_name("March C-");
+    std::vector<Fault> faults = all_safs(words, b);
+    for (auto& f : all_tfs(words, b)) faults.push_back(f);
+    std::cout << "\nSAF+TF coverage cross-check (B=" << b << ", " << faults.size()
+              << " faults, backend=" << to_string(args.coverage.backend)
+              << ", threads=" << args.coverage.threads << "):\n";
+    for (SchemeKind k :
+         {SchemeKind::Scheme1Exact, SchemeKind::TomtModel, SchemeKind::ProposedExact}) {
+      const auto out = eval.evaluate(k, march, faults, {0, 1}, args.coverage);
+      std::cout << "  " << to_string(k) << ": " << out.detected_all << "/" << out.total << "\n";
+    }
+  }
   return 0;
 }

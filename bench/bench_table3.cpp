@@ -6,12 +6,16 @@
 #include <cstdio>
 #include <iostream>
 
+#include "analysis/coverage.h"
+#include "analysis/fault_list.h"
+#include "bench_common.h"
 #include "core/complexity.h"
 #include "march/library.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace twm;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   std::cout << "== Table 3: complexity comparison across word widths ==\n"
             << "(total = TCP + TCM, operations per word; formula values)\n\n";
 
@@ -64,5 +68,28 @@ int main() {
   std::printf("march-dependence at B=64: proposed spans %zuN..%zuN (x%.2f), "
               "scheme 1 spans %zuN..%zuN (x%.2f)\n",
               min_p, max_p, double(max_p) / min_p, min_s1, max_s1, double(max_s1) / min_s1);
+
+  // Simulation-throughput footnote: the complexity coefficients above are
+  // per-word op counts; the wall-clock of *evaluating* them at scale is the
+  // backend's job.  Timed at the table's smallest width.
+  {
+    const std::size_t words = 4;
+    const unsigned b = 16;
+    CoverageEvaluator eval(words, b);
+    const MarchTest march = march_by_name("March C-");
+    std::vector<Fault> faults = all_safs(words, b);
+    for (auto& f : all_tfs(words, b)) faults.push_back(f);
+    const CoverageOptions scalar_opts{CoverageBackend::Scalar, args.coverage.threads};
+    const CoverageOptions packed_opts{CoverageBackend::Packed, args.coverage.threads};
+    std::vector<bool> vs, vp;
+    const double ts = bench::time_seconds(
+        [&] { vs = eval.per_fault(SchemeKind::ProposedExact, march, faults, {0, 1}, scalar_opts); });
+    const double tp = bench::time_seconds(
+        [&] { vp = eval.per_fault(SchemeKind::ProposedExact, march, faults, {0, 1}, packed_opts); });
+    std::printf("simulation throughput at B=%u (%zu SAF+TF faults, %u threads): "
+                "scalar %.0f faults/s, packed %.0f faults/s (%.1fx, verdicts %s)\n",
+                b, faults.size(), args.coverage.threads, faults.size() / ts, faults.size() / tp,
+                ts / tp, vs == vp ? "equal" : "DIFFER");
+  }
   return 0;
 }

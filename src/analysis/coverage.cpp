@@ -1,9 +1,14 @@
 #include "analysis/coverage.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "bist/engine.h"
+#include "bist/packed_engine.h"
 #include "core/nicolaidis.h"
 #include "core/scheme1.h"
 #include "core/symmetric.h"
@@ -11,6 +16,7 @@
 #include "core/twm_ta.h"
 #include "march/word_expand.h"
 #include "memsim/memory.h"
+#include "memsim/packed_memory.h"
 #include "util/rng.h"
 
 namespace twm {
@@ -25,6 +31,14 @@ std::string to_string(SchemeKind k) {
     case SchemeKind::TsmarchOnly: return "TSMarch only (no ATMarch)";
     case SchemeKind::Scheme1Exact: return "Scheme 1 [12] (exact compare)";
     case SchemeKind::TomtModel: return "TOMT model [13]";
+  }
+  return "?";
+}
+
+std::string to_string(CoverageBackend b) {
+  switch (b) {
+    case CoverageBackend::Scalar: return "scalar";
+    case CoverageBackend::Packed: return "packed";
   }
   return "?";
 }
@@ -86,37 +100,222 @@ bool CoverageEvaluator::run_one(SchemeKind scheme, const MarchTest& bit_march, c
   throw std::logic_error("CoverageEvaluator: unknown scheme");
 }
 
+namespace {
+
+// Scheme artifacts computed once per packed campaign (run_one rebuilds them
+// per fault x seed; a batch amortizes the transform over 63 faults and the
+// plan amortizes it over the whole campaign).
+struct PackedPlan {
+  SchemeKind scheme;
+  unsigned width;
+  MarchTest direct_a, direct_b;  // nontransparent passes (b may be empty)
+  MarchTest trans, prediction;   // transparent session passes
+  unsigned misr_width = 0;
+  SymmetricTest sym;
+};
+
+PackedPlan make_packed_plan(SchemeKind scheme, const MarchTest& bit_march, unsigned width) {
+  PackedPlan p;
+  p.scheme = scheme;
+  p.width = width;
+  switch (scheme) {
+    case SchemeKind::NontransparentReference: {
+      p.direct_a = solid_march(bit_march);
+      const auto final_spec = p.direct_a.final_write_spec();
+      const bool base_inv = final_spec.has_value() && final_spec->complement;
+      p.direct_b = nontransparent_amarch(width, base_inv);
+      break;
+    }
+    case SchemeKind::WordOrientedMarch:
+      p.direct_a = word_oriented_march(bit_march, width);
+      break;
+    case SchemeKind::ProposedExact:
+    case SchemeKind::ProposedMisr: {
+      const TwmResult t = twm_transform(bit_march, width);
+      p.trans = t.twmarch;
+      p.prediction = t.prediction;
+      p.misr_width = std::max(16u, width);
+      break;
+    }
+    case SchemeKind::ProposedSymmetricXor: {
+      const TwmResult t = twm_transform(bit_march, width);
+      p.sym = symmetrize(t.twmarch, width);
+      break;
+    }
+    case SchemeKind::TsmarchOnly: {
+      const TwmResult t = twm_transform(bit_march, width);
+      p.trans = t.tsmarch;
+      p.prediction = prediction_test(t.tsmarch);
+      p.misr_width = width;
+      break;
+    }
+    case SchemeKind::Scheme1Exact: {
+      const Scheme1Result s = scheme1_transform(bit_march, width);
+      p.trans = s.transparent;
+      p.prediction = s.prediction;
+      p.misr_width = width;
+      break;
+    }
+    case SchemeKind::TomtModel:
+      break;
+  }
+  return p;
+}
+
+// One batch: up to 63 faults in lanes 1..63, lane 0 golden.  Returns the
+// detection LaneMask of the whole batch under one seed.
+LaneMask run_packed_batch(const PackedPlan& plan, std::size_t words, const Fault* faults,
+                          unsigned count, std::uint64_t seed) {
+  PackedMemory mem(words, plan.width);
+  if (seed != 0) {
+    Rng rng(seed);
+    mem.fill_random(rng);
+  }  // seed 0: all-zero contents
+
+  std::vector<bool> ledger;
+  if (plan.scheme == SchemeKind::TomtModel) ledger = make_parity_ledger(mem);
+
+  for (unsigned i = 0; i < count; ++i) mem.inject(faults[i], 1ull << (i + 1));
+
+  PackedMarchRunner runner(mem);
+  switch (plan.scheme) {
+    case SchemeKind::NontransparentReference: {
+      // AMarch reads the solid base SMarch leaves behind: the two passes
+      // must be sequenced, not folded into one (unsequenced) expression.
+      const LaneMask d1 = runner.run_direct(plan.direct_a);
+      const LaneMask d2 = runner.run_direct(plan.direct_b);
+      return d1 | d2;
+    }
+    case SchemeKind::WordOrientedMarch:
+      return runner.run_direct(plan.direct_a);
+    case SchemeKind::ProposedExact:
+      return runner.run_transparent_session(plan.trans, plan.prediction, plan.misr_width)
+          .detected_exact;
+    case SchemeKind::ProposedMisr:
+      return runner.run_transparent_session(plan.trans, plan.prediction, plan.misr_width)
+          .detected_misr;
+    case SchemeKind::ProposedSymmetricXor:
+      return run_symmetric_session_packed(mem, plan.sym);
+    case SchemeKind::TsmarchOnly:
+    case SchemeKind::Scheme1Exact:
+      return runner.run_transparent_session(plan.trans, plan.prediction, plan.misr_width)
+          .detected_exact;
+    case SchemeKind::TomtModel:
+      return run_tomt_packed(mem, ledger);
+  }
+  throw std::logic_error("CoverageEvaluator: unknown scheme");
+}
+
+// Runs `worker` on `threads` threads (including the calling one) and
+// rethrows the first exception any of them raised.  If the OS refuses to
+// spawn more threads, the pool simply runs with the ones it got.
+void run_pool(unsigned threads, const std::function<void()>& worker) {
+  std::mutex mu;
+  std::exception_ptr err;
+  auto guarded = [&] {
+    try {
+      worker();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!err) err = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  try {
+    for (unsigned t = 1; t < threads; ++t) pool.emplace_back(guarded);
+  } catch (const std::system_error&) {
+    // Thread-creation limit hit; proceed with the threads already running.
+  }
+  guarded();
+  for (auto& th : pool) th.join();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace
+
+void CoverageEvaluator::run_campaign(SchemeKind scheme, const MarchTest& bit_march,
+                                     const std::vector<Fault>& faults,
+                                     const std::vector<std::uint64_t>& seeds,
+                                     const CoverageOptions& options, bool need_any,
+                                     std::vector<char>& all, std::vector<char>& any) const {
+  if (seeds.empty()) throw std::invalid_argument("CoverageEvaluator: no seeds");
+  const std::size_t n = faults.size();
+  all.assign(n, 1);
+  any.assign(n, 0);
+  if (n == 0) return;
+  const unsigned threads = std::max(1u, options.threads);
+
+  if (options.backend == CoverageBackend::Scalar) {
+    std::atomic<std::size_t> next{0};
+    run_pool(threads, [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) break;
+        bool a = true, y = false;
+        for (const auto seed : seeds) {
+          const bool d = run_one(scheme, bit_march, faults[i], seed);
+          a = a && d;
+          y = y || d;
+          if (!a && (y || !need_any)) break;  // requested verdicts settled
+        }
+        all[i] = a;
+        any[i] = y;
+      }
+    });
+    return;
+  }
+
+  const PackedPlan plan = make_packed_plan(scheme, bit_march, width_);
+  constexpr unsigned kFaultsPerBatch = kPackedLanes - 1;  // lane 0 = golden
+  const std::size_t batches = (n + kFaultsPerBatch - 1) / kFaultsPerBatch;
+  std::atomic<std::size_t> next{0};
+  run_pool(threads, [&] {
+    for (;;) {
+      const std::size_t b = next.fetch_add(1);
+      if (b >= batches) break;
+      const std::size_t lo = b * kFaultsPerBatch;
+      const unsigned count =
+          static_cast<unsigned>(std::min<std::size_t>(kFaultsPerBatch, n - lo));
+      const LaneMask used = ((count == 63 ? ~0ull : (1ull << (count + 1)) - 1)) & ~1ull;
+      LaneMask a = used, y = 0;
+      for (const auto seed : seeds) {
+        const LaneMask d = run_packed_batch(plan, words_, &faults[lo], count, seed);
+        if (d & 1ull)
+          throw std::logic_error(
+              "CoverageEvaluator: packed golden lane reported a detection (engine bug)");
+        a &= d;
+        y |= d;
+        if (a == 0 && (y == used || !need_any)) break;  // requested verdicts settled
+      }
+      for (unsigned i = 0; i < count; ++i) {
+        all[lo + i] = static_cast<char>((a >> (i + 1)) & 1u);
+        any[lo + i] = static_cast<char>((y >> (i + 1)) & 1u);
+      }
+    }
+  });
+}
+
 std::vector<bool> CoverageEvaluator::per_fault(SchemeKind scheme, const MarchTest& bit_march,
                                                const std::vector<Fault>& faults,
-                                               const std::vector<std::uint64_t>& seeds) const {
-  if (seeds.empty()) throw std::invalid_argument("CoverageEvaluator: no seeds");
-  std::vector<bool> verdict(faults.size(), true);
-  for (std::size_t i = 0; i < faults.size(); ++i)
-    for (const auto seed : seeds)
-      if (!run_one(scheme, bit_march, faults[i], seed)) {
-        verdict[i] = false;
-        break;
-      }
-  return verdict;
+                                               const std::vector<std::uint64_t>& seeds,
+                                               const CoverageOptions& options) const {
+  std::vector<char> all, any;
+  run_campaign(scheme, bit_march, faults, seeds, options, /*need_any=*/false, all, any);
+  return std::vector<bool>(all.begin(), all.end());
 }
 
 CoverageOutcome CoverageEvaluator::evaluate(SchemeKind scheme, const MarchTest& bit_march,
                                             const std::vector<Fault>& faults,
-                                            const std::vector<std::uint64_t>& seeds) const {
-  if (seeds.empty()) throw std::invalid_argument("CoverageEvaluator: no seeds");
+                                            const std::vector<std::uint64_t>& seeds,
+                                            const CoverageOptions& options) const {
+  std::vector<char> all, any;
+  run_campaign(scheme, bit_march, faults, seeds, options, /*need_any=*/true, all, any);
   CoverageOutcome out;
   out.total = faults.size();
-  for (const Fault& f : faults) {
-    bool all = true;
-    bool any = false;
-    for (const auto seed : seeds) {
-      const bool d = run_one(scheme, bit_march, f, seed);
-      all = all && d;
-      any = any || d;
-      if (!all && any) break;  // verdicts settled
-    }
-    out.detected_all += all;
-    out.detected_any += any;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    out.detected_all += all[i];
+    out.detected_any += any[i];
   }
   return out;
 }

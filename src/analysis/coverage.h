@@ -54,6 +54,26 @@ enum class SchemeKind {
 
 std::string to_string(SchemeKind k);
 
+// Simulation backend for a coverage campaign.
+//
+//   Scalar  one fault x one seed at a time through memsim::Memory — the
+//           reference implementation.
+//   Packed  bit-parallel batches of 63 faults + 1 golden lane per
+//           PackedMemory pass (lane 0 stays fault-free and must report
+//           "undetected"; a golden detection aborts the campaign as an
+//           engine bug).  Verdicts are lane-for-lane identical to the
+//           scalar backend (tests/coverage_backend_test.cpp).
+enum class CoverageBackend { Scalar, Packed };
+
+std::string to_string(CoverageBackend b);
+
+struct CoverageOptions {
+  CoverageBackend backend = CoverageBackend::Scalar;
+  // Worker threads the campaign's fault batches are sharded across;
+  // <= 1 runs everything on the calling thread.  Applies to both backends.
+  unsigned threads = 1;
+};
+
 struct CoverageOutcome {
   std::size_t total = 0;
   std::size_t detected_all = 0;  // detected under every evaluated content
@@ -69,17 +89,37 @@ class CoverageEvaluator {
 
   CoverageOutcome evaluate(SchemeKind scheme, const MarchTest& bit_march,
                            const std::vector<Fault>& faults,
-                           const std::vector<std::uint64_t>& seeds) const;
+                           const std::vector<std::uint64_t>& seeds) const {
+    return evaluate(scheme, bit_march, faults, seeds, CoverageOptions{});
+  }
+  CoverageOutcome evaluate(SchemeKind scheme, const MarchTest& bit_march,
+                           const std::vector<Fault>& faults,
+                           const std::vector<std::uint64_t>& seeds,
+                           const CoverageOptions& options) const;
 
   // Verdict per fault (detected under every seed); used to prove coverage
   // *equality* between schemes, not just equal percentages.
   std::vector<bool> per_fault(SchemeKind scheme, const MarchTest& bit_march,
                               const std::vector<Fault>& faults,
-                              const std::vector<std::uint64_t>& seeds) const;
+                              const std::vector<std::uint64_t>& seeds) const {
+    return per_fault(scheme, bit_march, faults, seeds, CoverageOptions{});
+  }
+  std::vector<bool> per_fault(SchemeKind scheme, const MarchTest& bit_march,
+                              const std::vector<Fault>& faults,
+                              const std::vector<std::uint64_t>& seeds,
+                              const CoverageOptions& options) const;
 
  private:
   bool run_one(SchemeKind scheme, const MarchTest& bit_march, const Fault& fault,
                std::uint64_t seed) const;
+  // Fills per-fault "detected under every seed" / "under at least one seed"
+  // flags with the selected backend; the two public entry points derive
+  // their results from these.  When `need_any` is false the seed loop stops
+  // as soon as the "all" verdict settles (per_fault discards "any").
+  void run_campaign(SchemeKind scheme, const MarchTest& bit_march,
+                    const std::vector<Fault>& faults, const std::vector<std::uint64_t>& seeds,
+                    const CoverageOptions& options, bool need_any, std::vector<char>& all,
+                    std::vector<char>& any) const;
 
   std::size_t words_;
   unsigned width_;

@@ -1,0 +1,91 @@
+// Lane-parallel march test execution over PackedMemory: the batched
+// counterpart of bist/engine.h, evaluating 64 fault universes per pass.
+//
+// Execution styles mirror MarchRunner operation-for-operation:
+//
+//  * run_direct()     — nontransparent tests; returns the LaneMask of lanes
+//                       in which at least one Read mismatched its absolute
+//                       expected value.
+//  * run_test()       — transparent test pass; Write data is derived
+//                       per lane from the most recent Read of the same word
+//                       (base-estimate XOR operation mask).
+//  * run_prediction() — read-only signature-prediction pass feeding
+//                       read-value XOR operation-mask per lane.
+//
+// run_transparent_session() bundles both passes and reports, per lane, the
+// exact stream comparison and the MISR signature comparison.  PackedMisr
+// runs 64 Galois MISRs at once by keeping each signature bit as a lane
+// vector; it reproduces Misr (bist/misr.h) exactly, including the input
+// folding rule, so lane verdicts match the scalar engine's.
+#ifndef TWM_BIST_PACKED_ENGINE_H
+#define TWM_BIST_PACKED_ENGINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "march/test.h"
+#include "memsim/packed_memory.h"
+
+namespace twm {
+
+// Receives the lane vectors of every Read operation.  `value` spans the
+// word width and is only valid for the duration of the call.
+class PackedReadSink {
+ public:
+  virtual ~PackedReadSink() = default;
+  virtual void on_read(std::size_t addr, const std::uint64_t* value) = 0;
+};
+
+// 64 parallel Galois MISRs with the same feedback polynomial; signature bit
+// i across all lanes is state()[i].
+class PackedMisr {
+ public:
+  explicit PackedMisr(unsigned width);
+
+  unsigned width() const { return static_cast<unsigned>(state_.size()); }
+
+  // Folds one packed input word (input_width lane vectors) into all lane
+  // signatures; replicates Misr::feed (shift, conditional feedback, XOR of
+  // the width-folded input).
+  void feed(const std::uint64_t* input, unsigned input_width);
+
+  const std::vector<std::uint64_t>& state() const { return state_; }
+
+  // Lanes whose signature differs from `other`'s.
+  LaneMask diff(const PackedMisr& other) const;
+
+ private:
+  void step();
+
+  std::vector<std::uint64_t> state_;  // [bit] -> lane vector
+  std::vector<unsigned> taps_;        // set bits of the feedback pattern
+};
+
+struct PackedTransparentOutcome {
+  LaneMask detected_exact = 0;  // prediction/test read streams differ
+  LaneMask detected_misr = 0;   // MISR signatures differ
+};
+
+class PackedMarchRunner {
+ public:
+  explicit PackedMarchRunner(PackedMemory& mem) : mem_(mem) {}
+
+  LaneMask run_direct(const MarchTest& test);
+  void run_test(const MarchTest& test, PackedReadSink& sink);
+  void run_prediction(const MarchTest& prediction, PackedReadSink& sink);
+
+  PackedTransparentOutcome run_transparent_session(const MarchTest& test,
+                                                   const MarchTest& prediction,
+                                                   unsigned misr_width);
+
+ private:
+  template <typename PerOp>
+  void sweep(const MarchTest& test, PerOp&& per_op);
+
+  PackedMemory& mem_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_BIST_PACKED_ENGINE_H

@@ -4,7 +4,13 @@
 #include <optional>
 #include <sstream>
 
+#include <algorithm>
+#include <chrono>
+
+#include "analysis/coverage.h"
+#include "analysis/fault_list.h"
 #include "analysis/lint.h"
+#include "analysis/report.h"
 #include "bist/engine.h"
 #include "core/complexity.h"
 #include "core/scheme1.h"
@@ -205,11 +211,146 @@ int cmd_simulate(const Options& o, std::ostream& out, std::ostream& err) {
   return res.detected_misr ? 2 : 0;
 }
 
+// Splits "a,b,c" on commas (empty pieces dropped).
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+std::optional<SchemeKind> parse_scheme(const std::string& s, std::ostream& err) {
+  if (s == "twm") return SchemeKind::ProposedExact;
+  if (s == "twm-misr") return SchemeKind::ProposedMisr;
+  if (s == "sym") return SchemeKind::ProposedSymmetricXor;
+  if (s == "tsmarch") return SchemeKind::TsmarchOnly;
+  if (s == "s1") return SchemeKind::Scheme1Exact;
+  if (s == "tomt") return SchemeKind::TomtModel;
+  if (s == "ref") return SchemeKind::NontransparentReference;
+  if (s == "womarch") return SchemeKind::WordOrientedMarch;
+  err << "error: unknown scheme '" << s
+      << "' (want twm|twm-misr|sym|tsmarch|s1|tomt|ref|womarch)\n";
+  return std::nullopt;
+}
+
+int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.positional.size() < 2) {
+    err << "usage: coverage <march> --width B --words N [--scheme S] [--classes C,..]\n"
+           "                [--seeds 0,1,2] [--backend scalar|packed] [--threads T]\n";
+    return 1;
+  }
+  const auto width = flag_unsigned(o, "width", std::nullopt, err);
+  const auto words = flag_unsigned(o, "words", std::nullopt, err);
+  if (!width || !words) return 1;
+  const auto threads = flag_unsigned(o, "threads", 1u, err);
+  if (!threads) return 1;
+
+  CoverageOptions opts;
+  opts.threads = std::max(1u, *threads);
+  if (auto it = o.flags.find("backend"); it != o.flags.end()) {
+    if (it->second == "scalar")
+      opts.backend = CoverageBackend::Scalar;
+    else if (it->second == "packed")
+      opts.backend = CoverageBackend::Packed;
+    else {
+      err << "error: unknown backend '" << it->second << "' (want scalar|packed)\n";
+      return 1;
+    }
+  } else {
+    opts.backend = CoverageBackend::Packed;
+  }
+
+  const auto scheme_it = o.flags.find("scheme");
+  const auto scheme = parse_scheme(scheme_it == o.flags.end() ? "twm" : scheme_it->second, err);
+  if (!scheme) return 1;
+
+  std::vector<std::uint64_t> seeds{0, 1, 2};
+  if (auto it = o.flags.find("seeds"); it != o.flags.end()) {
+    seeds.clear();
+    for (const auto& p : split_csv(it->second)) {
+      // stoull would accept "-1" (wrapping), " 1" and "2x" (ignoring the
+      // tail); require pure digits.
+      const bool digits = std::all_of(p.begin(), p.end(), [](unsigned char c) {
+        return c >= '0' && c <= '9';
+      });
+      try {
+        if (!digits) throw std::invalid_argument(p);
+        seeds.push_back(std::stoull(p));
+      } catch (const std::exception&) {
+        err << "error: --seeds expects comma-separated numbers, got '" << p << "'\n";
+        return 1;
+      }
+    }
+    if (seeds.empty()) {
+      err << "error: --seeds needs at least one seed\n";
+      return 1;
+    }
+  }
+
+  std::vector<std::string> class_names{"saf", "tf", "cfst", "cfid", "cfin"};
+  if (auto it = o.flags.find("classes"); it != o.flags.end()) class_names = split_csv(it->second);
+
+  struct ClassSpec {
+    std::string name;
+    std::vector<Fault> faults;
+  };
+  std::vector<ClassSpec> classes;
+  for (const auto& name : class_names) {
+    if (name == "saf")
+      classes.push_back({"SAF", all_safs(*words, *width)});
+    else if (name == "tf")
+      classes.push_back({"TF", all_tfs(*words, *width)});
+    else if (name == "ret")
+      classes.push_back({"RET", all_rets(*words, *width, 1)});
+    else if (name == "cfst")
+      classes.push_back({"CFst", all_cfs(*words, *width, FaultClass::CFst, CfScope::Both)});
+    else if (name == "cfid")
+      classes.push_back({"CFid", all_cfs(*words, *width, FaultClass::CFid, CfScope::Both)});
+    else if (name == "cfin")
+      classes.push_back({"CFin", all_cfs(*words, *width, FaultClass::CFin, CfScope::Both)});
+    else {
+      err << "error: unknown fault class '" << name
+          << "' (want saf|tf|ret|cfst|cfid|cfin)\n";
+      return 1;
+    }
+  }
+
+  const MarchTest march = march_by_name(o.positional[1]);
+  CoverageEvaluator eval(*words, *width);
+  out << "coverage: " << march.name << ", N=" << *words << ", B=" << *width << ", "
+      << to_string(*scheme) << ", backend=" << to_string(opts.backend)
+      << ", threads=" << opts.threads << ", " << seeds.size() << " contents\n";
+
+  Table t({"fault class", "faults", "coverage (all contents)", "any content"});
+  std::size_t total_faults = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& spec : classes) {
+    const auto res = eval.evaluate(*scheme, march, spec.faults, seeds, opts);
+    total_faults += spec.faults.size();
+    t.add_row({spec.name, std::to_string(spec.faults.size()), coverage_str(res),
+               pct_str(res.pct_any())});
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  t.print(out);
+  out << total_faults << " faults in " << secs << "s ("
+      << static_cast<std::uint64_t>(secs > 0 ? total_faults / secs : 0) << " faults/s)\n";
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   const auto usage = [&err] {
-    err << "usage: twm_cli <list|show|transform|complexity|simulate> ...\n"
+    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage> ...\n"
            "see src/cli/cli.h for the full synopsis\n";
     return 1;
   };
@@ -223,6 +364,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (cmd == "transform") return cmd_transform(*opts, out, err);
     if (cmd == "complexity") return cmd_complexity(*opts, out, err);
     if (cmd == "simulate") return cmd_simulate(*opts, out, err);
+    if (cmd == "coverage") return cmd_coverage(*opts, out, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

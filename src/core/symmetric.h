@@ -26,6 +26,7 @@
 
 #include "march/test.h"
 #include "memsim/memory.h"
+#include "memsim/packed_memory.h"
 
 namespace twm {
 
@@ -60,6 +61,11 @@ struct SymmetricOutcome {
 // Single-pass symmetric session: runs the test (transparent semantics),
 // XOR-accumulates every read, compares against the precomputed constant.
 SymmetricOutcome run_symmetric_session(Memory& mem, const SymmetricTest& st);
+
+// Batched counterpart: one symmetric session across all 64 lanes of a
+// PackedMemory; returns the lanes whose XOR accumulator missed the
+// constant (lane-for-lane equal to run_symmetric_session verdicts).
+LaneMask run_symmetric_session_packed(PackedMemory& mem, const SymmetricTest& st);
 
 }  // namespace twm
 

@@ -22,6 +22,7 @@
 
 #include "march/test.h"
 #include "memsim/memory.h"
+#include "memsim/packed_memory.h"
 
 namespace twm {
 
@@ -46,6 +47,15 @@ TomtResult run_tomt(Memory& mem, const std::vector<bool>& parity_ledger);
 
 // Parity ledger for the current (assumed fault-free) contents.
 std::vector<bool> make_parity_ledger(const Memory& mem);
+
+// Ledger from a PackedMemory whose lanes still hold identical (pre-fault)
+// contents; reads lane 0.
+std::vector<bool> make_parity_ledger(const PackedMemory& mem);
+
+// Batched counterpart of run_tomt: runs the TOMT-style test across all 64
+// lanes and returns the lanes whose parity check or read-back comparator
+// fired (lane-for-lane equal to run_tomt verdicts).
+LaneMask run_tomt_packed(PackedMemory& mem, const std::vector<bool>& parity_ledger);
 
 }  // namespace twm
 

@@ -1,0 +1,106 @@
+// Bit-parallel batched fault simulator: 64 independent fault universes per
+// machine word.
+//
+// PackedMemory models the same N x B functional RAM as Memory (memory.h),
+// but stores each cell (word, bit) as a 64-bit lane vector: bit k of the
+// stored uint64_t is the cell's value in universe (lane) k.  Faults are
+// injected with a LaneMask restricting them to a subset of lanes, so one
+// PackedMemory simulates up to 64 different fault configurations — by
+// convention lane 0 is kept fault-free (the golden universe batched
+// coverage evaluation uses as a self-check).
+//
+// The write semantics are the documented five steps of Memory::write
+// (transition suppression, commit, CFid/CFin aggressor-fire, CFst
+// enforcement, SAF dominance) plus RET aging, each implemented as
+// lane-masked bitwise operations instead of per-fault branches; faults are
+// applied in injection order, so every lane observes exactly the effect
+// sequence the scalar simulator would produce for its fault subset
+// (tests/packed_memory_test.cpp proves this differentially).
+//
+// A packed word is passed around as `const uint64_t*` / `uint64_t*`
+// spanning word_width() entries; entry j is bit j of the word across all
+// lanes.  Data identical in every lane ("broadcast") represents fault-free
+// inputs, e.g. absolute march write data.
+#ifndef TWM_MEMSIM_PACKED_MEMORY_H
+#define TWM_MEMSIM_PACKED_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "memsim/fault.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace twm {
+
+inline constexpr unsigned kPackedLanes = 64;
+
+// Bit k set = the fault / event applies to (happened in) lane k.
+using LaneMask = std::uint64_t;
+
+// Broadcasts a lane-uniform (fault-free) word into packed form: entry j is
+// the all-ones or all-zero lane vector of the word's bit j.
+std::vector<std::uint64_t> broadcast_word(const BitVec& word);
+
+class PackedMemory {
+ public:
+  PackedMemory(std::size_t num_words, unsigned word_width);
+
+  unsigned word_width() const { return width_; }
+  std::size_t num_words() const { return words_; }
+
+  // --- the memory port -------------------------------------------------
+  // Returned pointer spans word_width() lane vectors and stays valid until
+  // the next write/elapse/load to the memory.
+  const std::uint64_t* read(std::size_t addr);
+  // `data` spans word_width() lane vectors (per-lane write data).
+  void write(std::size_t addr, const std::uint64_t* data);
+  void elapse(unsigned units);
+
+  // --- fault management ------------------------------------------------
+  void inject(const Fault& f, LaneMask lanes);
+  void clear_faults();
+
+  // --- backdoor access (broadcast: every lane gets the same contents) --
+  void load(const std::vector<BitVec>& contents);
+  void fill(const BitVec& pattern);
+  void fill_random(Rng& rng);
+
+  // Lane extraction for differential checking against the scalar Memory.
+  bool lane_bit(unsigned lane, std::size_t addr, unsigned bit) const;
+  BitVec lane_word(unsigned lane, std::size_t addr) const;
+
+  // Direct cell access (no port-op accounting).
+  const std::uint64_t* peek(std::size_t addr) const { return &state_[addr * width_]; }
+
+  std::uint64_t op_count() const { return ops_; }
+  void reset_op_count() { ops_ = 0; }
+
+ private:
+  std::uint64_t& cell(const CellAddr& c) { return state_[c.word * width_ + c.bit]; }
+  const std::uint64_t& cell(const CellAddr& c) const { return state_[c.word * width_ + c.bit]; }
+  // Forces `value` into the cell for the lanes in `mask`, leaving the other
+  // lanes untouched.
+  static void force(std::uint64_t& cell, bool value, LaneMask mask) {
+    cell = value ? (cell | mask) : (cell & ~mask);
+  }
+  void enforce_static_faults();
+
+  struct LaneFault {
+    Fault fault;
+    LaneMask lanes = 0;
+  };
+
+  std::size_t words_;
+  unsigned width_;
+  std::vector<std::uint64_t> state_;  // [addr * width_ + bit] -> lane vector
+  std::vector<LaneFault> faults_;
+  std::vector<unsigned> ret_age_;  // parallel to RET entries in faults_
+  std::vector<std::uint64_t> old_, next_;  // write-path scratch (one word each)
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace twm
+
+#endif  // TWM_MEMSIM_PACKED_MEMORY_H

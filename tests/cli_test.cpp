@@ -126,5 +126,53 @@ TEST(Cli, SimulateRetentionFaultWithMarchG) {
   EXPECT_EQ(r.rc, 2);
 }
 
+TEST(Cli, CoverageDefaultsToPackedBackend) {
+  const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("backend=packed"), std::string::npos);
+  EXPECT_NE(r.out.find("SAF"), std::string::npos);
+  EXPECT_NE(r.out.find("CFin"), std::string::npos);
+  EXPECT_NE(r.out.find("faults/s"), std::string::npos);
+}
+
+TEST(Cli, CoverageBackendsReportIdenticalTables) {
+  const std::vector<std::string> base{"coverage", "March C-", "--width", "4", "--words", "2",
+                                      "--classes", "saf,tf,cfin", "--seeds", "0,3"};
+  auto scalar = base;
+  scalar.insert(scalar.end(), {"--backend", "scalar"});
+  auto packed = base;
+  packed.insert(packed.end(), {"--backend", "packed", "--threads", "2"});
+  const auto rs = cli(scalar);
+  const auto rp = cli(packed);
+  ASSERT_EQ(rs.rc, 0);
+  ASSERT_EQ(rp.rc, 0);
+  // Identical coverage numbers, different header/footer: compare the table
+  // body rows only.
+  const auto body = [](const std::string& s) {
+    return s.substr(s.find("| fault class"), s.rfind("+") - s.find("| fault class"));
+  };
+  EXPECT_EQ(body(rs.out), body(rp.out));
+}
+
+TEST(Cli, CoverageSchemeAndClassSelection) {
+  const auto r = cli({"coverage", "March G", "--width", "4", "--words", "2", "--scheme", "ref",
+                      "--classes", "ret", "--seeds", "0"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("RET"), std::string::npos);
+  EXPECT_NE(r.out.find("SMarch+AMarch"), std::string::npos);
+}
+
+TEST(Cli, CoverageRejectsBadInput) {
+  EXPECT_EQ(cli({"coverage", "March C-"}).rc, 1);  // no geometry
+  EXPECT_EQ(cli({"coverage", "March C-", "--width", "4", "--words", "2", "--backend",
+                 "quantum"}).rc,
+            1);
+  EXPECT_EQ(cli({"coverage", "March C-", "--width", "4", "--words", "2", "--scheme", "zz"}).rc,
+            1);
+  EXPECT_EQ(cli({"coverage", "March C-", "--width", "4", "--words", "2", "--classes", "bogus"}).rc,
+            1);
+  EXPECT_EQ(cli({"coverage", "March C-", "--width", "4", "--words", "2", "--seeds", "x"}).rc, 1);
+}
+
 }  // namespace
 }  // namespace twm

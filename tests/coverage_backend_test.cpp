@@ -1,0 +1,153 @@
+// Backend equivalence for the coverage evaluator: the bit-parallel packed
+// backend must reproduce the scalar per-fault verdict vector exactly — for
+// every scheme, under zero and random contents, single- and multi-threaded.
+// This is what keeps the batched fast path differentially checkable.
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "analysis/fault_list.h"
+#include "march/library.h"
+#include "memsim/memory.h"
+
+namespace twm {
+namespace {
+
+constexpr std::size_t kWords = 4;
+constexpr unsigned kWidth = 4;
+
+const SchemeKind kAllSchemes[] = {
+    SchemeKind::NontransparentReference, SchemeKind::WordOrientedMarch,
+    SchemeKind::ProposedExact,           SchemeKind::ProposedMisr,
+    SchemeKind::ProposedSymmetricXor,    SchemeKind::TsmarchOnly,
+    SchemeKind::Scheme1Exact,            SchemeKind::TomtModel,
+};
+
+std::vector<Fault> every_fault() {
+  std::vector<Fault> faults;
+  for (auto& f : all_safs(kWords, kWidth)) faults.push_back(f);
+  for (auto& f : all_tfs(kWords, kWidth)) faults.push_back(f);
+  for (FaultClass cls : {FaultClass::CFst, FaultClass::CFid, FaultClass::CFin})
+    for (auto& f : all_cfs(kWords, kWidth, cls, CfScope::Both)) faults.push_back(f);
+  for (auto& f : all_rets(kWords, kWidth, 1)) faults.push_back(f);
+  return faults;
+}
+
+class CoverageBackendFixture : public ::testing::Test {
+ protected:
+  CoverageEvaluator eval{kWords, kWidth};
+  MarchTest march = march_by_name("March C-");
+  std::vector<Fault> faults = every_fault();
+};
+
+// The headline contract: verdict-for-verdict equality between backends for
+// all eight schemes.  The fault list spans every Fault kind and more than
+// one 63-fault batch, so partial batches are exercised too.
+TEST_F(CoverageBackendFixture, PerFaultVerdictsMatchScalarForEveryScheme) {
+  ASSERT_GT(faults.size(), 63u) << "fault list must span multiple packed batches";
+  const std::vector<std::uint64_t> seeds{0, 7};
+  for (SchemeKind k : kAllSchemes) {
+    const auto scalar = eval.per_fault(k, march, faults, seeds);
+    const auto packed =
+        eval.per_fault(k, march, faults, seeds, {CoverageBackend::Packed, 1});
+    EXPECT_EQ(scalar, packed) << to_string(k);
+  }
+}
+
+TEST_F(CoverageBackendFixture, EvaluateCountsMatchScalarForEveryScheme) {
+  const std::vector<std::uint64_t> seeds{0, 3, 9};
+  for (SchemeKind k : kAllSchemes) {
+    const auto scalar = eval.evaluate(k, march, faults, seeds);
+    const auto packed = eval.evaluate(k, march, faults, seeds, {CoverageBackend::Packed, 1});
+    EXPECT_EQ(scalar.total, packed.total) << to_string(k);
+    EXPECT_EQ(scalar.detected_all, packed.detected_all) << to_string(k);
+    EXPECT_EQ(scalar.detected_any, packed.detected_any) << to_string(k);
+  }
+}
+
+// Thread count must never change results (batches are independent).
+TEST_F(CoverageBackendFixture, ThreadCountDoesNotChangeVerdicts) {
+  const std::vector<std::uint64_t> seeds{0, 5};
+  for (unsigned threads : {2u, 4u}) {
+    const auto one =
+        eval.per_fault(SchemeKind::ProposedExact, march, faults, seeds,
+                       {CoverageBackend::Packed, 1});
+    const auto many =
+        eval.per_fault(SchemeKind::ProposedExact, march, faults, seeds,
+                       {CoverageBackend::Packed, threads});
+    EXPECT_EQ(one, many) << threads << " threads";
+  }
+  // The scalar backend shards across threads too.
+  const auto scalar1 = eval.per_fault(SchemeKind::TomtModel, march, faults, {0},
+                                      {CoverageBackend::Scalar, 1});
+  const auto scalar4 = eval.per_fault(SchemeKind::TomtModel, march, faults, {0},
+                                      {CoverageBackend::Scalar, 4});
+  EXPECT_EQ(scalar1, scalar4);
+}
+
+// A different march exercises different transforms through the same packed
+// plan machinery.
+TEST_F(CoverageBackendFixture, BackendsAgreeOnMarchU) {
+  const MarchTest u = march_by_name("March U");
+  const std::vector<std::uint64_t> seeds{0, 2};
+  for (SchemeKind k : {SchemeKind::NontransparentReference, SchemeKind::ProposedExact,
+                       SchemeKind::ProposedMisr, SchemeKind::Scheme1Exact}) {
+    const auto scalar = eval.per_fault(k, u, faults, seeds);
+    const auto packed = eval.per_fault(k, u, faults, seeds, {CoverageBackend::Packed, 2});
+    EXPECT_EQ(scalar, packed) << to_string(k);
+  }
+}
+
+// Data-retention faults need march "Del" pauses to activate; March G has
+// them.  The packed RET aging path must agree with the scalar one.
+TEST_F(CoverageBackendFixture, RetentionFaultsAgreeUnderMarchG) {
+  const MarchTest g = march_by_name("March G");
+  const auto rets = all_rets(kWords, kWidth, 1);
+  const std::vector<std::uint64_t> seeds{0, 4};
+  for (SchemeKind k : {SchemeKind::NontransparentReference, SchemeKind::ProposedExact}) {
+    const auto scalar = eval.per_fault(k, g, rets, seeds);
+    const auto packed = eval.per_fault(k, g, rets, seeds, {CoverageBackend::Packed, 1});
+    EXPECT_EQ(scalar, packed) << to_string(k);
+  }
+}
+
+// A fault "rests visible" when merely injecting it distorts the stored
+// contents; the coverage-equality theorem speaks about the other
+// (activated) faults — see coverage_test.cpp.  Re-proved here through the
+// packed backend: the seed-0 zero-contents theorem check.
+TEST_F(CoverageBackendFixture, TheoremPerFaultEqualityAtZeroContentViaPackedBackend) {
+  auto rests_visible = [](const Fault& f) {
+    Memory m(kWords, kWidth);
+    m.inject(f);
+    for (std::size_t a = 0; a < kWords; ++a)
+      if (!m.peek(a).all_zero()) return true;
+    return false;
+  };
+
+  const CoverageOptions packed{CoverageBackend::Packed, 2};
+  const std::vector<std::uint64_t> zero_seed{0};
+  const auto ref =
+      eval.per_fault(SchemeKind::NontransparentReference, march, faults, zero_seed, packed);
+  const auto prop = eval.per_fault(SchemeKind::ProposedExact, march, faults, zero_seed, packed);
+  ASSERT_EQ(ref.size(), prop.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (faults[i].cls == FaultClass::RET) continue;  // March C- has no Del
+    if (rests_visible(faults[i]))
+      EXPECT_TRUE(ref[i]) << faults[i].describe();
+    else
+      EXPECT_EQ(ref[i], prop[i]) << faults[i].describe();
+  }
+}
+
+TEST_F(CoverageBackendFixture, PackedRejectsEmptySeeds) {
+  EXPECT_THROW(
+      eval.evaluate(SchemeKind::ProposedExact, march, faults, {}, {CoverageBackend::Packed, 2}),
+      std::invalid_argument);
+}
+
+TEST_F(CoverageBackendFixture, BackendNamesRoundTrip) {
+  EXPECT_EQ(to_string(CoverageBackend::Scalar), "scalar");
+  EXPECT_EQ(to_string(CoverageBackend::Packed), "packed");
+}
+
+}  // namespace
+}  // namespace twm

@@ -1,0 +1,203 @@
+// Differential property test for the bit-parallel PackedMemory: every lane
+// of the packed simulator must evolve exactly like a scalar Memory holding
+// that lane's fault subset, operation for operation, for every fault class
+// and for randomized operation traces (writes, reads, pauses).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "memsim/memory.h"
+#include "memsim/packed_memory.h"
+#include "util/rng.h"
+
+namespace twm {
+namespace {
+
+CellAddr random_cell(Rng& rng, std::size_t words, unsigned width) {
+  return {rng.next_below(words), static_cast<unsigned>(rng.next_below(width))};
+}
+
+// A random fault of any class.  Coupling faults get a distinct aggressor.
+Fault random_fault(Rng& rng, std::size_t words, unsigned width) {
+  const CellAddr victim = random_cell(rng, words, width);
+  CellAddr aggressor = victim;
+  while (aggressor == victim) aggressor = random_cell(rng, words, width);
+  const Transition tr = rng.next_bool() ? Transition::Up : Transition::Down;
+  switch (rng.next_below(6)) {
+    case 0: return Fault::saf(victim, rng.next_bool());
+    case 1: return Fault::tf(victim, tr);
+    case 2: return Fault::cfst(aggressor, rng.next_bool(), victim, rng.next_bool());
+    case 3: return Fault::cfid(aggressor, tr, victim, rng.next_bool());
+    case 4: return Fault::cfin(aggressor, tr, victim);
+    default: return Fault::ret(victim, rng.next_bool(), 1 + rng.next_below(3));
+  }
+}
+
+// Compares every cell of `lane` against the scalar reference.
+void expect_lane_equals(const PackedMemory& packed, unsigned lane, const Memory& ref,
+                        const std::string& context) {
+  for (std::size_t a = 0; a < ref.num_words(); ++a)
+    ASSERT_EQ(packed.lane_word(lane, a), ref.peek(a))
+        << context << ": lane " << lane << ", word " << a;
+}
+
+TEST(PackedMemoryTest, DifferentialRandomTraces) {
+  Rng rng(20260728);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t words = 2 + rng.next_below(4);
+    const unsigned width = 1 + static_cast<unsigned>(rng.next_below(8));
+
+    PackedMemory packed(words, width);
+    // lane -> scalar replica holding exactly that lane's faults.
+    std::map<unsigned, Memory> refs;
+    refs.emplace(0u, Memory(words, width));  // golden lane
+
+    // Random fault list; several faults may share a lane (a multi-fault
+    // universe), exercising the injection-order contract.
+    const unsigned num_faults = 1 + static_cast<unsigned>(rng.next_below(6));
+    for (unsigned i = 0; i < num_faults; ++i) {
+      const Fault f = random_fault(rng, words, width);
+      const unsigned lane = 1 + static_cast<unsigned>(rng.next_below(kPackedLanes - 1));
+      refs.emplace(lane, Memory(words, width));
+      packed.inject(f, 1ull << lane);
+      refs.at(lane).inject(f);
+    }
+
+    // Identical initial contents everywhere (load() re-enforces static
+    // fault conditions on both simulators).
+    std::vector<BitVec> contents;
+    for (std::size_t a = 0; a < words; ++a) contents.push_back(rng.next_word(width));
+    packed.load(contents);
+    for (auto& [lane, ref] : refs) ref.load(contents);
+
+    for (auto& [lane, ref] : refs)
+      expect_lane_equals(packed, lane, ref, "trial " + std::to_string(trial) + " after load");
+
+    // Random march-like trace: the packed port and every scalar replica see
+    // the same operations; states and read values must stay identical.
+    std::vector<std::uint64_t> packed_data(width);
+    for (int op = 0; op < 120; ++op) {
+      const std::size_t addr = rng.next_below(words);
+      const unsigned kind = static_cast<unsigned>(rng.next_below(8));
+      const std::string ctx =
+          "trial " + std::to_string(trial) + ", op " + std::to_string(op);
+      if (kind == 0) {
+        packed.elapse(1);
+        for (auto& [lane, ref] : refs) ref.elapse(1);
+      } else if (kind <= 3) {
+        const std::uint64_t* v = packed.read(addr);
+        for (auto& [lane, ref] : refs) {
+          const BitVec expected = ref.read(addr);
+          for (unsigned j = 0; j < width; ++j)
+            ASSERT_EQ((v[j] >> lane) & 1u, static_cast<std::uint64_t>(expected.get(j)))
+                << ctx << ": read of word " << addr << ", lane " << lane << ", bit " << j;
+        }
+      } else {
+        // Broadcast write data: every universe receives the same word, as a
+        // march operation would present it.
+        const BitVec data = rng.next_word(width);
+        for (unsigned j = 0; j < width; ++j) packed_data[j] = data.get(j) ? ~0ull : 0ull;
+        packed.write(addr, packed_data.data());
+        for (auto& [lane, ref] : refs) ref.write(addr, data);
+      }
+      for (auto& [lane, ref] : refs) expect_lane_equals(packed, lane, ref, ctx);
+    }
+  }
+}
+
+// Per-lane write data (the transparent-BIST case: write data derived from
+// per-lane reads) must also track the scalar simulators.
+TEST(PackedMemoryTest, DifferentialPerLaneWriteData) {
+  const std::size_t words = 3;
+  const unsigned width = 4;
+  Rng rng(42);
+  PackedMemory packed(words, width);
+  std::map<unsigned, Memory> refs;
+  refs.emplace(0u, Memory(words, width));
+  for (unsigned lane = 1; lane <= 8; ++lane) {
+    refs.emplace(lane, Memory(words, width));
+    const Fault f = random_fault(rng, words, width);
+    packed.inject(f, 1ull << lane);
+    refs.at(lane).inject(f);
+  }
+
+  std::vector<std::uint64_t> packed_data(width);
+  std::map<unsigned, BitVec> lane_data;
+  for (int op = 0; op < 150; ++op) {
+    const std::size_t addr = rng.next_below(words);
+    // Different data per lane.
+    lane_data.clear();
+    for (unsigned j = 0; j < width; ++j) packed_data[j] = 0;
+    for (auto& [lane, ref] : refs) {
+      const BitVec d = rng.next_word(width);
+      lane_data.emplace(lane, d);
+      for (unsigned j = 0; j < width; ++j)
+        if (d.get(j)) packed_data[j] |= 1ull << lane;
+    }
+    packed.write(addr, packed_data.data());
+    for (auto& [lane, ref] : refs) ref.write(addr, lane_data.at(lane));
+    for (auto& [lane, ref] : refs)
+      expect_lane_equals(packed, lane, ref, "op " + std::to_string(op));
+  }
+}
+
+// Static fault conditions are enforced at injection time, like the scalar
+// simulator does.
+TEST(PackedMemoryTest, InjectEnforcesStaticFaults) {
+  PackedMemory packed(2, 2);
+  packed.inject(Fault::saf({0, 0}, true), 1ull << 5);
+  EXPECT_TRUE(packed.lane_bit(5, 0, 0));
+  EXPECT_FALSE(packed.lane_bit(0, 0, 0));  // golden lane untouched
+  EXPECT_FALSE(packed.lane_bit(6, 0, 0));  // other lanes untouched
+
+  // CFst <0; 1>: aggressor rests at 0, so the victim is forced immediately,
+  // in the fault's lane only.
+  packed.inject(Fault::cfst({1, 0}, false, {1, 1}, true), 1ull << 7);
+  EXPECT_TRUE(packed.lane_bit(7, 1, 1));
+  EXPECT_FALSE(packed.lane_bit(0, 1, 1));
+}
+
+TEST(PackedMemoryTest, RetentionDecayIsLaneMasked) {
+  PackedMemory packed(2, 1);
+  Memory ref(2, 1);
+  const Fault leak = Fault::ret({0, 0}, true, 2);
+  packed.inject(leak, 1ull << 3);
+  ref.inject(leak);
+
+  std::vector<BitVec> zeros(2, BitVec::zeros(1));
+  packed.load(zeros);
+  ref.load(zeros);
+
+  packed.elapse(1);
+  ref.elapse(1);
+  EXPECT_FALSE(packed.lane_bit(3, 0, 0));
+
+  // A write to the leaky cell refreshes both clocks.
+  const std::uint64_t zero_bit = 0;
+  packed.write(0, &zero_bit);
+  ref.write(0, BitVec::zeros(1));
+
+  packed.elapse(1);
+  ref.elapse(1);
+  EXPECT_FALSE(packed.lane_bit(3, 0, 0)) << "clock must have been refreshed by the write";
+
+  packed.elapse(1);
+  ref.elapse(1);
+  EXPECT_TRUE(packed.lane_bit(3, 0, 0));
+  EXPECT_TRUE(ref.peek(0).get(0));
+  EXPECT_FALSE(packed.lane_bit(0, 0, 0)) << "golden lane must not decay";
+  EXPECT_FALSE(packed.lane_bit(4, 0, 0)) << "unfaulted lane must not decay";
+}
+
+TEST(PackedMemoryTest, RejectsBadGeometryAndCells) {
+  EXPECT_THROW(PackedMemory(0, 4), std::invalid_argument);
+  EXPECT_THROW(PackedMemory(4, 0), std::invalid_argument);
+  PackedMemory m(2, 2);
+  EXPECT_THROW(m.inject(Fault::saf({2, 0}, true), 1), std::out_of_range);
+  EXPECT_THROW(m.inject(Fault::saf({0, 2}, true), 1), std::out_of_range);
+  EXPECT_THROW(m.inject(Fault::cfin({0, 0}, Transition::Up, {0, 0}), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace twm
