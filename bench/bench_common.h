@@ -15,7 +15,7 @@
 #include <fstream>
 #include <string>
 
-#include "analysis/coverage.h"
+#include "analysis/campaign.h"
 
 namespace twm::bench {
 

@@ -7,16 +7,16 @@
 // "all" = detected under every evaluated initial content (what the paper's
 // theorem speaks about), "any" = under at least one.
 //
-// The campaign runs on the backend selected by --backend=scalar|packed
-// (default packed: 63 faults + 1 golden lane per bit-parallel pass) with
-// --threads=N workers, then times both backends on the combined fault list
-// and writes the throughput comparison to BENCH_coverage.json (--json=PATH
-// overrides).
+// The campaign runs through CampaignRunner (analysis/campaign.h) on the
+// backend selected by --backend=scalar|packed (default packed: 63 faults +
+// 1 golden lane per bit-parallel pass) with --threads=N workers, then times
+// both backends on the combined fault list and writes the throughput
+// comparison to BENCH_coverage.json (--json=PATH overrides).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
-#include "analysis/coverage.h"
+#include "analysis/campaign.h"
 #include "analysis/fault_list.h"
 #include "analysis/report.h"
 #include "bench_common.h"
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
             << to_string(args.coverage.backend) << ", threads=" << args.coverage.threads
             << ") ==\n\n";
 
-  CoverageEvaluator eval(kWords, kWidth);
+  const CampaignRunner runner(kWords, kWidth, args.coverage);
   const MarchTest march = march_by_name("March C-");
 
   struct ClassSpec {
@@ -52,18 +52,11 @@ int main(int argc, char** argv) {
         {to_string(cls) + " intra", all_cfs(kWords, kWidth, cls, CfScope::IntraWord)});
   }
 
-  const SchemeKind schemes[] = {
-      SchemeKind::NontransparentReference, SchemeKind::WordOrientedMarch,
-      SchemeKind::ProposedExact,           SchemeKind::ProposedMisr,
-      SchemeKind::ProposedSymmetricXor,    SchemeKind::TsmarchOnly,
-      SchemeKind::Scheme1Exact,            SchemeKind::TomtModel,
-  };
-
   Table t({"fault class", "faults", "scheme", "coverage (all contents)", "any content"});
   for (const auto& spec : classes) {
     bool first = true;
-    for (SchemeKind k : schemes) {
-      const auto out = eval.evaluate(k, march, spec.faults, seeds, args.coverage);
+    for (SchemeKind k : kAllSchemes) {
+      const auto out = runner.evaluate(k, march, spec.faults, seeds);
       t.add_row({first ? spec.name : "", first ? std::to_string(spec.faults.size()) : "",
                  to_string(k), coverage_str(out), pct_str(out.pct_any())});
       first = false;
@@ -76,10 +69,9 @@ int main(int argc, char** argv) {
   std::vector<Fault> everything;
   for (auto& spec : classes)
     for (auto& f : spec.faults) everything.push_back(f);
-  const auto ref = eval.per_fault(SchemeKind::NontransparentReference, march, everything, {0},
-                                  args.coverage);
-  const auto prop =
-      eval.per_fault(SchemeKind::ProposedExact, march, everything, {0}, args.coverage);
+  const auto ref =
+      runner.per_fault(SchemeKind::NontransparentReference, march, everything, {0});
+  const auto prop = runner.per_fault(SchemeKind::ProposedExact, march, everything, {0});
   std::size_t agree = 0;
   for (std::size_t i = 0; i < everything.size(); ++i) agree += (ref[i] == prop[i]);
   std::printf("\ntheorem (Sec. 5): per-fault verdicts TWMarch vs SMarch+AMarch at zero "
@@ -89,14 +81,16 @@ int main(int argc, char** argv) {
   // Backend throughput: the same campaign slice (every scheme's hottest
   // path is per_fault over the combined list) on the scalar reference vs
   // the bit-parallel batched engine, both with the requested thread count.
-  const CoverageOptions scalar_opts{CoverageBackend::Scalar, args.coverage.threads};
-  const CoverageOptions packed_opts{CoverageBackend::Packed, args.coverage.threads};
+  const CampaignRunner scalar_runner(kWords, kWidth,
+                                     {CoverageBackend::Scalar, args.coverage.threads});
+  const CampaignRunner packed_runner(kWords, kWidth,
+                                     {CoverageBackend::Packed, args.coverage.threads});
   std::vector<bool> v_scalar, v_packed;
   const double t_scalar = bench::time_seconds([&] {
-    v_scalar = eval.per_fault(SchemeKind::ProposedExact, march, everything, seeds, scalar_opts);
+    v_scalar = scalar_runner.per_fault(SchemeKind::ProposedExact, march, everything, seeds);
   });
   const double t_packed = bench::time_seconds([&] {
-    v_packed = eval.per_fault(SchemeKind::ProposedExact, march, everything, seeds, packed_opts);
+    v_packed = packed_runner.per_fault(SchemeKind::ProposedExact, march, everything, seeds);
   });
   const double fps_scalar = everything.size() / t_scalar;
   const double fps_packed = everything.size() / t_packed;

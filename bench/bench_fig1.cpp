@@ -7,10 +7,13 @@
 //     events; the ATMarch checkerboard sweeps add the flip-and-hold events
 //     — printed as a per-condition coverage matrix with and without
 //     ATMarch.
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 
+#include "analysis/campaign.h"
 #include "analysis/pair_trace.h"
+#include "bench_common.h"
 #include "bist/engine.h"
 #include "core/nicolaidis.h"
 #include "core/twm_ta.h"
@@ -58,7 +61,7 @@ IntraPairConditions run_pair(const MarchTest& test, unsigned width, unsigned agg
   return analyze_intra_pair(trace.events());
 }
 
-void figure_1b() {
+void figure_1b(unsigned threads) {
   const unsigned width = 8;
   std::cout << "== Figure 1(b): intra-word bit-pair write conditions (B=8) ==\n"
             << "condition key: dir ^ / v = aggressor up/down; hold / flip = victim "
@@ -80,18 +83,36 @@ void figure_1b() {
   }
   t.print(std::cout);
 
-  // Aggregate over all ordered pairs.
-  unsigned pairs = 0, full_all = 0, solo_all = 0, full_fliphold = 0;
+  // Aggregate over all ordered pairs — each pair's two single-word sessions
+  // are independent, so the sweep shards across the same worker pool the
+  // coverage campaigns use (analysis/campaign.h).
+  std::vector<std::pair<unsigned, unsigned>> pair_list;
   for (unsigned i = 0; i < width; ++i)
-    for (unsigned j = 0; j < width; ++j) {
-      if (i == j) continue;
-      ++pairs;
+    for (unsigned j = 0; j < width; ++j)
+      if (i != j) pair_list.emplace_back(i, j);
+  struct PairVerdicts {
+    bool solo_all = false, full_all = false, fliphold = false;
+  };
+  std::vector<PairVerdicts> verdicts(pair_list.size());
+  std::atomic<std::size_t> next{0};
+  run_pool(threads, [&] {
+    for (;;) {
+      const std::size_t p = next.fetch_add(1);
+      if (p >= pair_list.size()) break;
+      const auto [i, j] = pair_list[p];
       const auto solo = run_pair(r.tsmarch, width, i, j);
       const auto full = run_pair(r.twmarch, width, i, j);
-      solo_all += solo.all();
-      full_all += full.all();
-      full_fliphold += full.aggressor_flip_victim_holds_both_dirs();
+      verdicts[p] = {solo.all(), full.all(),
+                     full.aggressor_flip_victim_holds_both_dirs()};
     }
+  });
+  unsigned pairs = static_cast<unsigned>(pair_list.size());
+  unsigned full_all = 0, solo_all = 0, full_fliphold = 0;
+  for (const auto& v : verdicts) {
+    solo_all += v.solo_all;
+    full_all += v.full_all;
+    full_fliphold += v.fliphold;
+  }
   std::printf("\nordered pairs with all four conditions: TSMarch %u/%u, TWMarch %u/%u\n",
               solo_all, pairs, full_all, pairs);
   std::printf("ordered pairs with flip-and-hold both directions under TWMarch: %u/%u\n"
@@ -102,8 +123,9 @@ void figure_1b() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const twm::bench::BenchArgs args = twm::bench::parse_bench_args(argc, argv);
   figure_1a();
-  figure_1b();
+  figure_1b(args.coverage.threads);
   return 0;
 }

@@ -9,7 +9,7 @@
 #include <iostream>
 #include <string>
 
-#include "analysis/coverage.h"
+#include "analysis/campaign.h"
 #include "analysis/fault_list.h"
 #include "bench_common.h"
 #include "bist/engine.h"
@@ -87,11 +87,11 @@ int main(int argc, char** argv) {
   // configured coverage backend).
   {
     const std::size_t words = 2;
-    CoverageEvaluator eval(words, 8);
+    const CampaignRunner runner(words, 8, args.coverage);
     const MarchTest march = march_by_name("March C-");
     const auto faults = all_cfs(words, 8, FaultClass::CFid, CfScope::IntraWord);
-    const auto solo = eval.evaluate(SchemeKind::TsmarchOnly, march, faults, {0}, args.coverage);
-    const auto full = eval.evaluate(SchemeKind::ProposedExact, march, faults, {0}, args.coverage);
+    const auto solo = runner.evaluate(SchemeKind::TsmarchOnly, march, faults, {0});
+    const auto full = runner.evaluate(SchemeKind::ProposedExact, march, faults, {0});
     std::printf("ATMarch effect (backend=%s): intra-word CFid coverage %.1f%% -> %.1f%% "
                 "(%zu faults, N=%zu, B=8)\n",
                 to_string(args.coverage.backend).c_str(), solo.pct_all(), full.pct_all(),

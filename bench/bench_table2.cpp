@@ -4,7 +4,7 @@
 // library actually generates.
 #include <iostream>
 
-#include "analysis/coverage.h"
+#include "analysis/campaign.h"
 #include "analysis/fault_list.h"
 #include "bench_common.h"
 #include "core/complexity.h"
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   // configured backend.
   {
     const std::size_t words = 4;
-    CoverageEvaluator eval(words, b);
+    const CampaignRunner runner(words, b, args.coverage);
     const MarchTest march = march_by_name("March C-");
     std::vector<Fault> faults = all_safs(words, b);
     for (auto& f : all_tfs(words, b)) faults.push_back(f);
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
               << ", threads=" << args.coverage.threads << "):\n";
     for (SchemeKind k :
          {SchemeKind::Scheme1Exact, SchemeKind::TomtModel, SchemeKind::ProposedExact}) {
-      const auto out = eval.evaluate(k, march, faults, {0, 1}, args.coverage);
+      const auto out = runner.evaluate(k, march, faults, {0, 1});
       std::cout << "  " << to_string(k) << ": " << out.detected_all << "/" << out.total << "\n";
     }
   }

@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/coverage.h"
+#include "analysis/campaign.h"
 #include "analysis/fault_list.h"
 #include "bench_common.h"
 #include "core/complexity.h"
@@ -75,17 +75,16 @@ int main(int argc, char** argv) {
   {
     const std::size_t words = 4;
     const unsigned b = 16;
-    CoverageEvaluator eval(words, b);
     const MarchTest march = march_by_name("March C-");
     std::vector<Fault> faults = all_safs(words, b);
     for (auto& f : all_tfs(words, b)) faults.push_back(f);
-    const CoverageOptions scalar_opts{CoverageBackend::Scalar, args.coverage.threads};
-    const CoverageOptions packed_opts{CoverageBackend::Packed, args.coverage.threads};
+    const CampaignRunner scalar{words, b, {CoverageBackend::Scalar, args.coverage.threads}};
+    const CampaignRunner packed{words, b, {CoverageBackend::Packed, args.coverage.threads}};
     std::vector<bool> vs, vp;
     const double ts = bench::time_seconds(
-        [&] { vs = eval.per_fault(SchemeKind::ProposedExact, march, faults, {0, 1}, scalar_opts); });
+        [&] { vs = scalar.per_fault(SchemeKind::ProposedExact, march, faults, {0, 1}); });
     const double tp = bench::time_seconds(
-        [&] { vp = eval.per_fault(SchemeKind::ProposedExact, march, faults, {0, 1}, packed_opts); });
+        [&] { vp = packed.per_fault(SchemeKind::ProposedExact, march, faults, {0, 1}); });
     std::printf("simulation throughput at B=%u (%zu SAF+TF faults, %u threads): "
                 "scalar %.0f faults/s, packed %.0f faults/s (%.1fx, verdicts %s)\n",
                 b, faults.size(), args.coverage.threads, faults.size() / ts, faults.size() / tp,

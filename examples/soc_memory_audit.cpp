@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/coverage.h"
+#include "analysis/campaign.h"
 #include "analysis/fault_list.h"
 #include "analysis/report.h"
 #include "core/complexity.h"
@@ -58,7 +58,7 @@ int main() {
   Table v({"core twin", "fault class", "coverage (all contents)"});
   for (const auto& c : {cores[0], cores[1]}) {
     const std::size_t words = 6;
-    CoverageEvaluator eval(words, c.width);
+    const CampaignRunner runner(words, c.width, {CoverageBackend::Packed, 2});
     const MarchTest march = march_by_name(c.march);
     Rng rng(5);
 
@@ -67,11 +67,11 @@ int main() {
     const auto cfs = sampled_cfs(words, c.width, FaultClass::CFid, CfScope::Both, 80, rng);
 
     v.add_row({c.name, "SAF",
-               coverage_str(eval.evaluate(SchemeKind::ProposedExact, march, safs, {0, 3}))});
+               coverage_str(runner.evaluate(SchemeKind::ProposedExact, march, safs, {0, 3}))});
     v.add_row({"", "TF",
-               coverage_str(eval.evaluate(SchemeKind::ProposedExact, march, tfs, {0, 3}))});
+               coverage_str(runner.evaluate(SchemeKind::ProposedExact, march, tfs, {0, 3}))});
     v.add_row({"", "CFid (sampled)",
-               coverage_str(eval.evaluate(SchemeKind::ProposedExact, march, cfs, {0, 3}))});
+               coverage_str(runner.evaluate(SchemeKind::ProposedExact, march, cfs, {0, 3}))});
     v.add_rule();
   }
   v.print(std::cout);

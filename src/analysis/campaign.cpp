@@ -1,0 +1,164 @@
+#include "analysis/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace twm {
+
+std::string to_string(CoverageBackend b) {
+  switch (b) {
+    case CoverageBackend::Scalar: return "scalar";
+    case CoverageBackend::Packed: return "packed";
+  }
+  return "?";
+}
+
+void run_pool(unsigned threads, const std::function<void()>& worker) {
+  std::mutex mu;
+  std::exception_ptr err;
+  auto guarded = [&] {
+    try {
+      worker();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!err) err = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  if (threads > 1) pool.reserve(threads - 1);
+  try {
+    for (unsigned t = 1; t < threads; ++t) pool.emplace_back(guarded);
+  } catch (const std::system_error&) {
+    // Thread-creation limit hit; proceed with the threads already running.
+  }
+  guarded();
+  for (auto& th : pool) th.join();
+  if (err) std::rethrow_exception(err);
+}
+
+void require_golden_lane_clear(LaneMask verdicts) {
+  if (verdicts & 1ull)
+    throw std::logic_error(
+        "CampaignRunner: packed golden lane reported a detection (engine bug)");
+}
+
+bool VerdictMatrix::detected_all(std::size_t fault) const {
+  for (std::size_t s = 0; s < num_seeds; ++s)
+    if (!detected(fault, s)) return false;
+  return true;
+}
+
+bool VerdictMatrix::detected_any(std::size_t fault) const {
+  for (std::size_t s = 0; s < num_seeds; ++s)
+    if (detected(fault, s)) return true;
+  return false;
+}
+
+namespace {
+
+// The packed verdict word carries the golden lane in bit 0; the scalar
+// verdict (bool) has no golden lane.  Engine-dispatched.
+inline void check_golden(bool /*verdict*/) {}
+inline void check_golden(LaneMask verdicts) { require_golden_lane_clear(verdicts); }
+
+}  // namespace
+
+template <class Engine>
+void CampaignRunner::run_typed(const SchemePlan& plan, const std::vector<Fault>& faults,
+                               const std::vector<std::uint64_t>& seeds, bool need_any,
+                               std::vector<char>& all, std::vector<char>& any,
+                               VerdictMatrix* out_matrix) const {
+  using Verdict = typename Engine::Verdict;
+  constexpr unsigned kPerUnit = Engine::kFaultsPerUnit;
+  const std::size_t n = faults.size();
+  const std::size_t units = (n + kPerUnit - 1) / kPerUnit;
+  const unsigned threads = std::max(1u, options_.threads);
+
+  std::atomic<std::size_t> next{0};
+  run_pool(threads, [&] {
+    for (;;) {
+      const std::size_t u = next.fetch_add(1);
+      if (u >= units) break;
+      const std::size_t lo = u * kPerUnit;
+      const unsigned count = static_cast<unsigned>(std::min<std::size_t>(kPerUnit, n - lo));
+      const Verdict used = Engine::used_mask(count);
+      Verdict a = used, y = Verdict{};
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        const Verdict d = run_campaign_unit<Engine>(plan, words_, &faults[lo], count, seeds[s]);
+        check_golden(d);
+        a &= d;
+        y |= d;
+        if (out_matrix) {
+          for (unsigned i = 0; i < count; ++i)
+            out_matrix->bits[(lo + i) * seeds.size() + s] =
+                static_cast<char>(Engine::bit(d, i));
+        } else if (a == Verdict{} && (y == used || !need_any)) {
+          break;  // requested verdicts settled for every fault in the unit
+        }
+      }
+      for (unsigned i = 0; i < count; ++i) {
+        all[lo + i] = static_cast<char>(Engine::bit(a, i));
+        any[lo + i] = static_cast<char>(Engine::bit(y, i));
+      }
+    }
+  });
+}
+
+void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
+                         const std::vector<Fault>& faults,
+                         const std::vector<std::uint64_t>& seeds, bool need_any,
+                         std::vector<char>& all, std::vector<char>& any,
+                         VerdictMatrix* out_matrix) const {
+  if (seeds.empty()) throw std::invalid_argument("CampaignRunner: no seeds");
+  const std::size_t n = faults.size();
+  all.assign(n, 1);
+  any.assign(n, 0);
+  if (out_matrix) {
+    out_matrix->num_faults = n;
+    out_matrix->num_seeds = seeds.size();
+    out_matrix->bits.assign(n * seeds.size(), 0);
+  }
+  if (n == 0) return;
+
+  const SchemePlan plan = make_scheme_plan(scheme, bit_march, width_);
+  if (options_.backend == CoverageBackend::Scalar)
+    run_typed<ScalarEngine>(plan, faults, seeds, need_any, all, any, out_matrix);
+  else
+    run_typed<PackedEngine>(plan, faults, seeds, need_any, all, any, out_matrix);
+}
+
+CoverageOutcome CampaignRunner::evaluate(SchemeKind scheme, const MarchTest& bit_march,
+                                         const std::vector<Fault>& faults,
+                                         const std::vector<std::uint64_t>& seeds) const {
+  std::vector<char> all, any;
+  run(scheme, bit_march, faults, seeds, /*need_any=*/true, all, any);
+  CoverageOutcome out;
+  out.total = faults.size();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    out.detected_all += all[i];
+    out.detected_any += any[i];
+  }
+  return out;
+}
+
+std::vector<bool> CampaignRunner::per_fault(SchemeKind scheme, const MarchTest& bit_march,
+                                            const std::vector<Fault>& faults,
+                                            const std::vector<std::uint64_t>& seeds) const {
+  std::vector<char> all, any;
+  run(scheme, bit_march, faults, seeds, /*need_any=*/false, all, any);
+  return std::vector<bool>(all.begin(), all.end());
+}
+
+VerdictMatrix CampaignRunner::matrix(SchemeKind scheme, const MarchTest& bit_march,
+                                     const std::vector<Fault>& faults,
+                                     const std::vector<std::uint64_t>& seeds) const {
+  VerdictMatrix m;
+  std::vector<char> all, any;
+  run(scheme, bit_march, faults, seeds, /*need_any=*/true, all, any, &m);
+  return m;
+}
+
+}  // namespace twm

@@ -1,0 +1,132 @@
+// Campaign orchestration: drives many scheme sessions over a fault list.
+//
+// A coverage/diagnosis campaign is embarrassingly parallel across faults:
+// every unit (one fault on the scalar backend, a 63-fault batch + golden
+// lane on the packed backend) is independent.  CampaignRunner owns the
+// machinery every campaign needs —
+//
+//   * one SchemePlan compiled per campaign (march transforms amortized
+//     over every fault x seed),
+//   * sharding of units across a thread pool (run_pool),
+//   * the per-seed early exit once the requested verdicts have settled,
+//   * the packed golden-lane self-check (lane 0 carries no fault; a
+//     detection there is an engine bug and aborts the campaign),
+//
+// — and exposes three result shapes: aggregate counts (evaluate), a
+// per-fault verdict vector (per_fault), and the full per-fault x per-seed
+// verdict matrix (matrix).  analysis/coverage.h keeps the classic
+// CoverageEvaluator interface as a thin facade over this runner.
+#ifndef TWM_ANALYSIS_CAMPAIGN_H
+#define TWM_ANALYSIS_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scheme_session.h"
+#include "march/test.h"
+#include "memsim/fault.h"
+
+namespace twm {
+
+// Simulation backend for a campaign.
+//
+//   Scalar  one fault x one seed at a time through memsim::Memory — the
+//           reference implementation.
+//   Packed  bit-parallel batches of 63 faults + 1 golden lane per
+//           PackedMemory pass.  Verdicts are lane-for-lane identical to the
+//           scalar backend (tests/coverage_backend_test.cpp).
+enum class CoverageBackend { Scalar, Packed };
+
+std::string to_string(CoverageBackend b);
+
+struct CoverageOptions {
+  CoverageBackend backend = CoverageBackend::Scalar;
+  // Worker threads the campaign's units are sharded across; <= 1 runs
+  // everything on the calling thread.  Applies to both backends.
+  unsigned threads = 1;
+};
+
+struct CoverageOutcome {
+  std::size_t total = 0;
+  std::size_t detected_all = 0;  // detected under every evaluated content
+  std::size_t detected_any = 0;  // detected under at least one content
+
+  double pct_all() const { return total ? 100.0 * detected_all / total : 0.0; }
+  double pct_any() const { return total ? 100.0 * detected_any / total : 0.0; }
+};
+
+// Runs `worker` on `threads` threads (including the calling one), joins
+// them all, and rethrows the first exception any of them raised.  If the OS
+// refuses to spawn more threads, the pool simply runs with the ones it got.
+void run_pool(unsigned threads, const std::function<void()>& worker);
+
+// Packed campaigns keep lane 0 fault-free; a detection there means the
+// engine corrupted the golden universe.  Throws std::logic_error when bit 0
+// of `verdicts` is set.
+void require_golden_lane_clear(LaneMask verdicts);
+
+// Detection verdict of every (fault, seed) pair of a campaign.
+struct VerdictMatrix {
+  std::size_t num_faults = 0;
+  std::size_t num_seeds = 0;
+  std::vector<char> bits;  // [fault * num_seeds + seed] -> detected?
+
+  bool detected(std::size_t fault, std::size_t seed) const {
+    return bits[fault * num_seeds + seed] != 0;
+  }
+  bool detected_all(std::size_t fault) const;  // under every seed
+  bool detected_any(std::size_t fault) const;  // under at least one seed
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(std::size_t words, unsigned width, const CoverageOptions& options = {})
+      : words_(words), width_(width), options_(options) {}
+
+  std::size_t words() const { return words_; }
+  unsigned width() const { return width_; }
+  const CoverageOptions& options() const { return options_; }
+
+  // Aggregate counts; the seed loop stops early per unit once both the
+  // "all" and "any" verdicts have settled.
+  CoverageOutcome evaluate(SchemeKind scheme, const MarchTest& bit_march,
+                           const std::vector<Fault>& faults,
+                           const std::vector<std::uint64_t>& seeds) const;
+
+  // Verdict per fault (detected under every seed); used to prove coverage
+  // *equality* between schemes/backends, not just equal percentages.
+  std::vector<bool> per_fault(SchemeKind scheme, const MarchTest& bit_march,
+                              const std::vector<Fault>& faults,
+                              const std::vector<std::uint64_t>& seeds) const;
+
+  // Full per-fault x per-seed verdict matrix (no early exit: every pair is
+  // evaluated).
+  VerdictMatrix matrix(SchemeKind scheme, const MarchTest& bit_march,
+                       const std::vector<Fault>& faults,
+                       const std::vector<std::uint64_t>& seeds) const;
+
+  // Low-level entry point the result shapes above derive from: fills
+  // per-fault "detected under every seed" / "under at least one seed"
+  // flags.  When `need_any` is false the per-unit seed loop stops as soon
+  // as the "all" verdict settles.  When `out_matrix` is non-null the early
+  // exit is disabled and every (fault, seed) verdict is recorded into it.
+  void run(SchemeKind scheme, const MarchTest& bit_march, const std::vector<Fault>& faults,
+           const std::vector<std::uint64_t>& seeds, bool need_any, std::vector<char>& all,
+           std::vector<char>& any, VerdictMatrix* out_matrix = nullptr) const;
+
+ private:
+  template <class Engine>
+  void run_typed(const SchemePlan& plan, const std::vector<Fault>& faults,
+                 const std::vector<std::uint64_t>& seeds, bool need_any, std::vector<char>& all,
+                 std::vector<char>& any, VerdictMatrix* out_matrix) const;
+
+  std::size_t words_;
+  unsigned width_;
+  CoverageOptions options_;
+};
+
+}  // namespace twm
+
+#endif  // TWM_ANALYSIS_CAMPAIGN_H

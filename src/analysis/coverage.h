@@ -4,7 +4,7 @@
 // random contents, the fault is injected, and the selected test scheme is
 // run; the fault counts as detected when the scheme's checker fires.
 //
-// Schemes:
+// Schemes (SchemeKind, core/scheme_session.h):
 //   NontransparentReference  SMarch then AMarch with absolute data and a
 //                            direct comparator — the paper's coverage
 //                            reference (SMarch + AMarch).
@@ -29,6 +29,11 @@
 // session performs operation-for-operation the same port traffic as the
 // nontransparent reference, so per-fault verdicts must agree exactly — the
 // sharpest checkable form of the paper's coverage-equality theorem.
+//
+// CoverageEvaluator is a thin facade over analysis/campaign.h: each call
+// compiles one SchemePlan and hands the fault list to a CampaignRunner,
+// which shards units across the thread pool and runs the lane-generic
+// scheme sessions on the selected backend.
 #ifndef TWM_ANALYSIS_COVERAGE_H
 #define TWM_ANALYSIS_COVERAGE_H
 
@@ -36,52 +41,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/campaign.h"
 #include "march/test.h"
 #include "memsim/fault.h"
 
 namespace twm {
-
-enum class SchemeKind {
-  NontransparentReference,
-  WordOrientedMarch,
-  ProposedExact,
-  ProposedMisr,
-  ProposedSymmetricXor,  // symmetrized TWMarch, XOR accumulator, TCP = 0
-  TsmarchOnly,
-  Scheme1Exact,
-  TomtModel,
-};
-
-std::string to_string(SchemeKind k);
-
-// Simulation backend for a coverage campaign.
-//
-//   Scalar  one fault x one seed at a time through memsim::Memory — the
-//           reference implementation.
-//   Packed  bit-parallel batches of 63 faults + 1 golden lane per
-//           PackedMemory pass (lane 0 stays fault-free and must report
-//           "undetected"; a golden detection aborts the campaign as an
-//           engine bug).  Verdicts are lane-for-lane identical to the
-//           scalar backend (tests/coverage_backend_test.cpp).
-enum class CoverageBackend { Scalar, Packed };
-
-std::string to_string(CoverageBackend b);
-
-struct CoverageOptions {
-  CoverageBackend backend = CoverageBackend::Scalar;
-  // Worker threads the campaign's fault batches are sharded across;
-  // <= 1 runs everything on the calling thread.  Applies to both backends.
-  unsigned threads = 1;
-};
-
-struct CoverageOutcome {
-  std::size_t total = 0;
-  std::size_t detected_all = 0;  // detected under every evaluated content
-  std::size_t detected_any = 0;  // detected under at least one content
-
-  double pct_all() const { return total ? 100.0 * detected_all / total : 0.0; }
-  double pct_any() const { return total ? 100.0 * detected_any / total : 0.0; }
-};
 
 class CoverageEvaluator {
  public:
@@ -95,7 +59,9 @@ class CoverageEvaluator {
   CoverageOutcome evaluate(SchemeKind scheme, const MarchTest& bit_march,
                            const std::vector<Fault>& faults,
                            const std::vector<std::uint64_t>& seeds,
-                           const CoverageOptions& options) const;
+                           const CoverageOptions& options) const {
+    return CampaignRunner(words_, width_, options).evaluate(scheme, bit_march, faults, seeds);
+  }
 
   // Verdict per fault (detected under every seed); used to prove coverage
   // *equality* between schemes, not just equal percentages.
@@ -107,20 +73,11 @@ class CoverageEvaluator {
   std::vector<bool> per_fault(SchemeKind scheme, const MarchTest& bit_march,
                               const std::vector<Fault>& faults,
                               const std::vector<std::uint64_t>& seeds,
-                              const CoverageOptions& options) const;
+                              const CoverageOptions& options) const {
+    return CampaignRunner(words_, width_, options).per_fault(scheme, bit_march, faults, seeds);
+  }
 
  private:
-  bool run_one(SchemeKind scheme, const MarchTest& bit_march, const Fault& fault,
-               std::uint64_t seed) const;
-  // Fills per-fault "detected under every seed" / "under at least one seed"
-  // flags with the selected backend; the two public entry points derive
-  // their results from these.  When `need_any` is false the seed loop stops
-  // as soon as the "all" verdict settles (per_fault discards "any").
-  void run_campaign(SchemeKind scheme, const MarchTest& bit_march,
-                    const std::vector<Fault>& faults, const std::vector<std::uint64_t>& seeds,
-                    const CoverageOptions& options, bool need_any, std::vector<char>& all,
-                    std::vector<char>& any) const;
-
   std::size_t words_;
   unsigned width_;
 };

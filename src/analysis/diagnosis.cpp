@@ -1,9 +1,12 @@
 #include "analysis/diagnosis.h"
 
+#include <atomic>
 #include <stdexcept>
 
+#include "analysis/campaign.h"
 #include "bist/address_gen.h"
 #include "bist/engine.h"
+#include "util/rng.h"
 
 namespace twm {
 
@@ -56,6 +59,31 @@ Diagnosis diagnose_transparent(MemoryIf& mem, const MarchTest& test, const March
     ++d.mismatch_count;
   }
   return d;
+}
+
+std::vector<Diagnosis> diagnose_campaign(const MarchTest& bit_march, std::size_t words,
+                                         unsigned width, const std::vector<Fault>& faults,
+                                         std::uint64_t seed, unsigned threads) {
+  // One plan for the whole campaign; only its transparent session passes
+  // are consulted.
+  const SchemePlan plan = make_scheme_plan(SchemeKind::ProposedExact, bit_march, width);
+
+  std::vector<Diagnosis> out(faults.size());
+  std::atomic<std::size_t> next{0};
+  run_pool(std::max(1u, threads), [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= faults.size()) break;
+      Memory mem(words, width);
+      if (seed != 0) {
+        Rng rng(seed);
+        mem.fill_random(rng);
+      }
+      mem.inject(faults[i]);
+      out[i] = diagnose_transparent(mem, plan.trans, plan.prediction);
+    }
+  });
+  return out;
 }
 
 }  // namespace twm

@@ -12,8 +12,11 @@
 #define TWM_ANALYSIS_DIAGNOSIS_H
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "march/test.h"
+#include "memsim/fault.h"
 #include "memsim/memory.h"
 
 namespace twm {
@@ -37,6 +40,15 @@ struct Diagnosis {
 // to its operation.  Uses the given transparent march and its prediction
 // test (as produced by twm_transform()).
 Diagnosis diagnose_transparent(MemoryIf& mem, const MarchTest& test, const MarchTest& prediction);
+
+// Diagnosis campaign: one Diagnosis per fault, each obtained by injecting
+// the fault into a fresh memory (seeded contents; seed 0 = all-zero) and
+// running the TWMarch transparent session compiled once into a SchemePlan.
+// Faults are sharded across `threads` workers with the same pool the
+// coverage campaigns use (analysis/campaign.h).
+std::vector<Diagnosis> diagnose_campaign(const MarchTest& bit_march, std::size_t words,
+                                         unsigned width, const std::vector<Fault>& faults,
+                                         std::uint64_t seed, unsigned threads = 1);
 
 // Maps a read-stream position to (element, in-element read index, address)
 // for a march executed on `num_words` words.  Throws std::out_of_range if

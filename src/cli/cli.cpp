@@ -7,7 +7,7 @@
 #include <algorithm>
 #include <chrono>
 
-#include "analysis/coverage.h"
+#include "analysis/campaign.h"
 #include "analysis/fault_list.h"
 #include "analysis/lint.h"
 #include "analysis/report.h"
@@ -237,13 +237,13 @@ std::optional<SchemeKind> parse_scheme(const std::string& s, std::ostream& err) 
   if (s == "ref") return SchemeKind::NontransparentReference;
   if (s == "womarch") return SchemeKind::WordOrientedMarch;
   err << "error: unknown scheme '" << s
-      << "' (want twm|twm-misr|sym|tsmarch|s1|tomt|ref|womarch)\n";
+      << "' (want twm|twm-misr|sym|tsmarch|s1|tomt|ref|womarch|all)\n";
   return std::nullopt;
 }
 
 int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.positional.size() < 2) {
-    err << "usage: coverage <march> --width B --words N [--scheme S] [--classes C,..]\n"
+    err << "usage: coverage <march> --width B --words N [--scheme S|all] [--classes C,..]\n"
            "                [--seeds 0,1,2] [--backend scalar|packed] [--threads T]\n";
     return 1;
   }
@@ -252,9 +252,13 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   if (!width || !words) return 1;
   const auto threads = flag_unsigned(o, "threads", 1u, err);
   if (!threads) return 1;
+  if (*threads == 0) {
+    err << "error: --threads must be at least 1\n";
+    return 1;
+  }
 
   CoverageOptions opts;
-  opts.threads = std::max(1u, *threads);
+  opts.threads = *threads;
   if (auto it = o.flags.find("backend"); it != o.flags.end()) {
     if (it->second == "scalar")
       opts.backend = CoverageBackend::Scalar;
@@ -269,8 +273,13 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   }
 
   const auto scheme_it = o.flags.find("scheme");
-  const auto scheme = parse_scheme(scheme_it == o.flags.end() ? "twm" : scheme_it->second, err);
-  if (!scheme) return 1;
+  const std::string scheme_name = scheme_it == o.flags.end() ? "twm" : scheme_it->second;
+  const bool all_schemes = scheme_name == "all";
+  std::optional<SchemeKind> scheme;
+  if (!all_schemes) {
+    scheme = parse_scheme(scheme_name, err);
+    if (!scheme) return 1;
+  }
 
   std::vector<std::uint64_t> seeds{0, 1, 2};
   if (auto it = o.flags.find("seeds"); it != o.flags.end()) {
@@ -324,23 +333,42 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   }
 
   const MarchTest march = march_by_name(o.positional[1]);
-  CoverageEvaluator eval(*words, *width);
+  const CampaignRunner runner(*words, *width, opts);
   out << "coverage: " << march.name << ", N=" << *words << ", B=" << *width << ", "
-      << to_string(*scheme) << ", backend=" << to_string(opts.backend)
-      << ", threads=" << opts.threads << ", " << seeds.size() << " contents\n";
+      << (all_schemes ? std::string("all schemes") : to_string(*scheme))
+      << ", backend=" << to_string(opts.backend) << ", threads=" << opts.threads << ", "
+      << seeds.size() << " contents\n";
 
-  Table t({"fault class", "faults", "coverage (all contents)", "any content"});
   std::size_t total_faults = 0;
   const auto t0 = std::chrono::steady_clock::now();
-  for (const auto& spec : classes) {
-    const auto res = eval.evaluate(*scheme, march, spec.faults, seeds, opts);
-    total_faults += spec.faults.size();
-    t.add_row({spec.name, std::to_string(spec.faults.size()), coverage_str(res),
-               pct_str(res.pct_any())});
+  if (all_schemes) {
+    // Scheme x fault-class comparison: one campaign (and one compiled
+    // SchemePlan) per scheme x class cell.
+    std::vector<std::string> header{"scheme"};
+    for (const auto& spec : classes)
+      header.push_back(spec.name + " (" + std::to_string(spec.faults.size()) + ")");
+    Table t(header);
+    for (SchemeKind k : kAllSchemes) {
+      std::vector<std::string> row{to_string(k)};
+      for (const auto& spec : classes)
+        row.push_back(coverage_str(runner.evaluate(k, march, spec.faults, seeds)));
+      t.add_row(row);
+    }
+    for (const auto& spec : classes) total_faults += spec.faults.size();
+    total_faults *= std::size(kAllSchemes);
+    t.print(out);
+  } else {
+    Table t({"fault class", "faults", "coverage (all contents)", "any content"});
+    for (const auto& spec : classes) {
+      const auto res = runner.evaluate(*scheme, march, spec.faults, seeds);
+      total_faults += spec.faults.size();
+      t.add_row({spec.name, std::to_string(spec.faults.size()), coverage_str(res),
+                 pct_str(res.pct_any())});
+    }
+    t.print(out);
   }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  t.print(out);
   out << total_faults << " faults in " << secs << "s ("
       << static_cast<std::uint64_t>(secs > 0 ? total_faults / secs : 0) << " faults/s)\n";
   return 0;

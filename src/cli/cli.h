@@ -15,12 +15,14 @@
 //                                          run a transparent session and
 //                                          report the verdict
 //   coverage <march> --width B --words N [--scheme twm|twm-misr|sym|tsmarch|
-//            s1|tomt|ref|womarch] [--classes saf,tf,cfst,cfid,cfin,ret]
+//            s1|tomt|ref|womarch|all] [--classes saf,tf,cfst,cfid,cfin,ret]
 //            [--seeds 0,1,2] [--backend scalar|packed] [--threads T]
 //                                          per-fault-class coverage campaign
 //                                          on the selected simulation backend
 //                                          (packed = 64 fault universes per
-//                                          bit-parallel pass)
+//                                          bit-parallel pass); --scheme all
+//                                          sweeps every scheme and prints a
+//                                          scheme x fault-class table
 // Returns 0 on success (for simulate: also when no fault is detected), 1 on
 // usage errors, 2 when simulate detects a fault.
 #ifndef TWM_CLI_CLI_H

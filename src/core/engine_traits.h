@@ -1,0 +1,190 @@
+// Engine traits: the vocabulary that lets one scheme-session implementation
+// run on either simulation backend.
+//
+// A coverage campaign executes the same march session logic whether it
+// simulates one fault universe at a time (Memory + MarchRunner + Misr) or
+// 64 bit-parallel universes per pass (PackedMemory + PackedMarchRunner +
+// PackedMisr).  The two backends differ only in their *data plane*:
+//
+//   ScalarEngine   Verdict = bool            one universe per session
+//   PackedEngine   Verdict = LaneMask        lane k of every value/verdict
+//                                            belongs to universe k
+//
+// Each trait struct maps the shared vocabulary — verdict algebra, fault
+// injection, the engine entry points, and the word/mask/signature
+// operations the TOMT and symmetric sessions are written in — onto its
+// backend.  core/scheme_session.h instantiates the session templates with
+// either engine; the Memory vs PackedMemory *write semantics* stay
+// deliberately independent implementations so the differential check in
+// tests/coverage_backend_test.cpp keeps its power — only the orchestration
+// above the memory port is unified here.
+#ifndef TWM_CORE_ENGINE_TRAITS_H
+#define TWM_CORE_ENGINE_TRAITS_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bist/engine.h"
+#include "bist/misr.h"
+#include "bist/packed_engine.h"
+#include "memsim/fault.h"
+#include "memsim/memory.h"
+#include "memsim/packed_memory.h"
+#include "util/bitvec.h"
+
+namespace twm {
+
+// Order-insensitive XOR compactor (the symmetric scheme's signature
+// register), one universe.
+class XorAccumulator final : public ReadSink {
+ public:
+  explicit XorAccumulator(unsigned width) : acc_(BitVec::zeros(width)) {}
+  void on_read(std::size_t, const BitVec& value) override { acc_ ^= value; }
+  const BitVec& value() const { return acc_; }
+
+ private:
+  BitVec acc_;
+};
+
+// 64 XOR accumulators at once: signature bit j across all lanes is acc()[j].
+class PackedXorAccumulator final : public PackedReadSink {
+ public:
+  explicit PackedXorAccumulator(unsigned width) : acc_(width, 0) {}
+  void on_read(std::size_t, const std::uint64_t* value) override {
+    for (std::size_t j = 0; j < acc_.size(); ++j) acc_[j] ^= value[j];
+  }
+  const std::vector<std::uint64_t>& value() const { return acc_; }
+
+ private:
+  std::vector<std::uint64_t> acc_;
+};
+
+struct ScalarEngine {
+  using Verdict = bool;  // detected?
+  using Memory = twm::Memory;
+  using Runner = MarchRunner;
+  using Misr = twm::Misr;
+  using Word = BitVec;       // one word's value
+  using Mask = BitVec;       // a per-op data mask, precompiled
+  using Signature = BitVec;  // an XOR-accumulator state
+  using Accumulator = XorAccumulator;
+
+  // One fault universe per session.
+  static constexpr unsigned kFaultsPerUnit = 1;
+
+  // --- verdict algebra (Verdicts also combine with plain &, |, ==) ------
+  static Verdict used_mask(unsigned /*count*/) { return true; }
+  static bool bit(Verdict v, unsigned /*slot*/) { return v; }
+  // Every universe has detected; nothing further can change the verdict.
+  static bool saturated(Verdict v) { return v; }
+
+  // --- fault injection --------------------------------------------------
+  static void inject(Memory& mem, const Fault& f, unsigned /*slot*/) { mem.inject(f); }
+
+  // --- engine entry points ----------------------------------------------
+  static Verdict run_direct(Runner& runner, const MarchTest& test) {
+    return runner.run_direct(test).mismatch;
+  }
+  struct TransparentVerdicts {
+    Verdict exact;
+    Verdict misr;
+  };
+  static TransparentVerdicts run_transparent(Runner& runner, const MarchTest& test,
+                                             const MarchTest& prediction, unsigned misr_width) {
+    const TransparentOutcome out = runner.run_transparent_session(test, prediction, misr_width);
+    return {out.detected_exact, out.detected_misr};
+  }
+
+  // --- word vocabulary (the TOMT session's working registers) -----------
+  static Word make_word(unsigned width) { return BitVec::zeros(width); }
+  static Mask make_mask(const BitVec& mask) { return mask; }
+  static void read_word(Memory& mem, std::size_t addr, Word& out) { out = mem.read(addr); }
+  static void write_word(Memory& mem, std::size_t addr, const Word& data) {
+    mem.write(addr, data);
+  }
+  static void xor_word(Word& dst, const Word& src, const Mask& mask) { dst = src ^ mask; }
+  static Verdict parity_mismatch(const Word& w, bool expected) { return w.parity() != expected; }
+  static Verdict differs(const Word& a, const Word& b) { return a != b; }
+
+  // --- signature vocabulary (the symmetric session's compactor) ---------
+  static Signature signature(const Accumulator& acc) { return acc.value(); }
+  static Verdict signature_mismatch(const Accumulator& acc, const BitVec& expected) {
+    return acc.value() != expected;
+  }
+};
+
+struct PackedEngine {
+  using Verdict = LaneMask;  // bit k: universe k detected
+  using Memory = PackedMemory;
+  using Runner = PackedMarchRunner;
+  using Misr = PackedMisr;
+  using Word = std::vector<std::uint64_t>;  // [bit] -> lane vector
+  using Mask = std::vector<std::uint64_t>;  // broadcast op mask
+  using Signature = std::vector<std::uint64_t>;
+  using Accumulator = PackedXorAccumulator;
+
+  // Lane 0 stays fault-free (golden); faults occupy lanes 1..63.
+  static constexpr unsigned kFaultsPerUnit = kPackedLanes - 1;
+
+  static Verdict used_mask(unsigned count) {
+    return ((count == kFaultsPerUnit ? ~0ull : (1ull << (count + 1)) - 1)) & ~1ull;
+  }
+  static bool bit(Verdict v, unsigned slot) { return (v >> (slot + 1)) & 1u; }
+  static bool saturated(Verdict v) { return v == ~0ull; }
+
+  static void inject(Memory& mem, const Fault& f, unsigned slot) {
+    mem.inject(f, 1ull << (slot + 1));
+  }
+
+  static Verdict run_direct(Runner& runner, const MarchTest& test) {
+    return runner.run_direct(test);
+  }
+  struct TransparentVerdicts {
+    Verdict exact;
+    Verdict misr;
+  };
+  static TransparentVerdicts run_transparent(Runner& runner, const MarchTest& test,
+                                             const MarchTest& prediction, unsigned misr_width) {
+    const PackedTransparentOutcome out =
+        runner.run_transparent_session(test, prediction, misr_width);
+    return {out.detected_exact, out.detected_misr};
+  }
+
+  static Word make_word(unsigned width) { return Word(width, 0); }
+  static Mask make_mask(const BitVec& mask) { return broadcast_word(mask); }
+  static void read_word(Memory& mem, std::size_t addr, Word& out) {
+    // The port's pointer is invalidated by the next write; take a copy.
+    const std::uint64_t* v = mem.read(addr);
+    std::copy(v, v + out.size(), out.begin());
+  }
+  static void write_word(Memory& mem, std::size_t addr, const Word& data) {
+    mem.write(addr, data.data());
+  }
+  static void xor_word(Word& dst, const Word& src, const Mask& mask) {
+    for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = src[j] ^ mask[j];
+  }
+  static Verdict parity_mismatch(const Word& w, bool expected) {
+    std::uint64_t parity = 0;
+    for (const std::uint64_t lanes : w) parity ^= lanes;
+    return parity ^ (expected ? ~0ull : 0ull);
+  }
+  static Verdict differs(const Word& a, const Word& b) {
+    Verdict d = 0;
+    for (std::size_t j = 0; j < a.size(); ++j) d |= a[j] ^ b[j];
+    return d;
+  }
+
+  static Signature signature(const Accumulator& acc) { return acc.value(); }
+  static Verdict signature_mismatch(const Accumulator& acc, const BitVec& expected) {
+    const Signature want = broadcast_word(expected);
+    Verdict d = 0;
+    for (std::size_t j = 0; j < want.size(); ++j) d |= acc.value()[j] ^ want[j];
+    return d;
+  }
+};
+
+}  // namespace twm
+
+#endif  // TWM_CORE_ENGINE_TRAITS_H

@@ -1,0 +1,85 @@
+#include "core/scheme_session.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/nicolaidis.h"
+#include "core/scheme1.h"
+#include "core/twm_ta.h"
+#include "march/word_expand.h"
+
+namespace twm {
+
+std::string to_string(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::NontransparentReference: return "SMarch+AMarch (nontransparent)";
+    case SchemeKind::WordOrientedMarch: return "word-oriented march (nontransparent)";
+    case SchemeKind::ProposedExact: return "TWMarch (exact compare)";
+    case SchemeKind::ProposedMisr: return "TWMarch (MISR)";
+    case SchemeKind::ProposedSymmetricXor: return "symmetric TWMarch (XOR acc, TCP=0)";
+    case SchemeKind::TsmarchOnly: return "TSMarch only (no ATMarch)";
+    case SchemeKind::Scheme1Exact: return "Scheme 1 [12] (exact compare)";
+    case SchemeKind::TomtModel: return "TOMT model [13]";
+  }
+  return "?";
+}
+
+namespace {
+std::atomic<std::uint64_t> g_plan_builds{0};
+}  // namespace
+
+std::uint64_t scheme_plan_build_count() { return g_plan_builds.load(); }
+
+SchemePlan make_scheme_plan(SchemeKind scheme, const MarchTest& bit_march, unsigned width) {
+  g_plan_builds.fetch_add(1, std::memory_order_relaxed);
+  SchemePlan p;
+  p.scheme = scheme;
+  p.width = width;
+  switch (scheme) {
+    case SchemeKind::NontransparentReference: {
+      p.direct_a = solid_march(bit_march);
+      const auto final_spec = p.direct_a.final_write_spec();
+      const bool base_inv = final_spec.has_value() && final_spec->complement;
+      p.direct_b = nontransparent_amarch(width, base_inv);
+      break;
+    }
+    case SchemeKind::WordOrientedMarch:
+      p.direct_a = word_oriented_march(bit_march, width);
+      break;
+    case SchemeKind::ProposedExact:
+    case SchemeKind::ProposedMisr: {
+      const TwmResult t = twm_transform(bit_march, width);
+      p.trans = t.twmarch;
+      p.prediction = t.prediction;
+      // A practical transparent BIST sizes its MISR for a negligible
+      // aliasing probability; 16 bits keeps aliasing (2^-16 per fault)
+      // below a campaign's resolution even for narrow words.
+      p.misr_width = std::max(16u, width);
+      break;
+    }
+    case SchemeKind::ProposedSymmetricXor: {
+      const TwmResult t = twm_transform(bit_march, width);
+      p.sym = symmetrize(t.twmarch, width);
+      break;
+    }
+    case SchemeKind::TsmarchOnly: {
+      const TwmResult t = twm_transform(bit_march, width);
+      p.trans = t.tsmarch;
+      p.prediction = prediction_test(t.tsmarch);
+      p.misr_width = width;
+      break;
+    }
+    case SchemeKind::Scheme1Exact: {
+      const Scheme1Result s = scheme1_transform(bit_march, width);
+      p.trans = s.transparent;
+      p.prediction = s.prediction;
+      p.misr_width = width;
+      break;
+    }
+    case SchemeKind::TomtModel:
+      break;
+  }
+  return p;
+}
+
+}  // namespace twm

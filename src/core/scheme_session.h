@@ -1,0 +1,139 @@
+// Lane-generic scheme execution core.
+//
+// The paper's Sec. 5 coverage analysis compares eight test schemes.  Each
+// scheme's *session* — which marches run, in what order, and which checker
+// fires the verdict — is implemented exactly once here, templated over the
+// engine traits (core/engine_traits.h), so the scalar reference backend and
+// the bit-parallel packed backend execute the same orchestration code and
+// cannot drift.
+//
+// A session consumes a SchemePlan: every march transform the scheme needs
+// (solid/word-oriented expansions, the TWM_TA transform, Scheme 1's
+// T1'..T4', symmetrization, MISR widths) compiled ONCE per campaign by
+// make_scheme_plan().  Plans are immutable and shared read-only across
+// campaign worker threads; compiling them up front amortizes the transform
+// cost over every fault x seed the campaign evaluates (the scalar backend
+// previously rebuilt them per fault x seed).
+//
+//   SchemePlan plan = make_scheme_plan(scheme, bit_march, width);
+//   Verdict v = run_campaign_unit<PackedEngine>(plan, words, faults, 63, seed);
+//
+// The sharding / thread-pool / golden-lane machinery that drives many units
+// lives one layer up, in analysis/campaign.h.
+#ifndef TWM_CORE_SCHEME_SESSION_H
+#define TWM_CORE_SCHEME_SESSION_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine_traits.h"
+#include "core/symmetric.h"
+#include "core/tomt.h"
+#include "march/test.h"
+#include "memsim/fault.h"
+#include "util/rng.h"
+
+namespace twm {
+
+enum class SchemeKind {
+  NontransparentReference,
+  WordOrientedMarch,
+  ProposedExact,
+  ProposedMisr,
+  ProposedSymmetricXor,  // symmetrized TWMarch, XOR accumulator, TCP = 0
+  TsmarchOnly,
+  Scheme1Exact,
+  TomtModel,
+};
+
+std::string to_string(SchemeKind k);
+
+// Every SchemeKind, in the paper's presentation order (handy for sweeps).
+inline constexpr SchemeKind kAllSchemes[] = {
+    SchemeKind::NontransparentReference, SchemeKind::WordOrientedMarch,
+    SchemeKind::ProposedExact,           SchemeKind::ProposedMisr,
+    SchemeKind::ProposedSymmetricXor,    SchemeKind::TsmarchOnly,
+    SchemeKind::Scheme1Exact,            SchemeKind::TomtModel,
+};
+
+// Scheme artifacts compiled once per campaign.  Which members are populated
+// depends on the scheme; the others stay empty.
+struct SchemePlan {
+  SchemeKind scheme = SchemeKind::ProposedExact;
+  unsigned width = 0;
+  MarchTest direct_a, direct_b;  // nontransparent passes (b may be empty)
+  MarchTest trans, prediction;   // transparent session passes
+  unsigned misr_width = 0;
+  SymmetricTest sym;
+};
+
+SchemePlan make_scheme_plan(SchemeKind scheme, const MarchTest& bit_march, unsigned width);
+
+// Number of make_scheme_plan() calls since process start.  Campaign code is
+// expected to compile one plan per campaign, not one per fault x seed;
+// tests pin that amortization contract with this counter.
+std::uint64_t scheme_plan_build_count();
+
+// Runs one scheme session on an already-prepared memory (contents loaded,
+// faults injected) and returns the engine's detection verdict.  This is THE
+// implementation of the Sec. 5 sessions — both backends dispatch through
+// here.  `tomt_ledger` is consulted only by SchemeKind::TomtModel and must
+// have been captured before fault injection.
+template <class Engine>
+typename Engine::Verdict run_scheme_session(typename Engine::Memory& mem, const SchemePlan& plan,
+                                            const std::vector<bool>& tomt_ledger) {
+  typename Engine::Runner runner(mem);
+  switch (plan.scheme) {
+    case SchemeKind::NontransparentReference: {
+      // AMarch reads the solid base SMarch leaves behind: the two passes
+      // must be sequenced, not folded into one (unsequenced) expression.
+      const typename Engine::Verdict d1 = Engine::run_direct(runner, plan.direct_a);
+      const typename Engine::Verdict d2 = Engine::run_direct(runner, plan.direct_b);
+      return d1 | d2;
+    }
+    case SchemeKind::WordOrientedMarch:
+      return Engine::run_direct(runner, plan.direct_a);
+    case SchemeKind::ProposedExact:
+      return Engine::run_transparent(runner, plan.trans, plan.prediction, plan.misr_width).exact;
+    case SchemeKind::ProposedMisr:
+      return Engine::run_transparent(runner, plan.trans, plan.prediction, plan.misr_width).misr;
+    case SchemeKind::ProposedSymmetricXor:
+      return run_symmetric_session_t<Engine>(mem, plan.sym).detected;
+    case SchemeKind::TsmarchOnly:
+    case SchemeKind::Scheme1Exact:
+      return Engine::run_transparent(runner, plan.trans, plan.prediction, plan.misr_width).exact;
+    case SchemeKind::TomtModel:
+      return run_tomt_session<Engine>(mem, tomt_ledger).detected;
+  }
+  throw std::logic_error("run_scheme_session: unknown scheme");
+}
+
+// One campaign unit under one seed: builds a fresh memory (seed 0 = all-zero
+// contents, the nontransparent reference's base), captures the TOMT parity
+// ledger while the memory is healthy, injects `count` faults (scalar: the
+// single fault; packed: lanes 1..count, lane 0 golden), and runs the
+// session.
+template <class Engine>
+typename Engine::Verdict run_campaign_unit(const SchemePlan& plan, std::size_t words,
+                                           const Fault* faults, unsigned count,
+                                           std::uint64_t seed) {
+  typename Engine::Memory mem(words, plan.width);
+  if (seed != 0) {
+    Rng rng(seed);
+    mem.fill_random(rng);
+  }
+
+  // TOMT's parity protection was established while the memory was healthy.
+  std::vector<bool> ledger;
+  if (plan.scheme == SchemeKind::TomtModel) ledger = make_parity_ledger(mem);
+
+  for (unsigned i = 0; i < count; ++i) Engine::inject(mem, faults[i], i);
+
+  return run_scheme_session<Engine>(mem, plan, ledger);
+}
+
+}  // namespace twm
+
+#endif  // TWM_CORE_SCHEME_SESSION_H

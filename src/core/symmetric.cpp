@@ -2,9 +2,6 @@
 
 #include <stdexcept>
 
-#include "bist/engine.h"
-#include "bist/packed_engine.h"
-
 namespace twm {
 
 bool is_symmetric(const MarchTest& transparent) {
@@ -42,60 +39,9 @@ SymmetricTest symmetrize(const MarchTest& transparent, unsigned width) {
   return st;
 }
 
-namespace {
-
-// Order-insensitive XOR compactor (the symmetric scheme's signature
-// register).
-class XorAccumulator final : public ReadSink {
- public:
-  explicit XorAccumulator(unsigned width) : acc_(BitVec::zeros(width)) {}
-  void on_read(std::size_t, const BitVec& value) override { acc_ ^= value; }
-  const BitVec& value() const { return acc_; }
-
- private:
-  BitVec acc_;
-};
-
-}  // namespace
-
 SymmetricOutcome run_symmetric_session(Memory& mem, const SymmetricTest& st) {
-  XorAccumulator acc(mem.word_width());
-  MarchRunner runner(mem);
-  runner.run_test(st.test, acc);
-
-  SymmetricOutcome out;
-  out.signature = acc.value();
-  out.detected = out.signature != st.expected_signature(mem.num_words());
-  return out;
-}
-
-namespace {
-
-// 64 XOR accumulators at once: signature bit j across all lanes.
-class PackedXorAccumulator final : public PackedReadSink {
- public:
-  explicit PackedXorAccumulator(unsigned width) : acc_(width, 0) {}
-  void on_read(std::size_t, const std::uint64_t* value) override {
-    for (std::size_t j = 0; j < acc_.size(); ++j) acc_[j] ^= value[j];
-  }
-  const std::vector<std::uint64_t>& value() const { return acc_; }
-
- private:
-  std::vector<std::uint64_t> acc_;
-};
-
-}  // namespace
-
-LaneMask run_symmetric_session_packed(PackedMemory& mem, const SymmetricTest& st) {
-  const unsigned w = mem.word_width();
-  PackedXorAccumulator acc(w);
-  PackedMarchRunner runner(mem);
-  runner.run_test(st.test, acc);
-
-  const auto expected = broadcast_word(st.expected_signature(mem.num_words()));
-  LaneMask detected = 0;
-  for (unsigned j = 0; j < w; ++j) detected |= acc.value()[j] ^ expected[j];
-  return detected;
+  const auto s = run_symmetric_session_t<ScalarEngine>(mem, st);
+  return {s.detected, s.signature};
 }
 
 }  // namespace twm

@@ -19,14 +19,18 @@
 // balancing read element when the per-word read count is odd; the returned
 // descriptor carries the constant expected signature as a function of the
 // word count N.
+//
+// The session is implemented once, templated over the engine traits
+// (core/engine_traits.h): run_symmetric_session_t<ScalarEngine> runs one
+// universe, run_symmetric_session_t<PackedEngine> 64 at once — the same
+// code path, so the backends cannot drift.
 #ifndef TWM_CORE_SYMMETRIC_H
 #define TWM_CORE_SYMMETRIC_H
 
 #include <cstddef>
 
+#include "core/engine_traits.h"
 #include "march/test.h"
-#include "memsim/memory.h"
-#include "memsim/packed_memory.h"
 
 namespace twm {
 
@@ -53,19 +57,35 @@ struct SymmetricTest {
 // the test would still displace data; throws std::invalid_argument.
 SymmetricTest symmetrize(const MarchTest& transparent, unsigned width);
 
+template <class Engine>
+struct SymmetricSessionResult {
+  typename Engine::Verdict detected{};
+  typename Engine::Signature signature;  // observed accumulator value(s)
+};
+
+// Single-pass symmetric session: runs the test (transparent semantics),
+// XOR-accumulates every read, compares against the precomputed constant.
+template <class Engine>
+SymmetricSessionResult<Engine> run_symmetric_session_t(typename Engine::Memory& mem,
+                                                       const SymmetricTest& st) {
+  typename Engine::Accumulator acc(mem.word_width());
+  typename Engine::Runner runner(mem);
+  runner.run_test(st.test, acc);
+
+  SymmetricSessionResult<Engine> out;
+  out.signature = Engine::signature(acc);
+  out.detected = Engine::signature_mismatch(acc, st.expected_signature(mem.num_words()));
+  return out;
+}
+
+// Classic scalar result shape.
 struct SymmetricOutcome {
   bool detected = false;
   BitVec signature;  // observed accumulator value
 };
 
-// Single-pass symmetric session: runs the test (transparent semantics),
-// XOR-accumulates every read, compares against the precomputed constant.
+// Scalar convenience wrapper over run_symmetric_session_t<ScalarEngine>.
 SymmetricOutcome run_symmetric_session(Memory& mem, const SymmetricTest& st);
-
-// Batched counterpart: one symmetric session across all 64 lanes of a
-// PackedMemory; returns the lanes whose XOR accumulator missed the
-// constant (lane-for-lane equal to run_symmetric_session verdicts).
-LaneMask run_symmetric_session_packed(PackedMemory& mem, const SymmetricTest& st);
 
 }  // namespace twm
 

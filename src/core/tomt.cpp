@@ -57,50 +57,6 @@ std::vector<bool> make_parity_ledger(const Memory& mem) {
   return ledger;
 }
 
-TomtResult run_tomt(Memory& mem, const std::vector<bool>& parity_ledger) {
-  if (parity_ledger.size() != mem.num_words())
-    throw std::invalid_argument("run_tomt: ledger size mismatch");
-
-  const unsigned w = mem.word_width();
-  const MarchTest test = tomt_test(w);
-  const MarchElement& elem = test.elements.front();
-
-  TomtResult res;
-  const std::uint64_t before = mem.op_count();
-
-  for (std::size_t addr = 0; addr < mem.num_words() && !res.detected; ++addr) {
-    BitVec base;
-    bool have_base = false;
-    for (const Op& op : elem.ops) {
-      const BitVec mask = op.data.mask(w);
-      if (op.is_write()) {
-        mem.write(addr, base ^ mask);
-        continue;
-      }
-      const BitVec v = mem.read(addr);
-      if (!have_base) {
-        base = v ^ mask;  // mask is zero for the leading r(a); keeps intent clear
-        have_base = true;
-        // Concurrent parity check on the word's first observation.
-        if (base.parity() != parity_ledger[addr]) {
-          res.detected = true;
-          res.fail_addr = addr;
-          break;
-        }
-        continue;
-      }
-      if (v != (base ^ mask)) {  // read-back comparator
-        res.detected = true;
-        res.fail_addr = addr;
-        break;
-      }
-    }
-  }
-
-  res.operations = mem.op_count() - before;
-  return res;
-}
-
 std::vector<bool> make_parity_ledger(const PackedMemory& mem) {
   std::vector<bool> ledger(mem.num_words());
   for (std::size_t i = 0; i < mem.num_words(); ++i)
@@ -108,47 +64,9 @@ std::vector<bool> make_parity_ledger(const PackedMemory& mem) {
   return ledger;
 }
 
-LaneMask run_tomt_packed(PackedMemory& mem, const std::vector<bool>& parity_ledger) {
-  if (parity_ledger.size() != mem.num_words())
-    throw std::invalid_argument("run_tomt_packed: ledger size mismatch");
-
-  const unsigned w = mem.word_width();
-  const MarchTest test = tomt_test(w);
-  const MarchElement& elem = test.elements.front();
-
-  // Broadcast masks of the per-word op block, computed once.
-  std::vector<std::vector<std::uint64_t>> masks;
-  masks.reserve(elem.ops.size());
-  for (const Op& op : elem.ops) masks.push_back(broadcast_word(op.data.mask(w)));
-
-  // Detection latches per lane; already-detected lanes keep executing (the
-  // scalar runner stops instead), which cannot change a latched verdict.
-  LaneMask detected = 0;
-  std::vector<std::uint64_t> base(w, 0), data(w, 0);
-  for (std::size_t addr = 0; addr < mem.num_words(); ++addr) {
-    bool have_base = false;
-    for (std::size_t i = 0; i < elem.ops.size(); ++i) {
-      const Op& op = elem.ops[i];
-      const std::uint64_t* mask = masks[i].data();
-      if (op.is_write()) {
-        for (unsigned j = 0; j < w; ++j) data[j] = base[j] ^ mask[j];
-        mem.write(addr, data.data());
-        continue;
-      }
-      const std::uint64_t* v = mem.read(addr);
-      if (!have_base) {
-        for (unsigned j = 0; j < w; ++j) base[j] = v[j] ^ mask[j];
-        have_base = true;
-        // Concurrent parity check on the word's first observation.
-        std::uint64_t parity = 0;
-        for (unsigned j = 0; j < w; ++j) parity ^= base[j];
-        detected |= parity ^ (parity_ledger[addr] ? ~0ull : 0ull);
-        continue;
-      }
-      for (unsigned j = 0; j < w; ++j) detected |= v[j] ^ (base[j] ^ mask[j]);  // read-back
-    }
-  }
-  return detected;
+TomtResult run_tomt(Memory& mem, const std::vector<bool>& parity_ledger) {
+  const auto s = run_tomt_session<ScalarEngine>(mem, parity_ledger);
+  return {s.detected, s.fail_addr, s.operations};
 }
 
 }  // namespace twm

@@ -14,15 +14,21 @@
 // checking — calibrated to the complexity the paper attributes to [13]:
 // TCM = (7 + 8·B)·N (which reproduces the paper's "about 19%" ratio for
 // March C-, B = 32).
+//
+// The session is implemented once, templated over the engine traits
+// (core/engine_traits.h): run_tomt_session<ScalarEngine> walks one fault
+// universe with early exit at the first detection, and
+// run_tomt_session<PackedEngine> latches per-lane verdicts across 64
+// universes — the same code path, so the backends cannot drift.
 #ifndef TWM_CORE_TOMT_H
 #define TWM_CORE_TOMT_H
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
+#include "core/engine_traits.h"
 #include "march/test.h"
-#include "memsim/memory.h"
-#include "memsim/packed_memory.h"
 
 namespace twm {
 
@@ -30,8 +36,18 @@ namespace twm {
 // transparent operations per word).
 MarchTest tomt_test(unsigned width);
 
-struct TomtResult {
-  bool detected = false;
+// Parity ledger for the current (assumed fault-free) contents.
+std::vector<bool> make_parity_ledger(const Memory& mem);
+
+// Ledger from a PackedMemory whose lanes still hold identical (pre-fault)
+// contents; reads lane 0.
+std::vector<bool> make_parity_ledger(const PackedMemory& mem);
+
+template <class Engine>
+struct TomtSessionResult {
+  typename Engine::Verdict detected{};
+  // Address at which the verdict saturated (every universe detected); for
+  // the scalar engine this is the classic first-failure address.
   std::size_t fail_addr = 0;
   std::uint64_t operations = 0;  // memory port operations consumed
 };
@@ -43,19 +59,71 @@ struct TomtResult {
 //  * intra-session comparator: every later read of a word is checked
 //    against the value implied by that word's first read and the operation
 //    masks (TOMT's read-back verification).
+// The sweep aborts once the verdict is saturated (scalar: first detection,
+// reproducing TOMT's stop-on-failure behaviour).
+template <class Engine>
+TomtSessionResult<Engine> run_tomt_session(typename Engine::Memory& mem,
+                                           const std::vector<bool>& parity_ledger) {
+  if (parity_ledger.size() != mem.num_words())
+    throw std::invalid_argument("run_tomt: ledger size mismatch");
+
+  const unsigned w = mem.word_width();
+  const MarchTest test = tomt_test(w);
+  const MarchElement& elem = test.elements.front();
+
+  // Per-op data masks of the per-word block, compiled once.
+  std::vector<typename Engine::Mask> masks;
+  masks.reserve(elem.ops.size());
+  for (const Op& op : elem.ops) masks.push_back(Engine::make_mask(op.data.mask(w)));
+
+  TomtSessionResult<Engine> res;
+  const std::uint64_t before = mem.op_count();
+  typename Engine::Word base = Engine::make_word(w);
+  typename Engine::Word value = Engine::make_word(w);
+  typename Engine::Word scratch = Engine::make_word(w);
+
+  bool done = false;
+  for (std::size_t addr = 0; addr < mem.num_words() && !done; ++addr) {
+    bool have_base = false;
+    for (std::size_t i = 0; i < elem.ops.size(); ++i) {
+      const Op& op = elem.ops[i];
+      if (op.is_write()) {
+        Engine::xor_word(scratch, base, masks[i]);
+        Engine::write_word(mem, addr, scratch);
+        continue;
+      }
+      Engine::read_word(mem, addr, value);
+      if (!have_base) {
+        // mask is zero for the leading r(a); keeps intent clear.
+        Engine::xor_word(base, value, masks[i]);
+        have_base = true;
+        // Concurrent parity check on the word's first observation.
+        res.detected |= Engine::parity_mismatch(base, parity_ledger[addr]);
+      } else {
+        Engine::xor_word(scratch, base, masks[i]);
+        res.detected |= Engine::differs(value, scratch);  // read-back comparator
+      }
+      if (Engine::saturated(res.detected)) {
+        res.fail_addr = addr;
+        done = true;
+        break;
+      }
+    }
+  }
+
+  res.operations = mem.op_count() - before;
+  return res;
+}
+
+// Classic scalar result shape, kept for the diagnosis-style consumers.
+struct TomtResult {
+  bool detected = false;
+  std::size_t fail_addr = 0;
+  std::uint64_t operations = 0;  // memory port operations consumed
+};
+
+// Scalar convenience wrapper over run_tomt_session<ScalarEngine>.
 TomtResult run_tomt(Memory& mem, const std::vector<bool>& parity_ledger);
-
-// Parity ledger for the current (assumed fault-free) contents.
-std::vector<bool> make_parity_ledger(const Memory& mem);
-
-// Ledger from a PackedMemory whose lanes still hold identical (pre-fault)
-// contents; reads lane 0.
-std::vector<bool> make_parity_ledger(const PackedMemory& mem);
-
-// Batched counterpart of run_tomt: runs the TOMT-style test across all 64
-// lanes and returns the lanes whose parity check or read-back comparator
-// fired (lane-for-lane equal to run_tomt verdicts).
-LaneMask run_tomt_packed(PackedMemory& mem, const std::vector<bool>& parity_ledger);
 
 }  // namespace twm
 

@@ -2,6 +2,7 @@
 // specs, and exit codes.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <sstream>
 
 #include "cli/cli.h"
@@ -160,6 +161,76 @@ TEST(Cli, CoverageSchemeAndClassSelection) {
   EXPECT_EQ(r.rc, 0);
   EXPECT_NE(r.out.find("RET"), std::string::npos);
   EXPECT_NE(r.out.find("SMarch+AMarch"), std::string::npos);
+}
+
+TEST(Cli, CoverageSchemeAllPrintsComparisonTable) {
+  const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--scheme", "all",
+                      "--classes", "saf,tf", "--seeds", "0"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("all schemes"), std::string::npos);
+  // One row per scheme, one column per fault class.
+  EXPECT_NE(r.out.find("| scheme"), std::string::npos);
+  EXPECT_NE(r.out.find("SAF (16)"), std::string::npos);
+  EXPECT_NE(r.out.find("TF (16)"), std::string::npos);
+  EXPECT_NE(r.out.find("SMarch+AMarch (nontransparent)"), std::string::npos);
+  EXPECT_NE(r.out.find("TWMarch (MISR)"), std::string::npos);
+  EXPECT_NE(r.out.find("symmetric TWMarch"), std::string::npos);
+  EXPECT_NE(r.out.find("TOMT model [13]"), std::string::npos);
+}
+
+TEST(Cli, CoverageSchemeAllAgreesWithSingleSchemeRun) {
+  const auto all = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--scheme",
+                        "all", "--classes", "saf", "--seeds", "0,1"});
+  const auto one = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--scheme",
+                        "tomt", "--classes", "saf", "--seeds", "0,1"});
+  ASSERT_EQ(all.rc, 0);
+  ASSERT_EQ(one.rc, 0);
+  // The TOMT row of the sweep must contain the same "det/total (pct)" cell
+  // the dedicated campaign reports.
+  const auto row_at = all.out.find("TOMT model [13]");
+  ASSERT_NE(row_at, std::string::npos);
+  const std::string row = all.out.substr(row_at, all.out.find('\n', row_at) - row_at);
+  const auto cell_at = one.out.find("| SAF");
+  ASSERT_NE(cell_at, std::string::npos);
+  const std::string cell_line = one.out.substr(cell_at, one.out.find('\n', cell_at) - cell_at);
+  // Extract "x/16" from the single-scheme SAF line and require it in the row.
+  const auto slash = cell_line.find("/16");
+  ASSERT_NE(slash, std::string::npos);
+  auto start = slash;
+  while (start > 0 && std::isdigit(static_cast<unsigned char>(cell_line[start - 1]))) --start;
+  EXPECT_NE(row.find(cell_line.substr(start, slash - start + 3)), std::string::npos)
+      << "row: " << row << "\ncell: " << cell_line;
+}
+
+TEST(Cli, CoverageRejectsThreadsZero) {
+  const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--threads", "0"});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("--threads"), std::string::npos);
+}
+
+TEST(Cli, CoverageRejectsGarbageSeeds) {
+  for (const char* bad : {"x", "1,x", "-1", " 1", "2x", "1.5"}) {
+    const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--seeds", bad});
+    EXPECT_EQ(r.rc, 1) << "--seeds " << bad;
+    EXPECT_NE(r.err.find("--seeds"), std::string::npos) << "--seeds " << bad;
+  }
+}
+
+TEST(Cli, CoverageRejectsEmptySeeds) {
+  for (const char* empty : {"", ","}) {
+    const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--seeds",
+                        empty});
+    EXPECT_EQ(r.rc, 1) << "--seeds '" << empty << "'";
+    EXPECT_NE(r.err.find("at least one seed"), std::string::npos);
+  }
+}
+
+TEST(Cli, CoverageRejectsUnknownBackendWithMessage) {
+  const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--backend",
+                      "quantum"});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("unknown backend 'quantum'"), std::string::npos);
+  EXPECT_NE(r.err.find("scalar|packed"), std::string::npos);
 }
 
 TEST(Cli, CoverageRejectsBadInput) {

@@ -15,12 +15,8 @@ namespace {
 constexpr std::size_t kWords = 4;
 constexpr unsigned kWidth = 4;
 
-const SchemeKind kAllSchemes[] = {
-    SchemeKind::NontransparentReference, SchemeKind::WordOrientedMarch,
-    SchemeKind::ProposedExact,           SchemeKind::ProposedMisr,
-    SchemeKind::ProposedSymmetricXor,    SchemeKind::TsmarchOnly,
-    SchemeKind::Scheme1Exact,            SchemeKind::TomtModel,
-};
+// kAllSchemes comes from core/scheme_session.h: the sweep covers all eight
+// Sec. 5 schemes.
 
 std::vector<Fault> every_fault() {
   std::vector<Fault> faults;
