@@ -3,6 +3,9 @@
 // Every bench that evaluates fault coverage accepts
 //   --backend=scalar|packed   simulation backend (default: packed)
 //   --threads=N               worker threads for the campaign (default: 1)
+//   --simd=auto|64|256|512    packed lane-block width (default: auto —
+//                             widest the CPU supports; forced widths error
+//                             cleanly when the CPU lacks them)
 //   --json=PATH               where to write the bench's JSON result line
 // so the batched bit-parallel engine can be compared against the scalar
 // reference from the command line without recompiling.
@@ -28,7 +31,11 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
   BenchArgs a;
   a.json = default_json;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both `--flag=value` and `--flag value`.
+    if ((arg == "--backend" || arg == "--threads" || arg == "--simd" || arg == "--json") &&
+        i + 1 < argc)
+      arg += std::string("=") + argv[++i];
     const auto starts = [&](const char* p) { return arg.rfind(p, 0) == 0; };
     if (starts("--backend=")) {
       const std::string v = arg.substr(10);
@@ -43,15 +50,31 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
     } else if (starts("--threads=")) {
       a.coverage.threads = static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
       if (a.coverage.threads == 0) a.coverage.threads = 1;
+    } else if (starts("--simd=")) {
+      const auto req = simd::parse_request(arg.substr(7));
+      if (!req) {
+        std::fprintf(stderr, "unknown simd width '%s' (want auto|64|256|512)\n",
+                     arg.c_str() + 7);
+        std::exit(1);
+      }
+      a.coverage.simd = *req;
     } else if (starts("--json=")) {
       a.json = arg.substr(7);
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (want --backend=scalar|packed --threads=N "
-                   "--json=PATH)\n",
+                   "--simd=auto|64|256|512 --json=PATH)\n",
                    arg.c_str());
       std::exit(1);
     }
+  }
+  // Fail a forced-but-unsupported width here, once, with a clean message —
+  // not as an uncaught exception out of the first campaign.
+  try {
+    simd::resolve(a.coverage.simd);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
   }
   return a;
 }

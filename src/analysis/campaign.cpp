@@ -1,10 +1,10 @@
 #include "analysis/campaign.h"
 
-#include <algorithm>
-#include <atomic>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "analysis/campaign_exec.h"
 
 namespace twm {
 
@@ -57,62 +57,17 @@ bool VerdictMatrix::detected_any(std::size_t fault) const {
   return false;
 }
 
-namespace {
-
-// The packed verdict word carries the golden lane in bit 0; the scalar
-// verdict (bool) has no golden lane.  Engine-dispatched.
-inline void check_golden(bool /*verdict*/) {}
-inline void check_golden(LaneMask verdicts) { require_golden_lane_clear(verdicts); }
-
-}  // namespace
-
-template <class Engine>
-void CampaignRunner::run_typed(const SchemePlan& plan, const std::vector<Fault>& faults,
-                               const std::vector<std::uint64_t>& seeds, bool need_any,
-                               std::vector<char>& all, std::vector<char>& any,
-                               VerdictMatrix* out_matrix) const {
-  using Verdict = typename Engine::Verdict;
-  constexpr unsigned kPerUnit = Engine::kFaultsPerUnit;
-  const std::size_t n = faults.size();
-  const std::size_t units = (n + kPerUnit - 1) / kPerUnit;
-  const unsigned threads = std::max(1u, options_.threads);
-
-  std::atomic<std::size_t> next{0};
-  run_pool(threads, [&] {
-    for (;;) {
-      const std::size_t u = next.fetch_add(1);
-      if (u >= units) break;
-      const std::size_t lo = u * kPerUnit;
-      const unsigned count = static_cast<unsigned>(std::min<std::size_t>(kPerUnit, n - lo));
-      const Verdict used = Engine::used_mask(count);
-      Verdict a = used, y = Verdict{};
-      for (std::size_t s = 0; s < seeds.size(); ++s) {
-        const Verdict d = run_campaign_unit<Engine>(plan, words_, &faults[lo], count, seeds[s]);
-        check_golden(d);
-        a &= d;
-        y |= d;
-        if (out_matrix) {
-          for (unsigned i = 0; i < count; ++i)
-            out_matrix->bits[(lo + i) * seeds.size() + s] =
-                static_cast<char>(Engine::bit(d, i));
-        } else if (a == Verdict{} && (y == used || !need_any)) {
-          break;  // requested verdicts settled for every fault in the unit
-        }
-      }
-      for (unsigned i = 0; i < count; ++i) {
-        all[lo + i] = static_cast<char>(Engine::bit(a, i));
-        any[lo + i] = static_cast<char>(Engine::bit(y, i));
-      }
-    }
-  });
-}
-
 void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
                          const std::vector<Fault>& faults,
                          const std::vector<std::uint64_t>& seeds, bool need_any,
                          std::vector<char>& all, std::vector<char>& any,
                          VerdictMatrix* out_matrix) const {
   if (seeds.empty()) throw std::invalid_argument("CampaignRunner: no seeds");
+  // Resolve the lane-block width up front so a forced-but-unsupported
+  // --simd request fails before any work is sharded.  The scalar backend
+  // has no lanes and ignores the request.
+  const simd::Width simd_width =
+      options_.backend == CoverageBackend::Packed ? simd::resolve(options_.simd) : simd::Width::W64;
   const std::size_t n = faults.size();
   all.assign(n, 1);
   any.assign(n, 0);
@@ -124,10 +79,29 @@ void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
   if (n == 0) return;
 
   const SchemePlan plan = make_scheme_plan(scheme, bit_march, width_);
-  if (options_.backend == CoverageBackend::Scalar)
-    run_typed<ScalarEngine>(plan, faults, seeds, need_any, all, any, out_matrix);
-  else
-    run_typed<PackedEngine>(plan, faults, seeds, need_any, all, any, out_matrix);
+  CampaignJob job;
+  job.plan = &plan;
+  job.words = words_;
+  job.threads = options_.threads;
+  job.faults = faults.data();
+  job.num_faults = n;
+  job.seeds = seeds.data();
+  job.num_seeds = seeds.size();
+  job.need_any = need_any;
+  job.all = all.data();
+  job.any = any.data();
+  job.matrix = out_matrix;
+
+  if (options_.backend == CoverageBackend::Scalar) {
+    run_campaign_engine<ScalarEngine>(job);
+    return;
+  }
+  // simd::resolve() above guaranteed the CPU executes the chosen width.
+  switch (simd_width) {
+    case simd::Width::W64: run_campaign_engine<PackedEngine>(job); break;
+    case simd::Width::W256: run_campaign_w256(job); break;
+    case simd::Width::W512: run_campaign_w512(job); break;
+  }
 }
 
 CoverageOutcome CampaignRunner::evaluate(SchemeKind scheme, const MarchTest& bit_march,

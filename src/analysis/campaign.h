@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/scheme_session.h"
+#include "core/simd.h"
 #include "march/test.h"
 #include "memsim/fault.h"
 
@@ -34,9 +35,11 @@ namespace twm {
 //
 //   Scalar  one fault x one seed at a time through memsim::Memory — the
 //           reference implementation.
-//   Packed  bit-parallel batches of 63 faults + 1 golden lane per
-//           PackedMemory pass.  Verdicts are lane-for-lane identical to the
-//           scalar backend (tests/coverage_backend_test.cpp).
+//   Packed  bit-parallel batches of (lanes - 1) faults + 1 golden lane per
+//           packed-memory pass, where `lanes` is the resolved SIMD
+//           lane-block width (64 / 256 / 512; core/simd.h).  Verdicts are
+//           lane-for-lane identical to the scalar backend at every width
+//           (tests/coverage_backend_test.cpp).
 enum class CoverageBackend { Scalar, Packed };
 
 std::string to_string(CoverageBackend b);
@@ -46,6 +49,10 @@ struct CoverageOptions {
   // Worker threads the campaign's units are sharded across; <= 1 runs
   // everything on the calling thread.  Applies to both backends.
   unsigned threads = 1;
+  // Lane-block width of the packed backend (ignored by the scalar one).
+  // Auto picks the widest the CPU supports; a forced width throws
+  // std::runtime_error at run() time when the CPU cannot execute it.
+  simd::Request simd = simd::Request::Auto;
 };
 
 struct CoverageOutcome {
@@ -117,11 +124,6 @@ class CampaignRunner {
            std::vector<char>& any, VerdictMatrix* out_matrix = nullptr) const;
 
  private:
-  template <class Engine>
-  void run_typed(const SchemePlan& plan, const std::vector<Fault>& faults,
-                 const std::vector<std::uint64_t>& seeds, bool need_any, std::vector<char>& all,
-                 std::vector<char>& any, VerdictMatrix* out_matrix) const;
-
   std::size_t words_;
   unsigned width_;
   CoverageOptions options_;

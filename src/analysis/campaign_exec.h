@@ -1,0 +1,107 @@
+// Engine-generic campaign execution: the sharding loop every backend and
+// SIMD width runs.
+//
+// CampaignRunner::run (analysis/campaign.cpp) resolves backend + lane-block
+// width and forwards a CampaignJob to run_campaign_engine<Engine>, which
+// shards the fault list into units of Engine::kFaultsPerUnit across the
+// thread pool.  The template lives in this header so each SIMD width can
+// compile it in its own arch-flagged translation unit:
+//
+//   campaign.cpp        ScalarEngine + PackedEngineT<std::uint64_t>  (base)
+//   campaign_w256.cpp   PackedEngineT<LaneBlock<4>>   built with -mavx2
+//   campaign_w512.cpp   PackedEngineT<LaneBlock<8>>   built with -mavx512f
+//
+// The wide entry points (run_campaign_w256/w512) must only be called after
+// core/simd.h confirmed the CPU supports the width — they contain vector
+// instructions the dispatcher is the only guard for.
+#ifndef TWM_ANALYSIS_CAMPAIGN_EXEC_H
+#define TWM_ANALYSIS_CAMPAIGN_EXEC_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "analysis/campaign.h"
+#include "core/scheme_session.h"
+
+namespace twm {
+
+// One campaign, flattened to raw pointers so the per-width translation
+// units share a single ABI-stable entry signature.
+struct CampaignJob {
+  const SchemePlan* plan = nullptr;
+  std::size_t words = 0;
+  unsigned threads = 1;
+  const Fault* faults = nullptr;
+  std::size_t num_faults = 0;
+  const std::uint64_t* seeds = nullptr;
+  std::size_t num_seeds = 0;
+  bool need_any = false;
+  char* all = nullptr;            // [num_faults] detected under every seed
+  char* any = nullptr;            // [num_faults] detected under some seed
+  VerdictMatrix* matrix = nullptr;  // non-null disables the early exit
+};
+
+// The packed verdict carries the golden lane in lane 0 (bit 0 of the first
+// block word); the scalar verdict (bool) has no golden lane.
+inline void check_golden_lane(bool /*verdict*/) {}
+inline void check_golden_lane(std::uint64_t verdicts) { require_golden_lane_clear(verdicts); }
+template <unsigned K>
+void check_golden_lane(const LaneBlock<K>& verdicts) {
+  require_golden_lane_clear(verdicts.w[0]);
+}
+
+template <class Engine>
+void run_campaign_engine(const CampaignJob& job) {
+  using Verdict = typename Engine::Verdict;
+  constexpr unsigned kPerUnit = Engine::kFaultsPerUnit;
+  const std::size_t n = job.num_faults;
+  const std::size_t units = (n + kPerUnit - 1) / kPerUnit;
+  const unsigned threads = std::max(1u, job.threads);
+
+  std::atomic<std::size_t> next{0};
+  run_pool(threads, [&] {
+    for (;;) {
+      const std::size_t u = next.fetch_add(1);
+      if (u >= units) break;
+      const std::size_t lo = u * kPerUnit;
+      const unsigned count = static_cast<unsigned>(std::min<std::size_t>(kPerUnit, n - lo));
+      const Verdict used = Engine::used_mask(count);
+      Verdict a = used, y = Verdict{};
+      for (std::size_t s = 0; s < job.num_seeds; ++s) {
+        const Verdict d =
+            run_campaign_unit<Engine>(*job.plan, job.words, &job.faults[lo], count, job.seeds[s]);
+        check_golden_lane(d);
+        a &= d;
+        y |= d;
+        if (job.matrix) {
+          for (unsigned i = 0; i < count; ++i)
+            job.matrix->bits[(lo + i) * job.num_seeds + s] = static_cast<char>(Engine::bit(d, i));
+        } else if (a == Verdict{} && (y == used || !job.need_any)) {
+          break;  // requested verdicts settled for every fault in the unit
+        }
+      }
+      for (unsigned i = 0; i < count; ++i) {
+        job.all[lo + i] = static_cast<char>(Engine::bit(a, i));
+        job.any[lo + i] = static_cast<char>(Engine::bit(y, i));
+      }
+    }
+  });
+}
+
+// Wide-width entry points, each defined in its arch-flagged translation
+// unit inside the twm_wide shared library (built with -fvisibility=hidden;
+// these are its only exports — see the CMakeLists note on why the wide
+// objects must not share a static archive with portable code).  Call only
+// after simd::supported() said the CPU can execute them.
+#if defined(__GNUC__) || defined(__clang__)
+#define TWM_WIDE_ENTRY __attribute__((visibility("default")))
+#else
+#define TWM_WIDE_ENTRY
+#endif
+TWM_WIDE_ENTRY void run_campaign_w256(const CampaignJob& job);
+TWM_WIDE_ENTRY void run_campaign_w512(const CampaignJob& job);
+
+}  // namespace twm
+
+#endif  // TWM_ANALYSIS_CAMPAIGN_EXEC_H

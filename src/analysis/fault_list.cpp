@@ -64,6 +64,16 @@ std::vector<Fault> all_rets(std::size_t words, unsigned width, unsigned hold_uni
   return out;
 }
 
+std::vector<Fault> all_afs(std::size_t words) {
+  std::vector<Fault> out;
+  out.reserve(words * words);
+  for (std::size_t w = 0; w < words; ++w) out.push_back(Fault::af_no_access(w));
+  for (std::size_t w = 0; w < words; ++w)
+    for (std::size_t also = 0; also < words; ++also)
+      if (also != w) out.push_back(Fault::af_alias(w, also));
+  return out;
+}
+
 std::vector<Fault> all_cfs(std::size_t words, unsigned width, FaultClass cls, CfScope scope) {
   std::vector<Fault> out;
   for (std::size_t aw = 0; aw < words; ++aw)

@@ -23,6 +23,10 @@ std::vector<Fault> all_tfs(std::size_t words, unsigned width);
 // pause units (detected only by marches with Del elements, e.g. March G).
 std::vector<Fault> all_rets(std::size_t words, unsigned width, unsigned hold_units);
 
+// Every address-decoder fault: one AFna per address plus one AFaw per
+// ordered address pair (word-level; no bit dimension).
+std::vector<Fault> all_afs(std::size_t words);
+
 // Every coupling fault of class `cls` (CFst: 4 variants per ordered cell
 // pair, CFid: 4, CFin: 2) whose aggressor/victim placement matches `scope`.
 std::vector<Fault> all_cfs(std::size_t words, unsigned width, FaultClass cls, CfScope scope);

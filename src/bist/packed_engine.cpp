@@ -1,211 +1,11 @@
+// Pins the 64-lane instantiations of the packed march engine into the base
+// library (no extra arch flags); the wide instantiations are compiled in
+// src/analysis/campaign_w256.cpp / campaign_w512.cpp with -mavx2/-mavx512f.
 #include "bist/packed_engine.h"
-
-#include <stdexcept>
-
-#include "bist/address_gen.h"
-#include "bist/misr.h"
 
 namespace twm {
 
-namespace {
-
-// Per-op broadcast masks of a test, flattened as [element][op].
-std::vector<std::vector<std::vector<std::uint64_t>>> op_masks(const MarchTest& test, unsigned w) {
-  std::vector<std::vector<std::vector<std::uint64_t>>> masks(test.elements.size());
-  for (std::size_t e = 0; e < test.elements.size(); ++e) {
-    masks[e].reserve(test.elements[e].ops.size());
-    for (const Op& op : test.elements[e].ops) masks[e].push_back(broadcast_word(op.data.mask(w)));
-  }
-  return masks;
-}
-
-}  // namespace
-
-PackedMisr::PackedMisr(unsigned width) : state_(width, 0), taps_(Misr::default_taps(width)) {
-  if (width == 0) throw std::invalid_argument("PackedMisr: zero width");
-}
-
-void PackedMisr::step() {
-  const unsigned w = width();
-  const std::uint64_t carry = state_[w - 1];  // lanes whose MSB shifts out
-  for (unsigned i = w; i-- > 1;) state_[i] = state_[i - 1];
-  state_[0] = 0;
-  for (unsigned t : taps_) state_[t] ^= carry;
-}
-
-void PackedMisr::feed(const std::uint64_t* input, unsigned input_width) {
-  const unsigned w = width();
-  step();
-  // Fold the input into width-sized chunks (Misr::feed's rule, per lane).
-  for (unsigned i = 0; i < input_width; ++i) state_[i % w] ^= input[i];
-}
-
-LaneMask PackedMisr::diff(const PackedMisr& other) const {
-  if (width() != other.width()) throw std::invalid_argument("PackedMisr::diff: width mismatch");
-  LaneMask m = 0;
-  for (unsigned i = 0; i < width(); ++i) m |= state_[i] ^ other.state_[i];
-  return m;
-}
-
-// Visits every (element, op, address) in march order, precomputing the
-// broadcast data mask of each op once per element.
-template <typename PerOp>
-void PackedMarchRunner::sweep(const MarchTest& test, PerOp&& per_op) {
-  const unsigned w = mem_.word_width();
-  const auto masks = op_masks(test, w);
-  for (std::size_t e = 0; e < test.elements.size(); ++e) {
-    const MarchElement& elem = test.elements[e];
-    if (elem.pause_before) mem_.elapse(1);
-    if (elem.ops.empty()) continue;
-    for (AddressGen gen(elem.order, mem_.num_words()); !gen.done(); gen.advance()) {
-      const std::size_t addr = gen.current();
-      for (std::size_t i = 0; i < elem.ops.size(); ++i)
-        per_op(addr, elem.ops[i], masks[e][i].data());
-    }
-  }
-}
-
-LaneMask PackedMarchRunner::run_direct(const MarchTest& test) {
-  const unsigned w = mem_.word_width();
-  LaneMask mismatch = 0;
-  sweep(test, [&](std::size_t addr, const Op& op, const std::uint64_t* mask) {
-    if (op.data.relative)
-      throw std::invalid_argument("run_direct: test contains transparent (relative) operations");
-    // For absolute specs, mask(w) == value(w, ·): the expected read value /
-    // the write data, broadcast over lanes.
-    if (op.is_write()) {
-      mem_.write(addr, mask);
-      return;
-    }
-    const std::uint64_t* actual = mem_.read(addr);
-    for (unsigned j = 0; j < w; ++j) mismatch |= actual[j] ^ mask[j];
-  });
-  return mismatch;
-}
-
-void PackedMarchRunner::run_test(const MarchTest& test, PackedReadSink& sink) {
-  const unsigned w = mem_.word_width();
-  // Per-lane base estimate of each word's initial content (the transparent
-  // BIST's word register, one copy per universe).
-  std::vector<std::uint64_t> base(mem_.num_words() * w, 0);
-  std::vector<bool> valid(mem_.num_words(), false);
-  std::vector<std::uint64_t> data(w, 0);
-
-  sweep(test, [&](std::size_t addr, const Op& op, const std::uint64_t* mask) {
-    std::uint64_t* b = &base[addr * w];
-    if (op.is_read()) {
-      const std::uint64_t* v = mem_.read(addr);
-      sink.on_read(addr, v);
-      for (unsigned j = 0; j < w; ++j) b[j] = v[j] ^ mask[j];
-      valid[addr] = true;
-      return;
-    }
-    if (op.data.relative) {
-      if (!valid[addr])
-        throw std::logic_error("run_test: transparent write before any read of word");
-      for (unsigned j = 0; j < w; ++j) data[j] = b[j] ^ mask[j];
-      mem_.write(addr, data.data());
-    } else {
-      // Absolute write: mask(w) == value(w, ·), lane-uniform.
-      mem_.write(addr, mask);
-    }
-  });
-}
-
-void PackedMarchRunner::run_prediction(const MarchTest& prediction, PackedReadSink& sink) {
-  const unsigned w = mem_.word_width();
-  std::vector<std::uint64_t> predicted(w, 0);
-  sweep(prediction, [&](std::size_t addr, const Op& op, const std::uint64_t* mask) {
-    if (op.is_write())
-      throw std::invalid_argument("run_prediction: prediction test must be read-only");
-    const std::uint64_t* raw = mem_.read(addr);
-    for (unsigned j = 0; j < w; ++j) predicted[j] = raw[j] ^ mask[j];
-    sink.on_read(addr, predicted.data());
-  });
-}
-
-namespace {
-
-// Records the full packed read stream (flattened lane vectors).
-class PackedStreamRecorder final : public PackedReadSink {
- public:
-  explicit PackedStreamRecorder(unsigned width) : width_(width) {}
-  void on_read(std::size_t, const std::uint64_t* value) override {
-    stream_.insert(stream_.end(), value, value + width_);
-  }
-  std::size_t reads() const { return stream_.size() / width_; }
-  const std::uint64_t* at(std::size_t i) const { return &stream_[i * width_]; }
-
- private:
-  unsigned width_;
-  std::vector<std::uint64_t> stream_;
-};
-
-// Feeds reads into a packed MISR and diffs them against a recorded
-// prediction stream position-by-position.
-class SessionTestSink final : public PackedReadSink {
- public:
-  SessionTestSink(unsigned width, const PackedStreamRecorder& prediction, PackedMisr& misr)
-      : width_(width), prediction_(prediction), misr_(misr) {}
-
-  void on_read(std::size_t, const std::uint64_t* value) override {
-    misr_.feed(value, width_);
-    if (pos_ < prediction_.reads()) {
-      const std::uint64_t* p = prediction_.at(pos_);
-      for (unsigned j = 0; j < width_; ++j) stream_diff_ |= value[j] ^ p[j];
-    }
-    ++pos_;
-  }
-
-  std::size_t reads() const { return pos_; }
-  LaneMask stream_diff() const { return stream_diff_; }
-
- private:
-  unsigned width_;
-  const PackedStreamRecorder& prediction_;
-  PackedMisr& misr_;
-  std::size_t pos_ = 0;
-  LaneMask stream_diff_ = 0;
-};
-
-class MisrFeedSink final : public PackedReadSink {
- public:
-  MisrFeedSink(unsigned width, PackedMisr& misr, PackedStreamRecorder& rec)
-      : width_(width), misr_(misr), rec_(rec) {}
-  void on_read(std::size_t addr, const std::uint64_t* value) override {
-    misr_.feed(value, width_);
-    rec_.on_read(addr, value);
-  }
-
- private:
-  unsigned width_;
-  PackedMisr& misr_;
-  PackedStreamRecorder& rec_;
-};
-
-}  // namespace
-
-PackedTransparentOutcome PackedMarchRunner::run_transparent_session(const MarchTest& test,
-                                                                    const MarchTest& prediction,
-                                                                    unsigned misr_width) {
-  const unsigned w = mem_.word_width();
-  PackedTransparentOutcome out;
-
-  PackedStreamRecorder pred_stream(w);
-  PackedMisr pred_misr(misr_width);
-  MisrFeedSink pred_sink(w, pred_misr, pred_stream);
-  run_prediction(prediction, pred_sink);
-
-  PackedMisr test_misr(misr_width);
-  SessionTestSink test_sink(w, pred_stream, test_misr);
-  run_test(test, test_sink);
-
-  out.detected_exact = test_sink.stream_diff();
-  // A read-count mismatch makes the scalar stream comparison fail outright,
-  // in every lane.
-  if (test_sink.reads() != pred_stream.reads()) out.detected_exact = ~0ull;
-  out.detected_misr = pred_misr.diff(test_misr);
-  return out;
-}
+template class PackedMisrT<std::uint64_t>;
+template class PackedMarchRunnerT<std::uint64_t>;
 
 }  // namespace twm

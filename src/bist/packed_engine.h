@@ -1,11 +1,13 @@
-// Lane-parallel march test execution over PackedMemory: the batched
-// counterpart of bist/engine.h, evaluating 64 fault universes per pass.
+// Lane-parallel march test execution over PackedMemoryT: the batched
+// counterpart of bist/engine.h, evaluating one fault universe per lane of
+// the Block it is templated over (64, 256 or 512 per pass; see
+// memsim/lane_block.h).
 //
 // Execution styles mirror MarchRunner operation-for-operation:
 //
-//  * run_direct()     — nontransparent tests; returns the LaneMask of lanes
-//                       in which at least one Read mismatched its absolute
-//                       expected value.
+//  * run_direct()     — nontransparent tests; returns the lane mask of
+//                       lanes in which at least one Read mismatched its
+//                       absolute expected value.
 //  * run_test()       — transparent test pass; Write data is derived
 //                       per lane from the most recent Read of the same word
 //                       (base-estimate XOR operation mask).
@@ -13,78 +15,293 @@
 //                       read-value XOR operation-mask per lane.
 //
 // run_transparent_session() bundles both passes and reports, per lane, the
-// exact stream comparison and the MISR signature comparison.  PackedMisr
-// runs 64 Galois MISRs at once by keeping each signature bit as a lane
-// vector; it reproduces Misr (bist/misr.h) exactly, including the input
+// exact stream comparison and the MISR signature comparison.  PackedMisrT
+// runs one Galois MISR per lane at once by keeping each signature bit as a
+// lane block; it reproduces Misr (bist/misr.h) exactly, including the input
 // folding rule, so lane verdicts match the scalar engine's.
+//
+// Like the packed memory, the implementation is header-only so each SIMD
+// width compiles in its own arch-flagged translation unit; the 64-lane
+// aliases (PackedReadSink, PackedMisr, PackedMarchRunner) keep the PR 1
+// spelling and are pinned in packed_engine.cpp.
 #ifndef TWM_BIST_PACKED_ENGINE_H
 #define TWM_BIST_PACKED_ENGINE_H
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
+#include "bist/address_gen.h"
+#include "bist/misr.h"
 #include "march/test.h"
 #include "memsim/packed_memory.h"
 
 namespace twm {
 
-// Receives the lane vectors of every Read operation.  `value` spans the
+// Receives the lane blocks of every Read operation.  `value` spans the
 // word width and is only valid for the duration of the call.
-class PackedReadSink {
+template <class Block>
+class PackedReadSinkT {
  public:
-  virtual ~PackedReadSink() = default;
-  virtual void on_read(std::size_t addr, const std::uint64_t* value) = 0;
+  virtual ~PackedReadSinkT() = default;
+  virtual void on_read(std::size_t addr, const Block* value) = 0;
 };
 
-// 64 parallel Galois MISRs with the same feedback polynomial; signature bit
+// One Galois MISR per lane with the same feedback polynomial; signature bit
 // i across all lanes is state()[i].
-class PackedMisr {
+template <class Block>
+class PackedMisrT {
  public:
-  explicit PackedMisr(unsigned width);
+  explicit PackedMisrT(unsigned width) : state_(width), taps_(Misr::default_taps(width)) {
+    if (width == 0) throw std::invalid_argument("PackedMisr: zero width");
+  }
 
   unsigned width() const { return static_cast<unsigned>(state_.size()); }
 
-  // Folds one packed input word (input_width lane vectors) into all lane
+  // Folds one packed input word (input_width lane blocks) into all lane
   // signatures; replicates Misr::feed (shift, conditional feedback, XOR of
   // the width-folded input).
-  void feed(const std::uint64_t* input, unsigned input_width);
+  void feed(const Block* input, unsigned input_width) {
+    const unsigned w = width();
+    step();
+    // Fold the input into width-sized chunks (Misr::feed's rule, per lane).
+    for (unsigned i = 0; i < input_width; ++i) state_[i % w] ^= input[i];
+  }
 
-  const std::vector<std::uint64_t>& state() const { return state_; }
+  const std::vector<Block>& state() const { return state_; }
 
   // Lanes whose signature differs from `other`'s.
-  LaneMask diff(const PackedMisr& other) const;
+  Block diff(const PackedMisrT& other) const {
+    if (width() != other.width())
+      throw std::invalid_argument("PackedMisr::diff: width mismatch");
+    Block m{};
+    for (unsigned i = 0; i < width(); ++i) m |= state_[i] ^ other.state_[i];
+    return m;
+  }
 
  private:
-  void step();
+  void step() {
+    const unsigned w = width();
+    const Block carry = state_[w - 1];  // lanes whose MSB shifts out
+    for (unsigned i = w; i-- > 1;) state_[i] = state_[i - 1];
+    state_[0] = Block{};
+    for (unsigned t : taps_) state_[t] ^= carry;
+  }
 
-  std::vector<std::uint64_t> state_;  // [bit] -> lane vector
-  std::vector<unsigned> taps_;        // set bits of the feedback pattern
+  std::vector<Block> state_;    // [bit] -> lane block
+  std::vector<unsigned> taps_;  // set bits of the feedback pattern
 };
 
-struct PackedTransparentOutcome {
-  LaneMask detected_exact = 0;  // prediction/test read streams differ
-  LaneMask detected_misr = 0;   // MISR signatures differ
+template <class Block>
+struct PackedTransparentOutcomeT {
+  Block detected_exact{};  // prediction/test read streams differ
+  Block detected_misr{};   // MISR signatures differ
 };
 
-class PackedMarchRunner {
+template <class Block>
+class PackedMarchRunnerT {
  public:
-  explicit PackedMarchRunner(PackedMemory& mem) : mem_(mem) {}
+  explicit PackedMarchRunnerT(PackedMemoryT<Block>& mem) : mem_(mem) {}
 
-  LaneMask run_direct(const MarchTest& test);
-  void run_test(const MarchTest& test, PackedReadSink& sink);
-  void run_prediction(const MarchTest& prediction, PackedReadSink& sink);
+  Block run_direct(const MarchTest& test) {
+    const unsigned w = mem_.word_width();
+    Block mismatch{};
+    sweep(test, [&](std::size_t addr, const Op& op, const Block* mask) {
+      if (op.data.relative)
+        throw std::invalid_argument("run_direct: test contains transparent (relative) operations");
+      // For absolute specs, mask(w) == value(w, ·): the expected read value /
+      // the write data, broadcast over lanes.
+      if (op.is_write()) {
+        mem_.write(addr, mask);
+        return;
+      }
+      const Block* actual = mem_.read(addr);
+      for (unsigned j = 0; j < w; ++j) mismatch |= actual[j] ^ mask[j];
+    });
+    return mismatch;
+  }
 
-  PackedTransparentOutcome run_transparent_session(const MarchTest& test,
-                                                   const MarchTest& prediction,
-                                                   unsigned misr_width);
+  void run_test(const MarchTest& test, PackedReadSinkT<Block>& sink) {
+    const unsigned w = mem_.word_width();
+    // Per-lane base estimate of each word's initial content (the transparent
+    // BIST's word register, one copy per universe).
+    std::vector<Block> base(mem_.num_words() * w);
+    std::vector<bool> valid(mem_.num_words(), false);
+    std::vector<Block> data(w);
+
+    sweep(test, [&](std::size_t addr, const Op& op, const Block* mask) {
+      Block* b = &base[addr * w];
+      if (op.is_read()) {
+        const Block* v = mem_.read(addr);
+        sink.on_read(addr, v);
+        for (unsigned j = 0; j < w; ++j) b[j] = v[j] ^ mask[j];
+        valid[addr] = true;
+        return;
+      }
+      if (op.data.relative) {
+        if (!valid[addr])
+          throw std::logic_error("run_test: transparent write before any read of word");
+        for (unsigned j = 0; j < w; ++j) data[j] = b[j] ^ mask[j];
+        mem_.write(addr, data.data());
+      } else {
+        // Absolute write: mask(w) == value(w, ·), lane-uniform.
+        mem_.write(addr, mask);
+      }
+    });
+  }
+
+  void run_prediction(const MarchTest& prediction, PackedReadSinkT<Block>& sink) {
+    const unsigned w = mem_.word_width();
+    std::vector<Block> predicted(w);
+    sweep(prediction, [&](std::size_t addr, const Op& op, const Block* mask) {
+      if (op.is_write())
+        throw std::invalid_argument("run_prediction: prediction test must be read-only");
+      const Block* raw = mem_.read(addr);
+      for (unsigned j = 0; j < w; ++j) predicted[j] = raw[j] ^ mask[j];
+      sink.on_read(addr, predicted.data());
+    });
+  }
+
+  PackedTransparentOutcomeT<Block> run_transparent_session(const MarchTest& test,
+                                                           const MarchTest& prediction,
+                                                           unsigned misr_width);
 
  private:
-  template <typename PerOp>
-  void sweep(const MarchTest& test, PerOp&& per_op);
+  // Per-op broadcast masks of a test, flattened as [element][op].
+  static std::vector<std::vector<std::vector<Block>>> op_masks(const MarchTest& test,
+                                                               unsigned w) {
+    std::vector<std::vector<std::vector<Block>>> masks(test.elements.size());
+    for (std::size_t e = 0; e < test.elements.size(); ++e) {
+      masks[e].reserve(test.elements[e].ops.size());
+      for (const Op& op : test.elements[e].ops)
+        masks[e].push_back(broadcast_block<Block>(op.data.mask(w)));
+    }
+    return masks;
+  }
 
-  PackedMemory& mem_;
+  // Visits every (element, op, address) in march order, precomputing the
+  // broadcast data mask of each op once per element.
+  template <typename PerOp>
+  void sweep(const MarchTest& test, PerOp&& per_op) {
+    const unsigned w = mem_.word_width();
+    const auto masks = op_masks(test, w);
+    for (std::size_t e = 0; e < test.elements.size(); ++e) {
+      const MarchElement& elem = test.elements[e];
+      if (elem.pause_before) mem_.elapse(1);
+      if (elem.ops.empty()) continue;
+      for (AddressGen gen(elem.order, mem_.num_words()); !gen.done(); gen.advance()) {
+        const std::size_t addr = gen.current();
+        for (std::size_t i = 0; i < elem.ops.size(); ++i)
+          per_op(addr, elem.ops[i], masks[e][i].data());
+      }
+    }
+  }
+
+  PackedMemoryT<Block>& mem_;
 };
+
+namespace packed_detail {
+
+// Records the full packed read stream (flattened lane blocks).
+template <class Block>
+class StreamRecorder final : public PackedReadSinkT<Block> {
+ public:
+  explicit StreamRecorder(unsigned width) : width_(width) {}
+  void reserve_reads(std::size_t reads) { stream_.reserve(reads * width_); }
+  void on_read(std::size_t, const Block* value) override {
+    stream_.insert(stream_.end(), value, value + width_);
+  }
+  std::size_t reads() const { return stream_.size() / width_; }
+  const Block* at(std::size_t i) const { return &stream_[i * width_]; }
+
+ private:
+  unsigned width_;
+  std::vector<Block> stream_;
+};
+
+// Feeds reads into a packed MISR and diffs them against a recorded
+// prediction stream position-by-position.
+template <class Block>
+class SessionTestSink final : public PackedReadSinkT<Block> {
+ public:
+  SessionTestSink(unsigned width, const StreamRecorder<Block>& prediction,
+                  PackedMisrT<Block>& misr)
+      : width_(width), prediction_(prediction), misr_(misr) {}
+
+  void on_read(std::size_t, const Block* value) override {
+    misr_.feed(value, width_);
+    if (pos_ < prediction_.reads()) {
+      const Block* p = prediction_.at(pos_);
+      for (unsigned j = 0; j < width_; ++j) stream_diff_ |= value[j] ^ p[j];
+    }
+    ++pos_;
+  }
+
+  std::size_t reads() const { return pos_; }
+  Block stream_diff() const { return stream_diff_; }
+
+ private:
+  unsigned width_;
+  const StreamRecorder<Block>& prediction_;
+  PackedMisrT<Block>& misr_;
+  std::size_t pos_ = 0;
+  Block stream_diff_{};
+};
+
+template <class Block>
+class MisrFeedSink final : public PackedReadSinkT<Block> {
+ public:
+  MisrFeedSink(unsigned width, PackedMisrT<Block>& misr, StreamRecorder<Block>& rec)
+      : width_(width), misr_(misr), rec_(rec) {}
+  void on_read(std::size_t addr, const Block* value) override {
+    misr_.feed(value, width_);
+    rec_.on_read(addr, value);
+  }
+
+ private:
+  unsigned width_;
+  PackedMisrT<Block>& misr_;
+  StreamRecorder<Block>& rec_;
+};
+
+}  // namespace packed_detail
+
+template <class Block>
+PackedTransparentOutcomeT<Block> PackedMarchRunnerT<Block>::run_transparent_session(
+    const MarchTest& test, const MarchTest& prediction, unsigned misr_width) {
+  const unsigned w = mem_.word_width();
+  PackedTransparentOutcomeT<Block> out;
+
+  packed_detail::StreamRecorder<Block> pred_stream(w);
+  // The prediction is read-only, so its exact read count is known up front;
+  // reserving avoids reallocating the (lanes x width)-sized stream as it
+  // grows.
+  pred_stream.reserve_reads(prediction.op_count() * mem_.num_words());
+  PackedMisrT<Block> pred_misr(misr_width);
+  packed_detail::MisrFeedSink<Block> pred_sink(w, pred_misr, pred_stream);
+  run_prediction(prediction, pred_sink);
+
+  PackedMisrT<Block> test_misr(misr_width);
+  packed_detail::SessionTestSink<Block> test_sink(w, pred_stream, test_misr);
+  run_test(test, test_sink);
+
+  out.detected_exact = test_sink.stream_diff();
+  // A read-count mismatch makes the scalar stream comparison fail outright,
+  // in every lane.
+  if (test_sink.reads() != pred_stream.reads()) out.detected_exact = block_ones<Block>();
+  out.detected_misr = pred_misr.diff(test_misr);
+  return out;
+}
+
+// The PR 1 64-lane spellings.
+using PackedReadSink = PackedReadSinkT<std::uint64_t>;
+using PackedMisr = PackedMisrT<std::uint64_t>;
+using PackedTransparentOutcome = PackedTransparentOutcomeT<std::uint64_t>;
+using PackedMarchRunner = PackedMarchRunnerT<std::uint64_t>;
+
+extern template class PackedMisrT<std::uint64_t>;
+extern template class PackedMarchRunnerT<std::uint64_t>;
 
 }  // namespace twm
 

@@ -14,6 +14,7 @@
 #include "bist/engine.h"
 #include "core/complexity.h"
 #include "core/scheme1.h"
+#include "core/simd.h"
 #include "core/symmetric.h"
 #include "core/twm_ta.h"
 #include "march/library.h"
@@ -241,10 +242,22 @@ std::optional<SchemeKind> parse_scheme(const std::string& s, std::ostream& err) 
   return std::nullopt;
 }
 
+// CPU / build support table for the packed backend's lane-block widths.
+int cmd_simd(std::ostream& out) {
+  Table t({"width", "lanes", "supported"});
+  for (simd::Width w : simd::kAllWidths)
+    t.add_row({simd::to_string(w), std::to_string(simd::lanes(w)),
+               simd::supported(w) ? "yes" : "no"});
+  t.print(out);
+  out << "best: " << simd::to_string(simd::best_width()) << "\n";
+  return 0;
+}
+
 int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.positional.size() < 2) {
     err << "usage: coverage <march> --width B --words N [--scheme S|all] [--classes C,..]\n"
-           "                [--seeds 0,1,2] [--backend scalar|packed] [--threads T]\n";
+           "                [--seeds 0,1,2] [--backend scalar|packed] [--threads T]\n"
+           "                [--simd auto|64|256|512]\n";
     return 1;
   }
   const auto width = flag_unsigned(o, "width", std::nullopt, err);
@@ -271,6 +284,19 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   } else {
     opts.backend = CoverageBackend::Packed;
   }
+
+  if (auto it = o.flags.find("simd"); it != o.flags.end()) {
+    const auto req = simd::parse_request(it->second);
+    if (!req) {
+      err << "error: unknown simd width '" << it->second << "' (want auto|64|256|512)\n";
+      return 1;
+    }
+    opts.simd = *req;
+  }
+  // Resolve now so a forced-but-unsupported width errors before any
+  // campaign work (throws std::runtime_error, reported by run_cli).
+  const simd::Width simd_width =
+      opts.backend == CoverageBackend::Packed ? simd::resolve(opts.simd) : simd::Width::W64;
 
   const auto scheme_it = o.flags.find("scheme");
   const std::string scheme_name = scheme_it == o.flags.end() ? "twm" : scheme_it->second;
@@ -325,9 +351,11 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
       classes.push_back({"CFid", all_cfs(*words, *width, FaultClass::CFid, CfScope::Both)});
     else if (name == "cfin")
       classes.push_back({"CFin", all_cfs(*words, *width, FaultClass::CFin, CfScope::Both)});
+    else if (name == "af")
+      classes.push_back({"AF", all_afs(*words)});
     else {
       err << "error: unknown fault class '" << name
-          << "' (want saf|tf|ret|cfst|cfid|cfin)\n";
+          << "' (want saf|tf|ret|cfst|cfid|cfin|af)\n";
       return 1;
     }
   }
@@ -336,8 +364,11 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   const CampaignRunner runner(*words, *width, opts);
   out << "coverage: " << march.name << ", N=" << *words << ", B=" << *width << ", "
       << (all_schemes ? std::string("all schemes") : to_string(*scheme))
-      << ", backend=" << to_string(opts.backend) << ", threads=" << opts.threads << ", "
-      << seeds.size() << " contents\n";
+      << ", backend=" << to_string(opts.backend);
+  if (opts.backend == CoverageBackend::Packed)
+    out << " (simd " << simd::to_string(simd_width) << ", "
+        << (opts.simd == simd::Request::Auto ? "auto" : "forced") << ")";
+  out << ", threads=" << opts.threads << ", " << seeds.size() << " contents\n";
 
   std::size_t total_faults = 0;
   const auto t0 = std::chrono::steady_clock::now();
@@ -378,7 +409,7 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   const auto usage = [&err] {
-    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage> ...\n"
+    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage|simd> ...\n"
            "see src/cli/cli.h for the full synopsis\n";
     return 1;
   };
@@ -393,6 +424,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (cmd == "complexity") return cmd_complexity(*opts, out, err);
     if (cmd == "simulate") return cmd_simulate(*opts, out, err);
     if (cmd == "coverage") return cmd_coverage(*opts, out, err);
+    if (cmd == "simd") return cmd_simd(out);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -15,14 +15,22 @@
 //                                          run a transparent session and
 //                                          report the verdict
 //   coverage <march> --width B --words N [--scheme twm|twm-misr|sym|tsmarch|
-//            s1|tomt|ref|womarch|all] [--classes saf,tf,cfst,cfid,cfin,ret]
+//            s1|tomt|ref|womarch|all] [--classes saf,tf,cfst,cfid,cfin,ret,af]
 //            [--seeds 0,1,2] [--backend scalar|packed] [--threads T]
+//            [--simd auto|64|256|512]
 //                                          per-fault-class coverage campaign
 //                                          on the selected simulation backend
-//                                          (packed = 64 fault universes per
-//                                          bit-parallel pass); --scheme all
-//                                          sweeps every scheme and prints a
-//                                          scheme x fault-class table
+//                                          (packed = one fault universe per
+//                                          SIMD lane, 64/256/512 per
+//                                          bit-parallel pass; --simd auto
+//                                          picks the widest the CPU supports,
+//                                          a forced width errors cleanly when
+//                                          unsupported); --scheme all sweeps
+//                                          every scheme and prints a scheme x
+//                                          fault-class table
+//   simd                                   lane-block width support table for
+//                                          this CPU (cpuid probe) and the
+//                                          width `auto` resolves to
 // Returns 0 on success (for simulate: also when no fault is detected), 1 on
 // usage errors, 2 when simulate detects a fault.
 #ifndef TWM_CLI_CLI_H

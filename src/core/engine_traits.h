@@ -6,9 +6,14 @@
 // 64 bit-parallel universes per pass (PackedMemory + PackedMarchRunner +
 // PackedMisr).  The two backends differ only in their *data plane*:
 //
-//   ScalarEngine   Verdict = bool            one universe per session
-//   PackedEngine   Verdict = LaneMask        lane k of every value/verdict
-//                                            belongs to universe k
+//   ScalarEngine          Verdict = bool     one universe per session
+//   PackedEngineT<Block>  Verdict = Block    lane k of every value/verdict
+//                                            belongs to universe k; Block is
+//                                            std::uint64_t (64 lanes — the
+//                                            PackedEngine alias) or a wide
+//                                            LaneBlock<K> (256/512 lanes,
+//                                            compiled per width, selected at
+//                                            runtime via core/simd.h)
 //
 // Each trait struct maps the shared vocabulary — verdict algebra, fault
 // injection, the engine entry points, and the word/mask/signature
@@ -48,18 +53,21 @@ class XorAccumulator final : public ReadSink {
   BitVec acc_;
 };
 
-// 64 XOR accumulators at once: signature bit j across all lanes is acc()[j].
-class PackedXorAccumulator final : public PackedReadSink {
+// One XOR accumulator per lane: signature bit j across all lanes is acc()[j].
+template <class Block>
+class PackedXorAccumulatorT final : public PackedReadSinkT<Block> {
  public:
-  explicit PackedXorAccumulator(unsigned width) : acc_(width, 0) {}
-  void on_read(std::size_t, const std::uint64_t* value) override {
+  explicit PackedXorAccumulatorT(unsigned width) : acc_(width) {}
+  void on_read(std::size_t, const Block* value) override {
     for (std::size_t j = 0; j < acc_.size(); ++j) acc_[j] ^= value[j];
   }
-  const std::vector<std::uint64_t>& value() const { return acc_; }
+  const std::vector<Block>& value() const { return acc_; }
 
  private:
-  std::vector<std::uint64_t> acc_;
+  std::vector<Block> acc_;
 };
+
+using PackedXorAccumulator = PackedXorAccumulatorT<std::uint64_t>;
 
 struct ScalarEngine {
   using Verdict = bool;  // detected?
@@ -115,27 +123,28 @@ struct ScalarEngine {
   }
 };
 
-struct PackedEngine {
-  using Verdict = LaneMask;  // bit k: universe k detected
-  using Memory = PackedMemory;
-  using Runner = PackedMarchRunner;
-  using Misr = PackedMisr;
-  using Word = std::vector<std::uint64_t>;  // [bit] -> lane vector
-  using Mask = std::vector<std::uint64_t>;  // broadcast op mask
-  using Signature = std::vector<std::uint64_t>;
-  using Accumulator = PackedXorAccumulator;
+template <class Block>
+struct PackedEngineT {
+  using Verdict = Block;  // lane k: universe k detected
+  using Memory = PackedMemoryT<Block>;
+  using Runner = PackedMarchRunnerT<Block>;
+  using Misr = PackedMisrT<Block>;
+  using Word = std::vector<Block>;  // [bit] -> lane block
+  using Mask = std::vector<Block>;  // broadcast op mask
+  using Signature = std::vector<Block>;
+  using Accumulator = PackedXorAccumulatorT<Block>;
 
-  // Lane 0 stays fault-free (golden); faults occupy lanes 1..63.
-  static constexpr unsigned kFaultsPerUnit = kPackedLanes - 1;
+  // Lane 0 stays fault-free (golden); faults occupy the remaining lanes.
+  static constexpr unsigned kFaultsPerUnit = block_lanes_v<Block> - 1;
 
-  static Verdict used_mask(unsigned count) {
-    return ((count == kFaultsPerUnit ? ~0ull : (1ull << (count + 1)) - 1)) & ~1ull;
-  }
-  static bool bit(Verdict v, unsigned slot) { return (v >> (slot + 1)) & 1u; }
-  static bool saturated(Verdict v) { return v == ~0ull; }
+  // Lanes 1..count — a partial final batch must neither report phantom
+  // universes nor mask the golden lane (lane_block.h documents the rule).
+  static Verdict used_mask(unsigned count) { return block_used_mask<Block>(count); }
+  static bool bit(Verdict v, unsigned slot) { return block_bit(v, slot + 1); }
+  static bool saturated(Verdict v) { return v == block_ones<Block>(); }
 
   static void inject(Memory& mem, const Fault& f, unsigned slot) {
-    mem.inject(f, 1ull << (slot + 1));
+    mem.inject(f, block_lane<Block>(slot + 1));
   }
 
   static Verdict run_direct(Runner& runner, const MarchTest& test) {
@@ -147,16 +156,16 @@ struct PackedEngine {
   };
   static TransparentVerdicts run_transparent(Runner& runner, const MarchTest& test,
                                              const MarchTest& prediction, unsigned misr_width) {
-    const PackedTransparentOutcome out =
+    const PackedTransparentOutcomeT<Block> out =
         runner.run_transparent_session(test, prediction, misr_width);
     return {out.detected_exact, out.detected_misr};
   }
 
-  static Word make_word(unsigned width) { return Word(width, 0); }
-  static Mask make_mask(const BitVec& mask) { return broadcast_word(mask); }
+  static Word make_word(unsigned width) { return Word(width); }
+  static Mask make_mask(const BitVec& mask) { return broadcast_block<Block>(mask); }
   static void read_word(Memory& mem, std::size_t addr, Word& out) {
-    // The port's pointer is invalidated by the next write; take a copy.
-    const std::uint64_t* v = mem.read(addr);
+    // The port's pointer is invalidated by the next port op; take a copy.
+    const Block* v = mem.read(addr);
     std::copy(v, v + out.size(), out.begin());
   }
   static void write_word(Memory& mem, std::size_t addr, const Word& data) {
@@ -166,24 +175,27 @@ struct PackedEngine {
     for (std::size_t j = 0; j < dst.size(); ++j) dst[j] = src[j] ^ mask[j];
   }
   static Verdict parity_mismatch(const Word& w, bool expected) {
-    std::uint64_t parity = 0;
-    for (const std::uint64_t lanes : w) parity ^= lanes;
-    return parity ^ (expected ? ~0ull : 0ull);
+    Block parity{};
+    for (const Block& lanes : w) parity ^= lanes;
+    return expected ? parity ^ block_ones<Block>() : parity;
   }
   static Verdict differs(const Word& a, const Word& b) {
-    Verdict d = 0;
+    Verdict d{};
     for (std::size_t j = 0; j < a.size(); ++j) d |= a[j] ^ b[j];
     return d;
   }
 
   static Signature signature(const Accumulator& acc) { return acc.value(); }
   static Verdict signature_mismatch(const Accumulator& acc, const BitVec& expected) {
-    const Signature want = broadcast_word(expected);
-    Verdict d = 0;
+    const Signature want = broadcast_block<Block>(expected);
+    Verdict d{};
     for (std::size_t j = 0; j < want.size(); ++j) d |= acc.value()[j] ^ want[j];
     return d;
   }
 };
+
+// The PR 1 64-lane engine.
+using PackedEngine = PackedEngineT<std::uint64_t>;
 
 }  // namespace twm
 

@@ -1,0 +1,58 @@
+// Runtime SIMD width selection for the packed campaign backend.
+//
+// The packed stack is compiled three times — LaneBlock widths of 64, 256
+// and 512 lanes, the wide two in their own translation units built with
+// -mavx2 / -mavx512f (see src/analysis/campaign_w256.cpp, campaign_w512.cpp
+// and CMakeLists.txt) so their block loops become vector instructions.
+// Which of those translation units is safe to *execute* depends on the CPU
+// the process landed on, so every campaign resolves its width at runtime:
+//
+//   best_width()                 widest width this CPU supports (cpuid)
+//   resolve(Request::Auto)       best_width() — graceful downgrade
+//   resolve(Request::W512) ...   exactly that width, or std::runtime_error
+//                                when the CPU cannot execute it (the
+//                                forced-width contract a CI matrix relies
+//                                on: --simd 512 on a non-AVX-512 runner
+//                                must error cleanly, never SIGILL)
+//
+// On non-x86 builds only the 64-lane width reports as supported; the wide
+// code paths still compile (plain word loops) but are never dispatched.
+#ifndef TWM_CORE_SIMD_H
+#define TWM_CORE_SIMD_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace twm::simd {
+
+// Lane count doubles as the enum value: static_cast<unsigned>(w) == lanes.
+enum class Width : unsigned { W64 = 64, W256 = 256, W512 = 512 };
+
+inline constexpr Width kAllWidths[] = {Width::W64, Width::W256, Width::W512};
+
+inline constexpr unsigned lanes(Width w) { return static_cast<unsigned>(w); }
+
+// True when the running CPU can execute the lane-block code compiled for
+// `w` (W64: always; W256: AVX2; W512: AVX-512F).
+bool supported(Width w);
+
+// Widest supported width — the Auto choice.
+Width best_width();
+
+// A campaign's width request, as it comes in from --simd.
+enum class Request { Auto, W64, W256, W512 };
+
+// Parses "auto" | "64" | "256" | "512"; nullopt on anything else.
+std::optional<Request> parse_request(std::string_view s);
+
+// Auto -> best_width(); a forced width resolves to itself when supported
+// and throws std::runtime_error otherwise.
+Width resolve(Request r);
+
+std::string to_string(Width w);
+std::string to_string(Request r);
+
+}  // namespace twm::simd
+
+#endif  // TWM_CORE_SIMD_H

@@ -57,13 +57,6 @@ std::vector<bool> make_parity_ledger(const Memory& mem) {
   return ledger;
 }
 
-std::vector<bool> make_parity_ledger(const PackedMemory& mem) {
-  std::vector<bool> ledger(mem.num_words());
-  for (std::size_t i = 0; i < mem.num_words(); ++i)
-    ledger[i] = mem.lane_word(0, i).parity();
-  return ledger;
-}
-
 TomtResult run_tomt(Memory& mem, const std::vector<bool>& parity_ledger) {
   const auto s = run_tomt_session<ScalarEngine>(mem, parity_ledger);
   return {s.detected, s.fail_addr, s.operations};

@@ -39,9 +39,14 @@ MarchTest tomt_test(unsigned width);
 // Parity ledger for the current (assumed fault-free) contents.
 std::vector<bool> make_parity_ledger(const Memory& mem);
 
-// Ledger from a PackedMemory whose lanes still hold identical (pre-fault)
-// contents; reads lane 0.
-std::vector<bool> make_parity_ledger(const PackedMemory& mem);
+// Ledger from a packed memory (any lane-block width) whose lanes still hold
+// identical (pre-fault) contents; reads lane 0.
+template <class Block>
+std::vector<bool> make_parity_ledger(const PackedMemoryT<Block>& mem) {
+  std::vector<bool> ledger(mem.num_words());
+  for (std::size_t i = 0; i < mem.num_words(); ++i) ledger[i] = mem.lane_word(0, i).parity();
+  return ledger;
+}
 
 template <class Engine>
 struct TomtSessionResult {

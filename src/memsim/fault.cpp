@@ -12,6 +12,8 @@ std::string to_string(FaultClass c) {
     case FaultClass::CFid: return "CFid";
     case FaultClass::CFin: return "CFin";
     case FaultClass::RET: return "RET";
+    case FaultClass::AFna: return "AFna";
+    case FaultClass::AFaw: return "AFaw";
   }
   return "?";
 }
@@ -48,6 +50,12 @@ std::string Fault::describe() const {
       break;
     case FaultClass::RET:
       os << "(" << (value ? 1 : 0) << "," << retention << "u) @" << cell_str(victim);
+      break;
+    case FaultClass::AFna:
+      os << " @w" << victim.word;
+      break;
+    case FaultClass::AFaw:
+      os << " w" << victim.word << "~w" << aggressor.word;
       break;
   }
   if (is_coupling()) os << (intra_word() ? " [intra]" : " [inter]");
@@ -105,6 +113,21 @@ Fault Fault::ret(CellAddr cell, bool decay_value, unsigned hold_units) {
   f.victim = cell;
   f.value = decay_value;
   f.retention = hold_units;
+  return f;
+}
+
+Fault Fault::af_no_access(std::size_t word) {
+  Fault f;
+  f.cls = FaultClass::AFna;
+  f.victim = {word, 0};
+  return f;
+}
+
+Fault Fault::af_alias(std::size_t word, std::size_t also) {
+  Fault f;
+  f.cls = FaultClass::AFaw;
+  f.victim = {word, 0};
+  f.aggressor = {also, 0};
   return f;
 }
 

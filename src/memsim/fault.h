@@ -10,9 +10,20 @@
 //   CFin  inversion coupling fault <t>: when the aggressor undergoes
 //         transition t, the victim's content is inverted.
 //
+//   AFna  address-decoder fault, no access: the address decodes to no cell —
+//         writes are lost, reads return the floating bus (all zeros).
+//   AFaw  address-decoder fault, alias write: the address additionally
+//         decodes to a second word — writes raw-commit there too, reads
+//         wired-AND merge both words.
+//
 // A cell is addressed by (word index, bit index); coupling faults between
 // cells of the same word are the paper's intra-word CFs, between cells of
-// different words its inter-word CFs.
+// different words its inter-word CFs.  AF faults address whole words: the
+// victim word is the faulty address, the aggressor word (AFaw only) the
+// alias target.  The paper's fault model stops at SAF/TF/CF; AFs are the
+// standard companion model (van de Goor) — memsim/decoder_fault.h keeps the
+// address-mapping wrapper form, these Fault-level variants put the same
+// defects through the batched campaign backends.
 #ifndef TWM_MEMSIM_FAULT_H
 #define TWM_MEMSIM_FAULT_H
 
@@ -28,7 +39,7 @@ struct CellAddr {
   bool operator==(const CellAddr& o) const { return word == o.word && bit == o.bit; }
 };
 
-enum class FaultClass { SAF, TF, CFst, CFid, CFin, RET };
+enum class FaultClass { SAF, TF, CFst, CFid, CFin, RET, AFna, AFaw };
 
 enum class Transition { Up, Down };  // 0->1 / 1->0
 
@@ -46,6 +57,8 @@ struct Fault {
   }
   // Intra-word coupling: aggressor and victim share a word.
   bool intra_word() const { return is_coupling() && aggressor.word == victim.word; }
+  // Address-decoder fault (word-level port distortion, no cell defect).
+  bool is_decoder() const { return cls == FaultClass::AFna || cls == FaultClass::AFaw; }
 
   std::string describe() const;
 
@@ -58,6 +71,10 @@ struct Fault {
   // Data-retention fault: after `hold_units` pause units without a write to
   // the cell, its content decays to `decay_value` (a leaky DRAM-like cell).
   static Fault ret(CellAddr cell, bool decay_value, unsigned hold_units);
+  // AF1: `word` decodes to no cell.
+  static Fault af_no_access(std::size_t word);
+  // AF2: `word` additionally decodes to (aliases) word `also`.
+  static Fault af_alias(std::size_t word, std::size_t also);
 };
 
 std::string to_string(FaultClass c);

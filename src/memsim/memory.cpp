@@ -12,7 +12,19 @@ Memory::Memory(std::size_t num_words, unsigned word_width)
 
 BitVec Memory::read(std::size_t addr) {
   ++ops_;
-  return state_.at(addr);
+  BitVec v = state_.at(addr);
+  if (!has_af_) return v;
+  // AF port distortion, per fault in injection order: an AFna address sees
+  // the floating bus (zeros), an AFaw address the wired-AND of every cell
+  // it decodes to.
+  for (const Fault& f : faults_) {
+    if (f.victim.word != addr) continue;
+    if (f.cls == FaultClass::AFna)
+      v = BitVec::zeros(width_);
+    else if (f.cls == FaultClass::AFaw)
+      v = v & state_[f.aggressor.word];
+  }
+  return v;
 }
 
 void Memory::write(std::size_t addr, const BitVec& data) {
@@ -20,6 +32,13 @@ void Memory::write(std::size_t addr, const BitVec& data) {
   if (data.width() != width_) throw std::invalid_argument("Memory::write: width mismatch");
   const BitVec old = state_.at(addr);
   BitVec next = data;
+
+  // Step 0: an AFna address decodes to no cell — the write is lost (the
+  // word keeps its old value, so the later steps see no transitions).
+  if (has_af_) {
+    for (const Fault& f : faults_)
+      if (f.cls == FaultClass::AFna && f.victim.word == addr) next = old;
+  }
 
   // Step 1: transition faults suppress the failing transition.
   for (const Fault& f : faults_) {
@@ -53,7 +72,17 @@ void Memory::write(std::size_t addr, const BitVec& data) {
       set_bit(f.victim, !get_bit(f.victim));
   }
 
-  // A write refreshes the retention clock of any leaky cell it targets.
+  // Step 3.5: an AFaw address additionally decodes to the alias word — the
+  // committed value is raw-copied there (no TF/coupling interplay at the
+  // target; statics are re-enforced below).
+  if (has_af_) {
+    for (const Fault& f : faults_)
+      if (f.cls == FaultClass::AFaw && f.victim.word == addr)
+        state_[f.aggressor.word] = state_[addr];
+  }
+
+  // A write refreshes the retention clock of any leaky cell it targets
+  // (the row strobe happens even when a decoder fault loses the data).
   std::size_t ri = 0;
   for (const Fault& f : faults_) {
     if (f.cls != FaultClass::RET) continue;
@@ -96,11 +125,20 @@ void Memory::inject(const Fault& f) {
     if (c.word >= state_.size() || c.bit >= width_)
       throw std::out_of_range("Memory::inject: cell outside memory");
   };
-  check(f.victim);
-  if (f.is_coupling()) {
-    check(f.aggressor);
-    if (f.aggressor == f.victim)
-      throw std::invalid_argument("Memory::inject: aggressor == victim");
+  if (f.is_decoder()) {
+    if (f.victim.word >= state_.size() ||
+        (f.cls == FaultClass::AFaw && f.aggressor.word >= state_.size()))
+      throw std::out_of_range("Memory::inject: address outside memory");
+    if (f.cls == FaultClass::AFaw && f.aggressor.word == f.victim.word)
+      throw std::invalid_argument("Memory::inject: alias == address");
+    has_af_ = true;
+  } else {
+    check(f.victim);
+    if (f.is_coupling()) {
+      check(f.aggressor);
+      if (f.aggressor == f.victim)
+        throw std::invalid_argument("Memory::inject: aggressor == victim");
+    }
   }
   faults_.push_back(f);
   if (f.cls == FaultClass::RET) ret_age_.push_back(0);

@@ -6,15 +6,22 @@
 // are not part of the paper's model and are not simulated.
 //
 // Semantics of a write of `data` to word `addr`:
+//   0. an AFna decoder fault on the address loses the write (the word keeps
+//      its old value; retention clocks still refresh — the row strobe
+//      happens);
 //   1. per-bit transition faults may suppress 0->1 / 1->0 transitions;
 //   2. the word state is committed;
 //   3. CFid/CFin faults whose aggressor bit transitioned fire on their
 //      victims (no recursive re-triggering — the standard first-order
 //      simplification of march test analysis);
+//   3.5. an AFaw decoder fault raw-copies the committed word to its alias
+//      target (no TF/coupling interplay there);
 //   4. CFst faults whose aggressor is in the activating state force their
 //      victims;
 //   5. stuck-at cells are re-forced to the stuck value (a SAF dominates any
 //      other effect on the same cell).
+// A read returns the stored word, distorted by any AF decoder fault on the
+// address (AFna: floating bus zeros; AFaw: wired-AND of the decoded words).
 #ifndef TWM_MEMSIM_MEMORY_H
 #define TWM_MEMSIM_MEMORY_H
 
@@ -56,6 +63,7 @@ class Memory : public MemoryIf {
   void clear_faults() {
     faults_.clear();
     ret_age_.clear();
+    has_af_ = false;
   }
   const std::vector<Fault>& faults() const { return faults_; }
 
@@ -86,6 +94,7 @@ class Memory : public MemoryIf {
   // Pause units since the last write of each retention fault's cell;
   // parallel to the RET entries' order of appearance in faults_.
   std::vector<unsigned> ret_age_;
+  bool has_af_ = false;  // any decoder fault injected (AF port distortion)
   std::uint64_t ops_ = 0;
 };
 

@@ -1,174 +1,11 @@
+// Pins the 64-lane instantiation of the packed simulator into the base
+// library (compiled without extra arch flags — it must run on any x86-64).
+// The 256/512-lane instantiations live in src/analysis/campaign_w256.cpp /
+// campaign_w512.cpp, compiled with -mavx2 / -mavx512f.
 #include "memsim/packed_memory.h"
-
-#include <algorithm>
-#include <stdexcept>
 
 namespace twm {
 
-std::vector<std::uint64_t> broadcast_word(const BitVec& word) {
-  std::vector<std::uint64_t> out(word.width());
-  for (unsigned j = 0; j < word.width(); ++j) out[j] = word.get(j) ? ~0ull : 0ull;
-  return out;
-}
-
-PackedMemory::PackedMemory(std::size_t num_words, unsigned word_width)
-    : words_(num_words),
-      width_(word_width),
-      state_(num_words * word_width, 0),
-      old_(word_width, 0),
-      next_(word_width, 0) {
-  if (num_words == 0 || word_width == 0)
-    throw std::invalid_argument("PackedMemory: empty geometry");
-}
-
-const std::uint64_t* PackedMemory::read(std::size_t addr) {
-  ++ops_;
-  if (addr >= words_) throw std::out_of_range("PackedMemory::read");
-  return &state_[addr * width_];
-}
-
-void PackedMemory::write(std::size_t addr, const std::uint64_t* data) {
-  ++ops_;
-  if (addr >= words_) throw std::out_of_range("PackedMemory::write");
-  std::uint64_t* word = &state_[addr * width_];
-  std::copy(word, word + width_, old_.begin());
-  std::copy(data, data + width_, next_.begin());
-
-  // Step 1: transition faults suppress the failing transition (per lane).
-  for (const LaneFault& lf : faults_) {
-    const Fault& f = lf.fault;
-    if (f.cls != FaultClass::TF || f.victim.word != addr) continue;
-    const std::uint64_t o = old_[f.victim.bit];
-    const std::uint64_t n = next_[f.victim.bit];
-    const std::uint64_t transitioning = f.trans == Transition::Up ? (~o & n) : (o & ~n);
-    const std::uint64_t suppressed = transitioning & lf.lanes;
-    next_[f.victim.bit] = (n & ~suppressed) | (o & suppressed);
-  }
-
-  // Step 2: commit.
-  std::copy(next_.begin(), next_.end(), word);
-
-  // Step 3: dynamic coupling faults triggered by aggressor transitions
-  // caused by this write.  The aggressor is sampled from the live state, so
-  // earlier coupling effects on the same word are seen — matching the
-  // scalar simulator's fault-by-fault ordering per lane.
-  for (const LaneFault& lf : faults_) {
-    const Fault& f = lf.fault;
-    if ((f.cls != FaultClass::CFid && f.cls != FaultClass::CFin) || f.aggressor.word != addr)
-      continue;
-    const std::uint64_t o = old_[f.aggressor.bit];
-    const std::uint64_t n = cell(f.aggressor);
-    const std::uint64_t transitioning = f.trans == Transition::Up ? (~o & n) : (o & ~n);
-    const std::uint64_t fired = transitioning & lf.lanes;
-    if (f.cls == FaultClass::CFid)
-      force(cell(f.victim), f.value, fired);
-    else
-      cell(f.victim) ^= fired;
-  }
-
-  // A write refreshes the retention clock of any leaky cell it targets.
-  // The refresh is lane-independent: every lane performs the same write.
-  std::size_t ri = 0;
-  for (const LaneFault& lf : faults_) {
-    if (lf.fault.cls != FaultClass::RET) continue;
-    if (lf.fault.victim.word == addr) ret_age_[ri] = 0;
-    ++ri;
-  }
-
-  // Steps 4 and 5.
-  enforce_static_faults();
-}
-
-void PackedMemory::elapse(unsigned units) {
-  std::size_t ri = 0;
-  for (const LaneFault& lf : faults_) {
-    if (lf.fault.cls != FaultClass::RET) continue;
-    ret_age_[ri] += units;
-    if (ret_age_[ri] >= lf.fault.retention) force(cell(lf.fault.victim), lf.fault.value, lf.lanes);
-    ++ri;
-  }
-  // Decay may expose cells to static coupling conditions.
-  if (ri != 0) enforce_static_faults();
-}
-
-void PackedMemory::enforce_static_faults() {
-  // CFst chains are resolved in injection order; two passes give a fixpoint
-  // for all single-fault and non-cyclic multi-fault configurations (the
-  // same contract as the scalar Memory).
-  for (int pass = 0; pass < 2; ++pass) {
-    for (const LaneFault& lf : faults_) {
-      const Fault& f = lf.fault;
-      if (f.cls != FaultClass::CFst) continue;
-      const std::uint64_t agg = cell(f.aggressor);
-      const std::uint64_t active = (f.state ? agg : ~agg) & lf.lanes;
-      force(cell(f.victim), f.value, active);
-    }
-  }
-  for (const LaneFault& lf : faults_) {
-    if (lf.fault.cls == FaultClass::SAF) force(cell(lf.fault.victim), lf.fault.value, lf.lanes);
-  }
-}
-
-void PackedMemory::inject(const Fault& f, LaneMask lanes) {
-  auto check = [this](const CellAddr& c) {
-    if (c.word >= words_ || c.bit >= width_)
-      throw std::out_of_range("PackedMemory::inject: cell outside memory");
-  };
-  check(f.victim);
-  if (f.is_coupling()) {
-    check(f.aggressor);
-    if (f.aggressor == f.victim)
-      throw std::invalid_argument("PackedMemory::inject: aggressor == victim");
-  }
-  faults_.push_back({f, lanes});
-  if (f.cls == FaultClass::RET) ret_age_.push_back(0);
-  enforce_static_faults();
-}
-
-void PackedMemory::clear_faults() {
-  faults_.clear();
-  ret_age_.clear();
-}
-
-void PackedMemory::load(const std::vector<BitVec>& contents) {
-  if (contents.size() != words_)
-    throw std::invalid_argument("PackedMemory::load: word count mismatch");
-  for (const auto& w : contents)
-    if (w.width() != width_) throw std::invalid_argument("PackedMemory::load: width mismatch");
-  for (std::size_t a = 0; a < words_; ++a) {
-    const auto packed = broadcast_word(contents[a]);
-    std::copy(packed.begin(), packed.end(), state_.begin() + a * width_);
-  }
-  enforce_static_faults();
-}
-
-void PackedMemory::fill(const BitVec& pattern) {
-  if (pattern.width() != width_) throw std::invalid_argument("PackedMemory::fill: width mismatch");
-  const auto packed = broadcast_word(pattern);
-  for (std::size_t a = 0; a < words_; ++a)
-    std::copy(packed.begin(), packed.end(), state_.begin() + a * width_);
-  enforce_static_faults();
-}
-
-void PackedMemory::fill_random(Rng& rng) {
-  // Consumes the generator exactly like Memory::fill_random, so the same
-  // seed broadcasts the same contents the scalar evaluation path sees.
-  for (std::size_t a = 0; a < words_; ++a) {
-    const auto packed = broadcast_word(rng.next_word(width_));
-    std::copy(packed.begin(), packed.end(), state_.begin() + a * width_);
-  }
-  enforce_static_faults();
-}
-
-bool PackedMemory::lane_bit(unsigned lane, std::size_t addr, unsigned bit) const {
-  if (lane >= kPackedLanes) throw std::out_of_range("PackedMemory::lane_bit");
-  return (state_.at(addr * width_ + bit) >> lane) & 1u;
-}
-
-BitVec PackedMemory::lane_word(unsigned lane, std::size_t addr) const {
-  BitVec v(width_);
-  for (unsigned j = 0; j < width_; ++j) v.set(j, lane_bit(lane, addr, j));
-  return v;
-}
+template class PackedMemoryT<std::uint64_t>;
 
 }  // namespace twm

@@ -1,34 +1,63 @@
-// Bit-parallel batched fault simulator: 64 independent fault universes per
-// machine word.
+// Bit-parallel batched fault simulator: one fault universe per lane of a
+// lane block (64, 256 or 512 universes per machine pass).
 //
-// PackedMemory models the same N x B functional RAM as Memory (memory.h),
-// but stores each cell (word, bit) as a 64-bit lane vector: bit k of the
-// stored uint64_t is the cell's value in universe (lane) k.  Faults are
-// injected with a LaneMask restricting them to a subset of lanes, so one
-// PackedMemory simulates up to 64 different fault configurations — by
-// convention lane 0 is kept fault-free (the golden universe batched
-// coverage evaluation uses as a self-check).
+// PackedMemoryT<Block> models the same N x B functional RAM as Memory
+// (memory.h), but stores each cell (word, bit) as a lane block: lane k of
+// the stored Block is the cell's value in universe k.  Block is any type
+// satisfying the concept in memsim/lane_block.h — std::uint64_t (the
+// original 64-lane layout; PackedMemory aliases it) or LaneBlock<K> for
+// K x 64 lanes.  Faults are injected with a Block-typed lane mask
+// restricting them to a subset of lanes, so one memory simulates up to
+// block_lanes_v<Block> different fault configurations — by convention lane
+// 0 is kept fault-free (the golden universe batched coverage evaluation
+// uses as a self-check).
 //
 // The write semantics are the documented five steps of Memory::write
 // (transition suppression, commit, CFid/CFin aggressor-fire, CFst
-// enforcement, SAF dominance) plus RET aging, each implemented as
-// lane-masked bitwise operations instead of per-fault branches; faults are
-// applied in injection order, so every lane observes exactly the effect
-// sequence the scalar simulator would produce for its fault subset
-// (tests/packed_memory_test.cpp proves this differentially).
+// enforcement, SAF dominance) plus RET aging and the AF decoder-fault
+// port distortions, each implemented as lane-masked bitwise operations
+// instead of per-fault branches; faults are applied in injection order, so
+// every lane observes exactly the effect sequence the scalar simulator
+// would produce for its fault subset (tests/packed_memory_test.cpp proves
+// this differentially).
 //
-// A packed word is passed around as `const uint64_t*` / `uint64_t*`
-// spanning word_width() entries; entry j is bit j of the word across all
-// lanes.  Data identical in every lane ("broadcast") represents fault-free
-// inputs, e.g. absolute march write data.
+// Wide batches carry proportionally more faults per memory, so the port
+// operations must not scan the whole fault list: faults are indexed by
+// class and address at injection time, and static-fault enforcement after
+// a write walks only the CFst/SAF faults whose aggressor or victim lives
+// in a word the write disturbed.  Entries the walk skips are idempotent
+// no-ops: statics were already enforced after the previous operation,
+// nothing in their words changed since, and — the load-bearing condition —
+// no *other* fault's effect can re-activate them, because every injected
+// lane mask is pairwise disjoint (one fault per universe, the campaign
+// contract), so cross-fault CFst chains cannot exist.  The moment two
+// faults share a lane (multi-fault universes, as the differential tests
+// build) the simulator detects the overlap at inject time and falls back
+// to the global two-pass enforcement the scalar Memory performs.  This
+// keeps per-write fault work proportional to the faults the write can
+// actually disturb, which is what lets 256/512-lane blocks turn into real
+// throughput instead of longer fault scans.
+//
+// A packed word is passed around as `const Block*` / `Block*` spanning
+// word_width() entries; entry j is bit j of the word across all lanes.
+// Data identical in every lane ("broadcast") represents fault-free inputs,
+// e.g. absolute march write data.
+//
+// The whole implementation lives in this header: each SIMD width is
+// compiled in its own translation unit with the matching arch flags (see
+// src/analysis/campaign_w256.cpp / campaign_w512.cpp) so the per-block
+// loops auto-vectorize; packed_memory.cpp pins the 64-lane instantiation.
 #ifndef TWM_MEMSIM_PACKED_MEMORY_H
 #define TWM_MEMSIM_PACKED_MEMORY_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "memsim/fault.h"
+#include "memsim/lane_block.h"
 #include "util/bitvec.h"
 #include "util/rng.h"
 
@@ -36,70 +65,396 @@ namespace twm {
 
 inline constexpr unsigned kPackedLanes = 64;
 
-// Bit k set = the fault / event applies to (happened in) lane k.
+// Bit k set = the fault / event applies to (happened in) lane k.  The
+// 64-lane backend's mask type; wide backends use their Block as the mask.
 using LaneMask = std::uint64_t;
 
 // Broadcasts a lane-uniform (fault-free) word into packed form: entry j is
-// the all-ones or all-zero lane vector of the word's bit j.
-std::vector<std::uint64_t> broadcast_word(const BitVec& word);
+// the all-ones or all-zero lane block of the word's bit j.
+template <class Block>
+std::vector<Block> broadcast_block(const BitVec& word) {
+  std::vector<Block> out(word.width());
+  for (unsigned j = 0; j < word.width(); ++j)
+    out[j] = word.get(j) ? block_ones<Block>() : Block{};
+  return out;
+}
 
-class PackedMemory {
+inline std::vector<std::uint64_t> broadcast_word(const BitVec& word) {
+  return broadcast_block<std::uint64_t>(word);
+}
+
+template <class Block>
+class PackedMemoryT {
  public:
-  PackedMemory(std::size_t num_words, unsigned word_width);
+  PackedMemoryT(std::size_t num_words, unsigned word_width)
+      : words_(num_words),
+        width_(word_width),
+        state_(num_words * word_width),
+        tf_at_(num_words),
+        dyn_at_(num_words),
+        af_at_(num_words),
+        ret_at_(num_words),
+        cfst_at_(num_words),
+        saf_at_(num_words),
+        old_(word_width),
+        next_(word_width),
+        read_buf_(word_width) {
+    if (num_words == 0 || word_width == 0)
+      throw std::invalid_argument("PackedMemory: empty geometry");
+  }
 
   unsigned word_width() const { return width_; }
   std::size_t num_words() const { return words_; }
 
   // --- the memory port -------------------------------------------------
-  // Returned pointer spans word_width() lane vectors and stays valid until
-  // the next write/elapse/load to the memory.
-  const std::uint64_t* read(std::size_t addr);
-  // `data` spans word_width() lane vectors (per-lane write data).
-  void write(std::size_t addr, const std::uint64_t* data);
-  void elapse(unsigned units);
+  // Returned pointer spans word_width() lane blocks and stays valid until
+  // the next port operation (read/write/elapse) or load to the memory.
+  const Block* read(std::size_t addr) {
+    ++ops_;
+    if (addr >= words_) throw std::out_of_range("PackedMemory::read");
+    const Block* word = &state_[addr * width_];
+    if (af_at_[addr].empty()) return word;
+    // AF port distortion, per fault in injection order: AFna lanes see the
+    // floating bus (zeros), AFaw lanes the wired-AND of every decoded cell.
+    std::copy(word, word + width_, read_buf_.begin());
+    for (const std::uint32_t i : af_at_[addr]) {
+      const LaneFault& lf = faults_[i];
+      const Block keep = ~lf.lanes;
+      if (lf.fault.cls == FaultClass::AFna) {
+        for (unsigned j = 0; j < width_; ++j) read_buf_[j] &= keep;
+      } else {
+        for (unsigned j = 0; j < width_; ++j)
+          read_buf_[j] &= keep | cell({lf.fault.aggressor.word, j});
+      }
+    }
+    return read_buf_.data();
+  }
+
+  // `data` spans word_width() lane blocks (per-lane write data).
+  void write(std::size_t addr, const Block* data) {
+    ++ops_;
+    if (addr >= words_) throw std::out_of_range("PackedMemory::write");
+    Block* word = &state_[addr * width_];
+    std::copy(word, word + width_, old_.begin());
+    std::copy(data, data + width_, next_.begin());
+    touched_.clear();
+    touched_.push_back(addr);
+
+    // Step 0: an AFna address decodes to no cell — the write is lost in the
+    // faulted lanes (the cells keep their old value, so the later steps see
+    // no transitions there).
+    for (const std::uint32_t i : af_at_[addr]) {
+      const LaneFault& lf = faults_[i];
+      if (lf.fault.cls != FaultClass::AFna) continue;
+      for (unsigned j = 0; j < width_; ++j)
+        next_[j] = (next_[j] & ~lf.lanes) | (old_[j] & lf.lanes);
+    }
+
+    // Step 1: transition faults suppress the failing transition (per lane).
+    for (const std::uint32_t i : tf_at_[addr]) {
+      const LaneFault& lf = faults_[i];
+      const Fault& f = lf.fault;
+      const Block o = old_[f.victim.bit];
+      const Block n = next_[f.victim.bit];
+      const Block transitioning = f.trans == Transition::Up ? (~o & n) : (o & ~n);
+      const Block suppressed = transitioning & lf.lanes;
+      next_[f.victim.bit] = (n & ~suppressed) | (o & suppressed);
+    }
+
+    // Step 2: commit.
+    std::copy(next_.begin(), next_.end(), word);
+
+    // Step 3: dynamic coupling faults triggered by aggressor transitions
+    // caused by this write.  The aggressor is sampled from the live state,
+    // so earlier coupling effects on the same word are seen — matching the
+    // scalar simulator's fault-by-fault ordering per lane.
+    for (const std::uint32_t i : dyn_at_[addr]) {
+      const LaneFault& lf = faults_[i];
+      const Fault& f = lf.fault;
+      const Block o = old_[f.aggressor.bit];
+      const Block n = cell(f.aggressor);
+      const Block transitioning = f.trans == Transition::Up ? (~o & n) : (o & ~n);
+      const Block fired = transitioning & lf.lanes;
+      if (f.cls == FaultClass::CFid)
+        force(cell(f.victim), f.value, fired);
+      else
+        cell(f.victim) ^= fired;
+      touch(f.victim.word);
+    }
+
+    // Step 3.5: an AFaw address additionally decodes to the alias word —
+    // the committed value is raw-copied there in the faulted lanes (no
+    // TF/coupling interplay at the target; statics are re-enforced below).
+    for (const std::uint32_t i : af_at_[addr]) {
+      const LaneFault& lf = faults_[i];
+      if (lf.fault.cls != FaultClass::AFaw) continue;
+      const Block keep = ~lf.lanes;
+      for (unsigned j = 0; j < width_; ++j) {
+        Block& target = cell({lf.fault.aggressor.word, j});
+        target = (target & keep) | (cell({addr, j}) & lf.lanes);
+      }
+      touch(lf.fault.aggressor.word);
+    }
+
+    // A write refreshes the retention clock of any leaky cell it targets
+    // (the row strobe happens even when a decoder fault loses the data).
+    // The refresh is lane-independent: every lane performs the same write.
+    for (const std::uint32_t p : ret_at_[addr]) ret_entries_[p].age = 0;
+
+    // Steps 4 and 5, over the candidates the touched words can reach.
+    enforce_statics_touched();
+  }
+
+  void elapse(unsigned units) {
+    if (ret_entries_.empty()) return;
+    touched_.clear();
+    for (RetEntry& e : ret_entries_) {
+      const LaneFault& lf = faults_[e.idx];
+      e.age += units;
+      if (e.age >= lf.fault.retention) force(cell(lf.fault.victim), lf.fault.value, lf.lanes);
+      touch(lf.fault.victim.word);
+    }
+    // Decay may expose cells to static coupling conditions.
+    enforce_statics_touched();
+  }
 
   // --- fault management ------------------------------------------------
-  void inject(const Fault& f, LaneMask lanes);
-  void clear_faults();
+  void inject(const Fault& f, Block lanes) {
+    auto check = [this](const CellAddr& c) {
+      if (c.word >= words_ || c.bit >= width_)
+        throw std::out_of_range("PackedMemory::inject: cell outside memory");
+    };
+    if (f.is_decoder()) {
+      if (f.victim.word >= words_ || (f.cls == FaultClass::AFaw && f.aggressor.word >= words_))
+        throw std::out_of_range("PackedMemory::inject: address outside memory");
+      if (f.cls == FaultClass::AFaw && f.aggressor.word == f.victim.word)
+        throw std::invalid_argument("PackedMemory::inject: alias == address");
+    } else {
+      check(f.victim);
+      if (f.is_coupling()) {
+        check(f.aggressor);
+        if (f.aggressor == f.victim)
+          throw std::invalid_argument("PackedMemory::inject: aggressor == victim");
+      }
+    }
+    const std::uint32_t idx = static_cast<std::uint32_t>(faults_.size());
+    // Lane overlap disables the disjoint-lanes fast path for statics.
+    if (block_any(lanes & lanes_union_)) lanes_overlap_ = true;
+    lanes_union_ |= lanes;
+    faults_.push_back({f, lanes});
+    seen_.push_back(0);
+    switch (f.cls) {
+      case FaultClass::SAF:
+        saf_all_.push_back(idx);
+        saf_at_[f.victim.word].push_back(idx);
+        break;
+      case FaultClass::TF: tf_at_[f.victim.word].push_back(idx); break;
+      case FaultClass::CFst:
+        cfst_all_.push_back(idx);
+        cfst_at_[f.aggressor.word].push_back(idx);
+        if (f.victim.word != f.aggressor.word) cfst_at_[f.victim.word].push_back(idx);
+        break;
+      case FaultClass::CFid:
+      case FaultClass::CFin: dyn_at_[f.aggressor.word].push_back(idx); break;
+      case FaultClass::RET:
+        ret_at_[f.victim.word].push_back(static_cast<std::uint32_t>(ret_entries_.size()));
+        ret_entries_.push_back({idx, 0});
+        break;
+      case FaultClass::AFna:
+      case FaultClass::AFaw: af_at_[f.victim.word].push_back(idx); break;
+    }
+    // Enforce the new fault's static condition.  With pairwise-disjoint
+    // lane masks only the new fault itself can be newly active (its lanes
+    // hold no other fault to chain with, and it cannot disturb other
+    // lanes), so batch construction stays O(faults) instead of the
+    // O(faults^2) a global re-enforcement per inject would cost.  Any lane
+    // overlap falls back to the scalar Memory's global walk.
+    if (lanes_overlap_) {
+      enforce_static_faults();
+    } else if (f.cls == FaultClass::SAF) {
+      force(cell(f.victim), f.value, lanes);
+    } else if (f.cls == FaultClass::CFst) {
+      apply_cfst(idx);
+    }
+  }
+
+  void clear_faults() {
+    faults_.clear();
+    seen_.clear();
+    saf_all_.clear();
+    cfst_all_.clear();
+    ret_entries_.clear();
+    for (auto& v : tf_at_) v.clear();
+    for (auto& v : dyn_at_) v.clear();
+    for (auto& v : af_at_) v.clear();
+    for (auto& v : ret_at_) v.clear();
+    for (auto& v : cfst_at_) v.clear();
+    for (auto& v : saf_at_) v.clear();
+    lanes_union_ = Block{};
+    lanes_overlap_ = false;
+  }
 
   // --- backdoor access (broadcast: every lane gets the same contents) --
-  void load(const std::vector<BitVec>& contents);
-  void fill(const BitVec& pattern);
-  void fill_random(Rng& rng);
+  void load(const std::vector<BitVec>& contents) {
+    if (contents.size() != words_)
+      throw std::invalid_argument("PackedMemory::load: word count mismatch");
+    for (const auto& w : contents)
+      if (w.width() != width_) throw std::invalid_argument("PackedMemory::load: width mismatch");
+    for (std::size_t a = 0; a < words_; ++a) broadcast_into(contents[a], &state_[a * width_]);
+    enforce_static_faults();
+  }
+
+  void fill(const BitVec& pattern) {
+    if (pattern.width() != width_)
+      throw std::invalid_argument("PackedMemory::fill: width mismatch");
+    for (std::size_t a = 0; a < words_; ++a) broadcast_into(pattern, &state_[a * width_]);
+    enforce_static_faults();
+  }
+
+  void fill_random(Rng& rng) {
+    // Consumes the generator exactly like Memory::fill_random, so the same
+    // seed broadcasts the same contents the scalar evaluation path sees.
+    for (std::size_t a = 0; a < words_; ++a)
+      broadcast_into(rng.next_word(width_), &state_[a * width_]);
+    enforce_static_faults();
+  }
 
   // Lane extraction for differential checking against the scalar Memory.
-  bool lane_bit(unsigned lane, std::size_t addr, unsigned bit) const;
-  BitVec lane_word(unsigned lane, std::size_t addr) const;
+  bool lane_bit(unsigned lane, std::size_t addr, unsigned bit) const {
+    if (lane >= block_lanes_v<Block>) throw std::out_of_range("PackedMemory::lane_bit");
+    return block_bit(state_.at(addr * width_ + bit), lane);
+  }
+  BitVec lane_word(unsigned lane, std::size_t addr) const {
+    BitVec v(width_);
+    for (unsigned j = 0; j < width_; ++j) v.set(j, lane_bit(lane, addr, j));
+    return v;
+  }
 
-  // Direct cell access (no port-op accounting).
-  const std::uint64_t* peek(std::size_t addr) const { return &state_[addr * width_]; }
+  // Direct cell access (no port-op accounting, no AF port distortion).
+  const Block* peek(std::size_t addr) const { return &state_[addr * width_]; }
 
   std::uint64_t op_count() const { return ops_; }
   void reset_op_count() { ops_ = 0; }
 
  private:
-  std::uint64_t& cell(const CellAddr& c) { return state_[c.word * width_ + c.bit]; }
-  const std::uint64_t& cell(const CellAddr& c) const { return state_[c.word * width_ + c.bit]; }
-  // Forces `value` into the cell for the lanes in `mask`, leaving the other
-  // lanes untouched.
-  static void force(std::uint64_t& cell, bool value, LaneMask mask) {
-    cell = value ? (cell | mask) : (cell & ~mask);
-  }
-  void enforce_static_faults();
-
   struct LaneFault {
     Fault fault;
-    LaneMask lanes = 0;
+    Block lanes{};
   };
+  struct RetEntry {
+    std::uint32_t idx;  // into faults_
+    unsigned age;       // pause units since the cell's last write
+  };
+
+  Block& cell(const CellAddr& c) { return state_[c.word * width_ + c.bit]; }
+  const Block& cell(const CellAddr& c) const { return state_[c.word * width_ + c.bit]; }
+  // Broadcast without the temporary vector broadcast_block allocates.
+  void broadcast_into(const BitVec& word, Block* dst) const {
+    for (unsigned j = 0; j < width_; ++j) dst[j] = word.get(j) ? block_ones<Block>() : Block{};
+  }
+  // Forces `value` into the cell for the lanes in `mask`, leaving the other
+  // lanes untouched.
+  static void force(Block& cell, bool value, const Block& mask) {
+    cell = value ? (cell | mask) : (cell & ~mask);
+  }
+
+  void touch(std::size_t w) {
+    for (const std::size_t t : touched_)
+      if (t == w) return;
+    touched_.push_back(w);
+  }
+
+  // One CFst application (lane-masked); `i` indexes faults_.
+  void apply_cfst(std::uint32_t i) {
+    const LaneFault& lf = faults_[i];
+    const Fault& f = lf.fault;
+    const Block agg = cell(f.aggressor);
+    const Block active = (f.state ? agg : ~agg) & lf.lanes;
+    force(cell(f.victim), f.value, active);
+  }
+
+  // CFst chains are resolved in injection order; two passes give a fixpoint
+  // for all single-fault and non-cyclic multi-fault configurations (the
+  // same contract as the scalar Memory).  Then SAF dominance.
+  void apply_statics(const std::vector<std::uint32_t>& cfst,
+                     const std::vector<std::uint32_t>& saf) {
+    for (int pass = 0; pass < 2; ++pass)
+      for (const std::uint32_t i : cfst) apply_cfst(i);
+    for (const std::uint32_t i : saf)
+      force(cell(faults_[i].fault.victim), faults_[i].fault.value, faults_[i].lanes);
+  }
+
+  // Global enforcement — inject/load/fill disturb arbitrary state.
+  void enforce_static_faults() { apply_statics(cfst_all_, saf_all_); }
+
+  // Enforcement restricted to the statics whose aggressor or victim lives
+  // in a word the current operation disturbed.  Correct only under the
+  // pairwise-disjoint lane masks the campaign injects (no cross-fault
+  // chains possible — see the header comment); any overlap falls back to
+  // the global two-pass walk.
+  void enforce_statics_touched() {
+    if (cfst_all_.empty() && saf_all_.empty()) return;
+    if (lanes_overlap_) {
+      enforce_static_faults();
+      return;
+    }
+    if (touched_.size() == 1) {
+      const std::size_t w = touched_.front();
+      apply_statics(cfst_at_[w], saf_at_[w]);
+      return;
+    }
+    merge_cfst_.clear();
+    merge_saf_.clear();
+    for (const std::size_t w : touched_) {
+      for (const std::uint32_t i : cfst_at_[w])
+        if (!seen_[i]) {
+          seen_[i] = 1;
+          merge_cfst_.push_back(i);
+        }
+      for (const std::uint32_t i : saf_at_[w])
+        if (!seen_[i]) {
+          seen_[i] = 1;
+          merge_saf_.push_back(i);
+        }
+    }
+    // Index order == injection order, the order the passes must apply in.
+    std::sort(merge_cfst_.begin(), merge_cfst_.end());
+    std::sort(merge_saf_.begin(), merge_saf_.end());
+    apply_statics(merge_cfst_, merge_saf_);
+    for (const std::uint32_t i : merge_cfst_) seen_[i] = 0;
+    for (const std::uint32_t i : merge_saf_) seen_[i] = 0;
+  }
 
   std::size_t words_;
   unsigned width_;
-  std::vector<std::uint64_t> state_;  // [addr * width_ + bit] -> lane vector
+  std::vector<Block> state_;  // [addr * width_ + bit] -> lane block
   std::vector<LaneFault> faults_;
-  std::vector<unsigned> ret_age_;  // parallel to RET entries in faults_
-  std::vector<std::uint64_t> old_, next_;  // write-path scratch (one word each)
+
+  // Fault indexes (built incrementally at inject): per-address buckets of
+  // indexes into faults_, in injection order.
+  std::vector<std::vector<std::uint32_t>> tf_at_;   // TF by victim word
+  std::vector<std::vector<std::uint32_t>> dyn_at_;  // CFid/CFin by aggressor word
+  std::vector<std::vector<std::uint32_t>> af_at_;   // AFna/AFaw by faulty address
+  std::vector<std::vector<std::uint32_t>> ret_at_;  // RET by victim word -> ret_entries_ pos
+  std::vector<std::uint32_t> cfst_all_, saf_all_;   // statics, injection order
+  std::vector<std::vector<std::uint32_t>> cfst_at_;  // CFst by aggressor/victim word
+  std::vector<std::vector<std::uint32_t>> saf_at_;   // SAF by victim word
+  std::vector<RetEntry> ret_entries_;
+  Block lanes_union_{};          // OR of every injected lane mask
+  bool lanes_overlap_ = false;   // two faults share a lane -> global statics
+
+  std::vector<Block> old_, next_;  // write-path scratch (one word each)
+  std::vector<Block> read_buf_;    // AF-merged read scratch
+  std::vector<std::size_t> touched_;                // words disturbed by the current op
+  std::vector<std::uint32_t> merge_cfst_, merge_saf_;  // candidate-merge scratch
+  std::vector<char> seen_;                          // [fault idx] merge dedup flag
   std::uint64_t ops_ = 0;
 };
+
+// The PR 1 backend: 64 universes per std::uint64_t lane vector.
+using PackedMemory = PackedMemoryT<std::uint64_t>;
+
+extern template class PackedMemoryT<std::uint64_t>;
 
 }  // namespace twm
 

@@ -128,6 +128,38 @@ TEST(GoldenLane, CorruptedLaneZeroSessionVerdictTriggersAbort) {
   EXPECT_THROW(require_golden_lane_clear(verdict), std::logic_error);
 }
 
+// Same self-check through a wide lane block: lane 0 of word 0 is the golden
+// lane at every width.
+TEST(GoldenLane, WideLaneZeroCorruptionTriggersAbort) {
+  const MarchTest march = march_by_name("March C-");
+  const SchemePlan plan = make_scheme_plan(SchemeKind::ProposedExact, march, kWidth);
+
+  PackedMemoryT<LaneBlock<4>> mem(kWords, kWidth);
+  mem.inject(Fault::saf({1, 2}, true), block_lane<LaneBlock<4>>(0));
+  const LaneBlock<4> verdict = run_scheme_session<PackedEngineT<LaneBlock<4>>>(mem, plan, {});
+
+  EXPECT_TRUE(block_bit(verdict, 0)) << "lane-0 fault must be detected in lane 0";
+  EXPECT_THROW(require_golden_lane_clear(verdict.w[0]), std::logic_error);
+}
+
+// A fault in the last lane of a wide block must be reported in that slot
+// and leave the golden lane clear (no phantom universes, no lane mixing).
+TEST(GoldenLane, LastWideLaneVerdictLandsInItsSlot) {
+  const MarchTest march = march_by_name("March C-");
+  const SchemePlan plan = make_scheme_plan(SchemeKind::ProposedExact, march, kWidth);
+
+  using Block = LaneBlock<8>;
+  constexpr unsigned kLast = block_lanes_v<Block> - 1;
+  PackedMemoryT<Block> mem(kWords, kWidth);
+  mem.inject(Fault::saf({0, 1}, true), block_lane<Block>(kLast));
+  const Block verdict = run_scheme_session<PackedEngineT<Block>>(mem, plan, {});
+
+  EXPECT_TRUE(block_bit(verdict, kLast));
+  EXPECT_FALSE(block_bit(verdict, 0));
+  for (unsigned lane = 1; lane < kLast; ++lane)
+    EXPECT_FALSE(block_bit(verdict, lane)) << lane;
+}
+
 // --- verdict matrix ----------------------------------------------------
 
 TEST(VerdictMatrix, DimensionsAndDerivedVerdictsMatchAggregates) {

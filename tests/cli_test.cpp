@@ -233,6 +233,78 @@ TEST(Cli, CoverageRejectsUnknownBackendWithMessage) {
   EXPECT_NE(r.err.find("scalar|packed"), std::string::npos);
 }
 
+TEST(Cli, SimdPrintsSupportTableAndBest) {
+  const auto r = cli({"simd"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("width"), std::string::npos);
+  EXPECT_NE(r.out.find("512"), std::string::npos);
+  EXPECT_NE(r.out.find("best: "), std::string::npos);
+  // 64 lanes are always supported, so the best line carries a valid width.
+  const bool best_valid = r.out.find("best: 64") != std::string::npos ||
+                          r.out.find("best: 256") != std::string::npos ||
+                          r.out.find("best: 512") != std::string::npos;
+  EXPECT_TRUE(best_valid) << r.out;
+}
+
+TEST(Cli, CoverageReportsResolvedSimdWidth) {
+  const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--classes",
+                      "saf", "--simd", "64"});
+  EXPECT_EQ(r.rc, 0) << r.err;
+  EXPECT_NE(r.out.find("simd 64, forced"), std::string::npos) << r.out;
+  const auto a = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--classes",
+                      "saf", "--simd", "auto"});
+  EXPECT_EQ(a.rc, 0) << a.err;
+  EXPECT_NE(a.out.find("auto"), std::string::npos) << a.out;
+  // The scalar backend has no lanes and prints no simd note.
+  const auto s = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--classes",
+                      "saf", "--backend", "scalar", "--simd", "64"});
+  EXPECT_EQ(s.rc, 0) << s.err;
+  EXPECT_EQ(s.out.find("simd"), std::string::npos) << s.out;
+}
+
+TEST(Cli, CoverageForcedWidthsMatchDefault) {
+  // Forced widths the CPU supports must reproduce the auto table exactly;
+  // a forced width it cannot execute must error cleanly (tested wherever
+  // the host lacks one).
+  const std::vector<std::string> base{"coverage", "March C-",  "--width", "4",
+                                      "--words",  "4",         "--seeds", "0,1",
+                                      "--classes", "saf,tf,af"};
+  auto with_simd = [&](const std::string& w) {
+    auto args = base;
+    args.push_back("--simd");
+    args.push_back(w);
+    return cli(args);
+  };
+  const auto table_of = [](const std::string& out) {
+    return out.substr(out.find('\n') + 1);  // drop the header line (names the width)
+  };
+  const auto ref = with_simd("64");
+  ASSERT_EQ(ref.rc, 0) << ref.err;
+  for (const std::string w : {"256", "512"}) {
+    const auto r = with_simd(w);
+    const auto probe = cli({"simd"});
+    const bool supported = probe.out.find("| " + w + "   | " + w + "   | yes") !=
+                           std::string::npos;
+    if (supported) {
+      EXPECT_EQ(r.rc, 0) << r.err;
+      // Same coverage numbers, fault counts, and totals at every width.
+      EXPECT_EQ(table_of(r.out).substr(0, table_of(r.out).rfind(" faults in")),
+                table_of(ref.out).substr(0, table_of(ref.out).rfind(" faults in")))
+          << "--simd " << w;
+    } else {
+      EXPECT_EQ(r.rc, 1);
+      EXPECT_NE(r.err.find("not supported"), std::string::npos) << r.err;
+    }
+  }
+}
+
+TEST(Cli, CoverageRejectsUnknownSimdWidth) {
+  const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--simd", "128"});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("unknown simd width '128'"), std::string::npos);
+  EXPECT_NE(r.err.find("auto|64|256|512"), std::string::npos);
+}
+
 TEST(Cli, CoverageRejectsBadInput) {
   EXPECT_EQ(cli({"coverage", "March C-"}).rc, 1);  // no geometry
   EXPECT_EQ(cli({"coverage", "March C-", "--width", "4", "--words", "2", "--backend",

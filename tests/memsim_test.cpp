@@ -218,6 +218,45 @@ TEST(Memory, ClearFaultsStopsInjection) {
   EXPECT_EQ(m.read(0).to_string(), "00");
 }
 
+// --- address-decoder faults (AFna / AFaw) ------------------------------
+
+TEST(Memory, AfNoAccessLosesWritesAndReadsFloatingBus) {
+  Memory m(2, 2);
+  m.write(0, bv("11"));
+  m.write(1, bv("10"));
+  m.inject(Fault::af_no_access(0));
+  EXPECT_EQ(m.read(0).to_string(), "00") << "reads float to zero";
+  EXPECT_EQ(m.peek(0).to_string(), "11") << "the cells themselves keep their data";
+  m.write(0, bv("01"));
+  EXPECT_EQ(m.peek(0).to_string(), "11") << "the write is lost";
+  EXPECT_EQ(m.read(1).to_string(), "10") << "other addresses are unaffected";
+}
+
+TEST(Memory, AfAliasWritesThroughAndMergesReadsWiredAnd) {
+  Memory m(3, 2);
+  m.write(1, bv("10"));
+  m.inject(Fault::af_alias(0, 1));
+  m.write(0, bv("11"));
+  EXPECT_EQ(m.peek(0).to_string(), "11");
+  EXPECT_EQ(m.peek(1).to_string(), "11") << "the write also hits the alias target";
+  m.write(1, bv("01"));
+  EXPECT_EQ(m.read(0).to_string(), "01") << "read merges 11 AND 01";
+  EXPECT_EQ(m.read(1).to_string(), "01") << "the target itself reads normally";
+  EXPECT_EQ(m.read(2).to_string(), "00");
+}
+
+TEST(Memory, AfInjectValidation) {
+  Memory m(2, 2);
+  EXPECT_THROW(m.inject(Fault::af_no_access(2)), std::out_of_range);
+  EXPECT_THROW(m.inject(Fault::af_alias(0, 2)), std::out_of_range);
+  EXPECT_THROW(m.inject(Fault::af_alias(1, 1)), std::invalid_argument);
+  m.inject(Fault::af_alias(0, 1));
+  m.clear_faults();
+  m.write(0, bv("10"));
+  EXPECT_EQ(m.read(0).to_string(), "10") << "clear_faults removes the decoder fault";
+  EXPECT_EQ(m.peek(1).to_string(), "00");
+}
+
 // Property: with no faults, load + snapshot round-trips any contents.
 TEST(Memory, SnapshotRoundTrip) {
   Memory m(8, 16);

@@ -18,18 +18,23 @@ CellAddr random_cell(Rng& rng, std::size_t words, unsigned width) {
   return {rng.next_below(words), static_cast<unsigned>(rng.next_below(width))};
 }
 
-// A random fault of any class.  Coupling faults get a distinct aggressor.
+// A random fault of any class (decoder faults included).  Coupling faults
+// get a distinct aggressor, alias faults a distinct target word.
 Fault random_fault(Rng& rng, std::size_t words, unsigned width) {
   const CellAddr victim = random_cell(rng, words, width);
   CellAddr aggressor = victim;
   while (aggressor == victim) aggressor = random_cell(rng, words, width);
   const Transition tr = rng.next_bool() ? Transition::Up : Transition::Down;
-  switch (rng.next_below(6)) {
+  switch (rng.next_below(8)) {
     case 0: return Fault::saf(victim, rng.next_bool());
     case 1: return Fault::tf(victim, tr);
     case 2: return Fault::cfst(aggressor, rng.next_bool(), victim, rng.next_bool());
     case 3: return Fault::cfid(aggressor, tr, victim, rng.next_bool());
     case 4: return Fault::cfin(aggressor, tr, victim);
+    case 5: return Fault::af_no_access(victim.word);
+    case 6:
+      return Fault::af_alias(victim.word,
+                             victim.word == 0 ? words - 1 : victim.word - 1);
     default: return Fault::ret(victim, rng.next_bool(), 1 + rng.next_below(3));
   }
 }
