@@ -11,9 +11,10 @@
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/coverage.h"
 #include "analysis/fault_list.h"
 #include "analysis/report.h"
+#include "api/runner.h"
+#include "bench_common.h"
 #include "bist/engine.h"
 #include "core/symmetric.h"
 #include "core/twm_ta.h"
@@ -22,8 +23,9 @@
 #include "util/rng.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace twm;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   const std::size_t kWords = 6;
   const unsigned kWidth = 8;
   const MarchTest bit = march_by_name("March C-");
@@ -61,24 +63,29 @@ int main() {
               st.test.op_count(), twm.twmarch.op_count() + twm.prediction.op_count(),
               twm.prediction.op_count(), twm.twmarch.op_count());
 
-  CoverageEvaluator eval(kWords, kWidth);
-  const std::vector<std::uint64_t> seeds{0, 1, 2};
+  // One declarative campaign: both schemes over the full (exhaustive)
+  // class selection — what the sampled lists approximated before the
+  // packed backend made exhaustive affordable.
+  api::CampaignSpec spec = args.spec;
+  spec.name = "aliasing-sym-vs-misr";
+  spec.words = kWords;
+  spec.width = kWidth;
+  spec.march = "March C-";
+  spec.schemes = {SchemeKind::ProposedSymmetricXor, SchemeKind::ProposedMisr};
+  spec.classes = *api::parse_classes("saf,tf,cfid,cfin");
+  spec.seeds = {0, 1, 2};
+  const api::CampaignSummary summary = api::run_campaign(spec);
+
   Table c({"fault class", "faults", "symmetric XOR (all)", "prediction+MISR (all)"});
-  struct Spec {
-    std::string name;
-    std::vector<Fault> list;
-  };
-  Rng srng(9);
-  const Spec specs[] = {
-      {"SAF", all_safs(kWords, kWidth)},
-      {"TF", all_tfs(kWords, kWidth)},
-      {"CFid (sampled)", sampled_cfs(kWords, kWidth, FaultClass::CFid, CfScope::Both, 120, srng)},
-      {"CFin (sampled)", sampled_cfs(kWords, kWidth, FaultClass::CFin, CfScope::Both, 120, srng)},
-  };
-  for (const auto& s : specs) {
-    const auto sym = eval.evaluate(SchemeKind::ProposedSymmetricXor, bit, s.list, seeds);
-    const auto msr = eval.evaluate(SchemeKind::ProposedMisr, bit, s.list, seeds);
-    c.add_row({s.name, std::to_string(s.list.size()), coverage_str(sym), coverage_str(msr)});
+  for (const api::ClassSel& cls : spec.classes) {
+    const CoverageOutcome* sym = nullptr;
+    const CoverageOutcome* msr = nullptr;
+    for (const api::CellResult& cell : summary.cells) {
+      if (!(cell.cls == cls)) continue;
+      (cell.scheme == SchemeKind::ProposedSymmetricXor ? sym : msr) = &cell.outcome;
+    }
+    c.add_row({api::class_label(cls), std::to_string(sym->total), coverage_str(*sym),
+               coverage_str(*msr)});
   }
   c.print(std::cout);
   std::cout << "\nThe XOR accumulator trades the prediction pass away for structural\n"

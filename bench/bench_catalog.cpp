@@ -4,23 +4,32 @@
 // to pick the march to feed TWM_TA.
 #include <iostream>
 
-#include "analysis/coverage.h"
-#include "analysis/fault_list.h"
 #include "analysis/lint.h"
 #include "analysis/report.h"
+#include "api/runner.h"
+#include "bench_common.h"
 #include "core/complexity.h"
 #include "march/library.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace twm;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   const std::size_t kWords = 4;
-  const std::vector<std::uint64_t> seed{0};
 
   std::cout << "== march catalog survey (costs at B=32; bit-level campaign on " << kWords
             << " cells) ==\n\n";
 
-  CoverageEvaluator eval(kWords, 1);
+  // The per-march campaign, as a spec template: geometry, scheme, classes
+  // and seed are fixed; only the march name varies per catalog row.
+  api::CampaignSpec spec = args.spec;
+  spec.name = "catalog-survey";
+  spec.words = kWords;
+  spec.width = 1;
+  spec.schemes = {SchemeKind::WordOrientedMarch};
+  spec.classes = *api::parse_classes("saf,tf,cfst:inter,cfid:inter,cfin:inter");
+  spec.seeds = {0};
+
   Table t({"march", "S", "Q", "lint", "TWM total", "S1 total", "SAF", "TF", "CF inter"});
 
   for (const auto& info : march_catalog()) {
@@ -29,14 +38,14 @@ int main() {
     const auto p = formula_proposed(info.ops, info.reads, 32);
     const auto s1 = formula_scheme1(info.ops, info.reads, 32);
 
-    const auto saf = eval.evaluate(SchemeKind::WordOrientedMarch, m, all_safs(kWords, 1), seed);
-    const auto tf = eval.evaluate(SchemeKind::WordOrientedMarch, m, all_tfs(kWords, 1), seed);
+    spec.march = info.name;
+    const api::CampaignSummary summary = api::run_campaign(spec);
+    const CoverageOutcome& saf = summary.cells[0].outcome;
+    const CoverageOutcome& tf = summary.cells[1].outcome;
     std::size_t cf_total = 0, cf_det = 0;
-    for (FaultClass cls : {FaultClass::CFst, FaultClass::CFid, FaultClass::CFin}) {
-      const auto cov = eval.evaluate(SchemeKind::WordOrientedMarch, m,
-                                     all_cfs(kWords, 1, cls, CfScope::InterWord), seed);
-      cf_total += cov.total;
-      cf_det += cov.detected_all;
+    for (std::size_t c = 2; c < summary.cells.size(); ++c) {
+      cf_total += summary.cells[c].outcome.total;
+      cf_det += summary.cells[c].outcome.detected_all;
     }
 
     t.add_row({info.name, std::to_string(info.ops), std::to_string(info.reads), lint.summary(),

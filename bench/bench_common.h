@@ -1,14 +1,21 @@
 // Shared command-line handling for the bench executables.
 //
-// Every bench that evaluates fault coverage accepts
+// Every bench parses its flags into a twm::api::CampaignSpec — the same
+// declarative value `twm_cli run` executes from a JSON file — so the bench
+// flag surface and the public API cannot drift:
+//
 //   --backend=scalar|packed   simulation backend (default: packed)
 //   --threads=N               worker threads for the campaign (default: 1)
 //   --simd=auto|64|256|512    packed lane-block width (default: auto —
 //                             widest the CPU supports; forced widths error
 //                             cleanly when the CPU lacks them)
 //   --json=PATH               where to write the bench's JSON result line
-// so the batched bit-parallel engine can be compared against the scalar
-// reference from the command line without recompiling.
+//
+// Both `--flag=value` and `--flag value` are accepted.  The spec's
+// geometry / march / scheme / class members are filled by each bench (they
+// reproduce fixed tables from the paper); the flags above set its `run`
+// request, and spellings are parsed by the one canonical parser set in
+// api/spec.h (api::parse_backend, simd::parse_request).
 #ifndef TWM_BENCH_BENCH_COMMON_H
 #define TWM_BENCH_BENCH_COMMON_H
 
@@ -18,13 +25,13 @@
 #include <fstream>
 #include <string>
 
-#include "analysis/campaign.h"
+#include "api/spec.h"
 
 namespace twm::bench {
 
 struct BenchArgs {
-  CoverageOptions coverage{CoverageBackend::Packed, 1};
-  std::string json;  // empty = no JSON artifact
+  api::CampaignSpec spec;  // run.{backend,threads,simd} from flags
+  std::string json;        // empty = no JSON artifact
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& default_json = "") {
@@ -39,17 +46,15 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
     const auto starts = [&](const char* p) { return arg.rfind(p, 0) == 0; };
     if (starts("--backend=")) {
       const std::string v = arg.substr(10);
-      if (v == "scalar")
-        a.coverage.backend = CoverageBackend::Scalar;
-      else if (v == "packed")
-        a.coverage.backend = CoverageBackend::Packed;
-      else {
+      const auto backend = api::parse_backend(v);
+      if (!backend) {
         std::fprintf(stderr, "unknown backend '%s' (want scalar|packed)\n", v.c_str());
         std::exit(1);
       }
+      a.spec.backend = *backend;
     } else if (starts("--threads=")) {
-      a.coverage.threads = static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
-      if (a.coverage.threads == 0) a.coverage.threads = 1;
+      a.spec.threads = static_cast<unsigned>(std::strtoul(arg.c_str() + 10, nullptr, 10));
+      if (a.spec.threads == 0) a.spec.threads = 1;
     } else if (starts("--simd=")) {
       const auto req = simd::parse_request(arg.substr(7));
       if (!req) {
@@ -57,7 +62,7 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
                      arg.c_str() + 7);
         std::exit(1);
       }
-      a.coverage.simd = *req;
+      a.spec.simd = *req;
     } else if (starts("--json=")) {
       a.json = arg.substr(7);
     } else {
@@ -71,7 +76,7 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
   // Fail a forced-but-unsupported width here, once, with a clean message —
   // not as an uncaught exception out of the first campaign.
   try {
-    simd::resolve(a.coverage.simd);
+    simd::resolve(a.spec.simd);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     std::exit(1);

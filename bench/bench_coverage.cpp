@@ -7,14 +7,16 @@
 // "all" = detected under every evaluated initial content (what the paper's
 // theorem speaks about), "any" = under at least one.
 //
-// The campaign runs through CampaignRunner (analysis/campaign.h) on the
-// backend selected by --backend=scalar|packed (default packed: lanes-1
-// faults + 1 golden lane per bit-parallel pass, lane count from
-// --simd=auto|64|256|512) with --threads=N workers, then times the scalar
-// reference, the 64-lane packed baseline, and the selected wide width on
-// the combined fault list and writes the throughput comparison to
-// BENCH_coverage.json (--json=PATH overrides).  Exits non-zero if any
-// backend/width pair disagrees verdict-for-verdict.
+// The campaign is a declarative api::CampaignSpec (every scheme x every
+// fault class, coupling faults split :inter / :intra as the paper tabulates
+// them) executed by api::run_campaign with the human table sink — exactly
+// what `twm_cli run` would do for the same spec file.  Flags select the
+// backend (--backend=scalar|packed), worker count (--threads=N) and packed
+// lane-block width (--simd=auto|64|256|512).  The bench then times the
+// scalar reference, the 64-lane packed baseline, and the selected wide
+// width on a production-shaped fault list and writes the throughput
+// comparison to BENCH_coverage.json (--json=PATH overrides).  Exits
+// non-zero if any backend/width pair disagrees verdict-for-verdict.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -22,62 +24,42 @@
 
 #include "analysis/campaign.h"
 #include "analysis/fault_list.h"
-#include "analysis/report.h"
+#include "api/runner.h"
+#include "api/sink.h"
 #include "bench_common.h"
 #include "core/simd.h"
 #include "march/library.h"
-#include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace twm;
-  const bench::BenchArgs args = bench::parse_bench_args(argc, argv, "BENCH_coverage.json");
-  const std::size_t kWords = 4;
-  const unsigned kWidth = 4;
-  const std::vector<std::uint64_t> seeds{0, 1, 2};  // 0 = all-zero contents
+  bench::BenchArgs args = bench::parse_bench_args(argc, argv, "BENCH_coverage.json");
   // The throughput section always runs the packed widths, whatever backend
   // the coverage tables use, so the width request resolves unconditionally.
-  const simd::Width simd_width = simd::resolve(args.coverage.simd);
+  const simd::Width simd_width = simd::resolve(args.spec.simd);
 
-  std::cout << "== Sec. 5: empirical fault coverage (March C-, N=" << kWords
-            << ", B=" << kWidth << ", contents: zero + 2 random, backend="
-            << to_string(args.coverage.backend) << ", simd=" << simd::to_string(simd_width)
-            << ", threads=" << args.coverage.threads << ") ==\n\n";
+  // The Sec. 5 campaign, as a value.
+  api::CampaignSpec spec = args.spec;
+  spec.name = "sec5-coverage";
+  spec.words = 4;
+  spec.width = 4;
+  spec.march = "March C-";
+  spec.schemes.assign(std::begin(kAllSchemes), std::end(kAllSchemes));
+  spec.classes = *api::parse_classes(
+      "saf,tf,cfst:inter,cfst:intra,cfid:inter,cfid:intra,cfin:inter,cfin:intra,af");
+  spec.seeds = {0, 1, 2};  // 0 = all-zero contents
 
-  const CampaignRunner runner(kWords, kWidth, args.coverage);
-  const MarchTest march = march_by_name("March C-");
-
-  struct ClassSpec {
-    std::string name;
-    std::vector<Fault> faults;
-  };
-  std::vector<ClassSpec> classes;
-  classes.push_back({"SAF", all_safs(kWords, kWidth)});
-  classes.push_back({"TF", all_tfs(kWords, kWidth)});
-  for (FaultClass cls : {FaultClass::CFst, FaultClass::CFid, FaultClass::CFin}) {
-    classes.push_back(
-        {to_string(cls) + " inter", all_cfs(kWords, kWidth, cls, CfScope::InterWord)});
-    classes.push_back(
-        {to_string(cls) + " intra", all_cfs(kWords, kWidth, cls, CfScope::IntraWord)});
-  }
-  classes.push_back({"AF", all_afs(kWords)});
-
-  Table t({"fault class", "faults", "scheme", "coverage (all contents)", "any content"});
-  for (const auto& spec : classes) {
-    bool first = true;
-    for (SchemeKind k : kAllSchemes) {
-      const auto out = runner.evaluate(k, march, spec.faults, seeds);
-      t.add_row({first ? spec.name : "", first ? std::to_string(spec.faults.size()) : "",
-                 to_string(k), coverage_str(out), pct_str(out.pct_any())});
-      first = false;
-    }
-    t.add_rule();
-  }
-  t.print(std::cout);
+  std::cout << "== Sec. 5: empirical fault coverage (spec '" << spec.name
+            << "', contents: zero + 2 random) ==\n\n";
+  api::TableSink table(std::cout);
+  api::run_campaign(spec, &table);
 
   // The theorem check: per-fault verdict equality at the reference content.
+  const CampaignRunner runner(spec.words, spec.width, spec.options());
+  const MarchTest march = march_by_name(spec.march);
   std::vector<Fault> everything;
-  for (auto& spec : classes)
-    for (auto& f : spec.faults) everything.push_back(f);
+  for (const api::ClassSel& cls : spec.classes)
+    for (const Fault& f : api::build_fault_list(cls, spec.words, spec.width))
+      everything.push_back(f);
   const auto ref =
       runner.per_fault(SchemeKind::NontransparentReference, march, everything, {0});
   const auto prop = runner.per_fault(SchemeKind::ProposedExact, march, everything, {0});
@@ -115,13 +97,13 @@ int main(int argc, char** argv) {
       workload.push_back(f);
   const std::vector<Fault> scalar_slice(workload.begin(), workload.begin() + kScalarSlice);
 
-  const unsigned threads = args.coverage.threads;
+  const unsigned threads = args.spec.threads;
   const CampaignRunner scalar_runner(kBenchWords, kBenchWidth,
                                      {CoverageBackend::Scalar, threads});
   const CampaignRunner packed64_runner(
       kBenchWords, kBenchWidth, {CoverageBackend::Packed, threads, simd::Request::W64});
   const CampaignRunner packed_runner(kBenchWords, kBenchWidth,
-                                     {CoverageBackend::Packed, threads, args.coverage.simd});
+                                     {CoverageBackend::Packed, threads, args.spec.simd});
   std::vector<bool> v_scalar, v_packed64, v_packed;
   const double t_scalar = bench::time_seconds([&] {
     v_scalar =

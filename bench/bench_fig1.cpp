@@ -126,6 +126,6 @@ void figure_1b(unsigned threads) {
 int main(int argc, char** argv) {
   const twm::bench::BenchArgs args = twm::bench::parse_bench_args(argc, argv);
   figure_1a();
-  figure_1b(args.coverage.threads);
+  figure_1b(args.spec.threads);
   return 0;
 }

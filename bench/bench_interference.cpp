@@ -7,16 +7,22 @@
 // any controller step aborts the session (the TBIST controller restores and
 // retries at the next idle window).
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "analysis/interference.h"
+#include "bench_common.h"
 #include "core/complexity.h"
 #include "march/library.h"
 #include "util/rng.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace twm;
+  // Uniform bench flag surface (campaign drivers pass the same flags to
+  // every bench); the analytic model itself is single-threaded, so only
+  // --json is consumed here.
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   const auto& info = march_info("March C-");
   const std::uint64_t n = 256;
 
@@ -67,5 +73,12 @@ int main() {
   std::cout << "\nCompletion probability decays exponentially in session length, so the\n"
                "paper's ~2x / ~5x shorter sessions translate into super-linear gains in\n"
                "completed scrubs per idle budget once traffic is non-negligible.\n";
+
+  if (!args.json.empty()) {
+    std::ofstream js(args.json);
+    js << "{\"bench\":\"interference\",\"march\":\"March C-\",\"words\":" << n
+       << ",\"schemes\":" << std::size(schemes) << "}\n";
+    std::printf("wrote %s\n", args.json.c_str());
+  }
   return 0;
 }

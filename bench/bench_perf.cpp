@@ -4,6 +4,7 @@
 // sessions per scheme (the wall-clock counterpart of Table 3).
 #include <benchmark/benchmark.h>
 
+#include "api/runner.h"
 #include "bist/engine.h"
 #include "core/scheme1.h"
 #include "core/tomt.h"
@@ -110,6 +111,28 @@ void BM_FaultyWrite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FaultyWrite);
+
+// End-to-end cost of the public declarative surface: one full SAF+TF
+// campaign through api::run_campaign per iteration (spec validation, fault
+// list generation, plan compilation, packed engine) — the overhead budget
+// of "new scenario = new spec file" over hand-rolled driver code.
+void BM_SpecCampaign(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  api::CampaignSpec spec;
+  spec.name = "perf-spec-campaign";
+  spec.words = words;
+  spec.width = 8;
+  spec.march = "March C-";
+  spec.schemes = {SchemeKind::ProposedExact};
+  spec.classes = *api::parse_classes("saf,tf");
+  spec.seeds = {0};
+  for (auto _ : state) {
+    const api::CampaignSummary summary = api::run_campaign(spec);
+    benchmark::DoNotOptimize(summary.cells.back().outcome.detected_all);
+  }
+  state.SetItemsProcessed(state.iterations() * words * 8 * 4);  // faults per campaign
+}
+BENCHMARK(BM_SpecCampaign)->Arg(16)->Arg(64);
 
 }  // namespace
 

@@ -6,11 +6,14 @@
 // Campaign: March C-, B = 8, N = 16 words, exhaustive inter-word CFid;
 // segments 1 / 2 / 4 / 8; a fault counts detected when *any* segment's
 // session flags it.
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 
+#include "analysis/campaign.h"
 #include "analysis/fault_list.h"
 #include "analysis/interference.h"
+#include "bench_common.h"
 #include "bist/engine.h"
 #include "core/twm_ta.h"
 #include "march/library.h"
@@ -39,8 +42,9 @@ bool detect_segmented(const TwmResult& twm, const Fault& f, std::size_t words, u
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace twm;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   const std::size_t kWords = 16;
   const unsigned kWidth = 8;
   const double p = 1e-4;  // functional-write probability per cycle
@@ -58,13 +62,24 @@ int main() {
     const std::size_t seg_words = kWords / segments;
     const InterferenceModel m{per_word * seg_words + 1, p};
 
+    // Each fault's segmented session is independent — shard over the same
+    // worker pool the coverage campaigns use (--threads).
+    std::vector<char> verdicts(faults.size());
+    std::atomic<std::size_t> next{0};
+    run_pool(args.spec.threads, [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= faults.size()) break;
+        verdicts[i] = detect_segmented(twm, faults[i], kWords, kWidth, segments, 3);
+      }
+    });
     std::size_t detected = 0, cross = 0, cross_escaped = 0;
-    for (const Fault& f : faults) {
-      const bool same_segment = (f.aggressor.word / seg_words) == (f.victim.word / seg_words);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const bool same_segment =
+          (faults[i].aggressor.word / seg_words) == (faults[i].victim.word / seg_words);
       if (!same_segment) ++cross;
-      const bool d = detect_segmented(twm, f, kWords, kWidth, segments, 3);
-      detected += d;
-      if (!same_segment && !d) ++cross_escaped;
+      detected += verdicts[i] != 0;
+      if (!same_segment && !verdicts[i]) ++cross_escaped;
     }
     char pc[32], ea[32], cov[32];
     std::snprintf(pc, sizeof pc, "%.3f", m.completion_probability());

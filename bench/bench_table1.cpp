@@ -9,8 +9,8 @@
 #include <iostream>
 #include <string>
 
-#include "analysis/campaign.h"
 #include "analysis/fault_list.h"
+#include "api/runner.h"
 #include "bench_common.h"
 #include "bist/engine.h"
 #include "core/twm_ta.h"
@@ -84,18 +84,23 @@ int main(int argc, char** argv) {
 
   // What the walk above buys: the checkerboard sweeps restore intra-word
   // coupling-fault coverage the solid backgrounds miss (evaluated with the
-  // configured coverage backend).
+  // configured coverage backend, as a declarative spec).
   {
-    const std::size_t words = 2;
-    const CampaignRunner runner(words, 8, args.coverage);
-    const MarchTest march = march_by_name("March C-");
-    const auto faults = all_cfs(words, 8, FaultClass::CFid, CfScope::IntraWord);
-    const auto solo = runner.evaluate(SchemeKind::TsmarchOnly, march, faults, {0});
-    const auto full = runner.evaluate(SchemeKind::ProposedExact, march, faults, {0});
+    api::CampaignSpec spec = args.spec;
+    spec.name = "table1-atmarch-effect";
+    spec.words = 2;
+    spec.width = 8;
+    spec.march = "March C-";
+    spec.schemes = {SchemeKind::TsmarchOnly, SchemeKind::ProposedExact};
+    spec.classes = {{api::ClassKind::CFid, CfScope::IntraWord}};
+    spec.seeds = {0};
+    const api::CampaignSummary summary = api::run_campaign(spec);
+    const CoverageOutcome solo = summary.cells[0].outcome;
+    const CoverageOutcome full = summary.cells[1].outcome;
     std::printf("ATMarch effect (backend=%s): intra-word CFid coverage %.1f%% -> %.1f%% "
                 "(%zu faults, N=%zu, B=8)\n",
-                to_string(args.coverage.backend).c_str(), solo.pct_all(), full.pct_all(),
-                faults.size(), words);
+                to_string(spec.backend).c_str(), solo.pct_all(), full.pct_all(),
+                solo.total, spec.words);
   }
   return 0;
 }

@@ -4,8 +4,7 @@
 // library actually generates.
 #include <iostream>
 
-#include "analysis/campaign.h"
-#include "analysis/fault_list.h"
+#include "api/runner.h"
 #include "bench_common.h"
 #include "core/complexity.h"
 #include "march/library.h"
@@ -49,20 +48,30 @@ int main(int argc, char** argv) {
 
   // The complexity win must not trade away basic coverage: SAF+TF coverage
   // of the three schemes at the table's word width, evaluated with the
-  // configured backend.
+  // configured backend (one declarative spec, scheme x class cells summed
+  // per scheme).
   {
-    const std::size_t words = 4;
-    const CampaignRunner runner(words, b, args.coverage);
-    const MarchTest march = march_by_name("March C-");
-    std::vector<Fault> faults = all_safs(words, b);
-    for (auto& f : all_tfs(words, b)) faults.push_back(f);
-    std::cout << "\nSAF+TF coverage cross-check (B=" << b << ", " << faults.size()
-              << " faults, backend=" << to_string(args.coverage.backend)
-              << ", threads=" << args.coverage.threads << "):\n";
-    for (SchemeKind k :
-         {SchemeKind::Scheme1Exact, SchemeKind::TomtModel, SchemeKind::ProposedExact}) {
-      const auto out = runner.evaluate(k, march, faults, {0, 1});
-      std::cout << "  " << to_string(k) << ": " << out.detected_all << "/" << out.total << "\n";
+    api::CampaignSpec spec = args.spec;
+    spec.name = "table2-coverage-crosscheck";
+    spec.words = 4;
+    spec.width = b;
+    spec.march = "March C-";
+    spec.schemes = {SchemeKind::Scheme1Exact, SchemeKind::TomtModel, SchemeKind::ProposedExact};
+    spec.classes = *api::parse_classes("saf,tf");
+    spec.seeds = {0, 1};
+    const api::CampaignSummary summary = api::run_campaign(spec);
+    std::cout << "\nSAF+TF coverage cross-check (B=" << b << ", "
+              << summary.total_faults / spec.schemes.size()
+              << " faults, backend=" << to_string(spec.backend)
+              << ", threads=" << spec.threads << "):\n";
+    for (SchemeKind k : spec.schemes) {
+      std::size_t det = 0, total = 0;
+      for (const api::CellResult& cell : summary.cells)
+        if (cell.scheme == k) {
+          det += cell.outcome.detected_all;
+          total += cell.outcome.total;
+        }
+      std::cout << "  " << to_string(k) << ": " << det << "/" << total << "\n";
     }
   }
   return 0;

@@ -78,8 +78,8 @@ int main(int argc, char** argv) {
     const MarchTest march = march_by_name("March C-");
     std::vector<Fault> faults = all_safs(words, b);
     for (auto& f : all_tfs(words, b)) faults.push_back(f);
-    const CampaignRunner scalar{words, b, {CoverageBackend::Scalar, args.coverage.threads}};
-    const CampaignRunner packed{words, b, {CoverageBackend::Packed, args.coverage.threads}};
+    const CampaignRunner scalar{words, b, {CoverageBackend::Scalar, args.spec.threads}};
+    const CampaignRunner packed{words, b, {CoverageBackend::Packed, args.spec.threads}};
     std::vector<bool> vs, vp;
     const double ts = bench::time_seconds(
         [&] { vs = scalar.per_fault(SchemeKind::ProposedExact, march, faults, {0, 1}); });
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
         [&] { vp = packed.per_fault(SchemeKind::ProposedExact, march, faults, {0, 1}); });
     std::printf("simulation throughput at B=%u (%zu SAF+TF faults, %u threads): "
                 "scalar %.0f faults/s, packed %.0f faults/s (%.1fx, verdicts %s)\n",
-                b, faults.size(), args.coverage.threads, faults.size() / ts, faults.size() / tp,
+                b, faults.size(), args.spec.threads, faults.size() / ts, faults.size() / tp,
                 ts / tp, vs == vp ? "equal" : "DIFFER");
   }
   return 0;

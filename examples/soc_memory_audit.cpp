@@ -1,15 +1,17 @@
 // SoC memory-core audit: given a set of embedded memories of different
 // geometries and an idle-window cycle budget per core, pick the cheapest
 // transparent scheme that fits, then validate the chosen tests by a
-// sampled fault-injection campaign on each core.
+// fault-injection campaign on each core — expressed as a batch of
+// declarative CampaignSpecs (src/api) that could equally be committed as
+// JSON and replayed with `twm_cli run`.
 //
 //   $ ./soc_memory_audit
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/campaign.h"
-#include "analysis/fault_list.h"
 #include "analysis/report.h"
+#include "api/runner.h"
+#include "api/sink.h"
 #include "core/complexity.h"
 #include "march/library.h"
 #include "util/table.h"
@@ -52,26 +54,37 @@ int main() {
   }
   t.print(std::cout);
 
-  // Validate the proposed tests on scaled-down twins of two cores with a
-  // sampled fault campaign (exhaustive SAF/TF, sampled coupling faults).
-  std::cout << "\n== sampled fault-injection validation (scaled-down twins) ==\n\n";
-  Table v({"core twin", "fault class", "coverage (all contents)"});
+  // Validate the proposed tests on scaled-down twins of two cores.  Each
+  // twin's campaign is a declarative CampaignSpec — the batch below could
+  // be dumped with api::to_json, committed, queued, and replayed verbatim
+  // with `twm_cli run` — executed here through the public streaming runner.
+  std::cout << "\n== fault-injection validation (scaled-down twins, declarative specs) ==\n\n";
+  std::vector<api::CampaignSpec> batch;
   for (const auto& c : {cores[0], cores[1]}) {
-    const std::size_t words = 6;
-    const CampaignRunner runner(words, c.width, {CoverageBackend::Packed, 2});
-    const MarchTest march = march_by_name(c.march);
-    Rng rng(5);
+    api::CampaignSpec spec;
+    spec.name = "audit-" + c.name;
+    spec.words = 6;
+    spec.width = c.width;
+    spec.march = c.march;
+    spec.schemes = {SchemeKind::ProposedExact};
+    spec.classes = *api::parse_classes("saf,tf,cfid:inter");
+    spec.seeds = {0, 3};
+    spec.backend = CoverageBackend::Packed;
+    spec.threads = 2;
+    batch.push_back(spec);
+  }
+  std::cout << "batch spec (replay with `twm_cli run audit.json`):\n"
+            << api::to_json(batch) << "\n\n";
 
-    const auto safs = all_safs(words, c.width);
-    const auto tfs = all_tfs(words, c.width);
-    const auto cfs = sampled_cfs(words, c.width, FaultClass::CFid, CfScope::Both, 80, rng);
-
-    v.add_row({c.name, "SAF",
-               coverage_str(runner.evaluate(SchemeKind::ProposedExact, march, safs, {0, 3}))});
-    v.add_row({"", "TF",
-               coverage_str(runner.evaluate(SchemeKind::ProposedExact, march, tfs, {0, 3}))});
-    v.add_row({"", "CFid (sampled)",
-               coverage_str(runner.evaluate(SchemeKind::ProposedExact, march, cfs, {0, 3}))});
+  Table v({"core twin", "fault class", "coverage (all contents)"});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const api::CampaignSummary summary = api::run_campaign(batch[i]);
+    bool first = true;
+    for (const api::CellResult& cell : summary.cells) {
+      v.add_row({first ? cores[i].name : "", api::class_label(cell.cls),
+                 coverage_str(cell.outcome)});
+      first = false;
+    }
     v.add_rule();
   }
   v.print(std::cout);

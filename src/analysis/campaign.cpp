@@ -61,7 +61,7 @@ void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
                          const std::vector<Fault>& faults,
                          const std::vector<std::uint64_t>& seeds, bool need_any,
                          std::vector<char>& all, std::vector<char>& any,
-                         VerdictMatrix* out_matrix) const {
+                         VerdictMatrix* out_matrix, UnitObserver* observer) const {
   if (seeds.empty()) throw std::invalid_argument("CampaignRunner: no seeds");
   // Resolve the lane-block width up front so a forced-but-unsupported
   // --simd request fails before any work is sharded.  The scalar backend
@@ -91,6 +91,7 @@ void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
   job.all = all.data();
   job.any = any.data();
   job.matrix = out_matrix;
+  job.observer = observer;
 
   if (options_.backend == CoverageBackend::Scalar) {
     run_campaign_engine<ScalarEngine>(job);

@@ -74,6 +74,37 @@ void run_pool(unsigned threads, const std::function<void()>& worker);
 // of `verdicts` is set.
 void require_golden_lane_clear(LaneMask verdicts);
 
+// Low-level streaming observer for one CampaignRunner call.  The engine
+// invokes it from WORKER threads as units settle — implementations must be
+// thread-safe (the api layer's sink adapter serializes with a mutex).
+//
+// cancelled() is polled before each unit is claimed: returning true makes
+// every worker stop claiming new units (in-flight units still complete and
+// are still reported), which is the cooperative-cancellation contract the
+// api::ResultSink surface builds on.
+class UnitObserver {
+ public:
+  virtual ~UnitObserver() = default;
+
+  // Final verdicts for faults [first, first + count) — their unit finished
+  // its seed loop.  `all` / `any` point at the per-fault flags of exactly
+  // this range.
+  virtual void on_unit_settled(std::size_t first, unsigned count, const char* all,
+                               const char* any) = 0;
+
+  // One (fault, seed) verdict, fired as each seed of a unit is evaluated.
+  // Only called when want_seed_verdicts() is true — extracting per-lane
+  // bits costs real work on the packed backends, so it is opt-in.
+  virtual void on_seed_verdict(std::size_t fault, std::size_t seed_index, bool detected) {
+    (void)fault;
+    (void)seed_index;
+    (void)detected;
+  }
+  virtual bool want_seed_verdicts() const { return false; }
+
+  virtual bool cancelled() const { return false; }
+};
+
 // Detection verdict of every (fault, seed) pair of a campaign.
 struct VerdictMatrix {
   std::size_t num_faults = 0;
@@ -119,9 +150,12 @@ class CampaignRunner {
   // flags.  When `need_any` is false the per-unit seed loop stops as soon
   // as the "all" verdict settles.  When `out_matrix` is non-null the early
   // exit is disabled and every (fault, seed) verdict is recorded into it.
+  // When `observer` is non-null it is streamed unit-by-unit as verdicts
+  // settle and may cancel the remainder of the run cooperatively.
   void run(SchemeKind scheme, const MarchTest& bit_march, const std::vector<Fault>& faults,
            const std::vector<std::uint64_t>& seeds, bool need_any, std::vector<char>& all,
-           std::vector<char>& any, VerdictMatrix* out_matrix = nullptr) const;
+           std::vector<char>& any, VerdictMatrix* out_matrix = nullptr,
+           UnitObserver* observer = nullptr) const;
 
  private:
   std::size_t words_;

@@ -40,6 +40,10 @@ struct CampaignJob {
   char* all = nullptr;            // [num_faults] detected under every seed
   char* any = nullptr;            // [num_faults] detected under some seed
   VerdictMatrix* matrix = nullptr;  // non-null disables the early exit
+  // Optional streaming observer: notified per settled unit (and, opt-in,
+  // per evaluated seed) and polled for cooperative cancellation before a
+  // worker claims its next unit.
+  UnitObserver* observer = nullptr;
 };
 
 // The packed verdict carries the golden lane in lane 0 (bit 0 of the first
@@ -59,9 +63,11 @@ void run_campaign_engine(const CampaignJob& job) {
   const std::size_t units = (n + kPerUnit - 1) / kPerUnit;
   const unsigned threads = std::max(1u, job.threads);
 
+  const bool seed_events = job.observer && job.observer->want_seed_verdicts();
   std::atomic<std::size_t> next{0};
   run_pool(threads, [&] {
     for (;;) {
+      if (job.observer && job.observer->cancelled()) break;
       const std::size_t u = next.fetch_add(1);
       if (u >= units) break;
       const std::size_t lo = u * kPerUnit;
@@ -74,17 +80,25 @@ void run_campaign_engine(const CampaignJob& job) {
         check_golden_lane(d);
         a &= d;
         y |= d;
+        if (seed_events)
+          for (unsigned i = 0; i < count; ++i)
+            job.observer->on_seed_verdict(lo + i, s, Engine::bit(d, i));
         if (job.matrix) {
           for (unsigned i = 0; i < count; ++i)
             job.matrix->bits[(lo + i) * job.num_seeds + s] = static_cast<char>(Engine::bit(d, i));
-        } else if (a == Verdict{} && (y == used || !job.need_any)) {
-          break;  // requested verdicts settled for every fault in the unit
+        } else if (!seed_events && a == Verdict{} && (y == used || !job.need_any)) {
+          // Requested verdicts settled for every fault in the unit.  An
+          // observer that asked for per-seed verdicts gets the COMPLETE
+          // (fault, seed) stream instead — like the matrix path, the early
+          // exit would silently drop the remaining seeds' records.
+          break;
         }
       }
       for (unsigned i = 0; i < count; ++i) {
         job.all[lo + i] = static_cast<char>(Engine::bit(a, i));
         job.any[lo + i] = static_cast<char>(Engine::bit(y, i));
       }
+      if (job.observer) job.observer->on_unit_settled(lo, count, job.all + lo, job.any + lo);
     }
   });
 }

@@ -30,10 +30,17 @@
 // nontransparent reference, so per-fault verdicts must agree exactly — the
 // sharpest checkable form of the paper's coverage-equality theorem.
 //
-// CoverageEvaluator is a thin facade over analysis/campaign.h: each call
-// compiles one SchemePlan and hands the fault list to a CampaignRunner,
-// which shards units across the thread pool and runs the lane-generic
-// scheme sessions on the selected backend.
+// DEPRECATED: CoverageEvaluator survives only as a two-call compatibility
+// shim over analysis/campaign.h.  New code should either
+//
+//   * describe the whole campaign declaratively — api::CampaignSpec +
+//     api::run_campaign (src/api/spec.h, src/api/runner.h), which adds
+//     validation, JSON round-trip, and streaming ResultSinks — or
+//   * drive CampaignRunner directly for custom fault lists.
+//
+// Each shim call compiles one SchemePlan and hands the fault list to a
+// CampaignRunner, which shards units across the thread pool and runs the
+// lane-generic scheme sessions on the selected backend.
 #ifndef TWM_ANALYSIS_COVERAGE_H
 #define TWM_ANALYSIS_COVERAGE_H
 
@@ -53,13 +60,8 @@ class CoverageEvaluator {
 
   CoverageOutcome evaluate(SchemeKind scheme, const MarchTest& bit_march,
                            const std::vector<Fault>& faults,
-                           const std::vector<std::uint64_t>& seeds) const {
-    return evaluate(scheme, bit_march, faults, seeds, CoverageOptions{});
-  }
-  CoverageOutcome evaluate(SchemeKind scheme, const MarchTest& bit_march,
-                           const std::vector<Fault>& faults,
                            const std::vector<std::uint64_t>& seeds,
-                           const CoverageOptions& options) const {
+                           const CoverageOptions& options = {}) const {
     return CampaignRunner(words_, width_, options).evaluate(scheme, bit_march, faults, seeds);
   }
 
@@ -67,13 +69,8 @@ class CoverageEvaluator {
   // *equality* between schemes, not just equal percentages.
   std::vector<bool> per_fault(SchemeKind scheme, const MarchTest& bit_march,
                               const std::vector<Fault>& faults,
-                              const std::vector<std::uint64_t>& seeds) const {
-    return per_fault(scheme, bit_march, faults, seeds, CoverageOptions{});
-  }
-  std::vector<bool> per_fault(SchemeKind scheme, const MarchTest& bit_march,
-                              const std::vector<Fault>& faults,
                               const std::vector<std::uint64_t>& seeds,
-                              const CoverageOptions& options) const {
+                              const CoverageOptions& options = {}) const {
     return CampaignRunner(words_, width_, options).per_fault(scheme, bit_march, faults, seeds);
   }
 

@@ -1,0 +1,363 @@
+#include "api/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace twm::api {
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(std::uint64_t n) { return number_raw(std::to_string(n)); }
+
+JsonValue JsonValue::number_raw(std::string text) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.scalar_ = std::move(text);
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw std::logic_error("JsonValue: not a boolean");
+  return bool_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw std::logic_error("JsonValue: not a string");
+  return scalar_;
+}
+
+const std::string& JsonValue::number_text() const {
+  if (!is_number()) throw std::logic_error("JsonValue: not a number");
+  return scalar_;
+}
+
+std::optional<std::uint64_t> JsonValue::as_u64() const {
+  if (!is_number()) return std::nullopt;
+  const std::string& t = scalar_;
+  if (t.empty() || t[0] == '-') return std::nullopt;
+  std::uint64_t out = 0;
+  for (char c : t) {
+    if (c < '0' || c > '9') return std::nullopt;  // fraction or exponent
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (!is_array()) throw std::logic_error("JsonValue: not an array");
+  return items_;
+}
+
+std::vector<JsonValue>& JsonValue::items() {
+  if (!is_array()) throw std::logic_error("JsonValue: not an array");
+  return items_;
+}
+
+void JsonValue::push_back(JsonValue v) { items().push_back(std::move(v)); }
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (!is_object()) throw std::logic_error("JsonValue: not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : members())
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void JsonValue::set(std::string key, JsonValue v) {
+  if (!is_object()) throw std::logic_error("JsonValue: not an object");
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonParseError("line " + std::to_string(line) + ", column " + std::to_string(col) +
+                         ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(const char* kw) {
+    const std::size_t len = std::string(kw).size();
+    if (s_.compare(pos_, len, kw) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (!consume_keyword("true")) fail("invalid literal");
+        return JsonValue::boolean(true);
+      case 'f':
+        if (!consume_keyword("false")) fail("invalid literal");
+        return JsonValue::boolean(false);
+      case 'n':
+        if (!consume_keyword("null")) fail("invalid literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v = JsonValue::object();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      expect(':');
+      v.set(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v = JsonValue::array();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("invalid \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (spec files are ASCII in
+          // practice; surrogate pairs are rejected rather than mis-merged).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escapes are not supported");
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+      return pos_ > d0;
+    };
+    if (!digits()) fail("invalid number");
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("invalid number (missing fraction digits)");
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) fail("invalid number (missing exponent digits)");
+    }
+    return JsonValue::number_raw(s_.substr(start, pos_ - start));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void write_value(const JsonValue& v, bool pretty, unsigned depth, std::string& out) {
+  const auto indent = [&](unsigned d) {
+    if (pretty) out.append(1, '\n').append(2 * d, ' ');
+  };
+  switch (v.kind()) {
+    case JsonValue::Kind::Null: out += "null"; return;
+    case JsonValue::Kind::Bool: out += v.as_bool() ? "true" : "false"; return;
+    case JsonValue::Kind::Number: out += v.number_text(); return;
+    case JsonValue::Kind::String: out += json_quote(v.as_string()); return;
+    case JsonValue::Kind::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out += pretty ? ", " : ",";
+        first = false;
+        // Arrays stay on one line: spec arrays (seeds, schemes, classes)
+        // read best horizontally.
+        write_value(item, /*pretty=*/false, depth, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        indent(depth + 1);
+        out += json_quote(key);
+        out += pretty ? ": " : ":";
+        write_value(member, pretty, depth + 1, out);
+      }
+      if (!v.members().empty()) indent(depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) { return Parser(text).parse_document(); }
+
+std::string json_write(const JsonValue& v, bool pretty) {
+  std::string out;
+  write_value(v, pretty, 0, out);
+  return out;
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace twm::api

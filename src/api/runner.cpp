@@ -1,0 +1,147 @@
+#include "api/runner.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "march/library.h"
+
+namespace twm::api {
+
+namespace {
+
+// Bridges the engine's raw UnitObserver events (fault ranges + flag
+// pointers, fired from worker threads) to the public ResultSink records
+// (one per fault, serialized by a mutex, stamped with scheme/class).
+class SinkAdapter : public UnitObserver {
+ public:
+  SinkAdapter(ResultSink& sink, std::mutex& mu, SchemeKind scheme, const ClassSel& cls,
+              const std::vector<Fault>& faults, const std::vector<std::uint64_t>& seeds,
+              std::size_t& units_emitted)
+      : sink_(sink),
+        mu_(mu),
+        scheme_(scheme),
+        cls_(cls),
+        faults_(faults),
+        seeds_(seeds),
+        units_emitted_(units_emitted) {}
+
+  void on_unit_settled(std::size_t first, unsigned count, const char* all,
+                       const char* any) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (unsigned i = 0; i < count; ++i) {
+      UnitRecord r;
+      r.scheme = scheme_;
+      r.cls = cls_;
+      r.fault_index = first + i;
+      r.fault = &faults_[first + i];
+      r.detected_all = all[i] != 0;
+      r.detected_any = any[i] != 0;
+      sink_.on_unit(r);
+      ++units_emitted_;
+    }
+  }
+
+  void on_seed_verdict(std::size_t fault, std::size_t seed_index, bool detected) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    SeedRecord r;
+    r.scheme = scheme_;
+    r.cls = cls_;
+    r.fault_index = fault;
+    r.seed = seeds_[seed_index];
+    r.detected = detected;
+    sink_.on_seed_settled(r);
+  }
+
+  bool want_seed_verdicts() const override { return sink_.want_seed_records(); }
+  bool cancelled() const override { return sink_.cancelled(); }
+
+ private:
+  ResultSink& sink_;
+  std::mutex& mu_;
+  SchemeKind scheme_;
+  ClassSel cls_;
+  const std::vector<Fault>& faults_;
+  const std::vector<std::uint64_t>& seeds_;
+  std::size_t& units_emitted_;
+};
+
+}  // namespace
+
+CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink) {
+  require_valid(spec);
+  const MarchTest march = march_by_name(spec.march);
+  // Resolve the lane-block width up front (validate() already vetted a
+  // forced width, so this cannot throw for a spec that passed it).
+  const simd::Width resolved = spec.backend == CoverageBackend::Packed
+                                   ? simd::resolve(spec.simd)
+                                   : simd::Width::W64;
+
+  // One fault list per distinct class selector, shared across schemes.
+  std::vector<std::vector<Fault>> fault_lists;
+  fault_lists.reserve(spec.classes.size());
+  for (const ClassSel& cls : spec.classes)
+    fault_lists.push_back(build_fault_list(cls, spec.words, spec.width));
+
+  CampaignSummary summary;
+  for (const auto& list : fault_lists) summary.total_faults += list.size();
+  summary.total_faults *= spec.schemes.size();
+
+  if (sink) {
+    CampaignMeta meta;
+    meta.spec = &spec;
+    meta.resolved_simd = resolved;
+    meta.total_faults = summary.total_faults;
+    sink->on_campaign_begin(meta);
+  }
+
+  const CampaignRunner runner(spec.words, spec.width, spec.options());
+  std::mutex sink_mu;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (SchemeKind scheme : spec.schemes) {
+    for (std::size_t c = 0; c < spec.classes.size() && !summary.cancelled; ++c) {
+      std::vector<char> all, any;
+      bool cell_complete = true;
+      if (sink) {
+        const std::size_t units_before = summary.units_emitted;
+        SinkAdapter adapter(*sink, sink_mu, scheme, spec.classes[c], fault_lists[c],
+                            spec.seeds, summary.units_emitted);
+        runner.run(scheme, march, fault_lists[c], spec.seeds, /*need_any=*/true, all, any,
+                   /*out_matrix=*/nullptr, &adapter);
+        if (sink->cancelled()) summary.cancelled = true;
+        // The flag may flip only after the cell's last unit settled (or
+        // every in-flight unit may still have completed): the aggregate of
+        // a fully-streamed cell is valid and must not be dropped.
+        cell_complete = summary.units_emitted - units_before == fault_lists[c].size();
+      } else {
+        runner.run(scheme, march, fault_lists[c], spec.seeds, /*need_any=*/true, all, any);
+      }
+      if (!cell_complete) break;
+      CellResult cell;
+      cell.scheme = scheme;
+      cell.cls = spec.classes[c];
+      cell.outcome.total = fault_lists[c].size();
+      for (std::size_t i = 0; i < fault_lists[c].size(); ++i) {
+        cell.outcome.detected_all += all[i];
+        cell.outcome.detected_any += any[i];
+      }
+      summary.cells.push_back(cell);
+    }
+    if (summary.cancelled) break;
+  }
+  summary.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  if (sink) sink->on_campaign_end(summary);
+  return summary;
+}
+
+std::vector<Diagnosis> diagnose_campaign(const CampaignSpec& spec) {
+  require_valid(spec);
+  std::vector<Fault> faults;
+  for (const ClassSel& cls : spec.classes)
+    for (const Fault& f : build_fault_list(cls, spec.words, spec.width)) faults.push_back(f);
+  return twm::diagnose_campaign(march_by_name(spec.march), spec.words, spec.width, faults,
+                                spec.seeds.front(), spec.threads);
+}
+
+}  // namespace twm::api

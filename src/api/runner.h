@@ -1,0 +1,39 @@
+// Executes a CampaignSpec: the one entry point every front-end drives.
+//
+//   CampaignSpec spec = api::spec_from_json(file_text);
+//   api::JsonLinesSink sink(std::cout);
+//   api::CampaignSummary summary = api::run_campaign(spec, &sink);
+//
+// run_campaign validates the spec (throwing SpecValidationError with the
+// offending field paths), resolves the march and the SIMD width, builds
+// each fault class's list once, then runs one CampaignRunner call per
+// scheme x class cell, streaming per-unit records into the sink as worker
+// threads settle them.  The sink can cancel cooperatively at any point;
+// the summary then carries the completed prefix and cancelled = true.
+#ifndef TWM_API_RUNNER_H
+#define TWM_API_RUNNER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/diagnosis.h"
+#include "api/sink.h"
+#include "api/spec.h"
+
+namespace twm::api {
+
+// Runs the whole campaign a spec denotes.  `sink` may be null (aggregates
+// only).  Throws SpecValidationError on an invalid spec; engine errors
+// (golden-lane corruption, pool failures) propagate unchanged.
+CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink = nullptr);
+
+// Diagnosis front-end of the same surface: localizes every fault of the
+// spec's class selection with the transparent TWMarch session, using the
+// spec's geometry, march, thread count and first seed.  (Diagnosis is
+// scalar by construction — it replays read streams — so the spec's
+// backend/simd request is not consulted.)
+std::vector<Diagnosis> diagnose_campaign(const CampaignSpec& spec);
+
+}  // namespace twm::api
+
+#endif  // TWM_API_RUNNER_H

@@ -1,0 +1,208 @@
+#include "api/sink.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "api/json.h"
+#include "analysis/report.h"
+#include "util/table.h"
+
+namespace twm::api {
+
+namespace {
+
+std::string seconds_str(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds);
+  return buf;
+}
+
+const char* bool_str(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+// ---- JsonLinesSink ------------------------------------------------------
+
+void JsonLinesSink::on_campaign_begin(const CampaignMeta& meta) {
+  const CampaignSpec& s = *meta.spec;
+  out_ << "{\"type\":\"campaign_begin\",\"name\":" << json_quote(s.name)
+       << ",\"march\":" << json_quote(s.march) << ",\"words\":" << s.words
+       << ",\"width\":" << s.width << ",\"schemes\":[";
+  bool first = true;
+  for (SchemeKind k : s.schemes) {
+    if (!first) out_ << ",";
+    first = false;
+    out_ << json_quote(scheme_id(k));
+  }
+  out_ << "],\"classes\":[";
+  first = true;
+  for (const ClassSel& c : s.classes) {
+    if (!first) out_ << ",";
+    first = false;
+    out_ << json_quote(to_string(c));
+  }
+  out_ << "],\"seeds\":[";
+  first = true;
+  for (std::uint64_t seed : s.seeds) {
+    if (!first) out_ << ",";
+    first = false;
+    out_ << seed;
+  }
+  out_ << "],\"backend\":" << json_quote(to_string(s.backend)) << ",\"threads\":" << s.threads
+       << ",\"simd\":" << json_quote(simd::to_string(s.simd))
+       << ",\"resolved_simd\":" << simd::lanes(meta.resolved_simd)
+       << ",\"total_faults\":" << meta.total_faults << "}\n";
+  out_.flush();
+}
+
+void JsonLinesSink::on_unit(const UnitRecord& r) {
+  out_ << "{\"type\":\"unit\",\"scheme\":" << json_quote(scheme_id(r.scheme))
+       << ",\"class\":" << json_quote(to_string(r.cls)) << ",\"fault\":" << r.fault_index
+       << ",\"describe\":" << json_quote(r.fault ? r.fault->describe() : "")
+       << ",\"detected_all\":" << bool_str(r.detected_all)
+       << ",\"detected_any\":" << bool_str(r.detected_any) << "}\n";
+  // The whole point of this sink is that a consumer can tail the stream
+  // mid-campaign; records must not sit in the stream buffer until the end.
+  out_.flush();
+}
+
+void JsonLinesSink::on_seed_settled(const SeedRecord& r) {
+  out_ << "{\"type\":\"seed\",\"scheme\":" << json_quote(scheme_id(r.scheme))
+       << ",\"class\":" << json_quote(to_string(r.cls)) << ",\"fault\":" << r.fault_index
+       << ",\"seed\":" << r.seed << ",\"detected\":" << bool_str(r.detected) << "}\n";
+  out_.flush();  // same mid-campaign tailing contract as unit records
+}
+
+void JsonLinesSink::on_campaign_end(const CampaignSummary& s) {
+  out_ << "{\"type\":\"campaign_end\",\"cancelled\":" << bool_str(s.cancelled)
+       << ",\"units\":" << s.units_emitted << ",\"total_faults\":" << s.total_faults
+       << ",\"seconds\":" << seconds_str(s.seconds) << ",\"cells\":[";
+  bool first = true;
+  for (const CellResult& cell : s.cells) {
+    if (!first) out_ << ",";
+    first = false;
+    out_ << "{\"scheme\":" << json_quote(scheme_id(cell.scheme))
+         << ",\"class\":" << json_quote(to_string(cell.cls))
+         << ",\"total\":" << cell.outcome.total
+         << ",\"detected_all\":" << cell.outcome.detected_all
+         << ",\"detected_any\":" << cell.outcome.detected_any << "}";
+  }
+  out_ << "]}\n";
+  out_.flush();
+}
+
+// ---- CsvSink ------------------------------------------------------------
+
+namespace {
+
+// RET describes as "RET(1,1u) @..." — commas force quoting.
+std::string csv_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvSink::on_campaign_begin(const CampaignMeta& meta) {
+  campaign_ = meta.spec->name;
+  if (header_written_) return;
+  out_ << "campaign,scheme,class,fault,describe,detected_all,detected_any\n";
+  header_written_ = true;
+}
+
+void CsvSink::on_unit(const UnitRecord& r) {
+  out_ << csv_quote(campaign_) << "," << scheme_id(r.scheme) << "," << to_string(r.cls) << ","
+       << r.fault_index << "," << csv_quote(r.fault ? r.fault->describe() : "") << ","
+       << (r.detected_all ? 1 : 0) << "," << (r.detected_any ? 1 : 0) << "\n";
+}
+
+// ---- TableSink ----------------------------------------------------------
+
+void TableSink::on_campaign_begin(const CampaignMeta& meta) {
+  spec_ = *meta.spec;
+  const bool all_schemes =
+      spec_.schemes == std::vector<SchemeKind>(std::begin(kAllSchemes), std::end(kAllSchemes));
+  out_ << "coverage: " << spec_.march << ", N=" << spec_.words << ", B=" << spec_.width << ", ";
+  if (all_schemes) {
+    out_ << "all schemes";
+  } else {
+    bool first = true;
+    for (SchemeKind k : spec_.schemes) {
+      if (!first) out_ << " + ";
+      first = false;
+      out_ << twm::to_string(k);
+    }
+  }
+  out_ << ", backend=" << twm::to_string(spec_.backend);
+  if (spec_.backend == CoverageBackend::Packed)
+    out_ << " (simd " << simd::to_string(meta.resolved_simd) << ", "
+         << (spec_.simd == simd::Request::Auto ? "auto" : "forced") << ")";
+  out_ << ", threads=" << spec_.threads << ", " << spec_.seeds.size() << " contents\n";
+}
+
+void TableSink::on_campaign_end(const CampaignSummary& summary) {
+  if (spec_.schemes.size() == 1) {
+    Table t({"fault class", "faults", "coverage (all contents)", "any content"});
+    for (const CellResult& cell : summary.cells)
+      t.add_row({class_label(cell.cls), std::to_string(cell.outcome.total),
+                 coverage_str(cell.outcome), pct_str(cell.outcome.pct_any())});
+    t.print(out_);
+  } else {
+    // Scheme x fault-class matrix, one row per scheme (spec order).
+    std::vector<std::string> header{"scheme"};
+    for (const ClassSel& cls : spec_.classes) {
+      std::size_t count = 0;
+      for (const CellResult& cell : summary.cells)
+        if (cell.cls == cls) {
+          count = cell.outcome.total;
+          break;
+        }
+      header.push_back(class_label(cls) + " (" + std::to_string(count) + ")");
+    }
+    Table t(header);
+    for (SchemeKind k : spec_.schemes) {
+      std::vector<std::string> row{twm::to_string(k)};
+      for (const ClassSel& cls : spec_.classes)
+        for (const CellResult& cell : summary.cells)
+          if (cell.scheme == k && cell.cls == cls) {
+            row.push_back(coverage_str(cell.outcome));
+            break;
+          }
+      if (row.size() == spec_.classes.size() + 1) t.add_row(row);
+    }
+    t.print(out_);
+  }
+  // A cancelled campaign reports the work that actually ran, not the plan.
+  const std::size_t faults_run = summary.cancelled ? summary.units_emitted
+                                                   : summary.total_faults;
+  if (summary.cancelled)
+    out_ << "campaign cancelled by sink after " << faults_run << "/" << summary.total_faults
+         << " faults\n";
+  out_ << faults_run << " faults in " << summary.seconds << "s ("
+       << static_cast<std::uint64_t>(summary.seconds > 0 ? faults_run / summary.seconds : 0)
+       << " faults/s)\n";
+}
+
+// ---- CollectingSink -----------------------------------------------------
+
+void CollectingSink::on_campaign_begin(const CampaignMeta&) { ++begins; }
+
+void CollectingSink::on_unit(const UnitRecord& r) {
+  units.push_back({r.scheme, r.cls, r.fault_index, r.detected_all, r.detected_any});
+  if (cancel_after_units_ && units.size() >= cancel_after_units_)
+    cancelled_.store(true, std::memory_order_relaxed);
+}
+
+void CollectingSink::on_seed_settled(const SeedRecord& r) { seeds.push_back(r); }
+
+void CollectingSink::on_campaign_end(const CampaignSummary& s) {
+  ++ends;
+  summary = s;
+}
+
+}  // namespace twm::api

@@ -1,0 +1,178 @@
+// Streaming result delivery for declarative campaigns.
+//
+// api::run_campaign (api/runner.h) feeds a ResultSink *during* the run —
+// one record per fault as its unit's verdicts settle, not one aggregate
+// after everything finished.  That turns a campaign from a batch job into
+// a stream a scheduler can tail, persist, or abort:
+//
+//   on_campaign_begin   once, with the spec and the resolved SIMD width
+//   on_seed_settled     one (fault, seed) verdict — opt-in via
+//                       want_seed_records(), off by default (per-lane bit
+//                       extraction costs real work on the packed backends)
+//   on_unit             one fault's final all/any verdict
+//   on_campaign_end     aggregate per scheme x class cells + wall time
+//   cancelled()         polled between units; returning true stops the
+//                       campaign cooperatively (in-flight units finish,
+//                       the record stream ends in a truncated prefix)
+//
+// Sink callbacks are SERIALIZED by the runner (a mutex around every event)
+// — implementations need no locking of their own, but cancelled() is read
+// from worker threads, so a cancelling sink flips an atomic.
+//
+// Three sinks ship: JSON-lines (machine tailing), CSV (spreadsheets), and
+// the human tables the CLI always printed.
+#ifndef TWM_API_SINK_H
+#define TWM_API_SINK_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "api/spec.h"
+#include "memsim/fault.h"
+
+namespace twm::api {
+
+// Resolved facts reported once at campaign start.
+struct CampaignMeta {
+  const CampaignSpec* spec = nullptr;
+  // Lane-block width the packed backend resolved to (W64 for scalar).
+  simd::Width resolved_simd = simd::Width::W64;
+  // Faults the campaign will evaluate, across every scheme x class cell.
+  std::size_t total_faults = 0;
+};
+
+// One fault's settled verdict within one scheme x class cell.
+struct UnitRecord {
+  SchemeKind scheme = SchemeKind::ProposedExact;
+  ClassSel cls;
+  std::size_t fault_index = 0;  // within the class's fault list
+  const Fault* fault = nullptr;
+  bool detected_all = false;  // under every evaluated content
+  bool detected_any = false;  // under at least one content
+};
+
+// One (fault, seed) verdict (want_seed_records() sinks only).
+struct SeedRecord {
+  SchemeKind scheme = SchemeKind::ProposedExact;
+  ClassSel cls;
+  std::size_t fault_index = 0;
+  std::uint64_t seed = 0;
+  bool detected = false;
+};
+
+// Aggregate of one scheme x class cell.
+struct CellResult {
+  SchemeKind scheme = SchemeKind::ProposedExact;
+  ClassSel cls;
+  CoverageOutcome outcome;
+};
+
+struct CampaignSummary {
+  std::vector<CellResult> cells;  // completed cells, spec order
+  std::size_t total_faults = 0;   // planned, across all cells
+  std::size_t units_emitted = 0;  // UnitRecords actually streamed
+  bool cancelled = false;
+  double seconds = 0.0;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void on_campaign_begin(const CampaignMeta& meta) { (void)meta; }
+  virtual void on_unit(const UnitRecord& record) { (void)record; }
+  virtual void on_seed_settled(const SeedRecord& record) { (void)record; }
+  virtual void on_campaign_end(const CampaignSummary& summary) { (void)summary; }
+
+  virtual bool want_seed_records() const { return false; }
+  // Polled (possibly concurrently) between units.
+  virtual bool cancelled() const { return false; }
+};
+
+// JSON-lines: one self-describing record per line, streamed as it happens.
+// Line shapes: {"type":"campaign_begin",...}, {"type":"seed",...},
+// {"type":"unit",...}, {"type":"campaign_end","cells":[...]}.
+class JsonLinesSink : public ResultSink {
+ public:
+  explicit JsonLinesSink(std::ostream& out, bool include_seed_records = false)
+      : out_(out), include_seed_records_(include_seed_records) {}
+
+  void on_campaign_begin(const CampaignMeta& meta) override;
+  void on_unit(const UnitRecord& record) override;
+  void on_seed_settled(const SeedRecord& record) override;
+  void on_campaign_end(const CampaignSummary& summary) override;
+  bool want_seed_records() const override { return include_seed_records_; }
+
+ private:
+  std::ostream& out_;
+  bool include_seed_records_;
+};
+
+// CSV: one header row (emitted at the first campaign's begin, never
+// repeated — batch runs share one stream), then one row per unit.  The
+// leading `campaign` column keeps rows of different batch entries apart.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+
+  void on_campaign_begin(const CampaignMeta& meta) override;
+  void on_unit(const UnitRecord& record) override;
+
+ private:
+  std::ostream& out_;
+  std::string campaign_;  // current spec's name
+  bool header_written_ = false;
+};
+
+// The human tables `twm_cli coverage` always printed: a header line at
+// campaign start, then — once aggregates exist — either the per-class
+// table (single scheme) or the scheme x class matrix, plus the faults/s
+// footer.
+class TableSink : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& out) : out_(out) {}
+
+  void on_campaign_begin(const CampaignMeta& meta) override;
+  void on_campaign_end(const CampaignSummary& summary) override;
+
+ private:
+  std::ostream& out_;
+  CampaignSpec spec_;  // copied at begin; needed to shape the end tables
+};
+
+// Test/tooling helper: records everything it sees and can cancel the
+// campaign after a fixed number of unit records.
+class CollectingSink : public ResultSink {
+ public:
+  explicit CollectingSink(std::size_t cancel_after_units = 0, bool seed_records = false)
+      : cancel_after_units_(cancel_after_units), seed_records_(seed_records) {}
+
+  void on_campaign_begin(const CampaignMeta& meta) override;
+  void on_unit(const UnitRecord& record) override;
+  void on_seed_settled(const SeedRecord& record) override;
+  void on_campaign_end(const CampaignSummary& summary) override;
+  bool want_seed_records() const override { return seed_records_; }
+  bool cancelled() const override { return cancelled_.load(std::memory_order_relaxed); }
+
+  struct StoredUnit {
+    SchemeKind scheme;
+    ClassSel cls;
+    std::size_t fault_index;
+    bool detected_all, detected_any;
+  };
+  std::size_t begins = 0, ends = 0;
+  std::vector<StoredUnit> units;
+  std::vector<SeedRecord> seeds;
+  CampaignSummary summary;
+
+ private:
+  std::size_t cancel_after_units_;
+  bool seed_records_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace twm::api
+
+#endif  // TWM_API_SINK_H

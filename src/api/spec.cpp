@@ -1,0 +1,464 @@
+#include "api/spec.h"
+
+#include <algorithm>
+
+#include "api/json.h"
+#include "march/library.h"
+
+namespace twm::api {
+
+namespace {
+
+std::string join_errors(const std::vector<SpecError>& errors) {
+  std::string out;
+  for (const SpecError& e : errors) {
+    if (!out.empty()) out += '\n';
+    out += to_string(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const SpecError& e) { return e.path + ": " + e.message; }
+
+SpecValidationError::SpecValidationError(std::vector<SpecError> errors)
+    : std::runtime_error(join_errors(errors)), errors_(std::move(errors)) {}
+
+std::vector<SpecError> validate(const CampaignSpec& spec) {
+  std::vector<SpecError> errors;
+  if (spec.words == 0) errors.push_back({"memory.words", "must be at least 1"});
+  if (spec.width == 0) errors.push_back({"memory.width", "must be at least 1"});
+  if (spec.march.empty()) {
+    errors.push_back({"march", "is required"});
+  } else {
+    const auto names = march_names();
+    if (std::find(names.begin(), names.end(), spec.march) == names.end())
+      errors.push_back({"march", "unknown march '" + spec.march + "' (see `twm_cli list`)"});
+  }
+  if (spec.schemes.empty()) errors.push_back({"schemes", "at least one scheme is required"});
+  if (spec.classes.empty())
+    errors.push_back({"classes", "at least one fault class is required"});
+  if (spec.seeds.empty()) errors.push_back({"seeds", "at least one content seed is required"});
+  if (spec.threads == 0) errors.push_back({"run.threads", "must be at least 1"});
+  if (spec.backend == CoverageBackend::Packed && spec.simd != simd::Request::Auto) {
+    // A forced width must be executable here; Auto always resolves.
+    try {
+      simd::resolve(spec.simd);
+    } catch (const std::runtime_error& e) {
+      errors.push_back({"run.simd", e.what()});
+    }
+  }
+  return errors;
+}
+
+void require_valid(const CampaignSpec& spec) {
+  auto errors = validate(spec);
+  if (!errors.empty()) throw SpecValidationError(std::move(errors));
+}
+
+// ---- canonical enum spellings ------------------------------------------
+
+std::optional<CoverageBackend> parse_backend(std::string_view s) {
+  if (s == "scalar") return CoverageBackend::Scalar;
+  if (s == "packed") return CoverageBackend::Packed;
+  return std::nullopt;
+}
+
+std::string scheme_id(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::NontransparentReference: return "ref";
+    case SchemeKind::WordOrientedMarch: return "womarch";
+    case SchemeKind::ProposedExact: return "twm";
+    case SchemeKind::ProposedMisr: return "twm-misr";
+    case SchemeKind::ProposedSymmetricXor: return "sym";
+    case SchemeKind::TsmarchOnly: return "tsmarch";
+    case SchemeKind::Scheme1Exact: return "s1";
+    case SchemeKind::TomtModel: return "tomt";
+  }
+  return "?";
+}
+
+std::optional<SchemeKind> parse_scheme(std::string_view s) {
+  for (SchemeKind k : kAllSchemes)
+    if (s == scheme_id(k)) return k;
+  return std::nullopt;
+}
+
+std::string to_string(const ClassSel& c) {
+  std::string base;
+  switch (c.kind) {
+    case ClassKind::Saf: base = "saf"; break;
+    case ClassKind::Tf: base = "tf"; break;
+    case ClassKind::Ret: base = "ret"; break;
+    case ClassKind::CFst: base = "cfst"; break;
+    case ClassKind::CFid: base = "cfid"; break;
+    case ClassKind::CFin: base = "cfin"; break;
+    case ClassKind::Af: base = "af"; break;
+  }
+  if (c.is_coupling() && c.scope != CfScope::Both)
+    base += c.scope == CfScope::InterWord ? ":inter" : ":intra";
+  return base;
+}
+
+std::string class_label(const ClassSel& c) {
+  std::string base;
+  switch (c.kind) {
+    case ClassKind::Saf: base = "SAF"; break;
+    case ClassKind::Tf: base = "TF"; break;
+    case ClassKind::Ret: base = "RET"; break;
+    case ClassKind::CFst: base = "CFst"; break;
+    case ClassKind::CFid: base = "CFid"; break;
+    case ClassKind::CFin: base = "CFin"; break;
+    case ClassKind::Af: base = "AF"; break;
+  }
+  if (c.is_coupling() && c.scope != CfScope::Both)
+    base += c.scope == CfScope::InterWord ? " inter" : " intra";
+  return base;
+}
+
+std::optional<ClassSel> parse_class(std::string_view s) {
+  ClassSel sel;
+  const auto colon = s.find(':');
+  const std::string_view base = colon == std::string_view::npos ? s : s.substr(0, colon);
+  if (base == "saf")
+    sel.kind = ClassKind::Saf;
+  else if (base == "tf")
+    sel.kind = ClassKind::Tf;
+  else if (base == "ret")
+    sel.kind = ClassKind::Ret;
+  else if (base == "cfst")
+    sel.kind = ClassKind::CFst;
+  else if (base == "cfid")
+    sel.kind = ClassKind::CFid;
+  else if (base == "cfin")
+    sel.kind = ClassKind::CFin;
+  else if (base == "af")
+    sel.kind = ClassKind::Af;
+  else
+    return std::nullopt;
+  if (colon != std::string_view::npos) {
+    if (!sel.is_coupling()) return std::nullopt;  // scope only applies to CFs
+    const std::string_view scope = s.substr(colon + 1);
+    if (scope == "inter")
+      sel.scope = CfScope::InterWord;
+    else if (scope == "intra")
+      sel.scope = CfScope::IntraWord;
+    else
+      return std::nullopt;
+  }
+  return sel;
+}
+
+namespace {
+
+// Splits on commas, dropping empty pieces ("a,,b" == "a,b").
+std::vector<std::string_view> split_csv(std::string_view s) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string_view::npos ? s.size() : comma;
+    if (end > start) parts.push_back(s.substr(start, end - start));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::optional<std::vector<SchemeKind>> parse_schemes(std::string_view csv) {
+  if (csv == "all")
+    return std::vector<SchemeKind>(std::begin(kAllSchemes), std::end(kAllSchemes));
+  std::vector<SchemeKind> out;
+  for (std::string_view part : split_csv(csv)) {
+    const auto k = parse_scheme(part);
+    if (!k) return std::nullopt;
+    out.push_back(*k);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<ClassSel>> parse_classes(std::string_view csv) {
+  std::vector<ClassSel> out;
+  for (std::string_view part : split_csv(csv)) {
+    const auto c = parse_class(part);
+    if (!c) return std::nullopt;
+    out.push_back(*c);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<std::uint64_t>> parse_seeds(std::string_view csv,
+                                                      std::string* bad_token) {
+  std::vector<std::uint64_t> out;
+  for (std::string_view part : split_csv(csv)) {
+    // Pure decimal digits only: no sign, no whitespace, no trailing junk,
+    // no overflow wrap-around (everything std::stoull would let through).
+    std::uint64_t value = 0;
+    bool ok = true;
+    for (char c : part) {
+      if (c < '0' || c > '9') {
+        ok = false;
+        break;
+      }
+      const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+      if (value > (UINT64_MAX - digit) / 10) {
+        ok = false;
+        break;
+      }
+      value = value * 10 + digit;
+    }
+    if (!ok) {
+      if (bad_token) *bad_token = std::string(part);
+      return std::nullopt;
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsigned width) {
+  switch (c.kind) {
+    case ClassKind::Saf: return all_safs(words, width);
+    case ClassKind::Tf: return all_tfs(words, width);
+    case ClassKind::Ret: return all_rets(words, width, 1);
+    case ClassKind::CFst: return all_cfs(words, width, FaultClass::CFst, c.scope);
+    case ClassKind::CFid: return all_cfs(words, width, FaultClass::CFid, c.scope);
+    case ClassKind::CFin: return all_cfs(words, width, FaultClass::CFin, c.scope);
+    case ClassKind::Af: return all_afs(words);
+  }
+  throw std::logic_error("build_fault_list: unknown class kind");
+}
+
+// ---- JSON ---------------------------------------------------------------
+
+namespace {
+
+JsonValue spec_to_value(const CampaignSpec& s) {
+  JsonValue memory = JsonValue::object();
+  memory.set("words", JsonValue::number(s.words));
+  memory.set("width", JsonValue::number(s.width));
+
+  JsonValue schemes = JsonValue::array();
+  for (SchemeKind k : s.schemes) schemes.push_back(JsonValue::string(scheme_id(k)));
+  JsonValue classes = JsonValue::array();
+  for (const ClassSel& c : s.classes) classes.push_back(JsonValue::string(to_string(c)));
+  JsonValue seeds = JsonValue::array();
+  for (std::uint64_t seed : s.seeds) seeds.push_back(JsonValue::number(seed));
+
+  JsonValue run = JsonValue::object();
+  run.set("backend", JsonValue::string(to_string(s.backend)));
+  run.set("threads", JsonValue::number(s.threads));
+  run.set("simd", JsonValue::string(simd::to_string(s.simd)));
+
+  JsonValue v = JsonValue::object();
+  v.set("name", JsonValue::string(s.name));
+  v.set("memory", std::move(memory));
+  v.set("march", JsonValue::string(s.march));
+  v.set("schemes", std::move(schemes));
+  v.set("classes", std::move(classes));
+  v.set("seeds", std::move(seeds));
+  v.set("run", std::move(run));
+  return v;
+}
+
+// Collects structural errors instead of stopping at the first: a queued
+// spec that is wrong in three places should say so in one round.
+class SpecReader {
+ public:
+  explicit SpecReader(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  CampaignSpec read(const JsonValue& v) {
+    CampaignSpec s;
+    if (!v.is_object()) {
+      fail("", "spec must be a JSON object");
+      throw SpecValidationError(std::move(errors_));
+    }
+    static const char* kKnown[] = {"name", "memory", "march", "schemes",
+                                   "classes", "seeds", "run"};
+    for (const auto& [key, member] : v.members()) {
+      (void)member;
+      if (std::find_if(std::begin(kKnown), std::end(kKnown),
+                       [&key = key](const char* k) { return key == k; }) == std::end(kKnown))
+        fail(key, "unknown field");
+    }
+
+    if (const JsonValue* name = v.find("name")) {
+      if (name->is_string())
+        s.name = name->as_string();
+      else
+        fail("name", "must be a string");
+    }
+    if (const JsonValue* memory = v.find("memory")) {
+      if (memory->is_object()) {
+        s.words = read_count(*memory, "memory", "words");
+        const std::size_t width = read_count(*memory, "memory", "width");
+        if (width > UINT32_MAX)
+          fail("memory.width", "must fit an unsigned 32-bit integer");
+        else
+          s.width = static_cast<unsigned>(width);
+      } else {
+        fail("memory", "must be an object {\"words\": N, \"width\": B}");
+      }
+    } else {
+      fail("memory", "is required");
+    }
+    if (const JsonValue* march = v.find("march")) {
+      if (march->is_string())
+        s.march = march->as_string();
+      else
+        fail("march", "must be a string");
+    } else {
+      fail("march", "is required");
+    }
+
+    read_array(v, "schemes", [&](const JsonValue& item, const std::string& path) {
+      if (!item.is_string()) return fail(path, "must be a scheme id string");
+      const auto k = parse_scheme(item.as_string());
+      if (!k)
+        return fail(path, "unknown scheme '" + item.as_string() +
+                              "' (want ref|womarch|twm|twm-misr|sym|tsmarch|s1|tomt)");
+      s.schemes.push_back(*k);
+    });
+    read_array(v, "classes", [&](const JsonValue& item, const std::string& path) {
+      if (!item.is_string()) return fail(path, "must be a fault-class string");
+      const auto c = parse_class(item.as_string());
+      if (!c)
+        return fail(path, "unknown fault class '" + item.as_string() +
+                              "' (want saf|tf|ret|cfst|cfid|cfin|af, CFs optionally "
+                              ":inter|:intra)");
+      s.classes.push_back(*c);
+    });
+    read_array(v, "seeds", [&](const JsonValue& item, const std::string& path) {
+      const auto seed = item.as_u64();
+      if (!seed) return fail(path, "must be an unsigned 64-bit integer");
+      s.seeds.push_back(*seed);
+    });
+
+    if (const JsonValue* run = v.find("run")) {
+      if (run->is_object()) {
+        for (const auto& [key, member] : run->members()) {
+          (void)member;
+          if (key != "backend" && key != "threads" && key != "simd")
+            fail("run." + key, "unknown field");
+        }
+        if (const JsonValue* backend = run->find("backend")) {
+          const auto b = backend->is_string() ? parse_backend(backend->as_string())
+                                              : std::nullopt;
+          if (b)
+            s.backend = *b;
+          else
+            fail("run.backend", "must be \"scalar\" or \"packed\"");
+        }
+        if (const JsonValue* threads = run->find("threads")) {
+          const auto t = threads->as_u64();
+          if (t && *t <= UINT32_MAX)
+            s.threads = static_cast<unsigned>(*t);
+          else
+            fail("run.threads", "must be an unsigned integer");
+        }
+        if (const JsonValue* simd = run->find("simd")) {
+          const auto r = simd->is_string() ? simd::parse_request(simd->as_string())
+                                           : std::nullopt;
+          if (r)
+            s.simd = *r;
+          else
+            fail("run.simd", "must be \"auto\", \"64\", \"256\" or \"512\"");
+        }
+      } else {
+        fail("run", "must be an object");
+      }
+    }
+
+    if (!errors_.empty()) throw SpecValidationError(std::move(errors_));
+    return s;
+  }
+
+ private:
+  void fail(const std::string& path, const std::string& message) {
+    errors_.push_back({prefix_ + path, message});
+  }
+
+  std::size_t read_count(const JsonValue& obj, const std::string& parent, const char* key) {
+    const JsonValue* member = obj.find(key);
+    const std::string path = parent + "." + key;
+    if (!member) {
+      fail(path, "is required");
+      return 0;
+    }
+    const auto n = member->as_u64();
+    if (!n) {
+      fail(path, "must be an unsigned integer");
+      return 0;
+    }
+    return *n;
+  }
+
+  template <typename Fn>
+  void read_array(const JsonValue& v, const char* key, Fn&& per_item) {
+    const JsonValue* member = v.find(key);
+    if (!member) return fail(key, "is required");
+    if (!member->is_array()) return fail(key, "must be an array");
+    std::size_t i = 0;
+    for (const JsonValue& item : member->items())
+      per_item(item, std::string(key) + "[" + std::to_string(i++) + "]");
+  }
+
+  std::string prefix_;
+  std::vector<SpecError> errors_;
+};
+
+}  // namespace
+
+std::string to_json(const CampaignSpec& spec, bool pretty) {
+  return json_write(spec_to_value(spec), pretty);
+}
+
+std::string to_json(const std::vector<CampaignSpec>& batch, bool pretty) {
+  // The batch form keeps one spec per line even in pretty mode — diffable
+  // and exactly the shape a queue would append to.
+  std::string out = "[";
+  bool first = true;
+  for (const CampaignSpec& s : batch) {
+    if (!first) out += ",";
+    first = false;
+    if (pretty) out += "\n";
+    out += json_write(spec_to_value(s), /*pretty=*/false);
+  }
+  if (pretty && !batch.empty()) out += "\n";
+  out += "]";
+  return out;
+}
+
+CampaignSpec spec_from_json(const std::string& text) {
+  return SpecReader("").read(json_parse(text));
+}
+
+std::vector<CampaignSpec> specs_from_json(const std::string& text) {
+  const JsonValue doc = json_parse(text);
+  std::vector<CampaignSpec> out;
+  if (doc.is_array()) {
+    // Collect every spec's structural errors before failing: a queued
+    // batch that is wrong in three specs should say so in one round.
+    std::vector<SpecError> errors;
+    std::size_t i = 0;
+    for (const JsonValue& item : doc.items()) {
+      try {
+        out.push_back(SpecReader("spec[" + std::to_string(i) + "].").read(item));
+      } catch (const SpecValidationError& e) {
+        errors.insert(errors.end(), e.errors().begin(), e.errors().end());
+      }
+      ++i;
+    }
+    if (!errors.empty()) throw SpecValidationError(std::move(errors));
+  } else {
+    out.push_back(SpecReader("").read(doc));
+  }
+  return out;
+}
+
+}  // namespace twm::api

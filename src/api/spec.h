@@ -1,0 +1,167 @@
+// twm::api — the stable public surface every front-end speaks.
+//
+// A coverage campaign is a *value*: CampaignSpec captures everything that
+// defines one — memory geometry, the bit-oriented march, the scheme set,
+// the fault-class selection, the content seeds, and the execution request
+// (backend / threads / SIMD width).  Specs are
+//
+//   * validated field by field (validate() returns structured SpecErrors
+//     naming the offending path instead of one scattered runtime_error),
+//   * serialized to JSON and parsed back round-trip exact, singly or as a
+//     batch ([spec, spec, ...]) so campaigns can be stored, diffed, queued
+//     and replayed,
+//   * executed by api::run_campaign (api/runner.h), which streams per-unit
+//     results into a ResultSink (api/sink.h).
+//
+// The canonical spelling of every enum the spec serializes lives here too:
+// parse_backend / parse_scheme / parse_class / simd::parse_request are THE
+// parsers — the CLI, the benches and the JSON grammar all call them, and
+// parse(to_string(x)) == x holds for every value (tests/api_spec_test.cpp).
+#ifndef TWM_API_SPEC_H
+#define TWM_API_SPEC_H
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/campaign.h"
+#include "analysis/fault_list.h"
+#include "core/scheme_session.h"
+#include "core/simd.h"
+
+namespace twm::api {
+
+// One validation finding: the dotted path of the offending field (JSON
+// grammar coordinates, e.g. "memory.words", "schemes[2]", "run.threads")
+// and a human-readable message.
+struct SpecError {
+  std::string path;
+  std::string message;
+
+  friend bool operator==(const SpecError&, const SpecError&) = default;
+};
+
+std::string to_string(const SpecError& e);  // "path: message"
+
+// Carrier for one-or-many SpecErrors across a throwing boundary; what()
+// joins them line by line.
+class SpecValidationError : public std::runtime_error {
+ public:
+  explicit SpecValidationError(std::vector<SpecError> errors);
+  const std::vector<SpecError>& errors() const { return errors_; }
+
+ private:
+  std::vector<SpecError> errors_;
+};
+
+// Fault-class selector: a generator class plus (for coupling faults) the
+// aggressor/victim placement scope.  Canonical spellings: "saf", "tf",
+// "ret", "af", "cfst", "cfid", "cfin" (scope Both), "cfid:inter",
+// "cfid:intra" (and likewise for cfst/cfin).
+enum class ClassKind { Saf, Tf, Ret, CFst, CFid, CFin, Af };
+
+inline constexpr ClassKind kAllClassKinds[] = {
+    ClassKind::Saf,  ClassKind::Tf,   ClassKind::Ret, ClassKind::CFst,
+    ClassKind::CFid, ClassKind::CFin, ClassKind::Af,
+};
+
+struct ClassSel {
+  ClassKind kind = ClassKind::Saf;
+  CfScope scope = CfScope::Both;  // coupling-fault kinds only
+
+  bool is_coupling() const {
+    return kind == ClassKind::CFst || kind == ClassKind::CFid || kind == ClassKind::CFin;
+  }
+
+  friend bool operator==(const ClassSel&, const ClassSel&) = default;
+};
+
+// Everything that defines a campaign.  Defaults mirror the CLI's: packed
+// backend, one thread, auto SIMD width.
+struct CampaignSpec {
+  std::string name;  // optional label, carried through sinks
+
+  // Memory geometry (JSON: "memory": {"words": N, "width": B}).
+  std::size_t words = 0;
+  unsigned width = 0;
+
+  std::string march;                // march-library name ("March C-", ...)
+  std::vector<SchemeKind> schemes;  // at least one; order preserved
+  std::vector<ClassSel> classes;    // at least one; order preserved
+  std::vector<std::uint64_t> seeds;  // at least one; 0 = all-zero contents
+
+  // Execution request (JSON: "run": {...}).
+  CoverageBackend backend = CoverageBackend::Packed;
+  unsigned threads = 1;
+  simd::Request simd = simd::Request::Auto;
+
+  CoverageOptions options() const { return {backend, threads, simd}; }
+
+  friend bool operator==(const CampaignSpec&, const CampaignSpec&) = default;
+};
+
+// Field-by-field validation; empty result means the spec is runnable on
+// this host (forced SIMD widths are checked against the CPU).
+std::vector<SpecError> validate(const CampaignSpec& spec);
+
+// Throws SpecValidationError when validate() is non-empty.
+void require_valid(const CampaignSpec& spec);
+
+// ---- canonical enum spellings ------------------------------------------
+//
+// to_string(CoverageBackend) lives in analysis/campaign.h and
+// simd::to_string(simd::Request) in core/simd.h; these are their inverse
+// parsers plus the scheme/class vocabularies.  All return nullopt on any
+// unknown spelling — no partial matches, no case folding.
+
+std::optional<CoverageBackend> parse_backend(std::string_view s);
+
+// Short scheme identifiers, the CLI's spellings: "ref", "womarch", "twm",
+// "twm-misr", "sym", "tsmarch", "s1", "tomt".  (to_string(SchemeKind) is
+// the human display name and is NOT parseable; scheme_id() is.)
+std::string scheme_id(SchemeKind k);
+std::optional<SchemeKind> parse_scheme(std::string_view s);
+
+std::string to_string(const ClassSel& c);     // canonical spelling
+std::string class_label(const ClassSel& c);   // table label ("CFid inter")
+std::optional<ClassSel> parse_class(std::string_view s);
+
+// Comma-separated list helpers the flag surfaces share.  parse_schemes
+// additionally accepts the spelling "all" (every SchemeKind, paper order).
+std::optional<std::vector<SchemeKind>> parse_schemes(std::string_view csv);
+std::optional<std::vector<ClassSel>> parse_classes(std::string_view csv);
+
+// Comma-separated seed list ("0,1,2"; empty pieces dropped).  Returns
+// nullopt when any piece is not a pure-decimal uint64 ("x", "-1", " 1",
+// "2x", "1.5", overflow); `bad_token`, when provided, receives the
+// offending piece.  An all-empty input parses to an empty vector — the
+// caller decides whether that is an error.
+std::optional<std::vector<std::uint64_t>> parse_seeds(std::string_view csv,
+                                                      std::string* bad_token = nullptr);
+
+// The faults a class selector denotes in an N x B memory (exhaustive
+// generators from analysis/fault_list.h; RET uses hold_units = 1).
+std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsigned width);
+
+// ---- JSON ---------------------------------------------------------------
+
+// Canonical serialization (member order fixed; round-trip exact:
+// spec_from_json(to_json(s)) == s).
+std::string to_json(const CampaignSpec& spec, bool pretty = true);
+std::string to_json(const std::vector<CampaignSpec>& batch, bool pretty = true);
+
+// Parses one spec object.  Malformed JSON throws JsonParseError; structural
+// or spelling problems throw SpecValidationError whose errors() name the
+// offending paths.  Parsing does NOT run validate() — a parsed spec may
+// still be semantically invalid (e.g. zero words).
+CampaignSpec spec_from_json(const std::string& text);
+
+// Accepts either a single spec object or a batch array [spec, spec, ...].
+std::vector<CampaignSpec> specs_from_json(const std::string& text);
+
+}  // namespace twm::api
+
+#endif  // TWM_API_SPEC_H

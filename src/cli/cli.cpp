@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <fstream>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -11,6 +12,10 @@
 #include "analysis/fault_list.h"
 #include "analysis/lint.h"
 #include "analysis/report.h"
+#include "api/json.h"
+#include "api/runner.h"
+#include "api/sink.h"
+#include "api/spec.h"
 #include "bist/engine.h"
 #include "core/complexity.h"
 #include "core/scheme1.h"
@@ -32,12 +37,19 @@ struct Options {
   std::vector<std::string> faults;               // repeated --fault specs
 };
 
+// Flags that take no value ("--json" on the simd command).
+bool is_bool_flag(const std::string& flag) { return flag == "--json"; }
+
 std::optional<Options> parse_args(const std::vector<std::string>& args, std::ostream& err) {
   Options o;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     if (a.rfind("--", 0) != 0) {
       o.positional.push_back(a);
+      continue;
+    }
+    if (is_bool_flag(a)) {
+      o.flags[a.substr(2)] = "";
       continue;
     }
     if (i + 1 >= args.size()) {
@@ -212,38 +224,23 @@ int cmd_simulate(const Options& o, std::ostream& out, std::ostream& err) {
   return res.detected_misr ? 2 : 0;
 }
 
-// Splits "a,b,c" on commas (empty pieces dropped).
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> parts;
-  std::string cur;
-  for (char c : s) {
-    if (c == ',') {
-      if (!cur.empty()) parts.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!cur.empty()) parts.push_back(cur);
-  return parts;
-}
-
-std::optional<SchemeKind> parse_scheme(const std::string& s, std::ostream& err) {
-  if (s == "twm") return SchemeKind::ProposedExact;
-  if (s == "twm-misr") return SchemeKind::ProposedMisr;
-  if (s == "sym") return SchemeKind::ProposedSymmetricXor;
-  if (s == "tsmarch") return SchemeKind::TsmarchOnly;
-  if (s == "s1") return SchemeKind::Scheme1Exact;
-  if (s == "tomt") return SchemeKind::TomtModel;
-  if (s == "ref") return SchemeKind::NontransparentReference;
-  if (s == "womarch") return SchemeKind::WordOrientedMarch;
-  err << "error: unknown scheme '" << s
-      << "' (want twm|twm-misr|sym|tsmarch|s1|tomt|ref|womarch|all)\n";
-  return std::nullopt;
-}
-
 // CPU / build support table for the packed backend's lane-block widths.
-int cmd_simd(std::ostream& out) {
+// --json emits the probe machine-readable so schedulers can decide
+// placement without scraping the table.
+int cmd_simd(const Options& o, std::ostream& out) {
+  if (o.flags.count("json")) {
+    // `width` is the value a scheduler passes back as --simd / run.simd.
+    out << "{\"widths\":[";
+    bool first = true;
+    for (simd::Width w : simd::kAllWidths) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"width\":" << simd::lanes(w)
+          << ",\"supported\":" << (simd::supported(w) ? "true" : "false") << "}";
+    }
+    out << "],\"best\":" << simd::lanes(simd::best_width()) << "}\n";
+    return 0;
+  }
   Table t({"width", "lanes", "supported"});
   for (simd::Width w : simd::kAllWidths)
     t.add_row({simd::to_string(w), std::to_string(simd::lanes(w)),
@@ -253,6 +250,90 @@ int cmd_simd(std::ostream& out) {
   return 0;
 }
 
+// Assembles the CampaignSpec a coverage-style command line denotes.  Flag
+// spelling errors are reported here with their flag names; semantic
+// problems (unknown march, zero geometry, unsupported forced width) are
+// left for api::validate().
+std::optional<api::CampaignSpec> spec_from_flags(const Options& o, std::ostream& err) {
+  api::CampaignSpec spec;
+  if (o.positional.size() >= 2) spec.march = o.positional[1];
+  const auto width = flag_unsigned(o, "width", std::nullopt, err);
+  const auto words = flag_unsigned(o, "words", std::nullopt, err);
+  if (!width || !words) return std::nullopt;
+  spec.width = *width;
+  spec.words = *words;
+
+  const auto threads = flag_unsigned(o, "threads", 1u, err);
+  if (!threads) return std::nullopt;
+  if (*threads == 0) {
+    err << "error: --threads must be at least 1\n";
+    return std::nullopt;
+  }
+  spec.threads = *threads;
+
+  if (auto it = o.flags.find("backend"); it != o.flags.end()) {
+    const auto backend = api::parse_backend(it->second);
+    if (!backend) {
+      err << "error: unknown backend '" << it->second << "' (want scalar|packed)\n";
+      return std::nullopt;
+    }
+    spec.backend = *backend;
+  }
+
+  if (auto it = o.flags.find("simd"); it != o.flags.end()) {
+    const auto req = simd::parse_request(it->second);
+    if (!req) {
+      err << "error: unknown simd width '" << it->second << "' (want auto|64|256|512)\n";
+      return std::nullopt;
+    }
+    spec.simd = *req;
+  }
+
+  const auto scheme_it = o.flags.find("scheme");
+  const std::string scheme_name = scheme_it == o.flags.end() ? "twm" : scheme_it->second;
+  const auto schemes = api::parse_schemes(scheme_name);
+  if (!schemes) {
+    err << "error: unknown scheme '" << scheme_name
+        << "' (want twm|twm-misr|sym|tsmarch|s1|tomt|ref|womarch|all)\n";
+    return std::nullopt;
+  }
+  spec.schemes = *schemes;
+
+  spec.seeds = {0, 1, 2};
+  if (auto it = o.flags.find("seeds"); it != o.flags.end()) {
+    std::string bad_token;
+    const auto seeds = api::parse_seeds(it->second, &bad_token);
+    if (!seeds) {
+      err << "error: --seeds expects comma-separated numbers, got '" << bad_token << "'\n";
+      return std::nullopt;
+    }
+    if (seeds->empty()) {
+      err << "error: --seeds needs at least one seed\n";
+      return std::nullopt;
+    }
+    spec.seeds = *seeds;
+  }
+
+  std::string class_csv = "saf,tf,cfst,cfid,cfin";
+  if (auto it = o.flags.find("classes"); it != o.flags.end()) class_csv = it->second;
+  const auto classes = api::parse_classes(class_csv);
+  if (!classes) {
+    err << "error: unknown fault class in '" << class_csv
+        << "' (want saf|tf|ret|cfst|cfid|cfin|af, CFs optionally :inter|:intra)\n";
+    return std::nullopt;
+  }
+  spec.classes = *classes;
+  return spec;
+}
+
+// Prints every validation finding as "error: path: message"; true when the
+// spec is clean.
+bool report_spec_errors(const api::CampaignSpec& spec, std::ostream& err) {
+  const auto errors = api::validate(spec);
+  for (const api::SpecError& e : errors) err << "error: " << api::to_string(e) << "\n";
+  return errors.empty();
+}
+
 int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.positional.size() < 2) {
     err << "usage: coverage <march> --width B --words N [--scheme S|all] [--classes C,..]\n"
@@ -260,148 +341,98 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
            "                [--simd auto|64|256|512]\n";
     return 1;
   }
-  const auto width = flag_unsigned(o, "width", std::nullopt, err);
-  const auto words = flag_unsigned(o, "words", std::nullopt, err);
-  if (!width || !words) return 1;
-  const auto threads = flag_unsigned(o, "threads", 1u, err);
-  if (!threads) return 1;
-  if (*threads == 0) {
-    err << "error: --threads must be at least 1\n";
+  const auto spec = spec_from_flags(o, err);
+  if (!spec) return 1;
+  if (!report_spec_errors(*spec, err)) return 1;
+  api::TableSink sink(out);
+  api::run_campaign(*spec, &sink);
+  return 0;
+}
+
+// The migration bridge: print the CampaignSpec a coverage command line
+// denotes, ready to be stored and replayed with `run`.
+int cmd_spec(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.positional.size() < 2) {
+    err << "usage: spec <march> --width B --words N [coverage flags...] [--name LABEL]\n";
+    return 1;
+  }
+  auto spec = spec_from_flags(o, err);
+  if (!spec) return 1;
+  if (auto it = o.flags.find("name"); it != o.flags.end()) spec->name = it->second;
+  if (!report_spec_errors(*spec, err)) return 1;
+  out << api::to_json(*spec) << "\n";
+  return 0;
+}
+
+int cmd_run(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.positional.size() < 2) {
+    err << "usage: run <spec.json> [--sink jsonl|csv|table] [--out F]\n";
+    return 1;
+  }
+  const std::string& path = o.positional[1];
+  std::ifstream in(path);
+  if (!in) {
+    err << "error: cannot read spec file '" << path << "'\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  std::vector<api::CampaignSpec> specs;
+  try {
+    specs = api::specs_from_json(text.str());
+  } catch (const api::SpecValidationError& e) {
+    for (const api::SpecError& se : e.errors())
+      err << "error: " << path << ": " << api::to_string(se) << "\n";
+    return 1;
+  } catch (const api::JsonParseError& e) {
+    err << "error: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  if (specs.empty()) {
+    err << "error: " << path << ": batch contains no specs\n";
     return 1;
   }
 
-  CoverageOptions opts;
-  opts.threads = *threads;
-  if (auto it = o.flags.find("backend"); it != o.flags.end()) {
-    if (it->second == "scalar")
-      opts.backend = CoverageBackend::Scalar;
-    else if (it->second == "packed")
-      opts.backend = CoverageBackend::Packed;
-    else {
-      err << "error: unknown backend '" << it->second << "' (want scalar|packed)\n";
+  bool valid = true;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (const api::SpecError& e : api::validate(specs[i])) {
+      err << "error: " << path << ": "
+          << (specs.size() > 1 ? "spec[" + std::to_string(i) + "]." : "") << api::to_string(e)
+          << "\n";
+      valid = false;
+    }
+  }
+  if (!valid) return 1;
+
+  std::string sink_name = "table";
+  if (auto it = o.flags.find("sink"); it != o.flags.end()) sink_name = it->second;
+  if (sink_name != "jsonl" && sink_name != "csv" && sink_name != "table") {
+    err << "error: unknown sink '" << sink_name << "' (want jsonl|csv|table)\n";
+    return 1;
+  }
+  // Only open (and truncate) --out once the command line is fully vetted —
+  // a rejected invocation must not clobber a previous run's output.
+  std::ofstream file_out;
+  std::ostream* dest = &out;
+  if (auto it = o.flags.find("out"); it != o.flags.end()) {
+    file_out.open(it->second);
+    if (!file_out) {
+      err << "error: cannot write '" << it->second << "'\n";
       return 1;
     }
-  } else {
-    opts.backend = CoverageBackend::Packed;
+    dest = &file_out;
   }
 
-  if (auto it = o.flags.find("simd"); it != o.flags.end()) {
-    const auto req = simd::parse_request(it->second);
-    if (!req) {
-      err << "error: unknown simd width '" << it->second << "' (want auto|64|256|512)\n";
-      return 1;
-    }
-    opts.simd = *req;
-  }
-  // Resolve now so a forced-but-unsupported width errors before any
-  // campaign work (throws std::runtime_error, reported by run_cli).
-  const simd::Width simd_width =
-      opts.backend == CoverageBackend::Packed ? simd::resolve(opts.simd) : simd::Width::W64;
+  std::unique_ptr<api::ResultSink> sink;
+  if (sink_name == "jsonl")
+    sink = std::make_unique<api::JsonLinesSink>(*dest);
+  else if (sink_name == "csv")
+    sink = std::make_unique<api::CsvSink>(*dest);
+  else
+    sink = std::make_unique<api::TableSink>(*dest);
 
-  const auto scheme_it = o.flags.find("scheme");
-  const std::string scheme_name = scheme_it == o.flags.end() ? "twm" : scheme_it->second;
-  const bool all_schemes = scheme_name == "all";
-  std::optional<SchemeKind> scheme;
-  if (!all_schemes) {
-    scheme = parse_scheme(scheme_name, err);
-    if (!scheme) return 1;
-  }
-
-  std::vector<std::uint64_t> seeds{0, 1, 2};
-  if (auto it = o.flags.find("seeds"); it != o.flags.end()) {
-    seeds.clear();
-    for (const auto& p : split_csv(it->second)) {
-      // stoull would accept "-1" (wrapping), " 1" and "2x" (ignoring the
-      // tail); require pure digits.
-      const bool digits = std::all_of(p.begin(), p.end(), [](unsigned char c) {
-        return c >= '0' && c <= '9';
-      });
-      try {
-        if (!digits) throw std::invalid_argument(p);
-        seeds.push_back(std::stoull(p));
-      } catch (const std::exception&) {
-        err << "error: --seeds expects comma-separated numbers, got '" << p << "'\n";
-        return 1;
-      }
-    }
-    if (seeds.empty()) {
-      err << "error: --seeds needs at least one seed\n";
-      return 1;
-    }
-  }
-
-  std::vector<std::string> class_names{"saf", "tf", "cfst", "cfid", "cfin"};
-  if (auto it = o.flags.find("classes"); it != o.flags.end()) class_names = split_csv(it->second);
-
-  struct ClassSpec {
-    std::string name;
-    std::vector<Fault> faults;
-  };
-  std::vector<ClassSpec> classes;
-  for (const auto& name : class_names) {
-    if (name == "saf")
-      classes.push_back({"SAF", all_safs(*words, *width)});
-    else if (name == "tf")
-      classes.push_back({"TF", all_tfs(*words, *width)});
-    else if (name == "ret")
-      classes.push_back({"RET", all_rets(*words, *width, 1)});
-    else if (name == "cfst")
-      classes.push_back({"CFst", all_cfs(*words, *width, FaultClass::CFst, CfScope::Both)});
-    else if (name == "cfid")
-      classes.push_back({"CFid", all_cfs(*words, *width, FaultClass::CFid, CfScope::Both)});
-    else if (name == "cfin")
-      classes.push_back({"CFin", all_cfs(*words, *width, FaultClass::CFin, CfScope::Both)});
-    else if (name == "af")
-      classes.push_back({"AF", all_afs(*words)});
-    else {
-      err << "error: unknown fault class '" << name
-          << "' (want saf|tf|ret|cfst|cfid|cfin|af)\n";
-      return 1;
-    }
-  }
-
-  const MarchTest march = march_by_name(o.positional[1]);
-  const CampaignRunner runner(*words, *width, opts);
-  out << "coverage: " << march.name << ", N=" << *words << ", B=" << *width << ", "
-      << (all_schemes ? std::string("all schemes") : to_string(*scheme))
-      << ", backend=" << to_string(opts.backend);
-  if (opts.backend == CoverageBackend::Packed)
-    out << " (simd " << simd::to_string(simd_width) << ", "
-        << (opts.simd == simd::Request::Auto ? "auto" : "forced") << ")";
-  out << ", threads=" << opts.threads << ", " << seeds.size() << " contents\n";
-
-  std::size_t total_faults = 0;
-  const auto t0 = std::chrono::steady_clock::now();
-  if (all_schemes) {
-    // Scheme x fault-class comparison: one campaign (and one compiled
-    // SchemePlan) per scheme x class cell.
-    std::vector<std::string> header{"scheme"};
-    for (const auto& spec : classes)
-      header.push_back(spec.name + " (" + std::to_string(spec.faults.size()) + ")");
-    Table t(header);
-    for (SchemeKind k : kAllSchemes) {
-      std::vector<std::string> row{to_string(k)};
-      for (const auto& spec : classes)
-        row.push_back(coverage_str(runner.evaluate(k, march, spec.faults, seeds)));
-      t.add_row(row);
-    }
-    for (const auto& spec : classes) total_faults += spec.faults.size();
-    total_faults *= std::size(kAllSchemes);
-    t.print(out);
-  } else {
-    Table t({"fault class", "faults", "coverage (all contents)", "any content"});
-    for (const auto& spec : classes) {
-      const auto res = runner.evaluate(*scheme, march, spec.faults, seeds);
-      total_faults += spec.faults.size();
-      t.add_row({spec.name, std::to_string(spec.faults.size()), coverage_str(res),
-                 pct_str(res.pct_any())});
-    }
-    t.print(out);
-  }
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  out << total_faults << " faults in " << secs << "s ("
-      << static_cast<std::uint64_t>(secs > 0 ? total_faults / secs : 0) << " faults/s)\n";
+  for (const api::CampaignSpec& spec : specs) api::run_campaign(spec, sink.get());
   return 0;
 }
 
@@ -409,7 +440,8 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   const auto usage = [&err] {
-    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage|simd> ...\n"
+    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage|spec|run|simd> "
+           "...\n"
            "see src/cli/cli.h for the full synopsis\n";
     return 1;
   };
@@ -424,7 +456,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (cmd == "complexity") return cmd_complexity(*opts, out, err);
     if (cmd == "simulate") return cmd_simulate(*opts, out, err);
     if (cmd == "coverage") return cmd_coverage(*opts, out, err);
-    if (cmd == "simd") return cmd_simd(out);
+    if (cmd == "spec") return cmd_spec(*opts, out, err);
+    if (cmd == "run") return cmd_run(*opts, out, err);
+    if (cmd == "simd") return cmd_simd(*opts, out);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -28,9 +28,27 @@
 //                                          unsupported); --scheme all sweeps
 //                                          every scheme and prints a scheme x
 //                                          fault-class table
-//   simd                                   lane-block width support table for
+//   simd [--json]                          lane-block width support table for
 //                                          this CPU (cpuid probe) and the
-//                                          width `auto` resolves to
+//                                          width `auto` resolves to; --json
+//                                          emits the probe machine-readable
+//                                          so schedulers can place campaigns
+//   spec <march> --width B --words N [coverage flags...]
+//                                          print the CampaignSpec JSON the
+//                                          coverage command line denotes —
+//                                          the migration bridge from flags
+//                                          to declarative spec files
+//   run <spec.json> [--sink jsonl|csv|table] [--out F]
+//                                          execute the campaign(s) in a spec
+//                                          file (single object or batch
+//                                          array), streaming per-unit
+//                                          records into the selected sink
+//
+// coverage, spec and run all speak twm::api (src/api): the flag surface is
+// parsed into a CampaignSpec, validated field by field, and executed by
+// api::run_campaign with a ResultSink attached — `coverage` is `run` with
+// a table sink and a spec assembled from flags.
+//
 // Returns 0 on success (for simulate: also when no fault is detected), 1 on
 // usage errors, 2 when simulate detects a fault.
 #ifndef TWM_CLI_CLI_H

@@ -1,0 +1,248 @@
+// Tests for the streaming ResultSink surface: per-unit records arrive
+// during the run, cooperative cancellation truncates the stream to a
+// prefix, the shipped sinks emit well-formed output, and spec-driven
+// campaigns are verdict-identical to the legacy CoverageEvaluator facade.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/coverage.h"
+#include "api/json.h"
+#include "api/runner.h"
+#include "api/sink.h"
+#include "march/library.h"
+
+namespace twm::api {
+namespace {
+
+// Scalar + 1 thread: units are claimed sequentially in fault order, so the
+// record stream is deterministic and cancellation cuts an exact prefix.
+CampaignSpec sequential_spec() {
+  CampaignSpec s;
+  s.name = "sink-test";
+  s.words = 2;
+  s.width = 2;
+  s.march = "March C-";
+  s.schemes = {SchemeKind::ProposedExact};
+  s.classes = {{ClassKind::Saf, CfScope::Both}};  // 2*2*2 = 8 faults
+  s.seeds = {0, 1};
+  s.backend = CoverageBackend::Scalar;
+  s.threads = 1;
+  return s;
+}
+
+TEST(ResultSinkTest, StreamsOneUnitRecordPerFault) {
+  CollectingSink sink;
+  const CampaignSummary summary = run_campaign(sequential_spec(), &sink);
+  EXPECT_EQ(sink.begins, 1u);
+  EXPECT_EQ(sink.ends, 1u);
+  ASSERT_EQ(sink.units.size(), 8u);
+  EXPECT_FALSE(summary.cancelled);
+  EXPECT_EQ(summary.units_emitted, 8u);
+  ASSERT_EQ(summary.cells.size(), 1u);
+  EXPECT_EQ(summary.cells[0].outcome.total, 8u);
+  // Scalar single-thread: records arrive in fault order.
+  for (std::size_t i = 0; i < sink.units.size(); ++i)
+    EXPECT_EQ(sink.units[i].fault_index, i);
+  // Units agree with the aggregate.
+  std::size_t all = 0;
+  for (const auto& u : sink.units) all += u.detected_all;
+  EXPECT_EQ(all, summary.cells[0].outcome.detected_all);
+}
+
+TEST(ResultSinkTest, CancellationYieldsExactPrefixOfFullStream) {
+  // Full stream first.
+  CollectingSink full;
+  run_campaign(sequential_spec(), &full);
+  ASSERT_EQ(full.units.size(), 8u);
+
+  // Cancel after 3 unit records: the engine stops claiming units, so the
+  // observed stream is exactly the first 3 records of the full stream.
+  CollectingSink cancelling(/*cancel_after_units=*/3);
+  const CampaignSummary summary = run_campaign(sequential_spec(), &cancelling);
+  EXPECT_TRUE(summary.cancelled);
+  ASSERT_EQ(cancelling.units.size(), 3u);
+  for (std::size_t i = 0; i < cancelling.units.size(); ++i) {
+    EXPECT_EQ(cancelling.units[i].fault_index, full.units[i].fault_index);
+    EXPECT_EQ(cancelling.units[i].detected_all, full.units[i].detected_all);
+    EXPECT_EQ(cancelling.units[i].detected_any, full.units[i].detected_any);
+  }
+  // The aborted cell is not reported as an aggregate; end still fires.
+  EXPECT_TRUE(summary.cells.empty());
+  EXPECT_EQ(cancelling.ends, 1u);
+}
+
+TEST(ResultSinkTest, CancellationStopsMultiThreadedPackedRuns) {
+  CampaignSpec spec = sequential_spec();
+  spec.backend = CoverageBackend::Packed;
+  spec.threads = 4;
+  spec.words = 8;
+  spec.width = 8;  // 8*8*2 = 128 faults -> several packed units at 64 lanes
+  spec.simd = simd::Request::W64;
+  CollectingSink cancelling(/*cancel_after_units=*/1);
+  const CampaignSummary summary = run_campaign(spec, &cancelling);
+  EXPECT_TRUE(summary.cancelled);
+  // In-flight units may still settle after the flag flips (cooperative
+  // cancellation).  The cell aggregate is reported iff every unit of the
+  // cell streamed — a truncated cell must never appear complete.
+  EXPECT_GE(cancelling.units.size(), 1u);
+  EXPECT_LE(cancelling.units.size(), 128u);
+  if (cancelling.units.size() == 128u) {
+    ASSERT_EQ(summary.cells.size(), 1u);
+    EXPECT_EQ(summary.cells[0].outcome.total, 128u);
+  } else {
+    EXPECT_TRUE(summary.cells.empty());
+  }
+  EXPECT_EQ(cancelling.ends, 1u);
+}
+
+TEST(ResultSinkTest, CancellationAtCellBoundaryKeepsTheCompletedCell) {
+  // The flag flips while consuming the LAST unit record of the cell: all
+  // work ran, so the aggregate must survive alongside cancelled=true.
+  CollectingSink cancelling(/*cancel_after_units=*/8);
+  const CampaignSummary summary = run_campaign(sequential_spec(), &cancelling);
+  EXPECT_TRUE(summary.cancelled);
+  EXPECT_EQ(cancelling.units.size(), 8u);
+  ASSERT_EQ(summary.cells.size(), 1u);
+  EXPECT_EQ(summary.cells[0].outcome.total, 8u);
+}
+
+TEST(ResultSinkTest, SeedRecordsAreOptInAndComplete) {
+  CollectingSink sink(/*cancel_after_units=*/0, /*seed_records=*/true);
+  run_campaign(sequential_spec(), &sink);
+  EXPECT_EQ(sink.seeds.size(), 8u * 2u);
+  for (const SeedRecord& r : sink.seeds) {
+    EXPECT_TRUE(r.seed == 0 || r.seed == 1);
+    EXPECT_TRUE(r.detected);
+  }
+  // Off by default.
+  CollectingSink quiet;
+  run_campaign(sequential_spec(), &quiet);
+  EXPECT_TRUE(quiet.seeds.empty());
+}
+
+TEST(ResultSinkTest, SeedRecordsSuppressTheEarlyExit) {
+  // The symmetric scheme misses many TFs, so per-unit verdicts settle
+  // before the last seed; a seed-record consumer must still receive the
+  // COMPLETE (fault, seed) stream — requesting it disables the early exit
+  // exactly like the matrix path does.
+  CampaignSpec spec = sequential_spec();
+  spec.words = 2;
+  spec.width = 4;  // 2*4*2 = 16 TFs
+  spec.schemes = {SchemeKind::ProposedSymmetricXor};
+  spec.classes = {{ClassKind::Tf, CfScope::Both}};
+  spec.seeds = {0, 1, 2};
+  CollectingSink sink(/*cancel_after_units=*/0, /*seed_records=*/true);
+  const CampaignSummary summary = run_campaign(spec, &sink);
+  ASSERT_EQ(summary.cells.size(), 1u);
+  // Not a degenerate campaign: some faults escape under some content.
+  EXPECT_LT(summary.cells[0].outcome.detected_all, summary.cells[0].outcome.total);
+  EXPECT_EQ(sink.seeds.size(), 16u * 3u);
+}
+
+TEST(ResultSinkTest, JsonLinesStreamIsWellFormed) {
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  run_campaign(sequential_spec(), &sink);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> types;
+  while (std::getline(lines, line)) {
+    const JsonValue v = json_parse(line);  // every line parses standalone
+    ASSERT_TRUE(v.is_object());
+    types.push_back(v.find("type")->as_string());
+  }
+  ASSERT_EQ(types.size(), 1u + 8u + 1u);
+  EXPECT_EQ(types.front(), "campaign_begin");
+  EXPECT_EQ(types.back(), "campaign_end");
+  for (std::size_t i = 1; i + 1 < types.size(); ++i) EXPECT_EQ(types[i], "unit");
+
+  // The end record carries the aggregate cells.
+  const JsonValue end = json_parse(out.str().substr(out.str().rfind("{\"type\":\"campaign_end")));
+  const JsonValue* cells = end.find("cells");
+  ASSERT_NE(cells, nullptr);
+  ASSERT_EQ(cells->items().size(), 1u);
+  EXPECT_EQ(*cells->items()[0].find("total")->as_u64(), 8u);
+}
+
+TEST(ResultSinkTest, CsvSinkEmitsOneHeaderAndOneRowPerUnit) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  run_campaign(sequential_spec(), &sink);
+  // A second (batch) campaign through the SAME sink: rows append, the
+  // header does not repeat, and the campaign column keeps them apart.
+  CampaignSpec second = sequential_spec();
+  second.name = "sink-test-2";
+  run_campaign(second, &sink);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 1u + 8u + 8u);
+  EXPECT_EQ(rows[0], "campaign,scheme,class,fault,describe,detected_all,detected_any");
+  EXPECT_EQ(rows[1].rfind("\"sink-test\",twm,saf,0,", 0), 0u) << rows[1];
+  EXPECT_EQ(rows[9].rfind("\"sink-test-2\",twm,saf,0,", 0), 0u) << rows[9];
+}
+
+TEST(ResultSinkTest, TableSinkPrintsHeaderAndFooter) {
+  std::ostringstream out;
+  TableSink sink(out);
+  run_campaign(sequential_spec(), &sink);
+  EXPECT_NE(out.str().find("coverage: March C-, N=2, B=2"), std::string::npos);
+  EXPECT_NE(out.str().find("backend=scalar"), std::string::npos);
+  EXPECT_NE(out.str().find("| SAF"), std::string::npos);
+  EXPECT_NE(out.str().find("faults/s"), std::string::npos);
+}
+
+// The redesign's core promise: a spec-driven campaign is verdict-identical
+// to the legacy CoverageEvaluator facade it replaces.
+TEST(ResultSinkTest, SpecCampaignMatchesLegacyEvaluator) {
+  CampaignSpec spec;
+  spec.words = 4;
+  spec.width = 4;
+  spec.march = "March C-";
+  spec.schemes = {SchemeKind::ProposedExact, SchemeKind::TomtModel};
+  spec.classes = *parse_classes("saf,tf,cfid:intra");
+  spec.seeds = {0, 1, 2};
+  spec.backend = CoverageBackend::Packed;
+  spec.threads = 2;
+
+  const CampaignSummary summary = run_campaign(spec);
+  ASSERT_EQ(summary.cells.size(), 6u);
+
+  const CoverageEvaluator legacy(spec.words, spec.width);
+  const MarchTest march = march_by_name(spec.march);
+  std::size_t i = 0;
+  for (SchemeKind k : spec.schemes) {
+    for (const ClassSel& cls : spec.classes) {
+      const auto faults = build_fault_list(cls, spec.words, spec.width);
+      const CoverageOutcome want = legacy.evaluate(k, march, faults, spec.seeds);
+      const CoverageOutcome& got = summary.cells[i++].outcome;
+      EXPECT_EQ(got.total, want.total) << scheme_id(k) << "/" << to_string(cls);
+      EXPECT_EQ(got.detected_all, want.detected_all) << scheme_id(k) << "/" << to_string(cls);
+      EXPECT_EQ(got.detected_any, want.detected_any) << scheme_id(k) << "/" << to_string(cls);
+    }
+  }
+}
+
+TEST(ResultSinkTest, RunCampaignRejectsInvalidSpec) {
+  CampaignSpec spec = sequential_spec();
+  spec.words = 0;
+  EXPECT_THROW(run_campaign(spec), SpecValidationError);
+}
+
+TEST(ResultSinkTest, DiagnoseCampaignLocalizesSpecFaults) {
+  CampaignSpec spec = sequential_spec();
+  spec.seeds = {3};
+  const auto diags = diagnose_campaign(spec);
+  const auto faults = build_fault_list(spec.classes[0], spec.words, spec.width);
+  ASSERT_EQ(diags.size(), faults.size());
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (diags[i].fault_found) {
+      EXPECT_EQ(diags[i].suspect_word, faults[i].victim.word);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twm::api

@@ -1,0 +1,389 @@
+// Tests for the declarative campaign spec: field-by-field validation with
+// structured errors, canonical enum spellings (parse(to_string(x)) == x for
+// every enum the spec serializes), and exact JSON round-trips including the
+// batch form.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/json.h"
+#include "api/spec.h"
+
+namespace twm::api {
+namespace {
+
+CampaignSpec valid_spec() {
+  CampaignSpec s;
+  s.name = "unit-test";
+  s.words = 4;
+  s.width = 4;
+  s.march = "March C-";
+  s.schemes = {SchemeKind::ProposedExact};
+  s.classes = {{ClassKind::Saf, CfScope::Both}};
+  s.seeds = {0, 1};
+  s.backend = CoverageBackend::Packed;
+  s.threads = 2;
+  s.simd = simd::Request::Auto;
+  return s;
+}
+
+bool has_error_at(const std::vector<SpecError>& errors, const std::string& path) {
+  return std::any_of(errors.begin(), errors.end(),
+                     [&](const SpecError& e) { return e.path == path; });
+}
+
+// ---- validation: one test per invalid field ----------------------------
+
+TEST(SpecValidate, ValidSpecHasNoErrors) { EXPECT_TRUE(validate(valid_spec()).empty()); }
+
+TEST(SpecValidate, ZeroWordsNamesMemoryWords) {
+  auto s = valid_spec();
+  s.words = 0;
+  const auto errors = validate(s);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].path, "memory.words");
+  EXPECT_NE(errors[0].message.find("at least 1"), std::string::npos);
+}
+
+TEST(SpecValidate, ZeroWidthNamesMemoryWidth) {
+  auto s = valid_spec();
+  s.width = 0;
+  EXPECT_TRUE(has_error_at(validate(s), "memory.width"));
+}
+
+TEST(SpecValidate, UnknownMarchNamesMarchField) {
+  auto s = valid_spec();
+  s.march = "March Z";
+  const auto errors = validate(s);
+  ASSERT_TRUE(has_error_at(errors, "march"));
+  EXPECT_NE(errors[0].message.find("March Z"), std::string::npos);
+}
+
+TEST(SpecValidate, EmptyMarchNamesMarchField) {
+  auto s = valid_spec();
+  s.march.clear();
+  EXPECT_TRUE(has_error_at(validate(s), "march"));
+}
+
+TEST(SpecValidate, EmptySchemesNamesSchemes) {
+  auto s = valid_spec();
+  s.schemes.clear();
+  EXPECT_TRUE(has_error_at(validate(s), "schemes"));
+}
+
+TEST(SpecValidate, EmptyClassesNamesClasses) {
+  auto s = valid_spec();
+  s.classes.clear();
+  EXPECT_TRUE(has_error_at(validate(s), "classes"));
+}
+
+TEST(SpecValidate, EmptySeedsNamesSeeds) {
+  auto s = valid_spec();
+  s.seeds.clear();
+  EXPECT_TRUE(has_error_at(validate(s), "seeds"));
+}
+
+TEST(SpecValidate, ZeroThreadsNamesRunThreads) {
+  auto s = valid_spec();
+  s.threads = 0;
+  EXPECT_TRUE(has_error_at(validate(s), "run.threads"));
+}
+
+TEST(SpecValidate, ForcedUnsupportedSimdNamesRunSimd) {
+  // Host-dependent: find a width this CPU cannot execute.  On a machine
+  // supporting every width the error path cannot fire — skip there.
+  auto s = valid_spec();
+  if (!simd::supported(simd::Width::W512)) {
+    s.simd = simd::Request::W512;
+  } else if (!simd::supported(simd::Width::W256)) {
+    s.simd = simd::Request::W256;
+  } else {
+    GTEST_SKIP() << "every SIMD width supported on this host";
+  }
+  const auto errors = validate(s);
+  ASSERT_TRUE(has_error_at(errors, "run.simd"));
+  EXPECT_NE(errors[0].message.find("not supported"), std::string::npos);
+}
+
+TEST(SpecValidate, ForcedSimdOnScalarBackendIsIgnored) {
+  auto s = valid_spec();
+  s.backend = CoverageBackend::Scalar;
+  s.simd = simd::Request::W512;  // scalar has no lanes; must not error
+  EXPECT_TRUE(validate(s).empty());
+}
+
+TEST(SpecValidate, MultipleProblemsAllReported) {
+  CampaignSpec s;  // words/width zero, march empty, everything else empty
+  const auto errors = validate(s);
+  EXPECT_TRUE(has_error_at(errors, "memory.words"));
+  EXPECT_TRUE(has_error_at(errors, "memory.width"));
+  EXPECT_TRUE(has_error_at(errors, "march"));
+  EXPECT_TRUE(has_error_at(errors, "schemes"));
+  EXPECT_TRUE(has_error_at(errors, "classes"));
+  EXPECT_TRUE(has_error_at(errors, "seeds"));
+}
+
+TEST(SpecValidate, RequireValidThrowsWithStructuredErrors) {
+  auto s = valid_spec();
+  s.words = 0;
+  s.threads = 0;
+  try {
+    require_valid(s);
+    FAIL() << "expected SpecValidationError";
+  } catch (const SpecValidationError& e) {
+    EXPECT_TRUE(has_error_at(e.errors(), "memory.words"));
+    EXPECT_TRUE(has_error_at(e.errors(), "run.threads"));
+    EXPECT_NE(std::string(e.what()).find("memory.words"), std::string::npos);
+  }
+}
+
+// ---- canonical enum spellings round-trip -------------------------------
+
+TEST(SpecEnums, BackendRoundTrips) {
+  for (CoverageBackend b : {CoverageBackend::Scalar, CoverageBackend::Packed}) {
+    const auto parsed = parse_backend(to_string(b));
+    ASSERT_TRUE(parsed.has_value()) << to_string(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(parse_backend("quantum").has_value());
+  EXPECT_FALSE(parse_backend("").has_value());
+  EXPECT_FALSE(parse_backend("Packed").has_value());  // no case folding
+}
+
+TEST(SpecEnums, SimdRequestRoundTrips) {
+  for (simd::Request r : {simd::Request::Auto, simd::Request::W64, simd::Request::W256,
+                          simd::Request::W512}) {
+    const auto parsed = simd::parse_request(simd::to_string(r));
+    ASSERT_TRUE(parsed.has_value()) << simd::to_string(r);
+    EXPECT_EQ(*parsed, r);
+  }
+  EXPECT_FALSE(simd::parse_request("128").has_value());
+  EXPECT_FALSE(simd::parse_request("AUTO").has_value());
+}
+
+TEST(SpecEnums, SchemeIdRoundTrips) {
+  for (SchemeKind k : kAllSchemes) {
+    const auto parsed = parse_scheme(scheme_id(k));
+    ASSERT_TRUE(parsed.has_value()) << scheme_id(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_scheme("zz").has_value());
+  EXPECT_FALSE(parse_scheme("all").has_value());  // "all" is a list spelling
+  // The display name is NOT the id.
+  EXPECT_FALSE(parse_scheme(twm::to_string(SchemeKind::ProposedExact)).has_value());
+}
+
+TEST(SpecEnums, ClassSelRoundTripsEveryKindAndScope) {
+  for (ClassKind kind : kAllClassKinds) {
+    for (CfScope scope : {CfScope::Both, CfScope::InterWord, CfScope::IntraWord}) {
+      ClassSel c{kind, scope};
+      if (!c.is_coupling() && scope != CfScope::Both) continue;  // not expressible
+      const auto parsed = parse_class(to_string(c));
+      ASSERT_TRUE(parsed.has_value()) << to_string(c);
+      EXPECT_EQ(*parsed, c);
+    }
+  }
+}
+
+TEST(SpecEnums, ClassSelRejections) {
+  EXPECT_FALSE(parse_class("bogus").has_value());
+  EXPECT_FALSE(parse_class("saf:inter").has_value());   // scope on a non-CF class
+  EXPECT_FALSE(parse_class("af:intra").has_value());
+  EXPECT_FALSE(parse_class("cfid:bogus").has_value());  // unknown scope
+  EXPECT_FALSE(parse_class("cfid:").has_value());
+  EXPECT_FALSE(parse_class("").has_value());
+}
+
+TEST(SpecEnums, CsvListSpellings) {
+  // Every accepted spelling.
+  const auto all = parse_schemes("all");
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->size(), std::size(kAllSchemes));
+  EXPECT_TRUE(std::equal(all->begin(), all->end(), std::begin(kAllSchemes)));
+  const auto pair = parse_schemes("twm,tomt");
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(*pair, (std::vector<SchemeKind>{SchemeKind::ProposedExact, SchemeKind::TomtModel}));
+  const auto classes = parse_classes("saf,cfid:inter,af");
+  ASSERT_TRUE(classes.has_value());
+  EXPECT_EQ(classes->size(), 3u);
+  EXPECT_EQ((*classes)[1], (ClassSel{ClassKind::CFid, CfScope::InterWord}));
+  // Empty pieces are dropped, fully-empty lists rejected.
+  EXPECT_TRUE(parse_classes("saf,,tf").has_value());
+  EXPECT_FALSE(parse_classes("").has_value());
+  EXPECT_FALSE(parse_classes(",").has_value());
+  EXPECT_FALSE(parse_schemes("").has_value());
+  // One bad element poisons the list.
+  EXPECT_FALSE(parse_schemes("twm,zz").has_value());
+  EXPECT_FALSE(parse_classes("saf,bogus").has_value());
+}
+
+// ---- JSON round-trip ----------------------------------------------------
+
+TEST(SpecJson, RoundTripIsExact) {
+  auto s = valid_spec();
+  EXPECT_EQ(spec_from_json(to_json(s)), s);
+  EXPECT_EQ(spec_from_json(to_json(s, /*pretty=*/false)), s);
+}
+
+TEST(SpecJson, RoundTripEverySchemeClassBackendAndBigSeeds) {
+  CampaignSpec s = valid_spec();
+  s.name = "exhaustive \"quoted\"\n\ttabs";
+  s.schemes.assign(std::begin(kAllSchemes), std::end(kAllSchemes));
+  s.classes.clear();
+  for (ClassKind kind : kAllClassKinds) {
+    s.classes.push_back({kind, CfScope::Both});
+    if (ClassSel{kind, CfScope::Both}.is_coupling()) {
+      s.classes.push_back({kind, CfScope::InterWord});
+      s.classes.push_back({kind, CfScope::IntraWord});
+    }
+  }
+  // Seeds above 2^53 would be mangled by a double-based JSON number model.
+  s.seeds = {0, 1, (1ull << 53) + 1, UINT64_MAX};
+  s.backend = CoverageBackend::Scalar;
+  s.threads = 16;
+  s.simd = simd::Request::W256;
+  EXPECT_EQ(spec_from_json(to_json(s)), s);
+}
+
+TEST(SpecJson, BatchRoundTripsAndAcceptsSingleObject) {
+  std::vector<CampaignSpec> batch{valid_spec(), valid_spec()};
+  batch[1].name = "second";
+  batch[1].backend = CoverageBackend::Scalar;
+  EXPECT_EQ(specs_from_json(to_json(batch)), batch);
+  // A single object parses as a one-element batch.
+  const auto single = specs_from_json(to_json(batch[0]));
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], batch[0]);
+}
+
+TEST(SpecJson, GoldenSerialization) {
+  auto s = valid_spec();
+  const std::string expected =
+      "{\"name\":\"unit-test\","
+      "\"memory\":{\"words\":4,\"width\":4},"
+      "\"march\":\"March C-\","
+      "\"schemes\":[\"twm\"],"
+      "\"classes\":[\"saf\"],"
+      "\"seeds\":[0,1],"
+      "\"run\":{\"backend\":\"packed\",\"threads\":2,\"simd\":\"auto\"}}";
+  EXPECT_EQ(to_json(s, /*pretty=*/false), expected);
+}
+
+TEST(SpecJson, StructuralErrorsNameTheirPaths) {
+  // Unknown scheme inside the array names the element.
+  try {
+    spec_from_json(R"({"name":"x","memory":{"words":2,"width":2},"march":"March C-",
+                       "schemes":["twm","zz"],"classes":["saf"],"seeds":[0]})");
+    FAIL() << "expected SpecValidationError";
+  } catch (const SpecValidationError& e) {
+    ASSERT_EQ(e.errors().size(), 1u);
+    EXPECT_EQ(e.errors()[0].path, "schemes[1]");
+    EXPECT_NE(e.errors()[0].message.find("zz"), std::string::npos);
+  }
+  // Missing required members, wrong types, unknown fields — all collected.
+  try {
+    spec_from_json(R"({"memory":"tiny","schemes":"twm","classes":["saf"],
+                       "seeds":[-1],"surprise":1})");
+    FAIL() << "expected SpecValidationError";
+  } catch (const SpecValidationError& e) {
+    const auto& errors = e.errors();
+    EXPECT_TRUE(has_error_at(errors, "memory"));
+    EXPECT_TRUE(has_error_at(errors, "march"));
+    EXPECT_TRUE(has_error_at(errors, "schemes"));
+    EXPECT_TRUE(has_error_at(errors, "seeds[0]"));
+    EXPECT_TRUE(has_error_at(errors, "surprise"));
+  }
+  // Batch errors carry the spec index.
+  try {
+    specs_from_json(R"([{"name":"ok","memory":{"words":2,"width":2},"march":"March C-",
+                         "schemes":["twm"],"classes":["saf"],"seeds":[0]},
+                        {"name":"bad","memory":{"words":2,"width":2},"march":"March C-",
+                         "schemes":["twm"],"classes":["nope"],"seeds":[0]}])");
+    FAIL() << "expected SpecValidationError";
+  } catch (const SpecValidationError& e) {
+    ASSERT_EQ(e.errors().size(), 1u);
+    EXPECT_EQ(e.errors()[0].path, "spec[1].classes[0]");
+  }
+  // Structural errors across SEVERAL batch entries are all collected in
+  // one round, not reported fix-one-rerun style.
+  try {
+    specs_from_json(R"([{"name":"bad0","memory":{"words":2,"width":2},"march":"March C-",
+                         "schemes":["zz"],"classes":["saf"],"seeds":[0]},
+                        {"name":"ok","memory":{"words":2,"width":2},"march":"March C-",
+                         "schemes":["twm"],"classes":["saf"],"seeds":[0]},
+                        {"name":"bad2","memory":"nope","march":"March C-",
+                         "schemes":["twm"],"classes":["saf"],"seeds":[0]}])");
+    FAIL() << "expected SpecValidationError";
+  } catch (const SpecValidationError& e) {
+    EXPECT_TRUE(has_error_at(e.errors(), "spec[0].schemes[0]"));
+    EXPECT_TRUE(has_error_at(e.errors(), "spec[2].memory"));
+  }
+}
+
+TEST(SpecEnums, ParseSeedsSpellings) {
+  const auto ok = parse_seeds("0,1,18446744073709551615");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, (std::vector<std::uint64_t>{0, 1, UINT64_MAX}));
+  // Empty pieces dropped; all-empty parses to an empty vector.
+  EXPECT_EQ(parse_seeds("1,,2"), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(parse_seeds(""), std::vector<std::uint64_t>{});
+  EXPECT_EQ(parse_seeds(","), std::vector<std::uint64_t>{});
+  // Rejections name the offending token.
+  for (const char* bad : {"x", "1,x", "-1", " 1", "2x", "1.5",
+                          "18446744073709551616" /* UINT64_MAX + 1 */}) {
+    std::string token;
+    EXPECT_FALSE(parse_seeds(bad, &token).has_value()) << bad;
+    EXPECT_FALSE(token.empty()) << bad;
+  }
+}
+
+TEST(SpecJson, WidthOverflowIsRejectedNotTruncated) {
+  // 2^32 + 4 must not silently run as width 4.
+  try {
+    spec_from_json(R"({"memory":{"words":2,"width":4294967300},"march":"March C-",
+                       "schemes":["twm"],"classes":["saf"],"seeds":[0]})");
+    FAIL() << "expected SpecValidationError";
+  } catch (const SpecValidationError& e) {
+    ASSERT_EQ(e.errors().size(), 1u);
+    EXPECT_EQ(e.errors()[0].path, "memory.width");
+    EXPECT_NE(e.errors()[0].message.find("32-bit"), std::string::npos);
+  }
+}
+
+TEST(SpecJson, RunDefaultsApplyWhenOmitted) {
+  const auto s = spec_from_json(
+      R"({"name":"d","memory":{"words":2,"width":2},"march":"March C-",
+          "schemes":["twm"],"classes":["saf"],"seeds":[0]})");
+  EXPECT_EQ(s.backend, CoverageBackend::Packed);
+  EXPECT_EQ(s.threads, 1u);
+  EXPECT_EQ(s.simd, simd::Request::Auto);
+  EXPECT_EQ(s.name, "d");
+}
+
+TEST(SpecJson, MalformedJsonThrowsParseErrorWithPosition) {
+  try {
+    spec_from_json("{\"name\": }");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW(spec_from_json(""), JsonParseError);
+  EXPECT_THROW(spec_from_json("{} trailing"), JsonParseError);
+}
+
+// ---- fault-list denotation ---------------------------------------------
+
+TEST(SpecClasses, BuildFaultListMatchesGenerators) {
+  EXPECT_EQ(build_fault_list({ClassKind::Saf, CfScope::Both}, 4, 4).size(),
+            all_safs(4, 4).size());
+  EXPECT_EQ(build_fault_list({ClassKind::Af, CfScope::Both}, 4, 4).size(), all_afs(4).size());
+  const auto inter = build_fault_list({ClassKind::CFid, CfScope::InterWord}, 4, 4);
+  const auto intra = build_fault_list({ClassKind::CFid, CfScope::IntraWord}, 4, 4);
+  const auto both = build_fault_list({ClassKind::CFid, CfScope::Both}, 4, 4);
+  EXPECT_EQ(inter.size() + intra.size(), both.size());
+  EXPECT_FALSE(inter.empty());
+  EXPECT_FALSE(intra.empty());
+}
+
+}  // namespace
+}  // namespace twm::api

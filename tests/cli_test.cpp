@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
+#include "api/spec.h"
 #include "cli/cli.h"
 
 namespace twm {
@@ -20,6 +23,15 @@ CliRun cli(std::vector<std::string> args) {
   std::ostringstream out, err;
   const int rc = run_cli(args, out, err);
   return {rc, out.str(), err.str()};
+}
+
+// Writes `content` to a fresh file under the test temp dir and returns its
+// path.
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "twm_cli_" + name;
+  std::ofstream f(path);
+  f << content;
+  return path;
 }
 
 TEST(Cli, NoArgsPrintsUsage) {
@@ -303,6 +315,174 @@ TEST(Cli, CoverageRejectsUnknownSimdWidth) {
   EXPECT_EQ(r.rc, 1);
   EXPECT_NE(r.err.find("unknown simd width '128'"), std::string::npos);
   EXPECT_NE(r.err.find("auto|64|256|512"), std::string::npos);
+}
+
+TEST(Cli, SimdJsonEmitsMachineReadableProbe) {
+  const auto r = cli({"simd", "--json"});
+  EXPECT_EQ(r.rc, 0);
+  EXPECT_NE(r.out.find("{\"widths\":["), std::string::npos);
+  EXPECT_NE(r.out.find("{\"width\":64,\"supported\":true}"), std::string::npos);
+  EXPECT_NE(r.out.find("\"best\":"), std::string::npos);
+  // No table leaks into the JSON output.
+  EXPECT_EQ(r.out.find("+--"), std::string::npos);
+}
+
+TEST(Cli, SpecCommandPrintsTheCoverageCommandsSpec) {
+  const auto r = cli({"spec", "March C-", "--width", "4", "--words", "2", "--classes",
+                      "saf,cfid:inter", "--scheme", "all", "--seeds", "0,7", "--threads", "3",
+                      "--backend", "scalar", "--name", "bridge"});
+  ASSERT_EQ(r.rc, 0) << r.err;
+  const api::CampaignSpec spec = api::spec_from_json(r.out);
+  EXPECT_EQ(spec.name, "bridge");
+  EXPECT_EQ(spec.words, 2u);
+  EXPECT_EQ(spec.width, 4u);
+  EXPECT_EQ(spec.march, "March C-");
+  EXPECT_EQ(spec.schemes.size(), std::size(kAllSchemes));
+  EXPECT_EQ(spec.classes,
+            (std::vector<api::ClassSel>{{api::ClassKind::Saf, CfScope::Both},
+                                        {api::ClassKind::CFid, CfScope::InterWord}}));
+  EXPECT_EQ(spec.seeds, (std::vector<std::uint64_t>{0, 7}));
+  EXPECT_EQ(spec.backend, CoverageBackend::Scalar);
+  EXPECT_EQ(spec.threads, 3u);
+}
+
+TEST(Cli, SpecCommandRejectsInvalidFieldsWithPaths) {
+  const auto r = cli({"spec", "March Z", "--width", "4", "--words", "2"});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("error: march:"), std::string::npos);
+  EXPECT_NE(r.err.find("March Z"), std::string::npos);
+}
+
+TEST(Cli, RunExecutesASpecFileThroughEverySink) {
+  const auto spec = cli({"spec", "March C-", "--width", "4", "--words", "2", "--classes",
+                         "saf", "--seeds", "0"});
+  ASSERT_EQ(spec.rc, 0) << spec.err;
+  const std::string path = write_temp("run_spec.json", spec.out);
+
+  const auto table = cli({"run", path});
+  EXPECT_EQ(table.rc, 0) << table.err;
+  EXPECT_NE(table.out.find("coverage: March C-, N=2, B=4"), std::string::npos);
+  EXPECT_NE(table.out.find("| SAF"), std::string::npos);
+
+  const auto jsonl = cli({"run", path, "--sink", "jsonl"});
+  EXPECT_EQ(jsonl.rc, 0) << jsonl.err;
+  EXPECT_EQ(jsonl.out.rfind("{\"type\":\"campaign_begin\"", 0), 0u) << jsonl.out;
+  EXPECT_NE(jsonl.out.find("{\"type\":\"unit\""), std::string::npos);
+  EXPECT_NE(jsonl.out.find("{\"type\":\"campaign_end\""), std::string::npos);
+
+  const auto csv = cli({"run", path, "--sink", "csv"});
+  EXPECT_EQ(csv.rc, 0) << csv.err;
+  EXPECT_EQ(csv.out.rfind("campaign,scheme,class,fault,", 0), 0u);
+
+  // --out writes the stream to a file instead of stdout.
+  const std::string out_path = ::testing::TempDir() + "twm_cli_run_out.jsonl";
+  const auto filed = cli({"run", path, "--sink", "jsonl", "--out", out_path});
+  EXPECT_EQ(filed.rc, 0) << filed.err;
+  EXPECT_TRUE(filed.out.empty());
+  std::ifstream written(out_path);
+  std::string first_line;
+  std::getline(written, first_line);
+  EXPECT_EQ(first_line.rfind("{\"type\":\"campaign_begin\"", 0), 0u);
+  std::remove(out_path.c_str());
+}
+
+TEST(Cli, RunCoverageParityOnAggregates) {
+  // The spec-vs-legacy contract the CI job enforces, in-process: the same
+  // campaign driven through `run` (jsonl cells) and through the legacy
+  // `coverage` table must report identical detected/total counts.
+  const std::vector<std::string> flags{"March C-", "--width", "4", "--words", "2",
+                                       "--classes", "saf,tf", "--seeds", "0,1",
+                                       "--scheme",  "twm"};
+  auto spec_args = flags;
+  spec_args.insert(spec_args.begin(), "spec");
+  const auto spec = cli(spec_args);
+  ASSERT_EQ(spec.rc, 0) << spec.err;
+  const std::string path = write_temp("parity_spec.json", spec.out);
+  const auto jsonl = cli({"run", path, "--sink", "jsonl"});
+  ASSERT_EQ(jsonl.rc, 0) << jsonl.err;
+
+  auto coverage_args = flags;
+  coverage_args.insert(coverage_args.begin(), "coverage");
+  const auto table = cli(coverage_args);
+  ASSERT_EQ(table.rc, 0) << table.err;
+
+  // jsonl end record: {"scheme":"twm","class":"saf","total":16,"detected_all":16,...}
+  for (const char* cls : {"saf", "tf"}) {
+    const std::string key = std::string("\"class\":\"") + cls + "\",\"total\":16,\"detected_all\":";
+    const auto at = jsonl.out.find(key);
+    ASSERT_NE(at, std::string::npos) << cls << "\n" << jsonl.out;
+    const std::string detected =
+        jsonl.out.substr(at + key.size(),
+                         jsonl.out.find(',', at + key.size()) - at - key.size());
+    // The coverage table prints the same cell as "detected/total".
+    EXPECT_NE(table.out.find(detected + "/16"), std::string::npos)
+        << cls << ": detected=" << detected << "\n" << table.out;
+  }
+}
+
+TEST(Cli, RunRejectsMissingFileUnknownSinkAndBadSpec) {
+  EXPECT_EQ(cli({"run"}).rc, 1);
+  const auto missing = cli({"run", "/nonexistent/spec.json"});
+  EXPECT_EQ(missing.rc, 1);
+  EXPECT_NE(missing.err.find("cannot read"), std::string::npos);
+
+  const std::string good = write_temp(
+      "good_spec.json",
+      R"({"memory":{"words":2,"width":4},"march":"March C-","schemes":["twm"],
+          "classes":["saf"],"seeds":[0]})");
+  const auto bad_sink = cli({"run", good, "--sink", "xml"});
+  EXPECT_EQ(bad_sink.rc, 1);
+  EXPECT_NE(bad_sink.err.find("unknown sink 'xml'"), std::string::npos);
+
+  // A rejected invocation must not truncate a previous run's --out file.
+  const std::string precious = write_temp("precious.jsonl", "previous results\n");
+  const auto clobber = cli({"run", good, "--sink", "xml", "--out", precious});
+  EXPECT_EQ(clobber.rc, 1);
+  std::ifstream still_there(precious);
+  std::string content;
+  std::getline(still_there, content);
+  EXPECT_EQ(content, "previous results");
+
+  const std::string malformed = write_temp("malformed.json", "{\"memory\": ");
+  const auto parse_fail = cli({"run", malformed});
+  EXPECT_EQ(parse_fail.rc, 1);
+  EXPECT_NE(parse_fail.err.find("error:"), std::string::npos);
+
+  const std::string invalid = write_temp(
+      "invalid_spec.json",
+      R"({"memory":{"words":0,"width":4},"march":"March C-","schemes":["twm"],
+          "classes":["saf"],"seeds":[0]})");
+  const auto invalid_run = cli({"run", invalid});
+  EXPECT_EQ(invalid_run.rc, 1);
+  EXPECT_NE(invalid_run.err.find("memory.words"), std::string::npos);
+}
+
+TEST(Cli, RunExecutesBatchSpecs) {
+  const std::string path = write_temp(
+      "batch_spec.json",
+      R"([{"name":"a","memory":{"words":2,"width":2},"march":"March C-",
+           "schemes":["twm"],"classes":["saf"],"seeds":[0]},
+          {"name":"b","memory":{"words":2,"width":2},"march":"March C-",
+           "schemes":["tomt"],"classes":["tf"],"seeds":[0]}])");
+  const auto r = cli({"run", path, "--sink", "jsonl"});
+  ASSERT_EQ(r.rc, 0) << r.err;
+  EXPECT_NE(r.out.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"name\":\"b\""), std::string::npos);
+  // Two campaigns, two begin/end pairs.
+  std::size_t begins = 0, pos = 0;
+  while ((pos = r.out.find("\"type\":\"campaign_begin\"", pos)) != std::string::npos) {
+    ++begins;
+    pos += 1;
+  }
+  EXPECT_EQ(begins, 2u);
+}
+
+TEST(Cli, CoverageAcceptsScopedCouplingClasses) {
+  const auto r = cli({"coverage", "March C-", "--width", "4", "--words", "2", "--classes",
+                      "cfid:inter,cfid:intra", "--seeds", "0"});
+  EXPECT_EQ(r.rc, 0) << r.err;
+  EXPECT_NE(r.out.find("CFid inter"), std::string::npos);
+  EXPECT_NE(r.out.find("CFid intra"), std::string::npos);
 }
 
 TEST(Cli, CoverageRejectsBadInput) {
