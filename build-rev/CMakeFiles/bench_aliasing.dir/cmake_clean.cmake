@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aliasing.dir/bench/bench_aliasing.cpp.o"
+  "CMakeFiles/bench_aliasing.dir/bench/bench_aliasing.cpp.o.d"
+  "bench_aliasing"
+  "bench_aliasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aliasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interference.dir/bench/bench_interference.cpp.o"
+  "CMakeFiles/bench_interference.dir/bench/bench_interference.cpp.o.d"
+  "bench_interference"
+  "bench_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_segmented.dir/bench/bench_segmented.cpp.o"
+  "CMakeFiles/bench_segmented.dir/bench/bench_segmented.cpp.o.d"
+  "bench_segmented"
+  "bench_segmented.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_segmented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

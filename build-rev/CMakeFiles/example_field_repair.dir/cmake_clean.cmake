@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_field_repair.dir/examples/field_repair.cpp.o"
+  "CMakeFiles/example_field_repair.dir/examples/field_repair.cpp.o.d"
+  "example_field_repair"
+  "example_field_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_field_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_periodic_scrub.dir/examples/periodic_scrub.cpp.o"
+  "CMakeFiles/example_periodic_scrub.dir/examples/periodic_scrub.cpp.o.d"
+  "example_periodic_scrub"
+  "example_periodic_scrub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_periodic_scrub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_periodic_scrub.
+# This may be replaced when dependencies are built.

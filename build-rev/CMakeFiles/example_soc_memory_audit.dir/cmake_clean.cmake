@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_soc_memory_audit.dir/examples/soc_memory_audit.cpp.o"
+  "CMakeFiles/example_soc_memory_audit.dir/examples/soc_memory_audit.cpp.o.d"
+  "example_soc_memory_audit"
+  "example_soc_memory_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_soc_memory_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/campaign.cpp" "CMakeFiles/twm.dir/src/analysis/campaign.cpp.o" "gcc" "CMakeFiles/twm.dir/src/analysis/campaign.cpp.o.d"
+  "/root/repo/src/analysis/diagnosis.cpp" "CMakeFiles/twm.dir/src/analysis/diagnosis.cpp.o" "gcc" "CMakeFiles/twm.dir/src/analysis/diagnosis.cpp.o.d"
+  "/root/repo/src/analysis/fault_list.cpp" "CMakeFiles/twm.dir/src/analysis/fault_list.cpp.o" "gcc" "CMakeFiles/twm.dir/src/analysis/fault_list.cpp.o.d"
+  "/root/repo/src/analysis/interference.cpp" "CMakeFiles/twm.dir/src/analysis/interference.cpp.o" "gcc" "CMakeFiles/twm.dir/src/analysis/interference.cpp.o.d"
+  "/root/repo/src/analysis/lint.cpp" "CMakeFiles/twm.dir/src/analysis/lint.cpp.o" "gcc" "CMakeFiles/twm.dir/src/analysis/lint.cpp.o.d"
+  "/root/repo/src/analysis/pair_trace.cpp" "CMakeFiles/twm.dir/src/analysis/pair_trace.cpp.o" "gcc" "CMakeFiles/twm.dir/src/analysis/pair_trace.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "CMakeFiles/twm.dir/src/analysis/report.cpp.o" "gcc" "CMakeFiles/twm.dir/src/analysis/report.cpp.o.d"
+  "/root/repo/src/api/json.cpp" "CMakeFiles/twm.dir/src/api/json.cpp.o" "gcc" "CMakeFiles/twm.dir/src/api/json.cpp.o.d"
+  "/root/repo/src/api/runner.cpp" "CMakeFiles/twm.dir/src/api/runner.cpp.o" "gcc" "CMakeFiles/twm.dir/src/api/runner.cpp.o.d"
+  "/root/repo/src/api/sink.cpp" "CMakeFiles/twm.dir/src/api/sink.cpp.o" "gcc" "CMakeFiles/twm.dir/src/api/sink.cpp.o.d"
+  "/root/repo/src/api/spec.cpp" "CMakeFiles/twm.dir/src/api/spec.cpp.o" "gcc" "CMakeFiles/twm.dir/src/api/spec.cpp.o.d"
+  "/root/repo/src/bist/address_gen.cpp" "CMakeFiles/twm.dir/src/bist/address_gen.cpp.o" "gcc" "CMakeFiles/twm.dir/src/bist/address_gen.cpp.o.d"
+  "/root/repo/src/bist/datapath.cpp" "CMakeFiles/twm.dir/src/bist/datapath.cpp.o" "gcc" "CMakeFiles/twm.dir/src/bist/datapath.cpp.o.d"
+  "/root/repo/src/bist/engine.cpp" "CMakeFiles/twm.dir/src/bist/engine.cpp.o" "gcc" "CMakeFiles/twm.dir/src/bist/engine.cpp.o.d"
+  "/root/repo/src/bist/lfsr.cpp" "CMakeFiles/twm.dir/src/bist/lfsr.cpp.o" "gcc" "CMakeFiles/twm.dir/src/bist/lfsr.cpp.o.d"
+  "/root/repo/src/bist/microcode.cpp" "CMakeFiles/twm.dir/src/bist/microcode.cpp.o" "gcc" "CMakeFiles/twm.dir/src/bist/microcode.cpp.o.d"
+  "/root/repo/src/bist/misr.cpp" "CMakeFiles/twm.dir/src/bist/misr.cpp.o" "gcc" "CMakeFiles/twm.dir/src/bist/misr.cpp.o.d"
+  "/root/repo/src/bist/packed_engine.cpp" "CMakeFiles/twm.dir/src/bist/packed_engine.cpp.o" "gcc" "CMakeFiles/twm.dir/src/bist/packed_engine.cpp.o.d"
+  "/root/repo/src/bist/tbist.cpp" "CMakeFiles/twm.dir/src/bist/tbist.cpp.o" "gcc" "CMakeFiles/twm.dir/src/bist/tbist.cpp.o.d"
+  "/root/repo/src/cli/cli.cpp" "CMakeFiles/twm.dir/src/cli/cli.cpp.o" "gcc" "CMakeFiles/twm.dir/src/cli/cli.cpp.o.d"
+  "/root/repo/src/core/complexity.cpp" "CMakeFiles/twm.dir/src/core/complexity.cpp.o" "gcc" "CMakeFiles/twm.dir/src/core/complexity.cpp.o.d"
+  "/root/repo/src/core/nicolaidis.cpp" "CMakeFiles/twm.dir/src/core/nicolaidis.cpp.o" "gcc" "CMakeFiles/twm.dir/src/core/nicolaidis.cpp.o.d"
+  "/root/repo/src/core/scheme1.cpp" "CMakeFiles/twm.dir/src/core/scheme1.cpp.o" "gcc" "CMakeFiles/twm.dir/src/core/scheme1.cpp.o.d"
+  "/root/repo/src/core/scheme_session.cpp" "CMakeFiles/twm.dir/src/core/scheme_session.cpp.o" "gcc" "CMakeFiles/twm.dir/src/core/scheme_session.cpp.o.d"
+  "/root/repo/src/core/simd.cpp" "CMakeFiles/twm.dir/src/core/simd.cpp.o" "gcc" "CMakeFiles/twm.dir/src/core/simd.cpp.o.d"
+  "/root/repo/src/core/symmetric.cpp" "CMakeFiles/twm.dir/src/core/symmetric.cpp.o" "gcc" "CMakeFiles/twm.dir/src/core/symmetric.cpp.o.d"
+  "/root/repo/src/core/tomt.cpp" "CMakeFiles/twm.dir/src/core/tomt.cpp.o" "gcc" "CMakeFiles/twm.dir/src/core/tomt.cpp.o.d"
+  "/root/repo/src/core/twm_ta.cpp" "CMakeFiles/twm.dir/src/core/twm_ta.cpp.o" "gcc" "CMakeFiles/twm.dir/src/core/twm_ta.cpp.o.d"
+  "/root/repo/src/march/generator.cpp" "CMakeFiles/twm.dir/src/march/generator.cpp.o" "gcc" "CMakeFiles/twm.dir/src/march/generator.cpp.o.d"
+  "/root/repo/src/march/library.cpp" "CMakeFiles/twm.dir/src/march/library.cpp.o" "gcc" "CMakeFiles/twm.dir/src/march/library.cpp.o.d"
+  "/root/repo/src/march/op.cpp" "CMakeFiles/twm.dir/src/march/op.cpp.o" "gcc" "CMakeFiles/twm.dir/src/march/op.cpp.o.d"
+  "/root/repo/src/march/parser.cpp" "CMakeFiles/twm.dir/src/march/parser.cpp.o" "gcc" "CMakeFiles/twm.dir/src/march/parser.cpp.o.d"
+  "/root/repo/src/march/printer.cpp" "CMakeFiles/twm.dir/src/march/printer.cpp.o" "gcc" "CMakeFiles/twm.dir/src/march/printer.cpp.o.d"
+  "/root/repo/src/march/test.cpp" "CMakeFiles/twm.dir/src/march/test.cpp.o" "gcc" "CMakeFiles/twm.dir/src/march/test.cpp.o.d"
+  "/root/repo/src/march/word_expand.cpp" "CMakeFiles/twm.dir/src/march/word_expand.cpp.o" "gcc" "CMakeFiles/twm.dir/src/march/word_expand.cpp.o.d"
+  "/root/repo/src/memsim/decoder_fault.cpp" "CMakeFiles/twm.dir/src/memsim/decoder_fault.cpp.o" "gcc" "CMakeFiles/twm.dir/src/memsim/decoder_fault.cpp.o.d"
+  "/root/repo/src/memsim/fault.cpp" "CMakeFiles/twm.dir/src/memsim/fault.cpp.o" "gcc" "CMakeFiles/twm.dir/src/memsim/fault.cpp.o.d"
+  "/root/repo/src/memsim/memory.cpp" "CMakeFiles/twm.dir/src/memsim/memory.cpp.o" "gcc" "CMakeFiles/twm.dir/src/memsim/memory.cpp.o.d"
+  "/root/repo/src/memsim/packed_memory.cpp" "CMakeFiles/twm.dir/src/memsim/packed_memory.cpp.o" "gcc" "CMakeFiles/twm.dir/src/memsim/packed_memory.cpp.o.d"
+  "/root/repo/src/memsim/repair.cpp" "CMakeFiles/twm.dir/src/memsim/repair.cpp.o" "gcc" "CMakeFiles/twm.dir/src/memsim/repair.cpp.o.d"
+  "/root/repo/src/memsim/segment.cpp" "CMakeFiles/twm.dir/src/memsim/segment.cpp.o" "gcc" "CMakeFiles/twm.dir/src/memsim/segment.cpp.o.d"
+  "/root/repo/src/util/backgrounds.cpp" "CMakeFiles/twm.dir/src/util/backgrounds.cpp.o" "gcc" "CMakeFiles/twm.dir/src/util/backgrounds.cpp.o.d"
+  "/root/repo/src/util/bitvec.cpp" "CMakeFiles/twm.dir/src/util/bitvec.cpp.o" "gcc" "CMakeFiles/twm.dir/src/util/bitvec.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/twm.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/twm.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

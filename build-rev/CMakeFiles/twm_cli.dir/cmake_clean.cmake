@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twm_cli.dir/tools/twm_cli.cpp.o"
+  "CMakeFiles/twm_cli.dir/tools/twm_cli.cpp.o.d"
+  "twm_cli"
+  "twm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

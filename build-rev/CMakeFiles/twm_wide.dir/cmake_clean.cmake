@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twm_wide.dir/src/analysis/campaign_w256.cpp.o"
+  "CMakeFiles/twm_wide.dir/src/analysis/campaign_w256.cpp.o.d"
+  "CMakeFiles/twm_wide.dir/src/analysis/campaign_w512.cpp.o"
+  "CMakeFiles/twm_wide.dir/src/analysis/campaign_w512.cpp.o.d"
+  "libtwm_wide.pdb"
+  "libtwm_wide.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twm_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

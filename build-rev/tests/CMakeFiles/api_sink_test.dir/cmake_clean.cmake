@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_sink_test.dir/api_sink_test.cpp.o"
+  "CMakeFiles/api_sink_test.dir/api_sink_test.cpp.o.d"
+  "api_sink_test"
+  "api_sink_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_spec_test.dir/api_spec_test.cpp.o"
+  "CMakeFiles/api_spec_test.dir/api_spec_test.cpp.o.d"
+  "api_spec_test"
+  "api_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complexity_test.dir/complexity_test.cpp.o"
+  "CMakeFiles/complexity_test.dir/complexity_test.cpp.o.d"
+  "complexity_test"
+  "complexity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_backend_test.dir/coverage_backend_test.cpp.o"
+  "CMakeFiles/coverage_backend_test.dir/coverage_backend_test.cpp.o.d"
+  "coverage_backend_test"
+  "coverage_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

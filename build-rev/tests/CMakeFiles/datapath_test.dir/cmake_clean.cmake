@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datapath_test.dir/datapath_test.cpp.o"
+  "CMakeFiles/datapath_test.dir/datapath_test.cpp.o.d"
+  "datapath_test"
+  "datapath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_fault_test.dir/decoder_fault_test.cpp.o"
+  "CMakeFiles/decoder_fault_test.dir/decoder_fault_test.cpp.o.d"
+  "decoder_fault_test"
+  "decoder_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interference_test.dir/interference_test.cpp.o"
+  "CMakeFiles/interference_test.dir/interference_test.cpp.o.d"
+  "interference_test"
+  "interference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linked_fault_test.dir/linked_fault_test.cpp.o"
+  "CMakeFiles/linked_fault_test.dir/linked_fault_test.cpp.o.d"
+  "linked_fault_test"
+  "linked_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linked_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/march_test.dir/march_test.cpp.o"
+  "CMakeFiles/march_test.dir/march_test.cpp.o.d"
+  "march_test"
+  "march_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/march_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

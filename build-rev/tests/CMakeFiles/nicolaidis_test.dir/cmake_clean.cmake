@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicolaidis_test.dir/nicolaidis_test.cpp.o"
+  "CMakeFiles/nicolaidis_test.dir/nicolaidis_test.cpp.o.d"
+  "nicolaidis_test"
+  "nicolaidis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicolaidis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_memory_test.dir/packed_memory_test.cpp.o"
+  "CMakeFiles/packed_memory_test.dir/packed_memory_test.cpp.o.d"
+  "packed_memory_test"
+  "packed_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_trace_test.dir/pair_trace_test.cpp.o"
+  "CMakeFiles/pair_trace_test.dir/pair_trace_test.cpp.o.d"
+  "pair_trace_test"
+  "pair_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme1_test.dir/scheme1_test.cpp.o"
+  "CMakeFiles/scheme1_test.dir/scheme1_test.cpp.o.d"
+  "scheme1_test"
+  "scheme1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

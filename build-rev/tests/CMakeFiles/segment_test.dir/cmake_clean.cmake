@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_test.dir/segment_test.cpp.o"
+  "CMakeFiles/segment_test.dir/segment_test.cpp.o.d"
+  "segment_test"
+  "segment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

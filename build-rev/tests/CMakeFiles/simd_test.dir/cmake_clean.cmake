@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_test.dir/simd_test.cpp.o"
+  "CMakeFiles/simd_test.dir/simd_test.cpp.o.d"
+  "simd_test"
+  "simd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

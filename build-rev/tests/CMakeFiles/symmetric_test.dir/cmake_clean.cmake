@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_test.dir/symmetric_test.cpp.o"
+  "CMakeFiles/symmetric_test.dir/symmetric_test.cpp.o.d"
+  "symmetric_test"
+  "symmetric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

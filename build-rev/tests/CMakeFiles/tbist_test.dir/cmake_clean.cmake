@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbist_test.dir/tbist_test.cpp.o"
+  "CMakeFiles/tbist_test.dir/tbist_test.cpp.o.d"
+  "tbist_test"
+  "tbist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

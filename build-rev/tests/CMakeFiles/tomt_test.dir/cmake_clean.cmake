@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomt_test.dir/tomt_test.cpp.o"
+  "CMakeFiles/tomt_test.dir/tomt_test.cpp.o.d"
+  "tomt_test"
+  "tomt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twm_ta_test.dir/twm_ta_test.cpp.o"
+  "CMakeFiles/twm_ta_test.dir/twm_ta_test.cpp.o.d"
+  "twm_ta_test"
+  "twm_ta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twm_ta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
