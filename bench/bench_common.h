@@ -9,6 +9,11 @@
 //   --simd=auto|64|256|512    packed lane-block width (default: auto —
 //                             widest the CPU supports; forced widths error
 //                             cleanly when the CPU lacks them)
+//   --schedule=dense|repack   fault-universe scheduler (default: repack —
+//                             survivor repacking + settle-exit +
+//                             collapsing; dense = static reference)
+//   --collapse=on|off         structural fault collapsing under repack
+//                             (default: on)
 //   --json=PATH               where to write the bench's JSON result line
 //
 // Both `--flag=value` and `--flag value` are accepted.  The spec's
@@ -40,7 +45,8 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     // Accept both `--flag=value` and `--flag value`.
-    if ((arg == "--backend" || arg == "--threads" || arg == "--simd" || arg == "--json") &&
+    if ((arg == "--backend" || arg == "--threads" || arg == "--simd" || arg == "--json" ||
+         arg == "--schedule" || arg == "--collapse") &&
         i + 1 < argc)
       arg += std::string("=") + argv[++i];
     const auto starts = [&](const char* p) { return arg.rfind(p, 0) == 0; };
@@ -63,12 +69,27 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
         std::exit(1);
       }
       a.spec.simd = *req;
+    } else if (starts("--schedule=")) {
+      const auto mode = api::parse_schedule(arg.substr(11));
+      if (!mode) {
+        std::fprintf(stderr, "unknown schedule '%s' (want dense|repack)\n", arg.c_str() + 11);
+        std::exit(1);
+      }
+      a.spec.schedule = *mode;
+    } else if (starts("--collapse=")) {
+      const auto on = api::parse_on_off(arg.substr(11));
+      if (!on) {
+        std::fprintf(stderr, "--collapse expects on|off, got '%s'\n", arg.c_str() + 11);
+        std::exit(1);
+      }
+      a.spec.collapse = *on;
     } else if (starts("--json=")) {
       a.json = arg.substr(7);
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (want --backend=scalar|packed --threads=N "
-                   "--simd=auto|64|256|512 --json=PATH)\n",
+                   "--simd=auto|64|256|512 --schedule=dense|repack --collapse=on|off "
+                   "--json=PATH)\n",
                    arg.c_str());
       std::exit(1);
     }

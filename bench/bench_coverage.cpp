@@ -11,12 +11,20 @@
 // fault class, coupling faults split :inter / :intra as the paper tabulates
 // them) executed by api::run_campaign with the human table sink — exactly
 // what `twm_cli run` would do for the same spec file.  Flags select the
-// backend (--backend=scalar|packed), worker count (--threads=N) and packed
-// lane-block width (--simd=auto|64|256|512).  The bench then times the
+// backend (--backend=scalar|packed), worker count (--threads=N), packed
+// lane-block width (--simd=auto|64|256|512), and scheduler
+// (--schedule=dense|repack, --collapse=on|off).  The bench then times the
 // scalar reference, the 64-lane packed baseline, and the selected wide
-// width on a production-shaped fault list and writes the throughput
-// comparison to BENCH_coverage.json (--json=PATH overrides).  Exits
-// non-zero if any backend/width pair disagrees verdict-for-verdict.
+// width (all on the dense static scheduler, the committed-baseline axis)
+// plus the survivor-repacking scheduler at the same width, on a
+// production-shaped high-detection fault list; a second "settling"
+// workload (RET + SAF over several contents, most verdicts final after
+// the first seed round) isolates the survivor-repacking win.  Lane
+// occupancy, session-element, and collapsing counters are emitted so the
+// scheduler gains stay attributable.  Writes everything to
+// BENCH_coverage.json (--json=PATH overrides) and exits non-zero if ANY
+// pair — backend, width, or scheduler mode — disagrees
+// verdict-for-verdict.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -98,44 +106,115 @@ int main(int argc, char** argv) {
   const std::vector<Fault> scalar_slice(workload.begin(), workload.begin() + kScalarSlice);
 
   const unsigned threads = args.spec.threads;
-  const CampaignRunner scalar_runner(kBenchWords, kBenchWidth,
-                                     {CoverageBackend::Scalar, threads});
+  // The scalar / 64-lane / wide timings run the DENSE (static) scheduler —
+  // the PR 3/4 baseline the committed BENCH_coverage.json numbers track —
+  // so the repack row below attributes the scheduler win cleanly.
+  const CampaignRunner scalar_runner(
+      kBenchWords, kBenchWidth,
+      {CoverageBackend::Scalar, threads, simd::Request::Auto, ScheduleMode::Dense});
   const CampaignRunner packed64_runner(
-      kBenchWords, kBenchWidth, {CoverageBackend::Packed, threads, simd::Request::W64});
-  const CampaignRunner packed_runner(kBenchWords, kBenchWidth,
-                                     {CoverageBackend::Packed, threads, args.spec.simd});
-  std::vector<bool> v_scalar, v_packed64, v_packed;
+      kBenchWords, kBenchWidth,
+      {CoverageBackend::Packed, threads, simd::Request::W64, ScheduleMode::Dense});
+  const CampaignRunner packed_runner(
+      kBenchWords, kBenchWidth,
+      {CoverageBackend::Packed, threads, args.spec.simd, ScheduleMode::Dense});
+  const CampaignRunner repack_runner(
+      kBenchWords, kBenchWidth,
+      {CoverageBackend::Packed, threads, args.spec.simd, ScheduleMode::Repack,
+       args.spec.collapse});
+  const auto per_fault_stats = [&](const CampaignRunner& r, const std::vector<Fault>& faults,
+                                   const std::vector<std::uint64_t>& seeds,
+                                   CampaignStats* stats) {
+    return r.per_fault(SchemeKind::ProposedExact, march, faults, seeds, stats);
+  };
+  std::vector<bool> v_scalar, v_packed64, v_packed, v_repack;
+  CampaignStats dense_stats, repack_stats;
   const double t_scalar = bench::time_seconds([&] {
-    v_scalar =
-        scalar_runner.per_fault(SchemeKind::ProposedExact, march, scalar_slice, bench_seeds);
+    v_scalar = per_fault_stats(scalar_runner, scalar_slice, bench_seeds, nullptr);
   });
   const double t_packed64 = bench::time_seconds([&] {
-    v_packed64 =
-        packed64_runner.per_fault(SchemeKind::ProposedExact, march, workload, bench_seeds);
+    v_packed64 = per_fault_stats(packed64_runner, workload, bench_seeds, nullptr);
   });
   const double t_packed = bench::time_seconds([&] {
-    v_packed = packed_runner.per_fault(SchemeKind::ProposedExact, march, workload, bench_seeds);
+    v_packed = per_fault_stats(packed_runner, workload, bench_seeds, &dense_stats);
+  });
+  const double t_repack = bench::time_seconds([&] {
+    v_repack = per_fault_stats(repack_runner, workload, bench_seeds, &repack_stats);
   });
   const double fps_scalar = scalar_slice.size() / t_scalar;
   const double fps_packed64 = workload.size() / t_packed64;
   const double fps_packed = workload.size() / t_packed;
+  const double fps_repack = workload.size() / t_repack;
   const double speedup = fps_packed / fps_scalar;
   const double widen_speedup = fps_packed / fps_packed64;
+  const double repack_speedup = fps_repack / fps_packed;
+  const unsigned lanes = simd::lanes(simd_width);
+  const double occupancy = repack_stats.mean_live_lanes() / (lanes - 1);
+  const double elements_frac =
+      repack_stats.elements_total.load()
+          ? static_cast<double>(repack_stats.elements_executed.load()) /
+                static_cast<double>(repack_stats.elements_total.load())
+          : 1.0;
   const bool scalar_slice_equal =
       std::equal(v_scalar.begin(), v_scalar.end(), v_packed.begin()) &&
       std::equal(v_scalar.begin(), v_scalar.end(), v_packed64.begin());
-  const bool verdicts_equal = scalar_slice_equal && v_packed64 == v_packed;
+  const bool schedule_equal = v_repack == v_packed;
   std::printf("\nbackend throughput (TWMarch exact, N=%zu, B=%u, %zu faults x %zu contents, "
               "%u threads; scalar timed on a %zu-fault slice):\n",
               kBenchWords, kBenchWidth, workload.size(), bench_seeds.size(), threads,
               scalar_slice.size());
-  std::printf("  scalar:      %8.0f faults/s  (%.3fs)\n", fps_scalar, t_scalar);
-  std::printf("  packed/64:   %8.0f faults/s  (%.3fs)  -> %.1fx over scalar\n", fps_packed64,
+  std::printf("  scalar:        %8.0f faults/s  (%.3fs)\n", fps_scalar, t_scalar);
+  std::printf("  packed/64:     %8.0f faults/s  (%.3fs)  -> %.1fx over scalar\n", fps_packed64,
               t_packed64, fps_packed64 / fps_scalar);
-  std::printf("  packed/%-4s %8.0f faults/s  (%.3fs)  -> %.1fx over scalar, %.2fx over 64-lane\n",
+  std::printf("  packed/%-5s  %8.0f faults/s  (%.3fs)  -> %.1fx over scalar, %.2fx over "
+              "64-lane\n",
               (simd::to_string(simd_width) + ":").c_str(), fps_packed, t_packed, speedup,
               widen_speedup);
-  std::printf("  verdict equality (scalar == packed/64 == packed/%s): %s\n",
+  std::printf("  repack/%-5s  %8.0f faults/s  (%.3fs)  -> %.2fx over dense "
+              "(%zu of %zu faults simulated, %.0f%% of march elements run)\n",
+              (simd::to_string(simd_width) + ":").c_str(), fps_repack, t_repack, repack_speedup,
+              static_cast<std::size_t>(repack_stats.faults_simulated.load()), workload.size(),
+              100.0 * elements_frac);
+
+  // The settling workload: most faults' verdicts settle in the first seed
+  // round (RET faults are invisible to a Del-free March C-, so their "all"
+  // verdict drops at seed 0), which is where survivor repacking pays —
+  // dense batches drag the settled universes through every remaining
+  // round, repacked rounds shrink to the undecided tail.
+  std::vector<Fault> settling = all_rets(kBenchWords, kBenchWidth, 1);
+  for (auto& f : all_safs(kBenchWords, kBenchWidth)) settling.push_back(f);
+  const std::vector<std::uint64_t> settling_seeds{1, 2, 3, 4};
+  CampaignStats settling_dense_stats, settling_repack_stats;
+  std::vector<bool> vs_dense, vs_repack;
+  const double ts_dense = bench::time_seconds([&] {
+    vs_dense = per_fault_stats(packed_runner, settling, settling_seeds, &settling_dense_stats);
+  });
+  const double ts_repack = bench::time_seconds([&] {
+    vs_repack = per_fault_stats(repack_runner, settling, settling_seeds,
+                                &settling_repack_stats);
+  });
+  const double fps_settling_dense = settling.size() / ts_dense;
+  const double fps_settling_repack = settling.size() / ts_repack;
+  const double settling_speedup = fps_settling_repack / fps_settling_dense;
+  const double settling_occupancy = settling_repack_stats.mean_live_lanes() / (lanes - 1);
+  const double settling_dense_occupancy =
+      settling_dense_stats.mean_live_lanes() / (lanes - 1);
+  const bool settling_equal = vs_dense == vs_repack;
+  std::printf("\nsettling workload (RET+SAF, %zu faults x %zu contents; RETs settle in seed "
+              "round 0):\n",
+              settling.size(), settling_seeds.size());
+  std::printf("  dense/%-5s   %8.0f faults/s  (%.3fs, %.0f%% live lanes)\n",
+              (simd::to_string(simd_width) + ":").c_str(), fps_settling_dense, ts_dense,
+              100.0 * settling_dense_occupancy);
+  std::printf("  repack/%-5s  %8.0f faults/s  (%.3fs, %.0f%% live lanes)  -> %.2fx over "
+              "dense\n",
+              (simd::to_string(simd_width) + ":").c_str(), fps_settling_repack, ts_repack,
+              100.0 * settling_occupancy, settling_speedup);
+
+  const bool verdicts_equal =
+      scalar_slice_equal && v_packed64 == v_packed && schedule_equal && settling_equal;
+  std::printf("\n  verdict equality (scalar == packed/64 == packed/%s == repack, dense == "
+              "repack on settling): %s\n",
               simd::to_string(simd_width).c_str(), verdicts_equal ? "EXACT" : "MISMATCH");
 
   if (!args.json.empty()) {
@@ -146,8 +225,21 @@ int main(int argc, char** argv) {
        << ",\"simd_lanes\":" << simd::lanes(simd_width)
        << ",\"scalar_faults_per_sec\":" << fps_scalar
        << ",\"packed64_faults_per_sec\":" << fps_packed64
-       << ",\"packed_faults_per_sec\":" << fps_packed << ",\"speedup\":" << speedup
-       << ",\"widen_speedup\":" << widen_speedup
+       << ",\"packed_faults_per_sec\":" << fps_packed
+       << ",\"repack_faults_per_sec\":" << fps_repack << ",\"speedup\":" << speedup
+       << ",\"widen_speedup\":" << widen_speedup << ",\"repack_speedup\":" << repack_speedup
+       << ",\"faults_simulated\":" << repack_stats.faults_simulated.load()
+       << ",\"mean_live_lanes\":" << repack_stats.mean_live_lanes()
+       << ",\"lane_occupancy\":" << occupancy
+       << ",\"session_elements_total\":" << repack_stats.elements_total.load()
+       << ",\"session_elements_executed\":" << repack_stats.elements_executed.load()
+       << ",\"settling_faults\":" << settling.size()
+       << ",\"settling_seeds\":" << settling_seeds.size()
+       << ",\"settling_dense_faults_per_sec\":" << fps_settling_dense
+       << ",\"settling_repack_faults_per_sec\":" << fps_settling_repack
+       << ",\"settling_repack_speedup\":" << settling_speedup
+       << ",\"settling_lane_occupancy\":" << settling_occupancy
+       << ",\"settling_dense_lane_occupancy\":" << settling_dense_occupancy
        << ",\"verdicts_equal\":" << (verdicts_equal ? "true" : "false")
        << ",\"theorem_agree\":" << agree << ",\"theorem_total\":" << everything.size() << "}\n";
     std::printf("  wrote %s\n", args.json.c_str());

@@ -1,10 +1,12 @@
 #include "analysis/campaign.h"
 
+#include <cstring>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include "analysis/campaign_exec.h"
+#include "analysis/fault_list.h"
 
 namespace twm {
 
@@ -12,6 +14,14 @@ std::string to_string(CoverageBackend b) {
   switch (b) {
     case CoverageBackend::Scalar: return "scalar";
     case CoverageBackend::Packed: return "packed";
+  }
+  return "?";
+}
+
+std::string to_string(ScheduleMode m) {
+  switch (m) {
+    case ScheduleMode::Dense: return "dense";
+    case ScheduleMode::Repack: return "repack";
   }
   return "?";
 }
@@ -57,11 +67,63 @@ bool VerdictMatrix::detected_any(std::size_t fault) const {
   return false;
 }
 
+namespace {
+
+// Translates the engine's per-REPRESENTATIVE events back to the original
+// fault indices of a collapsed campaign, one record per bucket member.
+// Invoked from worker threads; the inner observer is thread-safe by the
+// UnitObserver contract and this wrapper only reads const state.
+class ExpandingObserver final : public UnitObserver {
+ public:
+  ExpandingObserver(UnitObserver* inner, const FaultCollapse& fc) : inner_(inner), fc_(fc) {}
+
+  void on_unit_settled(std::size_t first, unsigned count, const char* all,
+                       const char* any) override {
+    for (unsigned k = 0; k < count; ++k)
+      for (const std::uint32_t orig : fc_.members[first + k])
+        inner_->on_unit_settled(orig, 1, all + k, any + k);
+  }
+
+  void on_seed_verdict(std::size_t fault, std::size_t seed_index, bool detected) override {
+    for (const std::uint32_t orig : fc_.members[fault])
+      inner_->on_seed_verdict(orig, seed_index, detected);
+  }
+
+  bool want_seed_verdicts() const override { return inner_->want_seed_verdicts(); }
+  bool cancelled() const override { return inner_->cancelled(); }
+
+ private:
+  UnitObserver* inner_;
+  const FaultCollapse& fc_;
+};
+
+}  // namespace
+
+void CampaignRunner::dispatch(const CampaignJob& job, simd::Width simd_width) const {
+  const bool repack = job.schedule == ScheduleMode::Repack;
+  if (options_.backend == CoverageBackend::Scalar) {
+    repack ? run_campaign_engine_repack<ScalarEngine>(job)
+           : run_campaign_engine<ScalarEngine>(job);
+    return;
+  }
+  // simd::resolve() in run() guaranteed the CPU executes the chosen width;
+  // the wide entries dispatch on job.schedule internally.
+  switch (simd_width) {
+    case simd::Width::W64:
+      repack ? run_campaign_engine_repack<PackedEngine>(job)
+             : run_campaign_engine<PackedEngine>(job);
+      break;
+    case simd::Width::W256: run_campaign_w256(job); break;
+    case simd::Width::W512: run_campaign_w512(job); break;
+  }
+}
+
 void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
                          const std::vector<Fault>& faults,
                          const std::vector<std::uint64_t>& seeds, bool need_any,
                          std::vector<char>& all, std::vector<char>& any,
-                         VerdictMatrix* out_matrix, UnitObserver* observer) const {
+                         VerdictMatrix* out_matrix, UnitObserver* observer,
+                         CampaignStats* stats) const {
   if (seeds.empty()) throw std::invalid_argument("CampaignRunner: no seeds");
   // Resolve the lane-block width up front so a forced-but-unsupported
   // --simd request fails before any work is sharded.  The scalar backend
@@ -83,26 +145,57 @@ void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
   job.plan = &plan;
   job.words = words_;
   job.threads = options_.threads;
-  job.faults = faults.data();
-  job.num_faults = n;
   job.seeds = seeds.data();
   job.num_seeds = seeds.size();
   job.need_any = need_any;
-  job.all = all.data();
-  job.any = any.data();
   job.matrix = out_matrix;
   job.observer = observer;
+  job.schedule = options_.schedule;
+  job.settle_exit = options_.schedule == ScheduleMode::Repack;
+  job.stats = stats;
 
-  if (options_.backend == CoverageBackend::Scalar) {
-    run_campaign_engine<ScalarEngine>(job);
-    return;
+  // Structural collapsing (repack only): simulate one representative per
+  // equivalence bucket, expand every verdict back to the full list.
+  if (options_.schedule == ScheduleMode::Repack && options_.collapse && n > 1) {
+    const FaultCollapse fc = collapse_faults(faults, plan, seeds);
+    if (fc.collapsed()) {
+      const std::size_t reps = fc.representatives.size();
+      std::vector<char> rep_all(reps, 1), rep_any(reps, 0);
+      VerdictMatrix rep_matrix;
+      if (out_matrix) {
+        rep_matrix.num_faults = reps;
+        rep_matrix.num_seeds = seeds.size();
+        rep_matrix.bits.assign(reps * seeds.size(), 0);
+      }
+      ExpandingObserver expander(observer, fc);
+      if (stats) stats->faults_simulated.fetch_add(reps, std::memory_order_relaxed);
+      job.faults = fc.representatives.data();
+      job.num_faults = reps;
+      job.all = rep_all.data();
+      job.any = rep_any.data();
+      job.matrix = out_matrix ? &rep_matrix : nullptr;
+      job.observer = observer ? &expander : nullptr;
+      dispatch(job, simd_width);
+      for (std::size_t i = 0; i < n; ++i) {
+        all[i] = rep_all[fc.bucket_of[i]];
+        any[i] = rep_any[fc.bucket_of[i]];
+      }
+      if (out_matrix) {
+        const std::size_t row = seeds.size();
+        for (std::size_t i = 0; i < n; ++i)
+          std::memcpy(&out_matrix->bits[i * row], &rep_matrix.bits[fc.bucket_of[i] * row],
+                      row);
+      }
+      return;
+    }
   }
-  // simd::resolve() above guaranteed the CPU executes the chosen width.
-  switch (simd_width) {
-    case simd::Width::W64: run_campaign_engine<PackedEngine>(job); break;
-    case simd::Width::W256: run_campaign_w256(job); break;
-    case simd::Width::W512: run_campaign_w512(job); break;
-  }
+
+  if (stats) stats->faults_simulated.fetch_add(n, std::memory_order_relaxed);
+  job.faults = faults.data();
+  job.num_faults = n;
+  job.all = all.data();
+  job.any = any.data();
+  dispatch(job, simd_width);
 }
 
 CoverageOutcome CampaignRunner::evaluate(SchemeKind scheme, const MarchTest& bit_march,
@@ -121,9 +214,10 @@ CoverageOutcome CampaignRunner::evaluate(SchemeKind scheme, const MarchTest& bit
 
 std::vector<bool> CampaignRunner::per_fault(SchemeKind scheme, const MarchTest& bit_march,
                                             const std::vector<Fault>& faults,
-                                            const std::vector<std::uint64_t>& seeds) const {
+                                            const std::vector<std::uint64_t>& seeds,
+                                            CampaignStats* stats) const {
   std::vector<char> all, any;
-  run(scheme, bit_march, faults, seeds, /*need_any=*/false, all, any);
+  run(scheme, bit_march, faults, seeds, /*need_any=*/false, all, any, nullptr, nullptr, stats);
   return std::vector<bool>(all.begin(), all.end());
 }
 

@@ -19,6 +19,7 @@
 #ifndef TWM_ANALYSIS_CAMPAIGN_H
 #define TWM_ANALYSIS_CAMPAIGN_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -44,6 +45,25 @@ enum class CoverageBackend { Scalar, Packed };
 
 std::string to_string(CoverageBackend b);
 
+// How the campaign's fault universes are scheduled onto units.
+//
+//   Dense   Static batch membership (the PR 3/4 scheduler, byte-identical
+//           behavior): faults are sharded into fixed units up front, every
+//           unit runs its full seed loop, every session runs full length.
+//           The pristine debug/reference mode.
+//   Repack  Dynamic scheduling: seed-major rounds rebuild batches from
+//           still-undecided faults only (survivor repacking keeps SIMD
+//           lanes dense as the tail shrinks), sessions with monotone
+//           verdicts abort once every lane settled (mid-session
+//           settle-exit + per-lane fault dropping), and — when
+//           CoverageOptions.collapse is on — structurally equivalent
+//           faults are simulated once per bucket with verdicts expanded
+//           back to the full list.  Verdict-for-verdict identical to
+//           Dense (tests/scheduler_test.cpp enforces it byte-for-byte).
+enum class ScheduleMode { Dense, Repack };
+
+std::string to_string(ScheduleMode m);
+
 struct CoverageOptions {
   CoverageBackend backend = CoverageBackend::Scalar;
   // Worker threads the campaign's units are sharded across; <= 1 runs
@@ -53,6 +73,38 @@ struct CoverageOptions {
   // Auto picks the widest the CPU supports; a forced width throws
   // std::runtime_error at run() time when the CPU cannot execute it.
   simd::Request simd = simd::Request::Auto;
+  // Fault-universe scheduling (see ScheduleMode).  Repack is the default;
+  // Dense is the debug mode differential tests compare against.
+  ScheduleMode schedule = ScheduleMode::Repack;
+  // Structural fault collapsing (Repack only): pre-bucket equivalent
+  // faults (analysis/fault_list.h collapse_faults) and simulate one
+  // representative per bucket.  Off = every fault simulated individually,
+  // for differential attribution of the collapsing win.
+  bool collapse = true;
+};
+
+// Scheduler forward-progress counters, accumulated across worker threads
+// when a CampaignStats* is handed to CampaignRunner::run.  They attribute
+// where a scheduler mode's speedup comes from:
+//
+//   lane occupancy   lane_slots / (units * kFaultsPerUnit) — how densely
+//                    the executed unit-sessions were packed with
+//                    still-undecided faults,
+//   settle-exit      elements_executed / elements_total — the fraction of
+//                    march elements a full-length run would execute that
+//                    actually ran,
+//   collapsing       faults_simulated vs the original list size.
+struct CampaignStats {
+  std::atomic<std::uint64_t> units{0};        // unit-sessions executed
+  std::atomic<std::uint64_t> lane_slots{0};   // fault lanes across those units
+  std::atomic<std::uint64_t> faults_simulated{0};  // faults after collapsing
+  std::atomic<std::uint64_t> elements_total{0};     // full-length march elements
+  std::atomic<std::uint64_t> elements_executed{0};  // march elements entered
+
+  double mean_live_lanes() const {
+    const std::uint64_t u = units.load();
+    return u ? static_cast<double>(lane_slots.load()) / static_cast<double>(u) : 0.0;
+  }
 };
 
 struct CoverageOutcome {
@@ -105,6 +157,8 @@ class UnitObserver {
   virtual bool cancelled() const { return false; }
 };
 
+struct CampaignJob;  // analysis/campaign_exec.h
+
 // Detection verdict of every (fault, seed) pair of a campaign.
 struct VerdictMatrix {
   std::size_t num_faults = 0;
@@ -135,9 +189,12 @@ class CampaignRunner {
 
   // Verdict per fault (detected under every seed); used to prove coverage
   // *equality* between schemes/backends, not just equal percentages.
+  // `stats`, when non-null, receives the scheduler's forward-progress
+  // counters (what bench_coverage attributes its speedups with).
   std::vector<bool> per_fault(SchemeKind scheme, const MarchTest& bit_march,
                               const std::vector<Fault>& faults,
-                              const std::vector<std::uint64_t>& seeds) const;
+                              const std::vector<std::uint64_t>& seeds,
+                              CampaignStats* stats = nullptr) const;
 
   // Full per-fault x per-seed verdict matrix (no early exit: every pair is
   // evaluated).
@@ -151,13 +208,17 @@ class CampaignRunner {
   // as the "all" verdict settles.  When `out_matrix` is non-null the early
   // exit is disabled and every (fault, seed) verdict is recorded into it.
   // When `observer` is non-null it is streamed unit-by-unit as verdicts
-  // settle and may cancel the remainder of the run cooperatively.
+  // settle and may cancel the remainder of the run cooperatively.  When
+  // `stats` is non-null the scheduler's forward-progress counters are
+  // accumulated into it (occupancy / settle-exit / collapsing attribution).
   void run(SchemeKind scheme, const MarchTest& bit_march, const std::vector<Fault>& faults,
            const std::vector<std::uint64_t>& seeds, bool need_any, std::vector<char>& all,
            std::vector<char>& any, VerdictMatrix* out_matrix = nullptr,
-           UnitObserver* observer = nullptr) const;
+           UnitObserver* observer = nullptr, CampaignStats* stats = nullptr) const;
 
  private:
+  void dispatch(const CampaignJob& job, simd::Width simd_width) const;
+
   std::size_t words_;
   unsigned width_;
   CoverageOptions options_;

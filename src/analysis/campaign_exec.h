@@ -44,6 +44,12 @@ struct CampaignJob {
   // per evaluated seed) and polled for cooperative cancellation before a
   // worker claims its next unit.
   UnitObserver* observer = nullptr;
+  // Scheduler selection + instrumentation (see analysis/campaign.h).  The
+  // wide translation units dispatch on `schedule` internally so the
+  // ABI-stable entry signature stays a single CampaignJob.
+  ScheduleMode schedule = ScheduleMode::Dense;
+  bool settle_exit = false;         // arm mid-session brakes (Repack only)
+  CampaignStats* stats = nullptr;   // optional forward-progress counters
 };
 
 // The packed verdict carries the golden lane in lane 0 (bit 0 of the first
@@ -62,6 +68,7 @@ void run_campaign_engine(const CampaignJob& job) {
   const std::size_t n = job.num_faults;
   const std::size_t units = (n + kPerUnit - 1) / kPerUnit;
   const unsigned threads = std::max(1u, job.threads);
+  const std::size_t plan_elems = plan_session_elements(*job.plan);
 
   const bool seed_events = job.observer && job.observer->want_seed_verdicts();
   std::atomic<std::size_t> next{0};
@@ -75,6 +82,17 @@ void run_campaign_engine(const CampaignJob& job) {
       const Verdict used = Engine::used_mask(count);
       Verdict a = used, y = Verdict{};
       for (std::size_t s = 0; s < job.num_seeds; ++s) {
+        if (job.stats) {
+          // Lanes whose verdicts this seed can still change — dense units
+          // keep their founding members, so decided lanes ride along dead.
+          unsigned live = 0;
+          for (unsigned i = 0; i < count; ++i)
+            live += !(!Engine::bit(a, i) && (Engine::bit(y, i) || !job.need_any));
+          job.stats->units.fetch_add(1, std::memory_order_relaxed);
+          job.stats->lane_slots.fetch_add(live, std::memory_order_relaxed);
+          job.stats->elements_total.fetch_add(plan_elems, std::memory_order_relaxed);
+          job.stats->elements_executed.fetch_add(plan_elems, std::memory_order_relaxed);
+        }
         const Verdict d =
             run_campaign_unit<Engine>(*job.plan, job.words, &job.faults[lo], count, job.seeds[s]);
         check_golden_lane(d);
@@ -101,6 +119,119 @@ void run_campaign_engine(const CampaignJob& job) {
       if (job.observer) job.observer->on_unit_settled(lo, count, job.all + lo, job.any + lo);
     }
   });
+}
+
+// The survivor-repacking scheduler: seed-major rounds over the shrinking
+// set of still-undecided faults.
+//
+//   round s:  pack the live faults densely into units of kFaultsPerUnit,
+//             shard the units across the pool, evaluate every unit under
+//             seeds[s] with an armed session brake (mid-session settle-exit
+//             + per-lane fault dropping for monotone schemes), then — on
+//             the caller's thread — report every fault whose verdicts can
+//             no longer change and rebuild the live list from the rest.
+//
+// A fault is decided once its "all" verdict dropped to 0 and (when the
+// caller asked for it) its "any" verdict rose to 1; remaining seeds cannot
+// change either, so the fault stops occupying a lane.  The verdicts are
+// exactly the dense scheduler's: every evaluated (fault, seed) pair yields
+// the same bit (lanes are independent, so batch composition is
+// irrelevant), and skipped pairs are skipped only when provably
+// irrelevant.  A matrix request or a per-seed-verdict observer needs the
+// COMPLETE (fault, seed) stream, which disables dropping (every fault
+// stays live to the last round) but keeps repacked batches + settle-exit.
+//
+// job.all/job.any must be preset by the caller (all = 1, any = 0), exactly
+// as CampaignRunner::run does.
+template <class Engine>
+void run_campaign_engine_repack(const CampaignJob& job) {
+  using Verdict = typename Engine::Verdict;
+  constexpr unsigned kPerUnit = Engine::kFaultsPerUnit;
+  const std::size_t n = job.num_faults;
+  if (n == 0) return;
+  const unsigned threads = std::max(1u, job.threads);
+  const std::size_t plan_elems = plan_session_elements(*job.plan);
+  const bool seed_events = job.observer && job.observer->want_seed_verdicts();
+  const bool no_drop = job.matrix != nullptr || seed_events;
+  // Armed for every scheme: run_scheme_session downgrades per scheme (the
+  // MISR case turns the exit off and only keeps the skip of the unconsumed
+  // stream compare; the symmetric session never sees the brake).
+  const bool arm_exit = job.settle_exit;
+
+  std::vector<std::uint32_t> live(n);
+  for (std::size_t i = 0; i < n; ++i) live[i] = static_cast<std::uint32_t>(i);
+
+  bool cancelled = false;
+  for (std::size_t s = 0; s < job.num_seeds && !live.empty() && !cancelled; ++s) {
+    const std::size_t units = (live.size() + kPerUnit - 1) / kPerUnit;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    run_pool(threads, [&] {
+      // One memory per worker, reset per unit: the fault index buckets and
+      // the cell state keep their allocations across every unit this
+      // worker claims (retire + reinject into a live batch).
+      typename Engine::Memory mem(job.words, job.plan->width);
+      std::vector<Fault> batch;
+      batch.reserve(kPerUnit);
+      for (;;) {
+        if (job.observer && job.observer->cancelled()) {
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+        const std::size_t u = next.fetch_add(1);
+        if (u >= units) break;
+        const std::size_t lo = u * kPerUnit;
+        const unsigned count =
+            static_cast<unsigned>(std::min<std::size_t>(kPerUnit, live.size() - lo));
+        batch.clear();
+        for (unsigned i = 0; i < count; ++i) batch.push_back(job.faults[live[lo + i]]);
+        typename Engine::Brake brake =
+            Engine::make_brake(mem, Engine::used_mask(count), arm_exit);
+        const Verdict d = run_campaign_unit_in<Engine>(mem, *job.plan, batch.data(), count,
+                                                       job.seeds[s], &brake);
+        check_golden_lane(d);
+        if (job.stats) {
+          job.stats->units.fetch_add(1, std::memory_order_relaxed);
+          job.stats->lane_slots.fetch_add(count, std::memory_order_relaxed);
+          job.stats->elements_total.fetch_add(plan_elems, std::memory_order_relaxed);
+          job.stats->elements_executed.fetch_add(
+              brake.elements_entered ? brake.elements_entered : plan_elems,
+              std::memory_order_relaxed);
+        }
+        // Distinct faults -> disjoint result slots: no two units of a
+        // round share a live entry, so these writes are race-free.
+        for (unsigned i = 0; i < count; ++i) {
+          const std::uint32_t g = live[lo + i];
+          const bool bit = Engine::bit(d, i);
+          if (!bit) job.all[g] = 0;
+          if (bit) job.any[g] = 1;
+          if (job.matrix) job.matrix->bits[g * job.num_seeds + s] = static_cast<char>(bit);
+          if (seed_events) job.observer->on_seed_verdict(g, s, bit);
+        }
+      }
+    });
+    if (stop.load(std::memory_order_relaxed)) break;
+
+    // Report + repack, on the calling thread: every decided fault streams
+    // its final verdicts now and leaves the live set; the rest roll into
+    // the next round's densely packed batches.
+    const bool final_round = s + 1 == job.num_seeds;
+    std::vector<std::uint32_t> survivors;
+    if (!final_round) survivors.reserve(live.size());
+    for (const std::uint32_t g : live) {
+      const bool decided =
+          !no_drop && job.all[g] == 0 && (!job.need_any || job.any[g] != 0);
+      if ((decided || final_round) && job.observer) {
+        if (job.observer->cancelled()) {
+          cancelled = true;
+          break;
+        }
+        job.observer->on_unit_settled(g, 1, job.all + g, job.any + g);
+      }
+      if (!decided && !final_round) survivors.push_back(g);
+    }
+    live.swap(survivors);
+  }
 }
 
 // Wide-width entry points, each defined in its arch-flagged translation

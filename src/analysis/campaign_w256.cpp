@@ -11,7 +11,10 @@
 namespace twm {
 
 void run_campaign_w256(const CampaignJob& job) {
-  run_campaign_engine<PackedEngineT<LaneBlock<4>>>(job);
+  if (job.schedule == ScheduleMode::Repack)
+    run_campaign_engine_repack<PackedEngineT<LaneBlock<4>>>(job);
+  else
+    run_campaign_engine<PackedEngineT<LaneBlock<4>>>(job);
 }
 
 }  // namespace twm

@@ -1,6 +1,11 @@
 #include "analysis/fault_list.h"
 
+#include <algorithm>
+#include <array>
+#include <map>
 #include <stdexcept>
+
+#include "core/scheme_session.h"
 
 namespace twm {
 namespace {
@@ -86,6 +91,102 @@ std::vector<Fault> all_cfs(std::size_t words, unsigned width, FaultClass cls, Cf
           push_variants(out, cls, agg, vic);
         }
   return out;
+}
+
+// ---- structural fault collapsing ----------------------------------------
+
+namespace {
+
+// All bits of the mask equal: the op writes (or expects) solid data.
+bool solid_mask(const BitVec& mask) {
+  for (unsigned j = 1; j < mask.width(); ++j)
+    if (mask.get(j) != mask.get(0)) return false;
+  return true;
+}
+
+bool all_ops_solid(const MarchTest& test, unsigned width) {
+  for (const MarchElement& elem : test.elements)
+    for (const Op& op : elem.ops)
+      if (!solid_mask(op.data.mask(width))) return false;
+  return true;
+}
+
+// The canonical bucket key: every field that can influence the verdict
+// under the active collapsing rules.  kNoBit erases a bit index the rules
+// proved irrelevant.
+constexpr std::uint64_t kNoBit = ~0ull;
+using BucketKey = std::array<std::uint64_t, 8>;
+
+BucketKey bucket_key(const Fault& f, bool zero_contents, bool bit_symmetric) {
+  Fault c = f;  // canonical form
+  // SAF/TF equivalence: a cell that starts at 0 and cannot rise IS a cell
+  // stuck at 0 (and, symmetrically in the model, a cell that cannot fall
+  // from an initial 1 would be stuck at 1 — unreachable from all-zero
+  // contents, so only the TF-up fold applies here).
+  if (zero_contents && c.cls == FaultClass::TF && c.trans == Transition::Up) {
+    c.cls = FaultClass::SAF;
+    c.value = false;
+    c.trans = Transition::Up;
+  }
+  std::uint64_t vbit = c.is_decoder() ? kNoBit : c.victim.bit;
+  std::uint64_t abit = c.is_coupling() ? c.aggressor.bit : kNoBit;
+  if (bit_symmetric && !c.is_decoder()) {
+    vbit = kNoBit;
+    abit = kNoBit;
+  }
+  return {static_cast<std::uint64_t>(c.cls),
+          c.victim.word,
+          vbit,
+          c.is_coupling() || c.cls == FaultClass::AFaw ? c.aggressor.word : kNoBit,
+          abit,
+          static_cast<std::uint64_t>(c.value),
+          (static_cast<std::uint64_t>(c.trans) << 1) | static_cast<std::uint64_t>(c.state),
+          c.cls == FaultClass::RET ? c.retention : 0};
+}
+
+}  // namespace
+
+bool plan_bit_symmetric(const SchemePlan& plan) {
+  switch (plan.scheme) {
+    case SchemeKind::ProposedMisr: return false;   // MISR folds bits by position
+    case SchemeKind::TomtModel: return false;      // per-bit flip blocks
+    case SchemeKind::NontransparentReference:
+      return all_ops_solid(plan.direct_a, plan.width) &&
+             all_ops_solid(plan.direct_b, plan.width);
+    case SchemeKind::WordOrientedMarch:
+      return all_ops_solid(plan.direct_a, plan.width);  // false: D backgrounds
+    case SchemeKind::ProposedExact:
+    case SchemeKind::TsmarchOnly:
+    case SchemeKind::Scheme1Exact:
+      return all_ops_solid(plan.trans, plan.width) &&
+             all_ops_solid(plan.prediction, plan.width);
+    case SchemeKind::ProposedSymmetricXor:
+      return all_ops_solid(plan.sym.test, plan.width);
+  }
+  return false;
+}
+
+FaultCollapse collapse_faults(const std::vector<Fault>& faults, const SchemePlan& plan,
+                              const std::vector<std::uint64_t>& seeds) {
+  const bool zero_contents =
+      std::all_of(seeds.begin(), seeds.end(), [](std::uint64_t s) { return s == 0; });
+  const bool bit_symmetric = zero_contents && plan_bit_symmetric(plan);
+
+  FaultCollapse fc;
+  fc.bucket_of.resize(faults.size());
+  std::map<BucketKey, std::uint32_t> buckets;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const BucketKey key = bucket_key(faults[i], zero_contents, bit_symmetric);
+    const auto [it, inserted] =
+        buckets.emplace(key, static_cast<std::uint32_t>(fc.representatives.size()));
+    if (inserted) {
+      fc.representatives.push_back(faults[i]);
+      fc.members.emplace_back();
+    }
+    fc.bucket_of[i] = it->second;
+    fc.members[it->second].push_back(static_cast<std::uint32_t>(i));
+  }
+  return fc;
 }
 
 std::vector<Fault> sampled_cfs(std::size_t words, unsigned width, FaultClass cls, CfScope scope,

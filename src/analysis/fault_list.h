@@ -7,6 +7,7 @@
 #define TWM_ANALYSIS_FAULT_LIST_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "memsim/fault.h"
@@ -35,6 +36,55 @@ std::vector<Fault> all_cfs(std::size_t words, unsigned width, FaultClass cls, Cf
 // from the scope's ordered cell pairs and variants.
 std::vector<Fault> sampled_cfs(std::size_t words, unsigned width, FaultClass cls, CfScope scope,
                                std::size_t count, Rng& rng);
+
+// ---- structural fault collapsing ----------------------------------------
+
+struct SchemePlan;  // core/scheme_session.h
+
+// A collapsed fault list: one representative per bucket of faults that are
+// provably verdict-equivalent for THIS campaign (scheme plan + content
+// seeds), plus the expansion maps back to the original list.
+struct FaultCollapse {
+  std::vector<Fault> representatives;              // one per bucket, stable order
+  std::vector<std::uint32_t> bucket_of;            // [original index] -> rep index
+  std::vector<std::vector<std::uint32_t>> members; // [rep index] -> original indices
+
+  bool collapsed() const { return representatives.size() < bucket_of.size(); }
+};
+
+// True when every fault universe of this plan is invariant under bit
+// relabeling: all march data the plan's sessions write is SOLID (every
+// op's data mask is all-zeros or all-ones, so under lane-uniform solid
+// contents every bit of a word sees the same waveform) and the scheme's
+// checker is bit-symmetric (exact compare / XOR parity / TOMT's parity
+// ledger — anything that only asks "does SOME bit differ".  The MISR
+// folds read bits by position and the TOMT per-word block flips
+// individual bits, so those schemes report false).
+bool plan_bit_symmetric(const SchemePlan& plan);
+
+// Buckets the faults of one campaign by structural equivalence and picks
+// the first member of each bucket as its representative.  Applied rules,
+// each only when its precondition provably holds:
+//
+//  * duplicate elimination — identical Fault values (always sound),
+//  * SAF/TF equivalence under all-zero contents (every seed == 0): a cell
+//    that starts at 0 and cannot rise (TF up) is exactly a cell stuck at 0
+//    (SAF0) — the two universes' state trajectories are identical under
+//    every operation sequence,
+//  * bit-address collapsing when plan_bit_symmetric(plan) AND every seed
+//    is 0: the verdict of a SAF/TF/RET/CF depends only on the word-level
+//    address structure and the class variant, not on which bit inside the
+//    word carries it (address-symmetric pairs under solid backgrounds), so
+//    one (word, variant) — or (aggressor word, victim word, variant) —
+//    representative covers every bit placement.
+//
+// Decoder faults (AFna/AFaw) address whole words and only deduplicate.
+// With no rule applicable the result is the identity mapping.  The repack
+// scheduler simulates representatives only and expands every verdict
+// (all / any / matrix rows / streamed unit records) back through
+// bucket_of; tests/scheduler_test.cpp proves expansion == uncollapsed run.
+FaultCollapse collapse_faults(const std::vector<Fault>& faults, const SchemePlan& plan,
+                              const std::vector<std::uint64_t>& seeds);
 
 }  // namespace twm
 

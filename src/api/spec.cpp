@@ -65,6 +65,18 @@ std::optional<CoverageBackend> parse_backend(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<ScheduleMode> parse_schedule(std::string_view s) {
+  if (s == "dense") return ScheduleMode::Dense;
+  if (s == "repack") return ScheduleMode::Repack;
+  return std::nullopt;
+}
+
+std::optional<bool> parse_on_off(std::string_view s) {
+  if (s == "on") return true;
+  if (s == "off") return false;
+  return std::nullopt;
+}
+
 std::string scheme_id(SchemeKind k) {
   switch (k) {
     case SchemeKind::NontransparentReference: return "ref";
@@ -254,6 +266,8 @@ JsonValue spec_to_value(const CampaignSpec& s) {
   run.set("backend", JsonValue::string(to_string(s.backend)));
   run.set("threads", JsonValue::number(s.threads));
   run.set("simd", JsonValue::string(simd::to_string(s.simd)));
+  run.set("schedule", JsonValue::string(to_string(s.schedule)));
+  run.set("collapse", JsonValue::boolean(s.collapse));
 
   JsonValue v = JsonValue::object();
   v.set("name", JsonValue::string(s.name));
@@ -343,7 +357,8 @@ class SpecReader {
       if (run->is_object()) {
         for (const auto& [key, member] : run->members()) {
           (void)member;
-          if (key != "backend" && key != "threads" && key != "simd")
+          if (key != "backend" && key != "threads" && key != "simd" && key != "schedule" &&
+              key != "collapse")
             fail("run." + key, "unknown field");
         }
         if (const JsonValue* backend = run->find("backend")) {
@@ -368,6 +383,20 @@ class SpecReader {
             s.simd = *r;
           else
             fail("run.simd", "must be \"auto\", \"64\", \"256\" or \"512\"");
+        }
+        if (const JsonValue* schedule = run->find("schedule")) {
+          const auto m = schedule->is_string() ? parse_schedule(schedule->as_string())
+                                               : std::nullopt;
+          if (m)
+            s.schedule = *m;
+          else
+            fail("run.schedule", "must be \"dense\" or \"repack\"");
+        }
+        if (const JsonValue* collapse = run->find("collapse")) {
+          if (collapse->is_bool())
+            s.collapse = collapse->as_bool();
+          else
+            fail("run.collapse", "must be a boolean");
         }
       } else {
         fail("run", "must be an object");

@@ -97,8 +97,15 @@ struct CampaignSpec {
   CoverageBackend backend = CoverageBackend::Packed;
   unsigned threads = 1;
   simd::Request simd = simd::Request::Auto;
+  // Fault-universe scheduling: "repack" (default — survivor repacking,
+  // mid-session settle-exit, structural collapsing) or "dense" (static
+  // batches, the byte-identical debug/reference scheduler).
+  ScheduleMode schedule = ScheduleMode::Repack;
+  // Structural fault collapsing (repack only); off isolates the
+  // repacking/settle-exit win for differential attribution.
+  bool collapse = true;
 
-  CoverageOptions options() const { return {backend, threads, simd}; }
+  CoverageOptions options() const { return {backend, threads, simd, schedule, collapse}; }
 
   friend bool operator==(const CampaignSpec&, const CampaignSpec&) = default;
 };
@@ -118,6 +125,13 @@ void require_valid(const CampaignSpec& spec);
 // unknown spelling — no partial matches, no case folding.
 
 std::optional<CoverageBackend> parse_backend(std::string_view s);
+
+// "dense" | "repack" (to_string(ScheduleMode) is its inverse).
+std::optional<ScheduleMode> parse_schedule(std::string_view s);
+
+// "on" | "off" — the canonical spelling of boolean flags (--collapse) on
+// every flag surface; nullopt on anything else.
+std::optional<bool> parse_on_off(std::string_view s);
 
 // Short scheme identifiers, the CLI's spellings: "ref", "womarch", "twm",
 // "twm-misr", "sym", "tsmarch", "s1", "tomt".  (to_string(SchemeKind) is

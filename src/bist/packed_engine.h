@@ -99,30 +99,91 @@ struct PackedTransparentOutcomeT {
   Block detected_misr{};   // MISR signatures differ
 };
 
+// Cooperative mid-session brake for sessions whose per-lane verdict is
+// MONOTONE (exact stream/value comparison: a lane's bit, once set, is
+// final).  The repack scheduler (analysis/campaign_exec.h) arms one per
+// unit so a session can
+//
+//   * abort the remaining march work once every lane in `target` has a
+//     final verdict (settle-exit — checked after each address's ops), and
+//   * drop the faults of lanes that settled mid-session from the packed
+//     memory's index buckets (retire_lanes, at element boundaries), so the
+//     write path stops paying for universes whose verdict is already known.
+//
+// Both actions are verdict-preserving only for monotone verdicts; sessions
+// with order-insensitive compaction (XOR accumulator) or signature
+// compression (MISR) must not arm `exit_enabled` — their lanes' verdicts
+// are not final until the session ends (aliasing can cancel a mismatch).
+// With exit_enabled false the brake still counts march elements entered,
+// which is what the scheduler's occupancy/forward-progress counters read.
+template <class Block>
+struct SessionBrakeT {
+  Block target{};    // lanes whose verdicts the caller needs (fault lanes)
+  Block already{};   // verdict contribution of earlier passes (e.g. SMarch)
+  bool exit_enabled = false;
+  PackedMemoryT<Block>* retire_from = nullptr;  // optional fault dropping
+  Block retired{};                              // lanes already dropped
+  std::uint64_t elements_entered = 0;           // march elements started
+
+  // Every target lane's verdict is final -> abort the rest of the session.
+  bool should_stop(const Block& verdict) const {
+    if (!exit_enabled || !block_any(target)) return false;
+    return ((verdict | already) & target) == target;
+  }
+
+  // Element boundary: drop the faults of lanes that settled since the last
+  // boundary (only meaningful for monotone sessions, hence the exit gate).
+  void on_element_end(const Block& verdict) {
+    if (!exit_enabled || !retire_from) return;
+    const Block settled = (verdict | already) & target & ~retired;
+    if (!block_any(settled)) return;
+    retired |= settled;
+    retire_from->retire_lanes(retired);
+  }
+};
+
 template <class Block>
 class PackedMarchRunnerT {
  public:
   explicit PackedMarchRunnerT(PackedMemoryT<Block>& mem) : mem_(mem) {}
 
-  Block run_direct(const MarchTest& test) {
+  // `brake`, when non-null, is polled after each address's ops: the sweep
+  // aborts once every brake-target lane's mismatch bit is set (the verdict
+  // is monotone — an abort returns exactly the final verdict of the target
+  // lanes), and lanes that settle mid-march have their faults dropped from
+  // the memory at element boundaries.
+  Block run_direct(const MarchTest& test, SessionBrakeT<Block>* brake = nullptr) {
     const unsigned w = mem_.word_width();
     Block mismatch{};
-    sweep(test, [&](std::size_t addr, const Op& op, const Block* mask) {
-      if (op.data.relative)
-        throw std::invalid_argument("run_direct: test contains transparent (relative) operations");
-      // For absolute specs, mask(w) == value(w, ·): the expected read value /
-      // the write data, broadcast over lanes.
-      if (op.is_write()) {
-        mem_.write(addr, mask);
-        return;
-      }
-      const Block* actual = mem_.read(addr);
-      for (unsigned j = 0; j < w; ++j) mismatch |= actual[j] ^ mask[j];
-    });
+    sweep_braked(
+        test,
+        [&](std::size_t addr, const Op& op, const Block* mask) {
+          if (op.data.relative)
+            throw std::invalid_argument(
+                "run_direct: test contains transparent (relative) operations");
+          // For absolute specs, mask(w) == value(w, ·): the expected read
+          // value / the write data, broadcast over lanes.
+          if (op.is_write()) {
+            mem_.write(addr, mask);
+            return;
+          }
+          const Block* actual = mem_.read(addr);
+          for (unsigned j = 0; j < w; ++j) mismatch |= actual[j] ^ mask[j];
+        },
+        brake, [&] { return mismatch; });
     return mismatch;
   }
 
   void run_test(const MarchTest& test, PackedReadSinkT<Block>& sink) {
+    run_test_braked(test, sink, nullptr, [] { return Block{}; });
+  }
+
+  // run_test with an armed brake: `verdict` reports the caller's current
+  // (monotone) detection state — here that is the exact stream comparison
+  // accumulated by the sink, which the runner itself cannot see.
+  template <typename VerdictFn>
+  void run_test_braked(const MarchTest& test, PackedReadSinkT<Block>& sink,
+                       SessionBrakeT<Block>* brake, VerdictFn&& verdict) {
     const unsigned w = mem_.word_width();
     // Per-lane base estimate of each word's initial content (the transparent
     // BIST's word register, one copy per universe).
@@ -130,25 +191,28 @@ class PackedMarchRunnerT {
     std::vector<bool> valid(mem_.num_words(), false);
     std::vector<Block> data(w);
 
-    sweep(test, [&](std::size_t addr, const Op& op, const Block* mask) {
-      Block* b = &base[addr * w];
-      if (op.is_read()) {
-        const Block* v = mem_.read(addr);
-        sink.on_read(addr, v);
-        for (unsigned j = 0; j < w; ++j) b[j] = v[j] ^ mask[j];
-        valid[addr] = true;
-        return;
-      }
-      if (op.data.relative) {
-        if (!valid[addr])
-          throw std::logic_error("run_test: transparent write before any read of word");
-        for (unsigned j = 0; j < w; ++j) data[j] = b[j] ^ mask[j];
-        mem_.write(addr, data.data());
-      } else {
-        // Absolute write: mask(w) == value(w, ·), lane-uniform.
-        mem_.write(addr, mask);
-      }
-    });
+    sweep_braked(
+        test,
+        [&](std::size_t addr, const Op& op, const Block* mask) {
+          Block* b = &base[addr * w];
+          if (op.is_read()) {
+            const Block* v = mem_.read(addr);
+            sink.on_read(addr, v);
+            for (unsigned j = 0; j < w; ++j) b[j] = v[j] ^ mask[j];
+            valid[addr] = true;
+            return;
+          }
+          if (op.data.relative) {
+            if (!valid[addr])
+              throw std::logic_error("run_test: transparent write before any read of word");
+            for (unsigned j = 0; j < w; ++j) data[j] = b[j] ^ mask[j];
+            mem_.write(addr, data.data());
+          } else {
+            // Absolute write: mask(w) == value(w, ·), lane-uniform.
+            mem_.write(addr, mask);
+          }
+        },
+        brake, std::forward<VerdictFn>(verdict));
   }
 
   void run_prediction(const MarchTest& prediction, PackedReadSinkT<Block>& sink) {
@@ -163,11 +227,26 @@ class PackedMarchRunnerT {
     });
   }
 
+  // `want_exact` / `want_misr` select which verdicts the caller will
+  // consume; the unused checker's work (stream recording + comparison, or
+  // the per-read MISR folds) is skipped and its outcome member is
+  // meaningless.  A brake may only arm exit_enabled when want_misr is
+  // false (the exact stream comparison is monotone; MISR signatures are
+  // not final until the session ends).
   PackedTransparentOutcomeT<Block> run_transparent_session(const MarchTest& test,
                                                            const MarchTest& prediction,
-                                                           unsigned misr_width);
+                                                           unsigned misr_width,
+                                                           SessionBrakeT<Block>* brake = nullptr,
+                                                           bool want_exact = true,
+                                                           bool want_misr = true);
 
  private:
+  // A pass that runs to completion regardless of the brake (the prediction
+  // pass) still reports its march elements to the progress counters.
+  static void sweep_count_only(const MarchTest& test, SessionBrakeT<Block>* brake) {
+    if (brake) brake->elements_entered += test.elements.size();
+  }
+
   // Per-op broadcast masks of a test, flattened as [element][op].
   static std::vector<std::vector<std::vector<Block>>> op_masks(const MarchTest& test,
                                                                unsigned w) {
@@ -184,17 +263,30 @@ class PackedMarchRunnerT {
   // broadcast data mask of each op once per element.
   template <typename PerOp>
   void sweep(const MarchTest& test, PerOp&& per_op) {
+    sweep_braked(test, std::forward<PerOp>(per_op), nullptr, [] { return Block{}; });
+  }
+
+  // sweep with an optional SessionBrake: counts elements entered, polls the
+  // settle predicate after each address, drops settled lanes' faults at
+  // element boundaries.  `verdict` yields the caller's current monotone
+  // detection state.
+  template <typename PerOp, typename VerdictFn>
+  void sweep_braked(const MarchTest& test, PerOp&& per_op, SessionBrakeT<Block>* brake,
+                    VerdictFn&& verdict) {
     const unsigned w = mem_.word_width();
     const auto masks = op_masks(test, w);
     for (std::size_t e = 0; e < test.elements.size(); ++e) {
       const MarchElement& elem = test.elements[e];
+      if (brake) ++brake->elements_entered;
       if (elem.pause_before) mem_.elapse(1);
       if (elem.ops.empty()) continue;
       for (AddressGen gen(elem.order, mem_.num_words()); !gen.done(); gen.advance()) {
         const std::size_t addr = gen.current();
         for (std::size_t i = 0; i < elem.ops.size(); ++i)
           per_op(addr, elem.ops[i], masks[e][i].data());
+        if (brake && brake->should_stop(verdict())) return;
       }
+      if (brake) brake->on_element_end(verdict());
     }
   }
 
@@ -220,19 +312,20 @@ class StreamRecorder final : public PackedReadSinkT<Block> {
   std::vector<Block> stream_;
 };
 
-// Feeds reads into a packed MISR and diffs them against a recorded
-// prediction stream position-by-position.
+// Feeds reads into a packed MISR and/or diffs them against a recorded
+// prediction stream position-by-position; either checker may be absent
+// (nullptr) when its verdict is not wanted.
 template <class Block>
 class SessionTestSink final : public PackedReadSinkT<Block> {
  public:
-  SessionTestSink(unsigned width, const StreamRecorder<Block>& prediction,
-                  PackedMisrT<Block>& misr)
+  SessionTestSink(unsigned width, const StreamRecorder<Block>* prediction,
+                  PackedMisrT<Block>* misr)
       : width_(width), prediction_(prediction), misr_(misr) {}
 
   void on_read(std::size_t, const Block* value) override {
-    misr_.feed(value, width_);
-    if (pos_ < prediction_.reads()) {
-      const Block* p = prediction_.at(pos_);
+    if (misr_) misr_->feed(value, width_);
+    if (prediction_ && pos_ < prediction_->reads()) {
+      const Block* p = prediction_->at(pos_);
       for (unsigned j = 0; j < width_; ++j) stream_diff_ |= value[j] ^ p[j];
     }
     ++pos_;
@@ -243,33 +336,36 @@ class SessionTestSink final : public PackedReadSinkT<Block> {
 
  private:
   unsigned width_;
-  const StreamRecorder<Block>& prediction_;
-  PackedMisrT<Block>& misr_;
+  const StreamRecorder<Block>* prediction_;
+  PackedMisrT<Block>* misr_;
   std::size_t pos_ = 0;
   Block stream_diff_{};
 };
 
+// Feeds reads into a packed MISR and optionally records them (the
+// recorder is skipped when the exact comparison is not wanted).
 template <class Block>
 class MisrFeedSink final : public PackedReadSinkT<Block> {
  public:
-  MisrFeedSink(unsigned width, PackedMisrT<Block>& misr, StreamRecorder<Block>& rec)
+  MisrFeedSink(unsigned width, PackedMisrT<Block>& misr, StreamRecorder<Block>* rec)
       : width_(width), misr_(misr), rec_(rec) {}
   void on_read(std::size_t addr, const Block* value) override {
     misr_.feed(value, width_);
-    rec_.on_read(addr, value);
+    if (rec_) rec_->on_read(addr, value);
   }
 
  private:
   unsigned width_;
   PackedMisrT<Block>& misr_;
-  StreamRecorder<Block>& rec_;
+  StreamRecorder<Block>* rec_;
 };
 
 }  // namespace packed_detail
 
 template <class Block>
 PackedTransparentOutcomeT<Block> PackedMarchRunnerT<Block>::run_transparent_session(
-    const MarchTest& test, const MarchTest& prediction, unsigned misr_width) {
+    const MarchTest& test, const MarchTest& prediction, unsigned misr_width,
+    SessionBrakeT<Block>* brake, bool want_exact, bool want_misr) {
   const unsigned w = mem_.word_width();
   PackedTransparentOutcomeT<Block> out;
 
@@ -277,20 +373,34 @@ PackedTransparentOutcomeT<Block> PackedMarchRunnerT<Block>::run_transparent_sess
   // The prediction is read-only, so its exact read count is known up front;
   // reserving avoids reallocating the (lanes x width)-sized stream as it
   // grows.
-  pred_stream.reserve_reads(prediction.op_count() * mem_.num_words());
-  PackedMisrT<Block> pred_misr(misr_width);
-  packed_detail::MisrFeedSink<Block> pred_sink(w, pred_misr, pred_stream);
-  run_prediction(prediction, pred_sink);
+  if (want_exact) pred_stream.reserve_reads(prediction.op_count() * mem_.num_words());
+  PackedMisrT<Block> pred_misr(want_misr ? misr_width : 1);
+  if (want_misr) {
+    packed_detail::MisrFeedSink<Block> pred_sink(w, pred_misr,
+                                                 want_exact ? &pred_stream : nullptr);
+    // The prediction pass has no comparison yet, so the brake only counts
+    // its elements; the settle predicate cannot fire before the test pass.
+    sweep_count_only(prediction, brake);
+    run_prediction(prediction, pred_sink);
+  } else {
+    sweep_count_only(prediction, brake);
+    run_prediction(prediction, pred_stream);
+  }
 
-  PackedMisrT<Block> test_misr(misr_width);
-  packed_detail::SessionTestSink<Block> test_sink(w, pred_stream, test_misr);
-  run_test(test, test_sink);
+  PackedMisrT<Block> test_misr(want_misr ? misr_width : 1);
+  packed_detail::SessionTestSink<Block> test_sink(w, want_exact ? &pred_stream : nullptr,
+                                                  want_misr ? &test_misr : nullptr);
+  run_test_braked(test, test_sink, brake, [&] { return test_sink.stream_diff(); });
 
   out.detected_exact = test_sink.stream_diff();
   // A read-count mismatch makes the scalar stream comparison fail outright,
-  // in every lane.
-  if (test_sink.reads() != pred_stream.reads()) out.detected_exact = block_ones<Block>();
-  out.detected_misr = pred_misr.diff(test_misr);
+  // in every lane — unless the brake aborted the test pass, in which case
+  // every target lane's bit is already (finally) set and the short count is
+  // expected.
+  const bool aborted = brake && brake->should_stop(test_sink.stream_diff());
+  if (want_exact && !aborted && test_sink.reads() != pred_stream.reads())
+    out.detected_exact = block_ones<Block>();
+  if (want_misr) out.detected_misr = pred_misr.diff(test_misr);
   return out;
 }
 

@@ -289,6 +289,24 @@ std::optional<api::CampaignSpec> spec_from_flags(const Options& o, std::ostream&
     spec.simd = *req;
   }
 
+  if (auto it = o.flags.find("schedule"); it != o.flags.end()) {
+    const auto mode = api::parse_schedule(it->second);
+    if (!mode) {
+      err << "error: unknown schedule '" << it->second << "' (want dense|repack)\n";
+      return std::nullopt;
+    }
+    spec.schedule = *mode;
+  }
+
+  if (auto it = o.flags.find("collapse"); it != o.flags.end()) {
+    const auto on = api::parse_on_off(it->second);
+    if (!on) {
+      err << "error: --collapse expects on|off, got '" << it->second << "'\n";
+      return std::nullopt;
+    }
+    spec.collapse = *on;
+  }
+
   const auto scheme_it = o.flags.find("scheme");
   const std::string scheme_name = scheme_it == o.flags.end() ? "twm" : scheme_it->second;
   const auto schemes = api::parse_schemes(scheme_name);
@@ -338,7 +356,8 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.positional.size() < 2) {
     err << "usage: coverage <march> --width B --words N [--scheme S|all] [--classes C,..]\n"
            "                [--seeds 0,1,2] [--backend scalar|packed] [--threads T]\n"
-           "                [--simd auto|64|256|512]\n";
+           "                [--simd auto|64|256|512] [--schedule dense|repack]\n"
+           "                [--collapse on|off]\n";
     return 1;
   }
   const auto spec = spec_from_flags(o, err);

@@ -17,7 +17,8 @@
 //   coverage <march> --width B --words N [--scheme twm|twm-misr|sym|tsmarch|
 //            s1|tomt|ref|womarch|all] [--classes saf,tf,cfst,cfid,cfin,ret,af]
 //            [--seeds 0,1,2] [--backend scalar|packed] [--threads T]
-//            [--simd auto|64|256|512]
+//            [--simd auto|64|256|512] [--schedule dense|repack]
+//            [--collapse on|off]
 //                                          per-fault-class coverage campaign
 //                                          on the selected simulation backend
 //                                          (packed = one fault universe per
@@ -27,7 +28,15 @@
 //                                          a forced width errors cleanly when
 //                                          unsupported); --scheme all sweeps
 //                                          every scheme and prints a scheme x
-//                                          fault-class table
+//                                          fault-class table; --schedule
+//                                          repack (default) drops settled
+//                                          fault universes between seed
+//                                          rounds, aborts settled sessions
+//                                          early and collapses equivalent
+//                                          faults (--collapse off isolates
+//                                          that), dense is the verdict-
+//                                          identical static reference
+//                                          scheduler
 //   simd [--json]                          lane-block width support table for
 //                                          this CPU (cpuid probe) and the
 //                                          width `auto` resolves to; --json

@@ -69,6 +69,21 @@ class PackedXorAccumulatorT final : public PackedReadSinkT<Block> {
 
 using PackedXorAccumulator = PackedXorAccumulatorT<std::uint64_t>;
 
+// Scalar counterpart of SessionBrakeT (bist/packed_engine.h): one lane, so
+// "every target lane settled" degenerates to "the fault was detected".
+// The scalar reference engine does not abort sessions mid-march (it IS the
+// reference); the brake still carries the settle predicate the TOMT
+// session's stop-on-failure sweep and the scheduler's counters share.
+struct ScalarSessionBrake {
+  bool target = true;
+  bool already = false;
+  bool exit_enabled = false;
+  std::uint64_t elements_entered = 0;
+
+  bool should_stop(bool verdict) const { return exit_enabled && (verdict || already); }
+  void on_element_end(bool /*verdict*/) {}
+};
+
 struct ScalarEngine {
   using Verdict = bool;  // detected?
   using Memory = twm::Memory;
@@ -78,9 +93,17 @@ struct ScalarEngine {
   using Mask = BitVec;       // a per-op data mask, precompiled
   using Signature = BitVec;  // an XOR-accumulator state
   using Accumulator = XorAccumulator;
+  using Brake = ScalarSessionBrake;
 
   // One fault universe per session.
   static constexpr unsigned kFaultsPerUnit = 1;
+
+  static Brake make_brake(Memory& /*mem*/, Verdict used, bool exit_enabled) {
+    Brake b;
+    b.target = used;
+    b.exit_enabled = exit_enabled;
+    return b;
+  }
 
   // --- verdict algebra (Verdicts also combine with plain &, |, ==) ------
   static Verdict used_mask(unsigned /*count*/) { return true; }
@@ -92,7 +115,10 @@ struct ScalarEngine {
   static void inject(Memory& mem, const Fault& f, unsigned /*slot*/) { mem.inject(f); }
 
   // --- engine entry points ----------------------------------------------
-  static Verdict run_direct(Runner& runner, const MarchTest& test) {
+  // The scalar engine ignores the brake's exit (one universe, reference
+  // semantics) but reports its elements for the progress counters.
+  static Verdict run_direct(Runner& runner, const MarchTest& test, Brake* brake = nullptr) {
+    if (brake) brake->elements_entered += test.elements.size();
     return runner.run_direct(test).mismatch;
   }
   struct TransparentVerdicts {
@@ -100,7 +126,10 @@ struct ScalarEngine {
     Verdict misr;
   };
   static TransparentVerdicts run_transparent(Runner& runner, const MarchTest& test,
-                                             const MarchTest& prediction, unsigned misr_width) {
+                                             const MarchTest& prediction, unsigned misr_width,
+                                             Brake* brake = nullptr, bool /*want_exact*/ = true,
+                                             bool /*want_misr*/ = true) {
+    if (brake) brake->elements_entered += test.elements.size() + prediction.elements.size();
     const TransparentOutcome out = runner.run_transparent_session(test, prediction, misr_width);
     return {out.detected_exact, out.detected_misr};
   }
@@ -133,9 +162,20 @@ struct PackedEngineT {
   using Mask = std::vector<Block>;  // broadcast op mask
   using Signature = std::vector<Block>;
   using Accumulator = PackedXorAccumulatorT<Block>;
+  using Brake = SessionBrakeT<Block>;
 
   // Lane 0 stays fault-free (golden); faults occupy the remaining lanes.
   static constexpr unsigned kFaultsPerUnit = block_lanes_v<Block> - 1;
+
+  // An armed brake also drops settled lanes' faults from the memory's
+  // per-address index buckets (fault dropping inside a live batch).
+  static Brake make_brake(Memory& mem, Verdict used, bool exit_enabled) {
+    Brake b;
+    b.target = used;
+    b.exit_enabled = exit_enabled;
+    b.retire_from = &mem;
+    return b;
+  }
 
   // Lanes 1..count — a partial final batch must neither report phantom
   // universes nor mask the golden lane (lane_block.h documents the rule).
@@ -147,17 +187,20 @@ struct PackedEngineT {
     mem.inject(f, block_lane<Block>(slot + 1));
   }
 
-  static Verdict run_direct(Runner& runner, const MarchTest& test) {
-    return runner.run_direct(test);
+  static Verdict run_direct(Runner& runner, const MarchTest& test, Brake* brake = nullptr) {
+    return runner.run_direct(test, brake);
   }
   struct TransparentVerdicts {
     Verdict exact;
     Verdict misr;
   };
   static TransparentVerdicts run_transparent(Runner& runner, const MarchTest& test,
-                                             const MarchTest& prediction, unsigned misr_width) {
+                                             const MarchTest& prediction, unsigned misr_width,
+                                             Brake* brake = nullptr, bool want_exact = true,
+                                             bool want_misr = true) {
     const PackedTransparentOutcomeT<Block> out =
-        runner.run_transparent_session(test, prediction, misr_width);
+        runner.run_transparent_session(test, prediction, misr_width, brake, want_exact,
+                                       want_misr);
     return {out.detected_exact, out.detected_misr};
   }
 

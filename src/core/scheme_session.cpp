@@ -30,6 +30,22 @@ std::atomic<std::uint64_t> g_plan_builds{0};
 
 std::uint64_t scheme_plan_build_count() { return g_plan_builds.load(); }
 
+std::size_t plan_session_elements(const SchemePlan& plan) {
+  switch (plan.scheme) {
+    case SchemeKind::NontransparentReference:
+      return plan.direct_a.elements.size() + plan.direct_b.elements.size();
+    case SchemeKind::WordOrientedMarch: return plan.direct_a.elements.size();
+    case SchemeKind::ProposedExact:
+    case SchemeKind::ProposedMisr:
+    case SchemeKind::TsmarchOnly:
+    case SchemeKind::Scheme1Exact:
+      return plan.trans.elements.size() + plan.prediction.elements.size();
+    case SchemeKind::ProposedSymmetricXor: return plan.sym.test.elements.size();
+    case SchemeKind::TomtModel: return 1;  // single-element per-word sweep
+  }
+  return 0;
+}
+
 SchemePlan make_scheme_plan(SchemeKind scheme, const MarchTest& bit_march, unsigned width) {
   g_plan_builds.fetch_add(1, std::memory_order_relaxed);
   SchemePlan p;

@@ -76,6 +76,11 @@ SchemePlan make_scheme_plan(SchemeKind scheme, const MarchTest& bit_march, unsig
 // tests pin that amortization contract with this counter.
 std::uint64_t scheme_plan_build_count();
 
+// March elements a full-length session of this plan executes (the unit the
+// settle-exit savings counters are denominated in; TOMT's single-element
+// per-word sweep counts as 1).
+std::size_t plan_session_elements(const SchemePlan& plan);
+
 // Runs one scheme session on an already-prepared memory (contents loaded,
 // faults injected) and returns the engine's detection verdict.  This is THE
 // implementation of the Sec. 5 sessions — both backends dispatch through
@@ -83,29 +88,52 @@ std::uint64_t scheme_plan_build_count();
 // have been captured before fault injection.
 template <class Engine>
 typename Engine::Verdict run_scheme_session(typename Engine::Memory& mem, const SchemePlan& plan,
-                                            const std::vector<bool>& tomt_ledger) {
+                                            const std::vector<bool>& tomt_ledger,
+                                            typename Engine::Brake* brake = nullptr) {
   typename Engine::Runner runner(mem);
   switch (plan.scheme) {
     case SchemeKind::NontransparentReference: {
       // AMarch reads the solid base SMarch leaves behind: the two passes
       // must be sequenced, not folded into one (unsequenced) expression.
-      const typename Engine::Verdict d1 = Engine::run_direct(runner, plan.direct_a);
-      const typename Engine::Verdict d2 = Engine::run_direct(runner, plan.direct_b);
+      const typename Engine::Verdict d1 = Engine::run_direct(runner, plan.direct_a, brake);
+      // The second pass cannot change an already-settled batch verdict.
+      if (brake && brake->should_stop(d1)) return d1;
+      if (brake) brake->already = brake->already | d1;
+      const typename Engine::Verdict d2 = Engine::run_direct(runner, plan.direct_b, brake);
       return d1 | d2;
     }
     case SchemeKind::WordOrientedMarch:
-      return Engine::run_direct(runner, plan.direct_a);
+      return Engine::run_direct(runner, plan.direct_a, brake);
     case SchemeKind::ProposedExact:
-      return Engine::run_transparent(runner, plan.trans, plan.prediction, plan.misr_width).exact;
-    case SchemeKind::ProposedMisr:
-      return Engine::run_transparent(runner, plan.trans, plan.prediction, plan.misr_width).misr;
-    case SchemeKind::ProposedSymmetricXor:
-      return run_symmetric_session_t<Engine>(mem, plan.sym).detected;
     case SchemeKind::TsmarchOnly:
-    case SchemeKind::Scheme1Exact:
-      return Engine::run_transparent(runner, plan.trans, plan.prediction, plan.misr_width).exact;
+    case SchemeKind::Scheme1Exact: {
+      // Exact-compare verdict only; an armed brake both aborts the test
+      // pass once every lane mismatched and skips the (unconsumed) MISR
+      // compaction entirely.
+      const bool exact_only = brake && brake->exit_enabled;
+      return Engine::run_transparent(runner, plan.trans, plan.prediction, plan.misr_width,
+                                     brake, /*want_exact=*/true, /*want_misr=*/!exact_only)
+          .exact;
+    }
+    case SchemeKind::ProposedMisr: {
+      // MISR verdicts are not final until session end — never arm the exit;
+      // an armed scheduler brake degrades to skipping the (unconsumed)
+      // exact stream comparison.  The caller's arming is restored so a
+      // reused brake keeps its configuration.
+      const bool misr_only = brake && brake->exit_enabled;
+      if (brake) brake->exit_enabled = false;
+      const typename Engine::Verdict v =
+          Engine::run_transparent(runner, plan.trans, plan.prediction, plan.misr_width, brake,
+                                  /*want_exact=*/!misr_only, /*want_misr=*/true)
+              .misr;
+      if (brake) brake->exit_enabled = misr_only;
+      return v;
+    }
+    case SchemeKind::ProposedSymmetricXor:
+      // XOR-accumulator mismatches can cancel (aliasing): no settle-exit.
+      return run_symmetric_session_t<Engine>(mem, plan.sym).detected;
     case SchemeKind::TomtModel:
-      return run_tomt_session<Engine>(mem, tomt_ledger).detected;
+      return run_tomt_session<Engine>(mem, tomt_ledger, brake).detected;
   }
   throw std::logic_error("run_scheme_session: unknown scheme");
 }
@@ -118,7 +146,8 @@ typename Engine::Verdict run_scheme_session(typename Engine::Memory& mem, const 
 template <class Engine>
 typename Engine::Verdict run_campaign_unit(const SchemePlan& plan, std::size_t words,
                                            const Fault* faults, unsigned count,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed,
+                                           typename Engine::Brake* brake = nullptr) {
   typename Engine::Memory mem(words, plan.width);
   if (seed != 0) {
     Rng rng(seed);
@@ -131,7 +160,33 @@ typename Engine::Verdict run_campaign_unit(const SchemePlan& plan, std::size_t w
 
   for (unsigned i = 0; i < count; ++i) Engine::inject(mem, faults[i], i);
 
-  return run_scheme_session<Engine>(mem, plan, ledger);
+  return run_scheme_session<Engine>(mem, plan, ledger, brake);
+}
+
+// run_campaign_unit against a caller-owned memory, reset in place: the
+// repack scheduler keeps one memory per worker thread and re-seeds it per
+// unit (retire + reinject into a live batch), so the per-address fault
+// index buckets keep their allocations across the thousands of units a
+// campaign shards instead of being reallocated per (batch, seed).
+template <class Engine>
+typename Engine::Verdict run_campaign_unit_in(typename Engine::Memory& mem,
+                                              const SchemePlan& plan, const Fault* faults,
+                                              unsigned count, std::uint64_t seed,
+                                              typename Engine::Brake* brake = nullptr) {
+  mem.clear_faults();
+  if (seed == 0) {
+    mem.fill(BitVec::zeros(plan.width));
+  } else {
+    Rng rng(seed);
+    mem.fill_random(rng);
+  }
+
+  std::vector<bool> ledger;
+  if (plan.scheme == SchemeKind::TomtModel) ledger = make_parity_ledger(mem);
+
+  for (unsigned i = 0; i < count; ++i) Engine::inject(mem, faults[i], i);
+
+  return run_scheme_session<Engine>(mem, plan, ledger, brake);
 }
 
 }  // namespace twm

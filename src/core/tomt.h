@@ -68,9 +68,11 @@ struct TomtSessionResult {
 // reproducing TOMT's stop-on-failure behaviour).
 template <class Engine>
 TomtSessionResult<Engine> run_tomt_session(typename Engine::Memory& mem,
-                                           const std::vector<bool>& parity_ledger) {
+                                           const std::vector<bool>& parity_ledger,
+                                           typename Engine::Brake* brake = nullptr) {
   if (parity_ledger.size() != mem.num_words())
     throw std::invalid_argument("run_tomt: ledger size mismatch");
+  if (brake) ++brake->elements_entered;  // the single per-word sweep element
 
   const unsigned w = mem.word_width();
   const MarchTest test = tomt_test(w);
@@ -108,7 +110,11 @@ TomtSessionResult<Engine> run_tomt_session(typename Engine::Memory& mem,
         Engine::xor_word(scratch, base, masks[i]);
         res.detected |= Engine::differs(value, scratch);  // read-back comparator
       }
-      if (Engine::saturated(res.detected)) {
+      // Both checkers latch (the verdict is monotone), so the sweep aborts
+      // once no lane the caller cares about can change: every universe
+      // detected (the classic scalar stop-on-failure), or — with an armed
+      // scheduler brake — every live fault lane of the batch settled.
+      if (Engine::saturated(res.detected) || (brake && brake->should_stop(res.detected))) {
         res.fail_addr = addr;
         done = true;
         break;

@@ -209,6 +209,7 @@ class PackedMemoryT {
     if (ret_entries_.empty()) return;
     touched_.clear();
     for (RetEntry& e : ret_entries_) {
+      if (e.dead) continue;
       const LaneFault& lf = faults_[e.idx];
       e.age += units;
       if (e.age >= lf.fault.retention) force(cell(lf.fault.victim), lf.fault.value, lf.lanes);
@@ -241,8 +242,13 @@ class PackedMemoryT {
     // Lane overlap disables the disjoint-lanes fast path for statics.
     if (block_any(lanes & lanes_union_)) lanes_overlap_ = true;
     lanes_union_ |= lanes;
+    // Re-injecting into a previously retired lane revives it: the new
+    // fault's lanes leave the retired set, or a later retire_lanes call
+    // would silently drop the live fault.
+    retired_union_ &= ~lanes;
     faults_.push_back({f, lanes});
     seen_.push_back(0);
+    retired_.push_back(0);
     switch (f.cls) {
       case FaultClass::SAF:
         saf_all_.push_back(idx);
@@ -281,6 +287,7 @@ class PackedMemoryT {
   void clear_faults() {
     faults_.clear();
     seen_.clear();
+    retired_.clear();
     saf_all_.clear();
     cfst_all_.clear();
     ret_entries_.clear();
@@ -292,6 +299,55 @@ class PackedMemoryT {
     for (auto& v : saf_at_) v.clear();
     lanes_union_ = Block{};
     lanes_overlap_ = false;
+    retired_union_ = Block{};
+  }
+
+  // Retires (drops) every fault whose lane mask lies entirely inside the
+  // accumulated `lanes` set: its index-bucket entries are removed, so the
+  // port operations stop paying for it — classic fault dropping, per lane.
+  //
+  // Retiring is only sound when the caller no longer cares how the retired
+  // lanes evolve (their verdicts are final and monotone — the repack
+  // scheduler's settle-exit contract): from this call on the retired lanes
+  // behave as if their fault was never injected, while the other lanes are
+  // unaffected (lane masks are pairwise disjoint in campaign use).  The
+  // batch stays live: inject() keeps working afterwards, so a freed lane
+  // can be reused for a new fault (lane reuse is detected as an overlap
+  // with lanes_union_, which conservatively re-enables the global
+  // static-enforcement walk — correct, just slower).
+  void retire_lanes(Block lanes) {
+    retired_union_ |= lanes;
+    if (retired_.size() < faults_.size()) retired_.resize(faults_.size(), 0);
+    for (std::uint32_t i = 0; i < faults_.size(); ++i) {
+      if (retired_[i]) continue;
+      const LaneFault& lf = faults_[i];
+      if (block_any(lf.lanes & ~retired_union_)) continue;  // still-live lanes
+      retired_[i] = 1;
+      const Fault& f = lf.fault;
+      switch (f.cls) {
+        case FaultClass::SAF:
+          unindex(saf_all_, i);
+          unindex(saf_at_[f.victim.word], i);
+          break;
+        case FaultClass::TF: unindex(tf_at_[f.victim.word], i); break;
+        case FaultClass::CFst:
+          unindex(cfst_all_, i);
+          unindex(cfst_at_[f.aggressor.word], i);
+          if (f.victim.word != f.aggressor.word) unindex(cfst_at_[f.victim.word], i);
+          break;
+        case FaultClass::CFid:
+        case FaultClass::CFin: unindex(dyn_at_[f.aggressor.word], i); break;
+        case FaultClass::RET:
+          for (std::size_t p = 0; p < ret_entries_.size(); ++p)
+            if (ret_entries_[p].idx == i) {
+              ret_entries_[p].dead = true;
+              unindex(ret_at_[f.victim.word], static_cast<std::uint32_t>(p));
+            }
+          break;
+        case FaultClass::AFna:
+        case FaultClass::AFaw: unindex(af_at_[f.victim.word], i); break;
+      }
+    }
   }
 
   // --- backdoor access (broadcast: every lane gets the same contents) --
@@ -344,6 +400,7 @@ class PackedMemoryT {
   struct RetEntry {
     std::uint32_t idx;  // into faults_
     unsigned age;       // pause units since the cell's last write
+    bool dead = false;  // retired via retire_lanes; skipped by elapse()
   };
 
   Block& cell(const CellAddr& c) { return state_[c.word * width_ + c.bit]; }
@@ -362,6 +419,16 @@ class PackedMemoryT {
     for (const std::size_t t : touched_)
       if (t == w) return;
     touched_.push_back(w);
+  }
+
+  // Removes one index from a bucket, preserving the injection order of the
+  // remaining entries (the order static enforcement must apply in).
+  static void unindex(std::vector<std::uint32_t>& bucket, std::uint32_t idx) {
+    for (std::size_t i = 0; i < bucket.size(); ++i)
+      if (bucket[i] == idx) {
+        bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
   }
 
   // One CFst application (lane-masked); `i` indexes faults_.
@@ -442,6 +509,8 @@ class PackedMemoryT {
   std::vector<RetEntry> ret_entries_;
   Block lanes_union_{};          // OR of every injected lane mask
   bool lanes_overlap_ = false;   // two faults share a lane -> global statics
+  Block retired_union_{};        // lanes handed to retire_lanes so far
+  std::vector<char> retired_;    // [fault idx] dropped via retire_lanes
 
   std::vector<Block> old_, next_;  // write-path scratch (one word each)
   std::vector<Block> read_buf_;    // AF-merged read scratch

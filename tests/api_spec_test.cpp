@@ -242,6 +242,8 @@ TEST(SpecJson, RoundTripEverySchemeClassBackendAndBigSeeds) {
   s.backend = CoverageBackend::Scalar;
   s.threads = 16;
   s.simd = simd::Request::W256;
+  s.schedule = ScheduleMode::Dense;
+  s.collapse = false;
   EXPECT_EQ(spec_from_json(to_json(s)), s);
 }
 
@@ -265,8 +267,37 @@ TEST(SpecJson, GoldenSerialization) {
       "\"schemes\":[\"twm\"],"
       "\"classes\":[\"saf\"],"
       "\"seeds\":[0,1],"
-      "\"run\":{\"backend\":\"packed\",\"threads\":2,\"simd\":\"auto\"}}";
+      "\"run\":{\"backend\":\"packed\",\"threads\":2,\"simd\":\"auto\","
+      "\"schedule\":\"repack\",\"collapse\":true}}";
   EXPECT_EQ(to_json(s, /*pretty=*/false), expected);
+}
+
+TEST(SpecJson, ScheduleAndCollapseRoundTripAndReject) {
+  auto s = valid_spec();
+  s.schedule = ScheduleMode::Dense;
+  s.collapse = false;
+  EXPECT_EQ(spec_from_json(to_json(s)), s);
+  // Omitting the fields keeps the defaults (older spec files stay valid).
+  const CampaignSpec parsed = spec_from_json(
+      R"({"name":"x","memory":{"words":2,"width":2},"march":"March C-",
+          "schemes":["twm"],"classes":["saf"],"seeds":[0]})");
+  EXPECT_EQ(parsed.schedule, ScheduleMode::Repack);
+  EXPECT_TRUE(parsed.collapse);
+  // Bad spellings name their paths.
+  try {
+    spec_from_json(
+        R"({"name":"x","memory":{"words":2,"width":2},"march":"March C-",
+            "schemes":["twm"],"classes":["saf"],"seeds":[0],
+            "run":{"schedule":"sparse","collapse":"yes"}})");
+    FAIL() << "expected SpecValidationError";
+  } catch (const SpecValidationError& e) {
+    EXPECT_TRUE(has_error_at(e.errors(), "run.schedule"));
+    EXPECT_TRUE(has_error_at(e.errors(), "run.collapse"));
+  }
+  // parse(to_string(x)) == x for the schedule enum.
+  for (ScheduleMode m : {ScheduleMode::Dense, ScheduleMode::Repack})
+    EXPECT_EQ(parse_schedule(twm::to_string(m)), m);
+  EXPECT_FALSE(parse_schedule("static").has_value());
 }
 
 TEST(SpecJson, StructuralErrorsNameTheirPaths) {

@@ -317,6 +317,51 @@ TEST(Cli, CoverageRejectsUnknownSimdWidth) {
   EXPECT_NE(r.err.find("auto|64|256|512"), std::string::npos);
 }
 
+TEST(Cli, CoverageRejectsUnknownScheduleAndCollapse) {
+  const auto bad_schedule =
+      cli({"coverage", "March C-", "--width", "4", "--words", "2", "--schedule", "sparse"});
+  EXPECT_EQ(bad_schedule.rc, 1);
+  EXPECT_NE(bad_schedule.err.find("unknown schedule 'sparse'"), std::string::npos);
+  EXPECT_NE(bad_schedule.err.find("dense|repack"), std::string::npos);
+  const auto bad_collapse =
+      cli({"coverage", "March C-", "--width", "4", "--words", "2", "--collapse", "maybe"});
+  EXPECT_EQ(bad_collapse.rc, 1);
+  EXPECT_NE(bad_collapse.err.find("--collapse expects on|off"), std::string::npos);
+}
+
+TEST(Cli, CoverageScheduleModesReportIdenticalTables) {
+  const std::vector<std::string> base{"coverage", "March C-", "--width", "4",
+                                     "--words",   "4",        "--scheme", "all"};
+  auto with_schedule = [&](const char* mode, const char* collapse) {
+    auto args = base;
+    args.insert(args.end(), {"--schedule", mode, "--collapse", collapse});
+    return cli(args);
+  };
+  const auto dense = with_schedule("dense", "off");
+  const auto repack = with_schedule("repack", "on");
+  EXPECT_EQ(dense.rc, 0);
+  EXPECT_EQ(repack.rc, 0);
+  EXPECT_NE(dense.out.find("schedule=dense"), std::string::npos);
+  EXPECT_NE(repack.out.find("schedule=repack"), std::string::npos);
+  // The coverage cells (detected/total) must be identical; only the header
+  // and the faults/s footer may differ.
+  auto cells = [](const std::string& out) {
+    std::vector<std::string> v;
+    std::size_t pos = 0;
+    while ((pos = out.find('/', pos)) != std::string::npos) {
+      std::size_t a = pos;
+      while (a > 0 && std::isdigit(static_cast<unsigned char>(out[a - 1]))) --a;
+      std::size_t b = pos + 1;
+      while (b < out.size() && std::isdigit(static_cast<unsigned char>(out[b]))) ++b;
+      if (a < pos && b > pos + 1) v.push_back(out.substr(a, b - a));
+      pos = b;
+    }
+    return v;
+  };
+  EXPECT_FALSE(cells(dense.out).empty());
+  EXPECT_EQ(cells(dense.out), cells(repack.out));
+}
+
 TEST(Cli, SimdJsonEmitsMachineReadableProbe) {
   const auto r = cli({"simd", "--json"});
   EXPECT_EQ(r.rc, 0);
