@@ -1,14 +1,37 @@
 #include "analysis/report.h"
 
-#include <cstdio>
+#include <cmath>
+#include <cstdint>
 
 namespace twm {
 
-std::string pct_str(double pct) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.1f%%", pct);
-  return buf;
+std::string fixed_str(double value, unsigned decimals) {
+  if (!std::isfinite(value)) return "0";
+  const bool negative = value < 0;
+  double magnitude = negative ? -value : value;
+  // Integer-scaled round-trip: digits come from std::to_string(uint64),
+  // which never consults LC_NUMERIC.  Values too large to scale into a
+  // uint64 lose the guarantee, so fall back to the integer part alone.
+  double scale = 1.0;
+  for (unsigned i = 0; i < decimals; ++i) scale *= 10.0;
+  const double scaled = std::round(magnitude * scale);
+  if (scaled >= 18446744073709549568.0) {  // largest double below UINT64_MAX
+    std::string whole = std::to_string(static_cast<std::uint64_t>(std::round(magnitude)));
+    if (negative) whole.insert(whole.begin(), '-');
+    return whole;
+  }
+  std::string digits = std::to_string(static_cast<std::uint64_t>(scaled));
+  if (digits.size() <= decimals) digits.insert(0, decimals + 1 - digits.size(), '0');
+  std::string out = negative ? "-" : "";
+  out += digits.substr(0, digits.size() - decimals);
+  if (decimals) {
+    out += '.';
+    out += digits.substr(digits.size() - decimals);
+  }
+  return out;
 }
+
+std::string pct_str(double pct) { return fixed_str(pct, 1) + "%"; }
 
 std::string coverage_str(const CoverageOutcome& o) {
   return std::to_string(o.detected_all) + "/" + std::to_string(o.total) + " (" +

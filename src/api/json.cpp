@@ -103,6 +103,12 @@ class Parser {
  public:
   explicit Parser(const std::string& text) : s_(text) {}
 
+  // Containers may nest at most this deep.  parse_value recurses once per
+  // level, so without a cap a hostile "[[[[..." document (one byte per
+  // level — trivially cheap for a socket client to send) overflows the
+  // stack instead of returning an error.
+  static constexpr unsigned kMaxDepth = 256;
+
   JsonValue parse_document() {
     JsonValue v = parse_value();
     skip_ws();
@@ -149,10 +155,27 @@ class Parser {
     return true;
   }
 
+  // Bounds the container recursion; fail() throws out of the constructor,
+  // unwinding every open level.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth)
+        parser.fail("containers nested deeper than " + std::to_string(kMaxDepth) + " levels");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   JsonValue parse_value() {
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        const DepthGuard guard(*this);
+        return parse_object();
+      }
+      case '[': {
+        const DepthGuard guard(*this);
+        return parse_array();
+      }
       case '"': return JsonValue::string(parse_string());
       case 't':
         if (!consume_keyword("true")) fail("invalid literal");
@@ -283,6 +306,7 @@ class Parser {
 
   const std::string& s_;
   std::size_t pos_ = 0;
+  unsigned depth_ = 0;
 };
 
 void write_value(const JsonValue& v, bool pretty, unsigned depth, std::string& out) {

@@ -81,7 +81,10 @@ class JsonValue {
 };
 
 // Parses exactly one JSON document (trailing whitespace allowed, trailing
-// garbage is an error).  Throws JsonParseError.
+// garbage is an error).  Containers may nest at most 256 levels deep —
+// beyond that the parser throws instead of recursing off the stack, so a
+// hostile "[[[[..." document from a socket cannot crash the process.
+// Throws JsonParseError.
 JsonValue json_parse(const std::string& text);
 
 // Serializes with 2-space indentation when `pretty`, else compact one-line

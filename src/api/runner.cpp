@@ -12,32 +12,43 @@ namespace {
 // Bridges the engine's raw UnitObserver events (fault ranges + flag
 // pointers, fired from worker threads) to the public ResultSink records
 // (one per fault, serialized by a mutex, stamped with scheme/class).
+// `sink` may be null (cache-recording runs without a consumer); `record`,
+// when non-null, captures every unit in emission order for the cache.
 class SinkAdapter : public UnitObserver {
  public:
-  SinkAdapter(ResultSink& sink, std::mutex& mu, SchemeKind scheme, const ClassSel& cls,
+  SinkAdapter(ResultSink* sink, std::mutex& mu, SchemeKind scheme, const ClassSel& cls,
               const std::vector<Fault>& faults, const std::vector<std::uint64_t>& seeds,
-              std::size_t& units_emitted)
+              std::size_t& units_emitted, std::vector<CachedUnit>* record)
       : sink_(sink),
         mu_(mu),
         scheme_(scheme),
         cls_(cls),
         faults_(faults),
         seeds_(seeds),
-        units_emitted_(units_emitted) {}
+        units_emitted_(units_emitted),
+        record_(record) {}
+
+  std::size_t units_seen() const { return units_seen_; }
 
   void on_unit_settled(std::size_t first, unsigned count, const char* all,
                        const char* any) override {
     const std::lock_guard<std::mutex> lock(mu_);
     for (unsigned i = 0; i < count; ++i) {
-      UnitRecord r;
-      r.scheme = scheme_;
-      r.cls = cls_;
-      r.fault_index = first + i;
-      r.fault = &faults_[first + i];
-      r.detected_all = all[i] != 0;
-      r.detected_any = any[i] != 0;
-      sink_.on_unit(r);
-      ++units_emitted_;
+      const bool detected_all = all[i] != 0;
+      const bool detected_any = any[i] != 0;
+      if (record_) record_->push_back({first + i, detected_all, detected_any});
+      if (sink_) {
+        UnitRecord r;
+        r.scheme = scheme_;
+        r.cls = cls_;
+        r.fault_index = first + i;
+        r.fault = &faults_[first + i];
+        r.detected_all = detected_all;
+        r.detected_any = detected_any;
+        sink_->on_unit(r);
+        ++units_emitted_;
+      }
+      ++units_seen_;
     }
   }
 
@@ -49,25 +60,42 @@ class SinkAdapter : public UnitObserver {
     r.fault_index = fault;
     r.seed = seeds_[seed_index];
     r.detected = detected;
-    sink_.on_seed_settled(r);
+    sink_->on_seed_settled(r);
   }
 
-  bool want_seed_verdicts() const override { return sink_.want_seed_records(); }
-  bool cancelled() const override { return sink_.cancelled(); }
+  bool want_seed_verdicts() const override { return sink_ && sink_->want_seed_records(); }
+  bool cancelled() const override { return sink_ && sink_->cancelled(); }
 
  private:
-  ResultSink& sink_;
+  ResultSink* sink_;
   std::mutex& mu_;
   SchemeKind scheme_;
   ClassSel cls_;
   const std::vector<Fault>& faults_;
   const std::vector<std::uint64_t>& seeds_;
   std::size_t& units_emitted_;
+  std::vector<CachedUnit>* record_;
+  std::size_t units_seen_ = 0;
 };
+
+// A stored cell is replayable only if it is a complete permutation of the
+// cell's fault list — one record per fault, every index in range.  A
+// corrupted or foreign disk entry that slipped past the identity check
+// must degrade to a miss, not to an out-of-bounds read.
+bool replayable(const CellRecords& records, std::size_t num_faults) {
+  if (records.units.size() != num_faults) return false;
+  std::vector<char> seen(num_faults, 0);
+  for (const CachedUnit& u : records.units) {
+    if (u.fault_index >= num_faults || seen[u.fault_index]) return false;
+    seen[u.fault_index] = 1;
+  }
+  return true;
+}
 
 }  // namespace
 
-CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink) {
+CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCache* cache,
+                             CacheStats* cache_stats) {
   require_valid(spec);
   const MarchTest march = march_by_name(spec.march);
   // Resolve the lane-block width up front (validate() already vetted a
@@ -94,28 +122,76 @@ CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink) {
     sink->on_campaign_begin(meta);
   }
 
+  if (cache_stats) {
+    *cache_stats = {};
+    cache_stats->cells_total = spec.schemes.size() * spec.classes.size();
+  }
+  // Seed-record consumers bypass the replay path: cached cells carry no
+  // per-seed stream.  Completed live cells are still offered to the store.
+  const bool replay_ok = !(sink && sink->want_seed_records());
+
   const CampaignRunner runner(spec.words, spec.width, spec.options());
   std::mutex sink_mu;
   const auto t0 = std::chrono::steady_clock::now();
   for (SchemeKind scheme : spec.schemes) {
     for (std::size_t c = 0; c < spec.classes.size() && !summary.cancelled; ++c) {
+      std::string identity, key;
+      if (cache) {
+        identity = cell_identity_json(spec, scheme, spec.classes[c]);
+        key = content_key(identity);
+      }
+
+      if (cache && replay_ok) {
+        const auto hit = cache->lookup(key, identity);
+        if (hit && replayable(*hit, fault_lists[c].size())) {
+          CellResult cell;
+          cell.scheme = scheme;
+          cell.cls = spec.classes[c];
+          cell.outcome.total = fault_lists[c].size();
+          for (const CachedUnit& u : hit->units) {
+            cell.outcome.detected_all += u.detected_all;
+            cell.outcome.detected_any += u.detected_any;
+            if (sink) {
+              UnitRecord r;
+              r.scheme = scheme;
+              r.cls = spec.classes[c];
+              r.fault_index = u.fault_index;
+              r.fault = &fault_lists[c][u.fault_index];
+              r.detected_all = u.detected_all;
+              r.detected_any = u.detected_any;
+              sink->on_unit(r);
+              ++summary.units_emitted;
+            }
+          }
+          summary.cells.push_back(cell);
+          if (cache_stats) {
+            ++cache_stats->cells_cached;
+            cache_stats->faults_replayed += hit->units.size();
+          }
+          if (sink && sink->cancelled()) summary.cancelled = true;
+          continue;
+        }
+      }
+
       std::vector<char> all, any;
       bool cell_complete = true;
-      if (sink) {
-        const std::size_t units_before = summary.units_emitted;
-        SinkAdapter adapter(*sink, sink_mu, scheme, spec.classes[c], fault_lists[c],
-                            spec.seeds, summary.units_emitted);
+      std::vector<CachedUnit> recorded;
+      if (cache_stats) ++cache_stats->cells_simulated;
+      if (sink || cache) {
+        SinkAdapter adapter(sink, sink_mu, scheme, spec.classes[c], fault_lists[c],
+                            spec.seeds, summary.units_emitted, cache ? &recorded : nullptr);
         runner.run(scheme, march, fault_lists[c], spec.seeds, /*need_any=*/true, all, any,
                    /*out_matrix=*/nullptr, &adapter);
-        if (sink->cancelled()) summary.cancelled = true;
+        if (sink && sink->cancelled()) summary.cancelled = true;
         // The flag may flip only after the cell's last unit settled (or
         // every in-flight unit may still have completed): the aggregate of
         // a fully-streamed cell is valid and must not be dropped.
-        cell_complete = summary.units_emitted - units_before == fault_lists[c].size();
+        cell_complete = adapter.units_seen() == fault_lists[c].size();
       } else {
         runner.run(scheme, march, fault_lists[c], spec.seeds, /*need_any=*/true, all, any);
       }
       if (!cell_complete) break;
+      if (cache) cache->store(key, identity, {std::move(recorded)});
       CellResult cell;
       cell.scheme = scheme;
       cell.cls = spec.classes[c];
@@ -140,8 +216,29 @@ std::vector<Diagnosis> diagnose_campaign(const CampaignSpec& spec) {
   std::vector<Fault> faults;
   for (const ClassSel& cls : spec.classes)
     for (const Fault& f : build_fault_list(cls, spec.words, spec.width)) faults.push_back(f);
-  return twm::diagnose_campaign(march_by_name(spec.march), spec.words, spec.width, faults,
-                                spec.seeds.front(), spec.threads);
+  const MarchTest march = march_by_name(spec.march);
+  // Every requested seed is diagnosed (a fault can be invisible under one
+  // content and localizable under another — e.g. RET to the value the cell
+  // already holds); each fault keeps the diagnosis of the FIRST seed, in
+  // spec order, that observed it.  Seeds past the first that found every
+  // fault are skipped — nothing left to localize.
+  std::vector<Diagnosis> merged;
+  for (std::uint64_t seed : spec.seeds) {
+    std::size_t missing = 0;
+    if (!merged.empty()) {
+      for (const Diagnosis& d : merged) missing += !d.fault_found;
+      if (missing == 0) break;
+    }
+    auto pass = twm::diagnose_campaign(march, spec.words, spec.width, faults, seed,
+                                       spec.threads);
+    if (merged.empty()) {
+      merged = std::move(pass);
+      continue;
+    }
+    for (std::size_t i = 0; i < merged.size(); ++i)
+      if (!merged[i].fault_found && pass[i].fault_found) merged[i] = pass[i];
+  }
+  return merged;
 }
 
 }  // namespace twm::api

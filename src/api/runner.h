@@ -14,6 +14,8 @@
 #define TWM_API_RUNNER_H
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/diagnosis.h"
@@ -22,16 +24,71 @@
 
 namespace twm::api {
 
+// ---- content-addressed result cache --------------------------------------
+//
+// run_campaign consults a CellCache (when given one) before simulating each
+// scheme x fault-class cell.  A hit replays the stored unit records through
+// the sink byte-identically to the original live run — same fault order,
+// same verdicts, same describe() strings (the fault list is rebuilt
+// deterministically from the spec).  A miss runs the cell live and offers
+// the completed record stream back to the cache.
+
+// One streamed unit record of a completed cell, in the emission order of
+// the run that produced it.
+struct CachedUnit {
+  std::uint64_t fault_index = 0;  // within the cell's fault list
+  bool detected_all = false;
+  bool detected_any = false;
+
+  friend bool operator==(const CachedUnit&, const CachedUnit&) = default;
+};
+
+struct CellRecords {
+  std::vector<CachedUnit> units;
+};
+
+// Storage interface (implemented by service::ResultCache — memory LRU +
+// disk).  Keys come from api::cell_key; `identity` is the canonical cell
+// JSON the key was hashed from, and implementations MUST verify it on
+// lookup so a hash collision or corrupted entry degrades to a miss, never
+// to wrong results.  Calls arrive from whatever thread runs the campaign —
+// implementations serialize internally.
+class CellCache {
+ public:
+  virtual ~CellCache() = default;
+
+  virtual std::optional<CellRecords> lookup(const std::string& key,
+                                            const std::string& identity) = 0;
+  virtual void store(const std::string& key, const std::string& identity,
+                     const CellRecords& records) = 0;
+};
+
+// Cache effectiveness of one run_campaign call — the counters that PROVE a
+// resubmitted spec re-simulated nothing (cells_simulated == 0).
+struct CacheStats {
+  std::size_t cells_total = 0;      // scheme x class cells the spec denotes
+  std::size_t cells_cached = 0;     // served by replaying stored records
+  std::size_t cells_simulated = 0;  // ran live (includes cancelled partials)
+  std::size_t faults_replayed = 0;  // unit records replayed from the cache
+};
+
 // Runs the whole campaign a spec denotes.  `sink` may be null (aggregates
-// only).  Throws SpecValidationError on an invalid spec; engine errors
+// only).  With a `cache`, each cell is served by replay when its content
+// key hits (sinks that want seed records bypass the lookup — cached cells
+// carry no per-seed stream — but completed live cells are still stored).
+// Throws SpecValidationError on an invalid spec; engine errors
 // (golden-lane corruption, pool failures) propagate unchanged.
-CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink = nullptr);
+CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink = nullptr,
+                             CellCache* cache = nullptr, CacheStats* cache_stats = nullptr);
 
 // Diagnosis front-end of the same surface: localizes every fault of the
 // spec's class selection with the transparent TWMarch session, using the
-// spec's geometry, march, thread count and first seed.  (Diagnosis is
-// scalar by construction — it replays read streams — so the spec's
-// backend/simd request is not consulted.)
+// spec's geometry, march and thread count.  EVERY requested seed is
+// diagnosed — a fault invisible under one content (e.g. RET to the value
+// the cell already holds) can be localizable under another; each fault
+// reports the diagnosis of the first seed, in spec order, that observed
+// it.  (Diagnosis is scalar by construction — it replays read streams —
+// so the spec's backend/simd request is not consulted.)
 std::vector<Diagnosis> diagnose_campaign(const CampaignSpec& spec);
 
 }  // namespace twm::api

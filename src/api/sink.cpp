@@ -1,6 +1,5 @@
 #include "api/sink.h"
 
-#include <cstdio>
 #include <ostream>
 
 #include "api/json.h"
@@ -11,11 +10,9 @@ namespace twm::api {
 
 namespace {
 
-std::string seconds_str(double seconds) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.6f", seconds);
-  return buf;
-}
+// Locale-independent (fixed_str, not "%.6f"): the JSON-lines stream must
+// stay parseable under a comma-decimal LC_NUMERIC.
+std::string seconds_str(double seconds) { return fixed_str(seconds, 6); }
 
 const char* bool_str(bool b) { return b ? "true" : "false"; }
 
@@ -150,11 +147,24 @@ void TableSink::on_campaign_begin(const CampaignMeta& meta) {
 }
 
 void TableSink::on_campaign_end(const CampaignSummary& summary) {
+  // A cell can be missing from the summary (cancelled campaign): render a
+  // placeholder instead of silently dropping the scheme's whole row.
+  const auto find_cell = [&summary](SchemeKind k, const ClassSel& cls) -> const CellResult* {
+    for (const CellResult& cell : summary.cells)
+      if (cell.scheme == k && cell.cls == cls) return &cell;
+    return nullptr;
+  };
+  static constexpr const char* kMissing = "—";
   if (spec_.schemes.size() == 1) {
     Table t({"fault class", "faults", "coverage (all contents)", "any content"});
-    for (const CellResult& cell : summary.cells)
-      t.add_row({class_label(cell.cls), std::to_string(cell.outcome.total),
-                 coverage_str(cell.outcome), pct_str(cell.outcome.pct_any())});
+    for (const ClassSel& cls : spec_.classes) {
+      const CellResult* cell = find_cell(spec_.schemes[0], cls);
+      if (cell)
+        t.add_row({class_label(cls), std::to_string(cell->outcome.total),
+                   coverage_str(cell->outcome), pct_str(cell->outcome.pct_any())});
+      else
+        t.add_row({class_label(cls), kMissing, kMissing, kMissing});
+    }
     t.print(out_);
   } else {
     // Scheme x fault-class matrix, one row per scheme (spec order).
@@ -171,13 +181,11 @@ void TableSink::on_campaign_end(const CampaignSummary& summary) {
     Table t(header);
     for (SchemeKind k : spec_.schemes) {
       std::vector<std::string> row{twm::to_string(k)};
-      for (const ClassSel& cls : spec_.classes)
-        for (const CellResult& cell : summary.cells)
-          if (cell.scheme == k && cell.cls == cls) {
-            row.push_back(coverage_str(cell.outcome));
-            break;
-          }
-      if (row.size() == spec_.classes.size() + 1) t.add_row(row);
+      for (const ClassSel& cls : spec_.classes) {
+        const CellResult* cell = find_cell(k, cls);
+        row.push_back(cell ? coverage_str(cell->outcome) : kMissing);
+      }
+      t.add_row(row);
     }
     t.print(out_);
   }
@@ -187,7 +195,7 @@ void TableSink::on_campaign_end(const CampaignSummary& summary) {
   if (summary.cancelled)
     out_ << "campaign cancelled by sink after " << faults_run << "/" << summary.total_faults
          << " faults\n";
-  out_ << faults_run << " faults in " << summary.seconds << "s ("
+  out_ << faults_run << " faults in " << fixed_str(summary.seconds, 3) << "s ("
        << static_cast<std::uint64_t>(summary.seconds > 0 ? faults_run / summary.seconds : 0)
        << " faults/s)\n";
 }

@@ -246,6 +246,61 @@ std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsign
   throw std::logic_error("build_fault_list: unknown class kind");
 }
 
+// ---- content addressing ---------------------------------------------------
+
+std::string_view engine_revision() {
+  // r6: the PR 5 scheduler generation (repack + settle-exit + collapsing,
+  // all verdict-identical to dense).  Bump on any verdict-affecting change.
+  return "twm-engine-r6";
+}
+
+std::string cell_identity_json(const CampaignSpec& spec, SchemeKind scheme,
+                               const ClassSel& cls) {
+  JsonValue v = JsonValue::object();
+  v.set("engine", JsonValue::string(std::string(engine_revision())));
+  v.set("march", JsonValue::string(spec.march));
+  v.set("words", JsonValue::number(spec.words));
+  v.set("width", JsonValue::number(spec.width));
+  v.set("scheme", JsonValue::string(scheme_id(scheme)));
+  v.set("class", JsonValue::string(to_string(cls)));
+  JsonValue seeds = JsonValue::array();
+  for (std::uint64_t seed : spec.seeds) seeds.push_back(JsonValue::number(seed));
+  v.set("seeds", std::move(seeds));
+  return json_write(v, /*pretty=*/false);
+}
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string content_key(std::string_view identity) {
+  // Two chained FNV-1a passes -> 128 address bits.  Not cryptographic;
+  // CellCache implementations verify the stored identity on lookup, so a
+  // collision degrades to a cache miss, never to wrong results.
+  const std::uint64_t h1 = fnv1a64(identity, 14695981039346656037ull);
+  const std::uint64_t h2 = fnv1a64(identity, h1 ^ 0x9e3779b97f4a7c15ull);
+  static const char* hex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = hex[(h1 >> (4 * i)) & 0xF];
+    out[31 - i] = hex[(h2 >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+std::string cell_key(const CampaignSpec& spec, SchemeKind scheme, const ClassSel& cls) {
+  return content_key(cell_identity_json(spec, scheme, cls));
+}
+
 // ---- JSON ---------------------------------------------------------------
 
 namespace {
@@ -466,6 +521,8 @@ std::string to_json(const std::vector<CampaignSpec>& batch, bool pretty) {
 CampaignSpec spec_from_json(const std::string& text) {
   return SpecReader("").read(json_parse(text));
 }
+
+CampaignSpec spec_from_json_value(const JsonValue& v) { return SpecReader("").read(v); }
 
 std::vector<CampaignSpec> specs_from_json(const std::string& text) {
   const JsonValue doc = json_parse(text);

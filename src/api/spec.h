@@ -160,6 +160,37 @@ std::optional<std::vector<std::uint64_t>> parse_seeds(std::string_view csv,
 // generators from analysis/fault_list.h; RET uses hold_units = 1).
 std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsigned width);
 
+// ---- content addressing ---------------------------------------------------
+//
+// A campaign's results are cacheable because the spec is a canonically
+// serializable value: hash the verdict-relevant fields and the engine
+// revision, and equal keys mean equal result streams.  The grain is one
+// (scheme, fault-class, seed-set) CELL — a spec that adds one fault class
+// re-simulates only the new cells, everything else replays.
+
+// Folded into every cell identity; bump whenever a change can alter ANY
+// verdict (fault semantics, scheme sessions, march library, fault-list
+// generators).  Pure perf/scheduling work keeps the revision — dense and
+// repack, scalar and packed, every SIMD width are verdict-identical by
+// construction, so cached cells are shared across all of them.
+std::string_view engine_revision();
+
+// Canonical identity of one scheme x class cell: compact JSON of exactly
+// the fields that determine its verdicts (engine revision, march,
+// geometry, scheme, class, seeds — in that fixed key order).  `name` and
+// the whole `run` request are deliberately excluded.
+std::string cell_identity_json(const CampaignSpec& spec, SchemeKind scheme,
+                               const ClassSel& cls);
+
+// Content address of an identity string: 32 lowercase hex chars (two
+// chained 64-bit FNV-1a passes).  Collision-safe use requires storing the
+// identity alongside the value and verifying on lookup — api::CellCache
+// implementations do (src/service/cache.h).
+std::string content_key(std::string_view identity);
+
+// content_key(cell_identity_json(...)) — the cache key of one cell.
+std::string cell_key(const CampaignSpec& spec, SchemeKind scheme, const ClassSel& cls);
+
 // ---- JSON ---------------------------------------------------------------
 
 // Canonical serialization (member order fixed; round-trip exact:
@@ -172,6 +203,11 @@ std::string to_json(const std::vector<CampaignSpec>& batch, bool pretty = true);
 // offending paths.  Parsing does NOT run validate() — a parsed spec may
 // still be semantically invalid (e.g. zero words).
 CampaignSpec spec_from_json(const std::string& text);
+
+// Same grammar, from an already-parsed document node (the service protocol
+// embeds specs inside request frames and parses the frame once).
+class JsonValue;
+CampaignSpec spec_from_json_value(const JsonValue& v);
 
 // Accepts either a single spec object or a batch array [spec, spec, ...].
 std::vector<CampaignSpec> specs_from_json(const std::string& text);

@@ -25,6 +25,9 @@
 #include "march/library.h"
 #include "march/printer.h"
 #include "memsim/memory.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -37,8 +40,11 @@ struct Options {
   std::vector<std::string> faults;               // repeated --fault specs
 };
 
-// Flags that take no value ("--json" on the simd command).
-bool is_bool_flag(const std::string& flag) { return flag == "--json"; }
+// Flags that take no value ("--json" on simd, "--stats"/"--shutdown" on
+// submit).
+bool is_bool_flag(const std::string& flag) {
+  return flag == "--json" || flag == "--stats" || flag == "--shutdown";
+}
 
 std::optional<Options> parse_args(const std::vector<std::string>& args, std::ostream& err) {
   Options o;
@@ -455,12 +461,142 @@ int cmd_run(const Options& o, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// The campaign daemon.  Prints one {"type":"serving",...} line (flushed)
+// before entering the accept loop so scripts can scrape the bound port —
+// `--port 0` asks the kernel for an ephemeral one.
+int cmd_serve(const Options& o, std::ostream& out, std::ostream& err) {
+  service::ServerConfig config;
+  if (auto it = o.flags.find("host"); it != o.flags.end()) config.host = it->second;
+  const auto port = flag_unsigned(o, "port", 0u, err);
+  if (!port) return 1;
+  if (*port > 65535) {
+    err << "error: --port must be 0..65535\n";
+    return 1;
+  }
+  config.port = static_cast<std::uint16_t>(*port);
+  if (auto it = o.flags.find("cache-dir"); it != o.flags.end()) config.cache_dir = it->second;
+  const auto entries = flag_unsigned(o, "cache-entries", 256u, err);
+  if (!entries) return 1;
+  config.cache_entries = *entries;
+  const auto max_clients = flag_unsigned(o, "max-clients", 32u, err);
+  if (!max_clients || *max_clients == 0) {
+    if (max_clients) err << "error: --max-clients must be at least 1\n";
+    return 1;
+  }
+  config.max_clients = *max_clients;
+
+  service::ServiceServer server(std::move(config));
+  const std::uint16_t bound = server.start();
+  out << "{\"type\":\"serving\",\"host\":" << api::json_quote(o.flags.count("host") ?
+                                                             o.flags.at("host") : "127.0.0.1")
+      << ",\"port\":" << bound
+      << ",\"engine\":" << api::json_quote(std::string(api::engine_revision())) << "}"
+      << std::endl;  // flush: launchers block on this line
+  server.serve_forever();
+  return 0;
+}
+
+// Reads the daemon's response lines for one request, echoing each, until
+// the frame that ends the exchange.  Returns false when an error frame (or
+// a dropped connection) ended it.
+bool drain_response(service::LineClient& client, std::ostream& out, std::ostream& err) {
+  while (true) {
+    const auto line = client.recv_line();
+    if (!line) {
+      err << "error: server closed the connection\n";
+      return false;
+    }
+    out << *line << "\n";
+    try {
+      const api::JsonValue doc = api::json_parse(*line);
+      const api::JsonValue* type = doc.is_object() ? doc.find("type") : nullptr;
+      if (!type || !type->is_string()) continue;
+      const std::string& t = type->as_string();
+      if (t == "error") return false;
+      if (t == "campaign_stats" || t == "pong" || t == "stats" || t == "bye") return true;
+    } catch (const api::JsonParseError&) {
+      // Echoed verbatim above; keep draining.
+    }
+  }
+}
+
+// Client of the daemon: submits the spec(s) in a file and tails the result
+// stream; --stats and --shutdown send the corresponding control frames.
+int cmd_submit(const Options& o, std::ostream& out, std::ostream& err) {
+  const bool want_stats = o.flags.count("stats") != 0;
+  const bool want_shutdown = o.flags.count("shutdown") != 0;
+  if (o.positional.size() < 2 && !want_stats && !want_shutdown) {
+    err << "usage: submit <spec.json> [--host H] [--port P] [--stats] [--shutdown]\n";
+    return 1;
+  }
+  std::string host = "127.0.0.1";
+  if (auto it = o.flags.find("host"); it != o.flags.end()) host = it->second;
+  const auto port = flag_unsigned(o, "port", std::nullopt, err);
+  if (!port) return 1;
+  if (*port == 0 || *port > 65535) {
+    err << "error: --port must be 1..65535\n";
+    return 1;
+  }
+
+  std::vector<api::CampaignSpec> specs;
+  if (o.positional.size() >= 2) {
+    const std::string& path = o.positional[1];
+    std::ifstream in(path);
+    if (!in) {
+      err << "error: cannot read spec file '" << path << "'\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      specs = api::specs_from_json(text.str());
+    } catch (const api::SpecValidationError& e) {
+      for (const api::SpecError& se : e.errors())
+        err << "error: " << path << ": " << api::to_string(se) << "\n";
+      return 1;
+    } catch (const api::JsonParseError& e) {
+      err << "error: " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+    if (specs.empty()) {
+      err << "error: " << path << ": batch contains no specs\n";
+      return 1;
+    }
+  }
+
+  service::LineClient client;
+  std::string connect_error;
+  if (!client.connect(host, static_cast<std::uint16_t>(*port), &connect_error)) {
+    err << "error: " << connect_error << "\n";
+    return 1;
+  }
+
+  bool ok = true;
+  for (const api::CampaignSpec& spec : specs) {
+    if (!client.send_line(service::submit_frame(spec))) {
+      err << "error: server closed the connection\n";
+      return 1;
+    }
+    ok = drain_response(client, out, err) && ok;
+    if (!client.connected()) return 1;
+  }
+  if (want_stats) {
+    if (!client.send_line(service::stats_frame())) return 1;
+    ok = drain_response(client, out, err) && ok;
+  }
+  if (want_shutdown) {
+    if (!client.send_line(service::shutdown_frame())) return 1;
+    ok = drain_response(client, out, err) && ok;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   const auto usage = [&err] {
-    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage|spec|run|simd> "
-           "...\n"
+    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage|spec|run|simd|"
+           "serve|submit> ...\n"
            "see src/cli/cli.h for the full synopsis\n";
     return 1;
   };
@@ -478,6 +614,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (cmd == "spec") return cmd_spec(*opts, out, err);
     if (cmd == "run") return cmd_run(*opts, out, err);
     if (cmd == "simd") return cmd_simd(*opts, out);
+    if (cmd == "serve") return cmd_serve(*opts, out, err);
+    if (cmd == "submit") return cmd_submit(*opts, out, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -52,6 +52,29 @@
 //                                          file (single object or batch
 //                                          array), streaming per-unit
 //                                          records into the selected sink
+//   serve [--host A] [--port P] [--cache-dir D] [--cache-entries N]
+//         [--max-clients M]
+//                                          campaign daemon: accepts submit
+//                                          frames over TCP (JSON-lines
+//                                          protocol, src/service/protocol.h),
+//                                          queues campaigns onto the shared
+//                                          engine and streams each client its
+//                                          own record stream; completed
+//                                          (scheme, class, seed-set) cells
+//                                          land in a content-addressed result
+//                                          cache (memory LRU + optional disk
+//                                          dir) so a resubmitted or extended
+//                                          spec replays instead of
+//                                          re-simulating; --port 0 binds an
+//                                          ephemeral port, reported in the
+//                                          {"type":"serving",...} line
+//   submit <spec.json> [--host A] [--port P] [--stats] [--shutdown]
+//                                          send the spec(s) in a file to a
+//                                          running daemon and tail the
+//                                          JSON-lines result stream; exits 1
+//                                          when the server reports an error;
+//                                          --stats/--shutdown append the
+//                                          control frames
 //
 // coverage, spec and run all speak twm::api (src/api): the flag surface is
 // parsed into a CampaignSpec, validated field by field, and executed by

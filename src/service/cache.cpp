@@ -1,0 +1,157 @@
+#include "service/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/json.h"
+
+namespace twm::service {
+
+namespace {
+
+// {"identity":<identity object>,"units":[[fault,all,any],...]} — compact,
+// one file per cell.  `identity` is embedded verbatim (it is already
+// canonical compact JSON), so verification is a string compare after a
+// deterministic re-serialization.
+std::string entry_json(const std::string& identity, const api::CellRecords& records) {
+  std::string out = "{\"identity\":" + identity + ",\"units\":[";
+  bool first = true;
+  for (const api::CachedUnit& u : records.units) {
+    if (!first) out += ",";
+    first = false;
+    out += "[";
+    out += std::to_string(u.fault_index);
+    out += u.detected_all ? ",1" : ",0";
+    out += u.detected_any ? ",1]" : ",0]";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(Config config) : config_(std::move(config)) {
+  if (config_.memory_entries == 0) config_.memory_entries = 1;
+  if (!config_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.dir, ec);
+    if (ec)
+      throw std::runtime_error("cannot create cache directory '" + config_.dir +
+                               "': " + ec.message());
+  }
+}
+
+std::string ResultCache::path_for(const std::string& key) const {
+  // Keys are 32 lowercase hex chars (api::content_key) — safe filenames by
+  // construction, no escaping needed.
+  return config_.dir + "/" + key + ".json";
+}
+
+std::optional<api::CellRecords> ResultCache::lookup(const std::string& key,
+                                                    const std::string& identity) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_identity_.find(identity);
+  if (it != by_identity_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // touch
+    ++counters_.hits;
+    return it->second->records;
+  }
+  if (!config_.dir.empty()) {
+    if (auto from_disk = load_disk(key, identity)) {
+      insert_locked(key, identity, *from_disk);
+      ++counters_.hits;
+      ++counters_.disk_hits;
+      return from_disk;
+    }
+  }
+  ++counters_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(const std::string& key, const std::string& identity,
+                        const api::CellRecords& records) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  insert_locked(key, identity, records);
+  ++counters_.stores;
+  if (!config_.dir.empty()) store_disk(key, identity, records);
+}
+
+void ResultCache::insert_locked(const std::string& key, const std::string& identity,
+                                const api::CellRecords& records) {
+  const auto it = by_identity_.find(identity);
+  if (it != by_identity_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->records = records;
+    return;
+  }
+  lru_.push_front({key, identity, records});
+  by_identity_[identity] = lru_.begin();
+  while (lru_.size() > config_.memory_entries) {
+    by_identity_.erase(lru_.back().identity);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  counters_.entries = lru_.size();
+}
+
+std::optional<api::CellRecords> ResultCache::load_disk(const std::string& key,
+                                                       const std::string& identity) const {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const api::JsonValue doc = api::json_parse(text.str());
+    if (!doc.is_object()) return std::nullopt;
+    const api::JsonValue* stored_identity = doc.find("identity");
+    // The whole point of storing the identity: a colliding key or a
+    // foreign/corrupt file must read back as a miss, never as results.
+    if (!stored_identity ||
+        api::json_write(*stored_identity, /*pretty=*/false) != identity)
+      return std::nullopt;
+    const api::JsonValue* units = doc.find("units");
+    if (!units || !units->is_array()) return std::nullopt;
+    api::CellRecords records;
+    records.units.reserve(units->items().size());
+    for (const api::JsonValue& item : units->items()) {
+      if (!item.is_array() || item.items().size() != 3) return std::nullopt;
+      const auto fault = item.items()[0].as_u64();
+      const auto all = item.items()[1].as_u64();
+      const auto any = item.items()[2].as_u64();
+      if (!fault || !all || !any || *all > 1 || *any > 1) return std::nullopt;
+      records.units.push_back({*fault, *all == 1, *any == 1});
+    }
+    return records;
+  } catch (const api::JsonParseError&) {
+    return std::nullopt;
+  }
+}
+
+void ResultCache::store_disk(const std::string& key, const std::string& identity,
+                             const api::CellRecords& records) const {
+  // tmp + rename: a reader (or a crashed writer) never sees a half-written
+  // entry.  Disk failures are non-fatal — the cache is an accelerator, the
+  // campaign result already streamed.
+  const std::string path = path_for(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << entry_json(identity, records);
+    if (!out.flush()) {
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace twm::service

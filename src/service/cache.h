@@ -1,0 +1,91 @@
+// Content-addressed result cache: the api::CellCache the campaign daemon
+// plugs into api::run_campaign.
+//
+// One entry is one completed (scheme, fault-class, seed-set) cell — the
+// unit records of its original run, in emission order — addressed by
+// api::cell_key (hash of the canonical cell identity JSON, which folds in
+// the engine revision).  Two tiers:
+//
+//   memory   an LRU of the most recently touched cells (always on),
+//   disk     one JSON file per cell under `dir` (optional: empty dir =
+//            memory-only).  Files are written atomically (tmp + rename)
+//            and survive daemon restarts; a memory miss falls through to
+//            disk and promotes the entry back into the LRU.
+//
+// Correctness over trust: every entry stores the full identity string and
+// lookup() verifies it, so a hash collision, a truncated file or a foreign
+// file dropped into the cache directory degrades to a miss.  The disk file
+// is parsed with the same hardened JSON parser as every other input.
+//
+// Wipe the cache directory whenever api::engine_revision() is NOT bumped
+// across a change that alters verdicts (it should be; the revision is part
+// of the identity precisely so stale results never match) — or simply when
+// reclaiming space.  All methods are thread-safe.
+#ifndef TWM_SERVICE_CACHE_H
+#define TWM_SERVICE_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "api/runner.h"
+
+namespace twm::service {
+
+class ResultCache : public api::CellCache {
+ public:
+  struct Config {
+    std::string dir;                  // empty = memory-only
+    std::size_t memory_entries = 256; // LRU capacity (>= 1)
+  };
+
+  // Monotonic effectiveness counters (returned by value: the cache is
+  // shared across client threads).
+  struct Counters {
+    std::uint64_t hits = 0;        // lookup served (memory or disk)
+    std::uint64_t disk_hits = 0;   // ... of which required the disk tier
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;   // LRU entries displaced from memory
+    std::uint64_t entries = 0;     // current memory-tier size
+  };
+
+  // Creates `dir` (and parents) when persistence is requested.  Throws
+  // std::runtime_error when the directory cannot be created.
+  explicit ResultCache(Config config);
+
+  std::optional<api::CellRecords> lookup(const std::string& key,
+                                         const std::string& identity) override;
+  void store(const std::string& key, const std::string& identity,
+             const api::CellRecords& records) override;
+
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string identity;
+    api::CellRecords records;
+  };
+
+  void insert_locked(const std::string& key, const std::string& identity,
+                     const api::CellRecords& records);
+  std::optional<api::CellRecords> load_disk(const std::string& key,
+                                            const std::string& identity) const;
+  void store_disk(const std::string& key, const std::string& identity,
+                  const api::CellRecords& records) const;
+  std::string path_for(const std::string& key) const;
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_identity_;
+  Counters counters_;
+};
+
+}  // namespace twm::service
+
+#endif  // TWM_SERVICE_CACHE_H

@@ -1,0 +1,86 @@
+#include "service/protocol.h"
+
+#include "api/json.h"
+
+namespace twm::service {
+
+ParsedFrame parse_frame(const std::string& line) {
+  ParsedFrame out;
+  if (line.size() > kMaxFrameBytes) {
+    out.error = "frame exceeds " + std::to_string(kMaxFrameBytes) + " bytes";
+    return out;
+  }
+  api::JsonValue doc;
+  try {
+    doc = api::json_parse(line);
+  } catch (const api::JsonParseError& e) {
+    out.error = e.what();
+    return out;
+  }
+  if (!doc.is_object()) {
+    out.error = "frame must be a JSON object";
+    return out;
+  }
+  const api::JsonValue* type = doc.find("type");
+  if (!type || !type->is_string()) {
+    out.error = "frame needs a string \"type\" field";
+    return out;
+  }
+  const std::string& t = type->as_string();
+  Frame frame;
+  if (t == "ping") {
+    frame.kind = Frame::Kind::Ping;
+  } else if (t == "stats") {
+    frame.kind = Frame::Kind::Stats;
+  } else if (t == "shutdown") {
+    frame.kind = Frame::Kind::Shutdown;
+  } else if (t == "submit") {
+    frame.kind = Frame::Kind::Submit;
+    const api::JsonValue* spec = doc.find("spec");
+    if (!spec) {
+      out.error = "submit frame needs a \"spec\" field";
+      return out;
+    }
+    try {
+      frame.spec = api::spec_from_json_value(*spec);
+    } catch (const api::SpecValidationError& e) {
+      out.error = "spec is structurally invalid";
+      out.spec_errors = e.errors();
+      return out;
+    }
+  } else {
+    out.error = "unknown frame type '" + t + "'";
+    return out;
+  }
+  out.frame = std::move(frame);
+  return out;
+}
+
+std::string submit_frame(const api::CampaignSpec& spec) {
+  return "{\"type\":\"submit\",\"spec\":" + api::to_json(spec, /*pretty=*/false) + "}";
+}
+
+std::string ping_frame() { return "{\"type\":\"ping\"}"; }
+std::string stats_frame() { return "{\"type\":\"stats\"}"; }
+std::string shutdown_frame() { return "{\"type\":\"shutdown\"}"; }
+
+std::string error_frame(const std::string& scope, const std::string& message,
+                        const std::vector<api::SpecError>& spec_errors) {
+  std::string out = "{\"type\":\"error\",\"scope\":" + api::json_quote(scope) +
+                    ",\"message\":" + api::json_quote(message);
+  if (!spec_errors.empty()) {
+    out += ",\"errors\":[";
+    bool first = true;
+    for (const api::SpecError& e : spec_errors) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"path\":" + api::json_quote(e.path) +
+             ",\"message\":" + api::json_quote(e.message) + "}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace twm::service

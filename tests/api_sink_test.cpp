@@ -4,9 +4,11 @@
 // campaigns are verdict-identical to the legacy CoverageEvaluator facade.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <sstream>
 
 #include "analysis/coverage.h"
+#include "analysis/report.h"
 #include "api/json.h"
 #include "api/runner.h"
 #include "api/sink.h"
@@ -242,6 +244,128 @@ TEST(ResultSinkTest, DiagnoseCampaignLocalizesSpecFaults) {
       EXPECT_EQ(diags[i].suspect_word, faults[i].victim.word);
     }
   }
+}
+
+TEST(ResultSinkTest, DiagnoseCampaignMergesAcrossEverySeed) {
+  // State coupling faults are content-dependent: whether the aggressor's
+  // state perturbs the victim during the transparent session depends on the
+  // initial contents, so each seed localizes a different subset.  The old
+  // behavior diagnosed spec.seeds.front() ONLY and silently dropped the
+  // rest; diagnosing every seed recovers the faults seed 0 misses.
+  CampaignSpec spec = sequential_spec();
+  spec.words = 4;
+  spec.width = 4;
+  spec.classes = {{ClassKind::CFst, CfScope::Both}};
+  spec.seeds = {0};
+  const auto zero_only = diagnose_campaign(spec);
+  std::size_t found_zero = 0;
+  for (const auto& d : zero_only) found_zero += d.fault_found;
+  ASSERT_LT(found_zero, zero_only.size()) << "seed 0 should miss some CFst faults";
+
+  spec.seeds = {0, 3, 7};
+  const auto merged = diagnose_campaign(spec);
+  ASSERT_EQ(merged.size(), zero_only.size());
+  std::size_t found_merged = 0;
+  for (const auto& d : merged) found_merged += d.fault_found;
+  EXPECT_GT(found_merged, found_zero) << "later seeds must contribute their findings";
+  // First-seed-wins: where seed 0 already localized, the merge keeps it.
+  for (std::size_t i = 0; i < merged.size(); ++i)
+    if (zero_only[i].fault_found) {
+      EXPECT_TRUE(merged[i].fault_found);
+      EXPECT_EQ(merged[i].suspect_word, zero_only[i].suspect_word);
+    }
+}
+
+// A forwarding sink that lets the campaign be cancelled mid-run while a
+// real TableSink observes begin/end — the cancelled-campaign table shape.
+class CancellingTableSink : public ResultSink {
+ public:
+  CancellingTableSink(std::ostream& out, std::size_t cancel_after) : table_(out), cancel_after_(cancel_after) {}
+  void on_campaign_begin(const CampaignMeta& meta) override { table_.on_campaign_begin(meta); }
+  void on_unit(const UnitRecord&) override {
+    if (++units_ >= cancel_after_) cancelled_.store(true, std::memory_order_relaxed);
+  }
+  void on_campaign_end(const CampaignSummary& summary) override { table_.on_campaign_end(summary); }
+  bool cancelled() const override { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  TableSink table_;
+  std::size_t cancel_after_;
+  std::size_t units_ = 0;
+  std::atomic<bool> cancelled_{false};
+};
+
+TEST(ResultSinkTest, TableSinkPrintsPlaceholderRowsForCancelledCampaigns) {
+  // Cancel inside the first of two cells: no aggregate exists for either
+  // class, yet the table must still show both rows — as "—" placeholders,
+  // not by silently dropping them (the old behavior made a cancelled
+  // campaign's table indistinguishable from a narrower spec's).
+  CampaignSpec spec = sequential_spec();
+  spec.classes = {{ClassKind::Saf, CfScope::Both}, {ClassKind::Tf, CfScope::Both}};
+  std::ostringstream out;
+  CancellingTableSink sink(out, /*cancel_after=*/3);
+  const CampaignSummary summary = run_campaign(spec, &sink);
+  ASSERT_TRUE(summary.cancelled);
+  ASSERT_TRUE(summary.cells.empty());
+  EXPECT_NE(out.str().find("| SAF"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("| TF"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("—"), std::string::npos) << out.str();
+
+  // Matrix shape (multi-scheme) gets the same treatment.
+  spec.schemes = {SchemeKind::ProposedExact, SchemeKind::TomtModel};
+  std::ostringstream mout;
+  CancellingTableSink msink(mout, /*cancel_after=*/3);
+  run_campaign(spec, &msink);
+  EXPECT_NE(mout.str().find("—"), std::string::npos) << mout.str();
+}
+
+// ---- locale-independent float formatting ---------------------------------
+
+TEST(ReportFormat, FixedStrShapesAreExact) {
+  EXPECT_EQ(fixed_str(0.0, 6), "0.000000");
+  EXPECT_EQ(fixed_str(0.123456, 6), "0.123456");
+  EXPECT_EQ(fixed_str(1.0, 1), "1.0");
+  EXPECT_EQ(fixed_str(99.96, 1), "100.0");  // rounds, carries
+  EXPECT_EQ(fixed_str(-0.5, 1), "-0.5");
+  EXPECT_EQ(fixed_str(829233.4, 0), "829233");
+  EXPECT_EQ(fixed_str(0.0000004, 6), "0.000000");
+  EXPECT_EQ(pct_str(100.0), "100.0%");
+}
+
+TEST(ReportFormat, FloatsKeepTheirDotUnderACommaDecimalLocale) {
+  // snprintf("%.6f") writes "0,123456" under a comma-decimal LC_NUMERIC —
+  // which breaks every machine consumer of the JSON-lines stream.  The
+  // formatting layer must not consult the locale at all.  Containers
+  // without any comma locale installed skip the locale flip but still ran
+  // the exact-shape assertions above.
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous ? previous : "C";
+  const char* candidates[] = {"de_DE.UTF-8", "fr_FR.UTF-8", "de_DE.utf8",
+                              "fr_FR.utf8", "de_DE", "fr_FR"};
+  const char* applied = nullptr;
+  for (const char* name : candidates)
+    if (std::setlocale(LC_NUMERIC, name)) {
+      applied = name;
+      break;
+    }
+  if (!applied) GTEST_SKIP() << "no comma-decimal locale installed";
+
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  run_campaign(sequential_spec(), &sink);
+  std::setlocale(LC_NUMERIC, saved.c_str());
+
+  EXPECT_EQ(out.str().find(','), std::string::npos)
+      << "comma leaked into the JSON-lines stream";
+  // Every line still parses; the end record's seconds field survives.
+  std::istringstream lines(out.str());
+  std::string line, last;
+  while (std::getline(lines, line)) {
+    ASSERT_NO_THROW(json_parse(line)) << line;
+    last = line;
+  }
+  EXPECT_NE(json_parse(last).find("seconds"), nullptr);
+  EXPECT_EQ(fixed_str(0.5, 2), "0.50");  // direct check under the C locale again
 }
 
 }  // namespace

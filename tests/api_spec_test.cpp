@@ -416,5 +416,82 @@ TEST(SpecClasses, BuildFaultListMatchesGenerators) {
   EXPECT_FALSE(intra.empty());
 }
 
+// ---- parser hardening -----------------------------------------------------
+
+TEST(SpecJson, NestingBombThrowsInsteadOfRecursingOffTheStack) {
+  // A hostile "[[[[..." document once recursed once per bracket — deep
+  // enough input crashed the process before any validation ran.  The
+  // parser now caps container nesting and reports it as a parse error.
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "[";
+  EXPECT_THROW(json_parse(bomb), JsonParseError);
+  EXPECT_THROW(json_parse(std::string(300, '[')), JsonParseError);  // just past the cap
+
+  // Mixed object/array nesting counts against the same cap.
+  std::string mixed;
+  for (int i = 0; i < 200; ++i) mixed += "{\"k\":[";
+  EXPECT_THROW(json_parse(mixed), JsonParseError);
+}
+
+TEST(SpecJson, NestingUnderTheCapStillParses) {
+  std::string deep;
+  for (int i = 0; i < 250; ++i) deep += "[";
+  for (int i = 0; i < 250; ++i) deep += "]";
+  const JsonValue v = json_parse(deep);
+  EXPECT_TRUE(v.is_array());
+}
+
+// ---- content addressing ---------------------------------------------------
+
+TEST(SpecContent, CellKeyIsDeterministicAndWellFormed) {
+  const CampaignSpec s = valid_spec();
+  const std::string k1 = cell_key(s, s.schemes[0], s.classes[0]);
+  const std::string k2 = cell_key(s, s.schemes[0], s.classes[0]);
+  EXPECT_EQ(k1, k2);
+  ASSERT_EQ(k1.size(), 32u);
+  for (char c : k1) EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << k1;
+}
+
+TEST(SpecContent, IdentityCoversEveryVerdictRelevantFieldAndNothingElse) {
+  const CampaignSpec base = valid_spec();
+  const std::string key = cell_key(base, base.schemes[0], base.classes[0]);
+
+  // Verdict-relevant changes move the key...
+  CampaignSpec changed = base;
+  changed.words = 8;
+  EXPECT_NE(cell_key(changed, base.schemes[0], base.classes[0]), key);
+  changed = base;
+  changed.width = 8;
+  EXPECT_NE(cell_key(changed, base.schemes[0], base.classes[0]), key);
+  changed = base;
+  changed.march = "MATS+";
+  EXPECT_NE(cell_key(changed, base.schemes[0], base.classes[0]), key);
+  changed = base;
+  changed.seeds = {0, 1, 2};
+  EXPECT_NE(cell_key(changed, base.schemes[0], base.classes[0]), key);
+  EXPECT_NE(cell_key(base, SchemeKind::TomtModel, base.classes[0]), key);
+  EXPECT_NE(cell_key(base, base.schemes[0], {ClassKind::Tf, CfScope::Both}), key);
+
+  // ...while execution-mode changes (verdict-identical by construction)
+  // and the label don't: cached cells are shared across all of them.
+  changed = base;
+  changed.name = "renamed";
+  changed.backend = CoverageBackend::Scalar;
+  changed.threads = 7;
+  changed.simd = simd::Request::W64;
+  changed.schedule = ScheduleMode::Dense;
+  changed.collapse = false;
+  EXPECT_EQ(cell_key(changed, base.schemes[0], base.classes[0]), key);
+}
+
+TEST(SpecContent, IdentityFoldsInTheEngineRevision) {
+  const CampaignSpec s = valid_spec();
+  const std::string identity = cell_identity_json(s, s.schemes[0], s.classes[0]);
+  EXPECT_NE(identity.find(std::string(engine_revision())), std::string::npos);
+  // The identity is itself canonical compact JSON — reparse + rewrite is a
+  // fixed point (the cache's verification step depends on this).
+  EXPECT_EQ(json_write(json_parse(identity), /*pretty=*/false), identity);
+}
+
 }  // namespace
 }  // namespace twm::api
