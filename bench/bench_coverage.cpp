@@ -37,6 +37,7 @@
 #include "bench_common.h"
 #include "core/simd.h"
 #include "march/library.h"
+#include "memsim/packed_memory.h"
 
 int main(int argc, char** argv) {
   using namespace twm;
@@ -211,11 +212,59 @@ int main(int argc, char** argv) {
               (simd::to_string(simd_width) + ":").c_str(), fps_settling_repack, ts_repack,
               100.0 * settling_occupancy, settling_speedup);
 
-  const bool verdicts_equal =
-      scalar_slice_equal && v_packed64 == v_packed && schedule_equal && settling_equal;
+  // Huge-memory workload: a 1M-word geometry with a footprint-bounded
+  // sampled fault list ("@N" selectors — the only runnable shape at this
+  // scale).  Exercises the paged sparse memories end to end: the working
+  // set is the pages the fault footprint touches, not `words`, and
+  // pages_peak is the claim in one number.  Runs region-sharded (the
+  // huge-memory scheduling mode) and unsharded; the merged verdicts must
+  // be identical.
+  const std::size_t kHugeWords = std::size_t{1} << 20;
+  const unsigned kHugeWidth = 4;
+  const unsigned kHugeRegions = 4;
+  const std::vector<api::ClassSel> huge_classes =
+      *api::parse_classes("saf@2048,tf@1024,cfid:inter@512");
+  std::vector<Fault> huge;
+  for (const api::ClassSel& cls : huge_classes)
+    for (const Fault& f : api::build_fault_list(cls, kHugeWords, kHugeWidth))
+      huge.push_back(f);
+  const std::vector<std::uint64_t> huge_seeds{0};
+  const CampaignRunner huge_runner(
+      kHugeWords, kHugeWidth,
+      {CoverageBackend::Packed, threads, args.spec.simd, ScheduleMode::Repack,
+       args.spec.collapse, kHugeRegions});
+  const CampaignRunner huge_runner_r1(
+      kHugeWords, kHugeWidth,
+      {CoverageBackend::Packed, threads, args.spec.simd, ScheduleMode::Repack,
+       args.spec.collapse, 1});
+  CampaignStats huge_stats;
+  std::vector<bool> vh_regions, vh_flat;
+  const double t_huge = bench::time_seconds([&] {
+    vh_regions = per_fault_stats(huge_runner, huge, huge_seeds, &huge_stats);
+  });
+  vh_flat = per_fault_stats(huge_runner_r1, huge, huge_seeds, nullptr);
+  const double fps_huge = huge.size() / t_huge;
+  const std::uint64_t huge_pages_peak = huge_stats.pages_peak.load();
+  const std::uint64_t huge_packed_peak = huge_stats.packed_pages_peak.load();
+  const std::size_t huge_pages_total = (kHugeWords + kMemPageWords - 1) / kMemPageWords;
+  const bool huge_equal = vh_regions == vh_flat;
+  std::printf("\nhuge-memory workload (N=%zu words, %zu sampled faults, %u regions, "
+              "repack):\n",
+              kHugeWords, huge.size(), kHugeRegions);
+  std::printf("  regions/%u:     %8.0f faults/s  (%.3fs; peak %llu of %zu pages touched, "
+              "%llu in lane-block form = %.2f%% of the address space)\n",
+              kHugeRegions, fps_huge, t_huge,
+              static_cast<unsigned long long>(huge_pages_peak), huge_pages_total,
+              static_cast<unsigned long long>(huge_packed_peak),
+              100.0 * static_cast<double>(huge_packed_peak) /
+                  static_cast<double>(huge_pages_total));
+
+  const bool verdicts_equal = scalar_slice_equal && v_packed64 == v_packed &&
+                              schedule_equal && settling_equal && huge_equal;
   std::printf("\n  verdict equality (scalar == packed/64 == packed/%s == repack, dense == "
-              "repack on settling): %s\n",
-              simd::to_string(simd_width).c_str(), verdicts_equal ? "EXACT" : "MISMATCH");
+              "repack on settling, regions %u == 1 on huge): %s\n",
+              simd::to_string(simd_width).c_str(), kHugeRegions,
+              verdicts_equal ? "EXACT" : "MISMATCH");
 
   if (!args.json.empty()) {
     std::ofstream js(args.json);
@@ -240,6 +289,12 @@ int main(int argc, char** argv) {
        << ",\"settling_repack_speedup\":" << settling_speedup
        << ",\"settling_lane_occupancy\":" << settling_occupancy
        << ",\"settling_dense_lane_occupancy\":" << settling_dense_occupancy
+       << ",\"huge_words\":" << kHugeWords << ",\"huge_faults\":" << huge.size()
+       << ",\"huge_regions\":" << kHugeRegions
+       << ",\"huge_faults_per_sec\":" << fps_huge
+       << ",\"huge_pages_peak\":" << huge_pages_peak
+       << ",\"huge_packed_pages_peak\":" << huge_packed_peak
+       << ",\"huge_pages_total\":" << huge_pages_total
        << ",\"verdicts_equal\":" << (verdicts_equal ? "true" : "false")
        << ",\"theorem_agree\":" << agree << ",\"theorem_total\":" << everything.size() << "}\n";
     std::printf("  wrote %s\n", args.json.c_str());

@@ -49,6 +49,12 @@ void run_pool(unsigned threads, const std::function<void()>& worker) {
   if (err) std::rethrow_exception(err);
 }
 
+unsigned fault_region(const Fault& f, std::size_t words, unsigned regions) {
+  if (regions <= 1) return 0;
+  const std::size_t span = (words + regions - 1) / regions;
+  return static_cast<unsigned>(f.victim.word / span);
+}
+
 void require_golden_lane_clear(LaneMask verdicts) {
   if (verdicts & 1ull)
     throw std::logic_error(
@@ -97,6 +103,31 @@ class ExpandingObserver final : public UnitObserver {
   const FaultCollapse& fc_;
 };
 
+// Translates a region sub-campaign's fault indices back to the positions
+// the faults hold in the original (unpartitioned) list.
+class RemappingObserver final : public UnitObserver {
+ public:
+  RemappingObserver(UnitObserver* inner, const std::vector<std::uint32_t>& map)
+      : inner_(inner), map_(map) {}
+
+  void on_unit_settled(std::size_t first, unsigned count, const char* all,
+                       const char* any) override {
+    for (unsigned k = 0; k < count; ++k)
+      inner_->on_unit_settled(map_[first + k], 1, all + k, any + k);
+  }
+
+  void on_seed_verdict(std::size_t fault, std::size_t seed_index, bool detected) override {
+    inner_->on_seed_verdict(map_[fault], seed_index, detected);
+  }
+
+  bool want_seed_verdicts() const override { return inner_->want_seed_verdicts(); }
+  bool cancelled() const override { return inner_->cancelled(); }
+
+ private:
+  UnitObserver* inner_;
+  const std::vector<std::uint32_t>& map_;
+};
+
 }  // namespace
 
 void CampaignRunner::dispatch(const CampaignJob& job, simd::Width simd_width) const {
@@ -123,7 +154,7 @@ void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
                          const std::vector<std::uint64_t>& seeds, bool need_any,
                          std::vector<char>& all, std::vector<char>& any,
                          VerdictMatrix* out_matrix, UnitObserver* observer,
-                         CampaignStats* stats) const {
+                         CampaignStats* stats, const RegionProgress* progress) const {
   if (seeds.empty()) throw std::invalid_argument("CampaignRunner: no seeds");
   // Resolve the lane-block width up front so a forced-but-unsupported
   // --simd request fails before any work is sharded.  The scalar backend
@@ -141,6 +172,65 @@ void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
   if (n == 0) return;
 
   const SchemePlan plan = make_scheme_plan(scheme, bit_march, width_);
+  const unsigned regions = std::max(1u, options_.regions);
+
+  if (regions == 1 && !progress) {
+    run_list(plan, simd_width, faults, seeds, need_any, all.data(), any.data(), out_matrix,
+             observer, stats);
+    return;
+  }
+
+  // Region-sharded execution: partition the fault list by the victim's
+  // address slice (order preserved within a region) and run the slices as
+  // independent sequential sub-campaigns.  Verdicts only depend on (fault,
+  // seed) — batch composition is irrelevant — so the scattered merge is
+  // identical to the unsharded run.
+  std::vector<std::vector<std::uint32_t>> owned(regions);
+  for (std::size_t i = 0; i < n; ++i)
+    owned[fault_region(faults[i], words_, regions)].push_back(static_cast<std::uint32_t>(i));
+
+  const std::size_t num_seeds = seeds.size();
+  for (unsigned r = 0; r < regions; ++r) {
+    if (observer && observer->cancelled()) return;
+    if (progress && r < progress->done.size() && progress->done[r]) continue;
+    const std::vector<std::uint32_t>& idx = owned[r];
+    if (!idx.empty()) {
+      std::vector<Fault> sub;
+      sub.reserve(idx.size());
+      for (const std::uint32_t g : idx) sub.push_back(faults[g]);
+      std::vector<char> sub_all(idx.size(), 1), sub_any(idx.size(), 0);
+      VerdictMatrix sub_matrix;
+      if (out_matrix) {
+        sub_matrix.num_faults = idx.size();
+        sub_matrix.num_seeds = num_seeds;
+        sub_matrix.bits.assign(idx.size() * num_seeds, 0);
+      }
+      RemappingObserver remap(observer, idx);
+      run_list(plan, simd_width, sub, seeds, need_any, sub_all.data(), sub_any.data(),
+               out_matrix ? &sub_matrix : nullptr, observer ? &remap : nullptr, stats);
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        all[idx[k]] = sub_all[k];
+        any[idx[k]] = sub_any[k];
+      }
+      if (out_matrix)
+        for (std::size_t k = 0; k < idx.size(); ++k)
+          std::memcpy(&out_matrix->bits[idx[k] * num_seeds], &sub_matrix.bits[k * num_seeds],
+                      num_seeds);
+      // A cancellation mid-region leaves the region incomplete: do not
+      // report it as done.
+      if (observer && observer->cancelled()) return;
+    }
+    if (progress && progress->on_region_done) progress->on_region_done(r, idx);
+  }
+}
+
+void CampaignRunner::run_list(const SchemePlan& plan, simd::Width simd_width,
+                              const std::vector<Fault>& faults,
+                              const std::vector<std::uint64_t>& seeds, bool need_any,
+                              char* all, char* any, VerdictMatrix* out_matrix,
+                              UnitObserver* observer, CampaignStats* stats) const {
+  const std::size_t n = faults.size();
+  if (n == 0) return;
   CampaignJob job;
   job.plan = &plan;
   job.words = words_;
@@ -193,8 +283,8 @@ void CampaignRunner::run(SchemeKind scheme, const MarchTest& bit_march,
   if (stats) stats->faults_simulated.fetch_add(n, std::memory_order_relaxed);
   job.faults = faults.data();
   job.num_faults = n;
-  job.all = all.data();
-  job.any = any.data();
+  job.all = all;
+  job.any = any;
   dispatch(job, simd_width);
 }
 

@@ -81,6 +81,17 @@ struct CoverageOptions {
   // representative per bucket.  Off = every fault simulated individually,
   // for differential attribution of the collapsing win.
   bool collapse = true;
+  // Address-region sharding, orthogonal to the fault sharding above: the
+  // fault list is partitioned into `regions` slices of the address space
+  // (a fault belongs to the region owning its victim word; inter-region
+  // couplings follow their victim) and the slices run as independent
+  // sequential sub-campaigns whose merged verdicts are identical to the
+  // unsharded run.  Each sub-campaign's working set (pages + prediction
+  // streams) is bounded by its slice's fault footprint, which is what
+  // keeps huge-geometry campaigns inside a fixed memory budget and gives
+  // checkpoint/resume its unit of progress.  1 = off (the byte-identical
+  // legacy path).
+  unsigned regions = 1;
 };
 
 // Scheduler forward-progress counters, accumulated across worker threads
@@ -100,6 +111,16 @@ struct CampaignStats {
   std::atomic<std::uint64_t> faults_simulated{0};  // faults after collapsing
   std::atomic<std::uint64_t> elements_total{0};     // full-length march elements
   std::atomic<std::uint64_t> elements_executed{0};  // march elements entered
+  // Peak memory pages any worker materialized (repack scheduler only —
+  // the dense scheduler's per-unit memories are not observable).  A
+  // transparent march writes every word, so this tracks the pages the
+  // march walk touched; most of them hold lane-uniform data in the cheap
+  // scalar form (width limbs per page).
+  std::atomic<std::uint64_t> pages_peak{0};
+  // Peak pages in the expensive lane-block form.  The huge-memory claim in
+  // one number: bounded by the batch's fault footprint (one region's slice
+  // under address-region sharding), not by `words`.
+  std::atomic<std::uint64_t> packed_pages_peak{0};
 
   double mean_live_lanes() const {
     const std::uint64_t u = units.load();
@@ -159,6 +180,23 @@ class UnitObserver {
 
 struct CampaignJob;  // analysis/campaign_exec.h
 
+// Region that owns a fault under a `regions`-way split of the address
+// space: the victim word's slice (inter-region couplings follow their
+// victim; decoder faults their decoded address).
+unsigned fault_region(const Fault& f, std::size_t words, unsigned regions);
+
+// Progress hooks for a region-sharded run (the checkpoint/resume surface).
+// done[r] marks regions whose verdicts the caller already holds from a
+// previous run — they are skipped wholesale and the caller is responsible
+// for patching their all/any/matrix entries and replaying their records.
+// on_region_done fires on the calling thread after each region's faults
+// settle, with the original fault indices the region owns.
+struct RegionProgress {
+  std::vector<char> done;  // [region] -> already complete, skip
+  std::function<void(unsigned region, const std::vector<std::uint32_t>& fault_indices)>
+      on_region_done;
+};
+
 // Detection verdict of every (fault, seed) pair of a campaign.
 struct VerdictMatrix {
   std::size_t num_faults = 0;
@@ -211,12 +249,22 @@ class CampaignRunner {
   // settle and may cancel the remainder of the run cooperatively.  When
   // `stats` is non-null the scheduler's forward-progress counters are
   // accumulated into it (occupancy / settle-exit / collapsing attribution).
+  // When options().regions > 1 (or `progress` is non-null) the fault list
+  // is partitioned by fault_region() and the regions run sequentially as
+  // independent sub-campaigns; merged verdicts are identical to regions=1.
   void run(SchemeKind scheme, const MarchTest& bit_march, const std::vector<Fault>& faults,
            const std::vector<std::uint64_t>& seeds, bool need_any, std::vector<char>& all,
            std::vector<char>& any, VerdictMatrix* out_matrix = nullptr,
-           UnitObserver* observer = nullptr, CampaignStats* stats = nullptr) const;
+           UnitObserver* observer = nullptr, CampaignStats* stats = nullptr,
+           const RegionProgress* progress = nullptr) const;
 
  private:
+  // One fault list through collapse + dispatch; all/any point at (and a
+  // non-null matrix is pre-sized for) exactly this list.
+  void run_list(const SchemePlan& plan, simd::Width simd_width,
+                const std::vector<Fault>& faults, const std::vector<std::uint64_t>& seeds,
+                bool need_any, char* all, char* any, VerdictMatrix* out_matrix,
+                UnitObserver* observer, CampaignStats* stats) const;
   void dispatch(const CampaignJob& job, simd::Width simd_width) const;
 
   std::size_t words_;

@@ -209,6 +209,17 @@ void run_campaign_engine_repack(const CampaignJob& job) {
           if (seed_events) job.observer->on_seed_verdict(g, s, bit);
         }
       }
+      if (job.stats) {
+        // fetch-max of this worker's page high-water marks.
+        const auto fetch_max = [](std::atomic<std::uint64_t>& slot, std::uint64_t mine) {
+          std::uint64_t cur = slot.load(std::memory_order_relaxed);
+          while (mine > cur &&
+                 !slot.compare_exchange_weak(cur, mine, std::memory_order_relaxed)) {
+          }
+        };
+        fetch_max(job.stats->pages_peak, mem.pages_peak());
+        fetch_max(job.stats->packed_pages_peak, mem.packed_pages_peak());
+      }
     });
     if (stop.load(std::memory_order_relaxed)) break;
 

@@ -1,0 +1,105 @@
+#include "api/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "api/json.h"
+
+namespace twm::api {
+
+std::optional<CheckpointFile> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = json_parse(buf.str());
+  } catch (const JsonParseError&) {
+    return std::nullopt;
+  }
+  if (!doc.is_object()) return std::nullopt;
+
+  const JsonValue* version = doc.find("checkpoint");
+  if (!version || version->as_u64() != std::optional<std::uint64_t>{1}) return std::nullopt;
+  // A checkpoint from another engine revision may hold different verdicts;
+  // resuming from it would mix runs.  Start over instead.
+  const JsonValue* engine = doc.find("engine");
+  if (!engine || !engine->is_string() || engine->as_string() != engine_revision())
+    return std::nullopt;
+
+  CheckpointFile file;
+  const JsonValue* regions = doc.find("regions");
+  if (!regions) return std::nullopt;
+  const auto r = regions->as_u64();
+  if (!r || *r == 0 || *r > UINT32_MAX) return std::nullopt;
+  file.regions = static_cast<unsigned>(*r);
+
+  const JsonValue* cells = doc.find("cells");
+  if (!cells || !cells->is_array()) return std::nullopt;
+  for (const JsonValue& item : cells->items()) {
+    if (!item.is_object()) return std::nullopt;
+    CheckpointEntry e;
+    const JsonValue* identity = item.find("identity");
+    const JsonValue* region = item.find("region");
+    const JsonValue* units = item.find("units");
+    if (!identity || !identity->is_string() || !region || !units || !units->is_array())
+      return std::nullopt;
+    const auto reg = region->as_u64();
+    if (!reg || *reg >= file.regions) return std::nullopt;
+    e.identity = identity->as_string();
+    e.region = static_cast<unsigned>(*reg);
+    for (const JsonValue& u : units->items()) {
+      // [fault_index, detected_all, detected_any]
+      if (!u.is_array() || u.items().size() != 3) return std::nullopt;
+      const auto fi = u.items()[0].as_u64();
+      const auto a = u.items()[1].as_u64();
+      const auto y = u.items()[2].as_u64();
+      if (!fi || !a || !y || *a > 1 || *y > 1) return std::nullopt;
+      e.units.push_back({*fi, *a != 0, *y != 0});
+    }
+    file.cells.push_back(std::move(e));
+  }
+  return file;
+}
+
+void save_checkpoint(const std::string& path, const CheckpointFile& file) {
+  JsonValue doc = JsonValue::object();
+  doc.set("checkpoint", JsonValue::number(1));
+  doc.set("engine", JsonValue::string(std::string(engine_revision())));
+  doc.set("regions", JsonValue::number(file.regions));
+  JsonValue cells = JsonValue::array();
+  for (const CheckpointEntry& e : file.cells) {
+    JsonValue cell = JsonValue::object();
+    cell.set("identity", JsonValue::string(e.identity));
+    cell.set("region", JsonValue::number(e.region));
+    JsonValue units = JsonValue::array();
+    for (const CachedUnit& u : e.units) {
+      JsonValue rec = JsonValue::array();
+      rec.push_back(JsonValue::number(u.fault_index));
+      rec.push_back(JsonValue::number(u.detected_all ? 1 : 0));
+      rec.push_back(JsonValue::number(u.detected_any ? 1 : 0));
+      units.push_back(std::move(rec));
+    }
+    cell.set("units", std::move(units));
+    cells.push_back(std::move(cell));
+  }
+  doc.set("cells", std::move(cells));
+
+  // tmp + rename: a reader (or a crashed writer) never sees a half-written
+  // checkpoint.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << json_write(doc, /*pretty=*/false);
+    if (!out) {
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+}
+
+}  // namespace twm::api

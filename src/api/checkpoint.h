@@ -1,0 +1,52 @@
+// Campaign checkpoint/resume (the persistence layer of region sharding).
+//
+// A region-sharded campaign makes progress in region-sized steps; a
+// checkpoint file records, per scheme x class cell, the unit records of
+// every completed region.  run_campaign (api/runner.h), when given a
+// checkpoint path, rewrites the file after each region settles (atomic
+// tmp + rename, like the service result cache) and, on a later run of the
+// SAME spec, replays completed regions through the sink instead of
+// re-simulating them — a preempted day-long campaign resumes where it
+// stopped.
+//
+// Safety mirrors the content-addressed cache: every entry stores the
+// verbatim cell identity JSON (engine revision, march, geometry, scheme,
+// class, seeds) and is consulted only on an exact string match with a
+// verified fault-index permutation for its region; anything else — a
+// foreign file, a stale engine revision, a different region count, a
+// truncated write — silently degrades to "not done yet".
+#ifndef TWM_API_CHECKPOINT_H
+#define TWM_API_CHECKPOINT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/runner.h"
+
+namespace twm::api {
+
+// Unit records of one completed region of one cell.
+struct CheckpointEntry {
+  std::string identity;  // verbatim cell_identity_json of the cell
+  unsigned region = 0;
+  std::vector<CachedUnit> units;  // emission order of the original run
+};
+
+struct CheckpointFile {
+  unsigned regions = 1;  // region count the progress is denominated in
+  std::vector<CheckpointEntry> cells;
+};
+
+// Parses a checkpoint file.  Returns nullopt when the file is missing,
+// malformed, or was written by a different engine revision (entries of a
+// resumable file are still validated per cell by the consumer).
+std::optional<CheckpointFile> load_checkpoint(const std::string& path);
+
+// Serializes and atomically replaces `path` (tmp + rename; a crashed
+// writer never leaves a half-written checkpoint behind).
+void save_checkpoint(const std::string& path, const CheckpointFile& file);
+
+}  // namespace twm::api
+
+#endif  // TWM_API_CHECKPOINT_H

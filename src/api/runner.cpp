@@ -1,8 +1,10 @@
 #include "api/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 
+#include "api/checkpoint.h"
 #include "march/library.h"
 
 namespace twm::api {
@@ -95,9 +97,21 @@ bool replayable(const CellRecords& records, std::size_t num_faults) {
 }  // namespace
 
 CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCache* cache,
-                             CacheStats* cache_stats) {
+                             CacheStats* cache_stats, const std::string& checkpoint_path) {
   require_valid(spec);
   const MarchTest march = march_by_name(spec.march);
+
+  // Checkpoint/resume state: the loaded file (when it matches this engine
+  // revision and region count) seeds the "already done" region set; the
+  // file is rewritten after every region this run completes.
+  const unsigned regions = std::max(1u, spec.regions);
+  const bool ck_active = !checkpoint_path.empty();
+  CheckpointFile ck;
+  ck.regions = regions;
+  if (ck_active) {
+    if (auto loaded = load_checkpoint(checkpoint_path); loaded && loaded->regions == regions)
+      ck = std::move(*loaded);
+  }
   // Resolve the lane-block width up front (validate() already vetted a
   // forced width, so this cannot throw for a spec that passed it).
   const simd::Width resolved = spec.backend == CoverageBackend::Packed
@@ -136,10 +150,8 @@ CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCac
   for (SchemeKind scheme : spec.schemes) {
     for (std::size_t c = 0; c < spec.classes.size() && !summary.cancelled; ++c) {
       std::string identity, key;
-      if (cache) {
-        identity = cell_identity_json(spec, scheme, spec.classes[c]);
-        key = content_key(identity);
-      }
+      if (cache || ck_active) identity = cell_identity_json(spec, scheme, spec.classes[c]);
+      if (cache) key = content_key(identity);
 
       if (cache && replay_ok) {
         const auto hit = cache->lookup(key, identity);
@@ -173,22 +185,111 @@ CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCac
         }
       }
 
+      const std::vector<Fault>& faults = fault_lists[c];
+
+      // Region ownership of this cell's faults (identical to the split
+      // CampaignRunner::run performs).
+      std::vector<unsigned> region_of(faults.size());
+      std::vector<std::size_t> owned_count(regions, 0);
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        region_of[i] = fault_region(faults[i], spec.words, regions);
+        ++owned_count[region_of[i]];
+      }
+
+      // Regions this cell already completed in a previous run.  An entry is
+      // trusted only on an exact identity match with a verified fault-index
+      // permutation of its region; seed-record consumers skip resume the
+      // same way they skip cache replay (checkpoints carry no seed stream).
+      RegionProgress progress;
+      progress.done.assign(regions, 0);
+      // Copied, not pointed-to: on_region_done rewrites ck.cells mid-run.
+      std::vector<std::vector<CachedUnit>> done_units(regions);
+      if (ck_active && replay_ok) {
+        for (const CheckpointEntry& e : ck.cells) {
+          if (e.identity != identity || progress.done[e.region]) continue;
+          if (e.units.size() != owned_count[e.region]) continue;
+          std::vector<char> seen(faults.size(), 0);
+          bool ok = true;
+          for (const CachedUnit& u : e.units) {
+            if (u.fault_index >= faults.size() || region_of[u.fault_index] != e.region ||
+                seen[u.fault_index]) {
+              ok = false;
+              break;
+            }
+            seen[u.fault_index] = 1;
+          }
+          if (!ok) continue;
+          progress.done[e.region] = 1;
+          done_units[e.region] = e.units;
+        }
+      }
+
       std::vector<char> all, any;
       bool cell_complete = true;
       std::vector<CachedUnit> recorded;
+      std::size_t replayed = 0;
       if (cache_stats) ++cache_stats->cells_simulated;
-      if (sink || cache) {
-        SinkAdapter adapter(sink, sink_mu, scheme, spec.classes[c], fault_lists[c],
-                            spec.seeds, summary.units_emitted, cache ? &recorded : nullptr);
-        runner.run(scheme, march, fault_lists[c], spec.seeds, /*need_any=*/true, all, any,
-                   /*out_matrix=*/nullptr, &adapter);
+      if (sink || cache || ck_active) {
+        // Replay the resumed regions' records first (they settled first in
+        // the interrupted run), then simulate the rest.
+        for (unsigned r = 0; r < regions; ++r) {
+          if (!progress.done[r]) continue;
+          for (const CachedUnit& u : done_units[r]) {
+            recorded.push_back(u);
+            ++replayed;
+            if (sink) {
+              UnitRecord rec;
+              rec.scheme = scheme;
+              rec.cls = spec.classes[c];
+              rec.fault_index = u.fault_index;
+              rec.fault = &faults[u.fault_index];
+              rec.detected_all = u.detected_all;
+              rec.detected_any = u.detected_any;
+              sink->on_unit(rec);
+              ++summary.units_emitted;
+            }
+          }
+        }
+        if (ck_active) {
+          progress.on_region_done = [&](unsigned r, const std::vector<std::uint32_t>&) {
+            CheckpointEntry e;
+            e.identity = identity;
+            e.region = r;
+            for (const CachedUnit& u : recorded)
+              if (region_of[u.fault_index] == r) e.units.push_back(u);
+            // Replace any stale entry for this (cell, region) — e.g. when a
+            // seed-record sink forced a re-simulation.
+            ck.cells.erase(std::remove_if(ck.cells.begin(), ck.cells.end(),
+                                          [&](const CheckpointEntry& old) {
+                                            return old.region == r && old.identity == identity;
+                                          }),
+                           ck.cells.end());
+            ck.cells.push_back(std::move(e));
+            save_checkpoint(checkpoint_path, ck);
+          };
+        }
+        SinkAdapter adapter(sink, sink_mu, scheme, spec.classes[c], faults, spec.seeds,
+                            summary.units_emitted,
+                            cache || ck_active ? &recorded : nullptr);
+        runner.run(scheme, march, faults, spec.seeds, /*need_any=*/true, all, any,
+                   /*out_matrix=*/nullptr, &adapter, /*stats=*/nullptr,
+                   ck_active ? &progress : nullptr);
+        // The runner's all/any flags cover only the simulated regions;
+        // patch the resumed regions' verdicts back in from the checkpoint.
+        for (unsigned r = 0; r < regions; ++r) {
+          if (!progress.done[r]) continue;
+          for (const CachedUnit& u : done_units[r]) {
+            all[u.fault_index] = static_cast<char>(u.detected_all);
+            any[u.fault_index] = static_cast<char>(u.detected_any);
+          }
+        }
         if (sink && sink->cancelled()) summary.cancelled = true;
         // The flag may flip only after the cell's last unit settled (or
         // every in-flight unit may still have completed): the aggregate of
         // a fully-streamed cell is valid and must not be dropped.
-        cell_complete = adapter.units_seen() == fault_lists[c].size();
+        cell_complete = adapter.units_seen() + replayed == faults.size();
       } else {
-        runner.run(scheme, march, fault_lists[c], spec.seeds, /*need_any=*/true, all, any);
+        runner.run(scheme, march, faults, spec.seeds, /*need_any=*/true, all, any);
       }
       if (!cell_complete) break;
       if (cache) cache->store(key, identity, {std::move(recorded)});

@@ -76,10 +76,15 @@ struct CacheStats {
 // only).  With a `cache`, each cell is served by replay when its content
 // key hits (sinks that want seed records bypass the lookup — cached cells
 // carry no per-seed stream — but completed live cells are still stored).
-// Throws SpecValidationError on an invalid spec; engine errors
-// (golden-lane corruption, pool failures) propagate unchanged.
+// With a non-empty `checkpoint_path`, per-region progress is persisted
+// there after every region settles (atomic tmp + rename; see
+// api/checkpoint.h) and a matching file from an interrupted run of the
+// same spec resumes it: completed regions replay through the sink instead
+// of re-simulating.  Throws SpecValidationError on an invalid spec; engine
+// errors (golden-lane corruption, pool failures) propagate unchanged.
 CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink = nullptr,
-                             CellCache* cache = nullptr, CacheStats* cache_stats = nullptr);
+                             CellCache* cache = nullptr, CacheStats* cache_stats = nullptr,
+                             const std::string& checkpoint_path = {});
 
 // Diagnosis front-end of the same surface: localizes every fault of the
 // spec's class selection with the transparent TWMarch session, using the

@@ -41,6 +41,13 @@ std::vector<SpecError> validate(const CampaignSpec& spec) {
     errors.push_back({"classes", "at least one fault class is required"});
   if (spec.seeds.empty()) errors.push_back({"seeds", "at least one content seed is required"});
   if (spec.threads == 0) errors.push_back({"run.threads", "must be at least 1"});
+  if (spec.regions == 0) {
+    errors.push_back({"run.regions", "must be at least 1"});
+  } else if ((spec.regions & (spec.regions - 1)) != 0) {
+    errors.push_back({"run.regions", "must be a power of two"});
+  } else if (spec.words != 0 && spec.regions > spec.words) {
+    errors.push_back({"run.regions", "must not exceed memory.words"});
+  }
   if (spec.backend == CoverageBackend::Packed && spec.simd != simd::Request::Auto) {
     // A forced width must be executable here; Auto always resolves.
     try {
@@ -110,6 +117,7 @@ std::string to_string(const ClassSel& c) {
   }
   if (c.is_coupling() && c.scope != CfScope::Both)
     base += c.scope == CfScope::InterWord ? ":inter" : ":intra";
+  if (c.sample != 0) base += "@" + std::to_string(c.sample);
   return base;
 }
 
@@ -126,11 +134,27 @@ std::string class_label(const ClassSel& c) {
   }
   if (c.is_coupling() && c.scope != CfScope::Both)
     base += c.scope == CfScope::InterWord ? " inter" : " intra";
+  if (c.sample != 0) base += " @" + std::to_string(c.sample);
   return base;
 }
 
 std::optional<ClassSel> parse_class(std::string_view s) {
   ClassSel sel;
+  // Trailing "@N" = deterministic sample size (pure decimal, >= 1).
+  const auto at = s.find('@');
+  if (at != std::string_view::npos) {
+    const std::string_view digits = s.substr(at + 1);
+    if (digits.empty()) return std::nullopt;
+    std::uint64_t n = 0;
+    for (char c : digits) {
+      if (c < '0' || c > '9') return std::nullopt;
+      n = n * 10 + static_cast<std::uint64_t>(c - '0');
+      if (n > UINT32_MAX) return std::nullopt;
+    }
+    if (n == 0) return std::nullopt;
+    sel.sample = static_cast<std::uint32_t>(n);
+    s = s.substr(0, at);
+  }
   const auto colon = s.find(':');
   const std::string_view base = colon == std::string_view::npos ? s : s.substr(0, colon);
   if (base == "saf")
@@ -233,7 +257,10 @@ std::optional<std::vector<std::uint64_t>> parse_seeds(std::string_view csv,
   return out;
 }
 
-std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsigned width) {
+namespace {
+
+std::vector<Fault> exhaustive_fault_list(const ClassSel& c, std::size_t words,
+                                         unsigned width) {
   switch (c.kind) {
     case ClassKind::Saf: return all_safs(words, width);
     case ClassKind::Tf: return all_tfs(words, width);
@@ -244,6 +271,58 @@ std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsign
     case ClassKind::Af: return all_afs(words);
   }
   throw std::logic_error("build_fault_list: unknown class kind");
+}
+
+// Fault at position `i` of the exhaustive enumeration of a non-coupling
+// class — the decode of all_safs/all_tfs/all_rets/all_afs' loop order,
+// without materializing the list.
+Fault decode_enumerated_fault(const ClassSel& c, std::size_t words, unsigned width,
+                              std::uint64_t i) {
+  if (c.kind == ClassKind::Af) {
+    if (i < words) return Fault::af_no_access(static_cast<std::size_t>(i));
+    const std::uint64_t k = i - words;
+    const std::size_t w = static_cast<std::size_t>(k / (words - 1));
+    std::size_t also = static_cast<std::size_t>(k % (words - 1));
+    if (also >= w) ++also;
+    return Fault::af_alias(w, also);
+  }
+  const CellAddr cell{static_cast<std::size_t>(i / (2ull * width)),
+                      static_cast<unsigned>((i / 2) % width)};
+  const bool second = (i & 1) != 0;
+  switch (c.kind) {
+    case ClassKind::Saf: return Fault::saf(cell, second);
+    case ClassKind::Tf: return Fault::tf(cell, second ? Transition::Down : Transition::Up);
+    case ClassKind::Ret: return Fault::ret(cell, second, 1);
+    default: throw std::logic_error("decode_enumerated_fault: class not enumerable");
+  }
+}
+
+}  // namespace
+
+std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsigned width) {
+  if (c.sample == 0) return exhaustive_fault_list(c, words, width);
+
+  if (c.is_coupling()) {
+    // Fixed-seed draw: the sampled list is a pure function of the selector
+    // and the geometry, as the cell identity requires.
+    Rng rng(0x7477u * 2654435761ull + c.sample);
+    const FaultClass cls = c.kind == ClassKind::CFst   ? FaultClass::CFst
+                           : c.kind == ClassKind::CFid ? FaultClass::CFid
+                                                       : FaultClass::CFin;
+    return sampled_cfs(words, width, cls, c.scope, c.sample, rng);
+  }
+
+  const std::uint64_t total = c.kind == ClassKind::Af
+                                  ? words + words * (words - 1)
+                                  : 2ull * words * width;
+  if (c.sample >= total) return exhaustive_fault_list(c, words, width);
+  std::vector<Fault> out;
+  out.reserve(c.sample);
+  // Even stride over the enumeration: sample distinct faults spread across
+  // the whole address space (so every region receives work).
+  for (std::uint64_t k = 0; k < c.sample; ++k)
+    out.push_back(decode_enumerated_fault(c, words, width, k * total / c.sample));
+  return out;
 }
 
 // ---- content addressing ---------------------------------------------------
@@ -323,6 +402,9 @@ JsonValue spec_to_value(const CampaignSpec& s) {
   run.set("simd", JsonValue::string(simd::to_string(s.simd)));
   run.set("schedule", JsonValue::string(to_string(s.schedule)));
   run.set("collapse", JsonValue::boolean(s.collapse));
+  // regions = 1 is the implicit default; omitting it keeps every pre-region
+  // serialization (and the golden-serialization test) byte-identical.
+  if (s.regions != 1) run.set("regions", JsonValue::number(s.regions));
 
   JsonValue v = JsonValue::object();
   v.set("name", JsonValue::string(s.name));
@@ -413,7 +495,7 @@ class SpecReader {
         for (const auto& [key, member] : run->members()) {
           (void)member;
           if (key != "backend" && key != "threads" && key != "simd" && key != "schedule" &&
-              key != "collapse")
+              key != "collapse" && key != "regions")
             fail("run." + key, "unknown field");
         }
         if (const JsonValue* backend = run->find("backend")) {
@@ -452,6 +534,13 @@ class SpecReader {
             s.collapse = collapse->as_bool();
           else
             fail("run.collapse", "must be a boolean");
+        }
+        if (const JsonValue* regions = run->find("regions")) {
+          const auto r = regions->as_u64();
+          if (r && *r <= UINT32_MAX)
+            s.regions = static_cast<unsigned>(*r);
+          else
+            fail("run.regions", "must be an unsigned integer");
         }
       } else {
         fail("run", "must be an object");

@@ -71,6 +71,14 @@ inline constexpr ClassKind kAllClassKinds[] = {
 struct ClassSel {
   ClassKind kind = ClassKind::Saf;
   CfScope scope = CfScope::Both;  // coupling-fault kinds only
+  // Deterministic sample size, spelled "saf@2048" / "cfid:inter@1024";
+  // 0 = exhaustive (the canonical spelling omits "@0", so every pre-sampling
+  // spec and cache identity is unchanged).  Exhaustive fault spaces are
+  // quadratic in the cell count for CFs/AFs and linear for the rest — at
+  // huge geometries a bounded, reproducible sample is the only runnable
+  // denominator.  Sampling is part of the cell identity: the same selector
+  // always denotes the same fault list.
+  std::uint32_t sample = 0;
 
   bool is_coupling() const {
     return kind == ClassKind::CFst || kind == ClassKind::CFid || kind == ClassKind::CFin;
@@ -104,8 +112,15 @@ struct CampaignSpec {
   // Structural fault collapsing (repack only); off isolates the
   // repacking/settle-exit win for differential attribution.
   bool collapse = true;
+  // Address-region sharding (power of two, <= words; 1 = off).  Execution-
+  // transparent like schedule/collapse: verdicts, records and cache
+  // identities are unchanged — only the working-set bound and the
+  // checkpoint grain move.  Serialized only when != 1.
+  unsigned regions = 1;
 
-  CoverageOptions options() const { return {backend, threads, simd, schedule, collapse}; }
+  CoverageOptions options() const {
+    return {backend, threads, simd, schedule, collapse, regions};
+  }
 
   friend bool operator==(const CampaignSpec&, const CampaignSpec&) = default;
 };
@@ -157,7 +172,12 @@ std::optional<std::vector<std::uint64_t>> parse_seeds(std::string_view csv,
                                                       std::string* bad_token = nullptr);
 
 // The faults a class selector denotes in an N x B memory (exhaustive
-// generators from analysis/fault_list.h; RET uses hold_units = 1).
+// generators from analysis/fault_list.h; RET uses hold_units = 1).  A
+// selector with sample != 0 denotes a deterministic subset: an even stride
+// over the exhaustive enumeration order for SAF/TF/RET/AF (decoded without
+// materializing the full list) and a fixed-seed sampled_cfs draw for
+// coupling classes — the same selector always denotes the same faults, so
+// sampled cells stay content-addressable.
 std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsigned width);
 
 // ---- content addressing ---------------------------------------------------

@@ -27,6 +27,7 @@
 #ifndef TWM_BIST_PACKED_ENGINE_H
 #define TWM_BIST_PACKED_ENGINE_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -185,11 +186,46 @@ class PackedMarchRunnerT {
   void run_test_braked(const MarchTest& test, PackedReadSinkT<Block>& sink,
                        SessionBrakeT<Block>* brake, VerdictFn&& verdict) {
     const unsigned w = mem_.word_width();
-    // Per-lane base estimate of each word's initial content (the transparent
-    // BIST's word register, one copy per universe).
+    std::vector<Block> data(w);
+
+    if (history_free_relative(test)) {
+      // Every relative write is preceded by a read of the same word earlier
+      // in its element's op list, so by the time the write fires the "most
+      // recent read of this word" is the one just performed at the current
+      // address: the base estimate register shrinks to O(width) instead of
+      // an O(words x width) shadow copy of the memory.
+      std::vector<Block> cur(w);
+      std::size_t cur_addr = static_cast<std::size_t>(-1);
+      sweep_braked(
+          test,
+          [&](std::size_t addr, const Op& op, const Block* mask) {
+            if (op.is_read()) {
+              const Block* v = mem_.read(addr);
+              sink.on_read(addr, v);
+              for (unsigned j = 0; j < w; ++j) cur[j] = v[j] ^ mask[j];
+              cur_addr = addr;
+              return;
+            }
+            if (op.data.relative) {
+              if (cur_addr != addr)
+                throw std::logic_error("run_test: transparent write before any read of word");
+              for (unsigned j = 0; j < w; ++j) data[j] = cur[j] ^ mask[j];
+              mem_.write(addr, data.data());
+            } else {
+              // Absolute write: mask(w) == value(w, ·), lane-uniform.
+              mem_.write(addr, mask);
+            }
+          },
+          brake, std::forward<VerdictFn>(verdict));
+      return;
+    }
+
+    // General fallback for tests whose relative writes consume a read from
+    // an earlier element: the full per-lane base estimate of each word's
+    // initial content (the transparent BIST's word register, one copy per
+    // universe).
     std::vector<Block> base(mem_.num_words() * w);
     std::vector<bool> valid(mem_.num_words(), false);
-    std::vector<Block> data(w);
 
     sweep_braked(
         test,
@@ -241,6 +277,24 @@ class PackedMarchRunnerT {
                                                            bool want_misr = true);
 
  private:
+  // True when every relative write is preceded by a read somewhere earlier
+  // in the SAME element's op list — the transparent-march normal form.  The
+  // ops of one element run back-to-back at each address, so the read that
+  // precedes the write in the op list is also the most recent read of that
+  // word, and the per-word base history is unnecessary.
+  static bool history_free_relative(const MarchTest& test) {
+    for (const MarchElement& e : test.elements) {
+      bool read_seen = false;
+      for (const Op& op : e.ops) {
+        if (op.is_read())
+          read_seen = true;
+        else if (op.data.relative && !read_seen)
+          return false;
+      }
+    }
+    return true;
+  }
+
   // A pass that runs to completion regardless of the brake (the prediction
   // pass) still reports its march elements to the progress counters.
   static void sweep_count_only(const MarchTest& test, SessionBrakeT<Block>* brake) {
@@ -295,21 +349,64 @@ class PackedMarchRunnerT {
 
 namespace packed_detail {
 
-// Records the full packed read stream (flattened lane blocks).
+// Records the packed read stream, compressed.  Reads of unfaulted words are
+// lane-uniform (every lane holds the golden value), so the common case
+// stores one bit per bit-plane; only reads whose lanes diverge — a bounded
+// set, proportional to the fault footprint, not the geometry — keep their
+// full lane blocks in a position-sorted side table.  This turns the
+// prediction stream of a W-word march from O(W x width x sizeof(Block))
+// into O(W x width / 8) bytes plus the divergent tail.
 template <class Block>
 class StreamRecorder final : public PackedReadSinkT<Block> {
  public:
-  explicit StreamRecorder(unsigned width) : width_(width) {}
-  void reserve_reads(std::size_t reads) { stream_.reserve(reads * width_); }
+  explicit StreamRecorder(unsigned width) : width_(width), scratch_(width) {}
+  void reserve_reads(std::size_t reads) { bits_.reserve((reads * width_ + 63) / 64); }
+
   void on_read(std::size_t, const Block* value) override {
-    stream_.insert(stream_.end(), value, value + width_);
+    bool divergent = false;
+    for (unsigned j = 0; j < width_ && !divergent; ++j)
+      divergent = block_any(value[j]) && block_any(~value[j]);
+    const std::size_t base = count_ * width_;
+    bits_.resize((base + width_ + 63) / 64, 0);
+    if (divergent) {
+      divergent_.push_back({count_, blocks_.size()});
+      blocks_.insert(blocks_.end(), value, value + width_);
+    } else {
+      for (unsigned j = 0; j < width_; ++j)
+        if (block_any(value[j]))
+          bits_[(base + j) >> 6] |= std::uint64_t{1} << ((base + j) & 63);
+    }
+    ++count_;
   }
-  std::size_t reads() const { return stream_.size() / width_; }
-  const Block* at(std::size_t i) const { return &stream_[i * width_]; }
+
+  std::size_t reads() const { return count_; }
+
+  // The returned pointer is valid until the next at() call.
+  const Block* at(std::size_t i) const {
+    const auto it = std::lower_bound(
+        divergent_.begin(), divergent_.end(), i,
+        [](const Entry& e, std::size_t pos) { return e.pos < pos; });
+    if (it != divergent_.end() && it->pos == i) return &blocks_[it->offset];
+    const std::size_t base = i * width_;
+    for (unsigned j = 0; j < width_; ++j)
+      scratch_[j] = ((bits_[(base + j) >> 6] >> ((base + j) & 63)) & 1u)
+                        ? block_ones<Block>()
+                        : Block{};
+    return scratch_.data();
+  }
 
  private:
+  struct Entry {
+    std::size_t pos;     // read index in the stream
+    std::size_t offset;  // into blocks_ (width_ lane blocks per entry)
+  };
+
   unsigned width_;
-  std::vector<Block> stream_;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> bits_;  // [pos * width + j] -> uniform lane bit
+  std::vector<Entry> divergent_;     // appended in stream order => sorted
+  std::vector<Block> blocks_;
+  mutable std::vector<Block> scratch_;
 };
 
 // Feeds reads into a packed MISR and/or diffs them against a recorded

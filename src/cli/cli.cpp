@@ -86,6 +86,24 @@ std::optional<unsigned> flag_unsigned(const Options& o, const std::string& key,
   }
 }
 
+// Full-range variant for quantities that exceed 32 bits on huge-memory
+// campaigns (--words on a 16M+-word geometry is routine).
+std::optional<std::uint64_t> flag_u64(const Options& o, const std::string& key,
+                                      std::optional<std::uint64_t> fallback,
+                                      std::ostream& err) {
+  auto it = o.flags.find(key);
+  if (it == o.flags.end()) {
+    if (!fallback) err << "error: --" << key << " is required\n";
+    return fallback;
+  }
+  try {
+    return static_cast<std::uint64_t>(std::stoull(it->second));
+  } catch (const std::exception&) {
+    err << "error: --" << key << " expects a number, got '" << it->second << "'\n";
+    return std::nullopt;
+  }
+}
+
 // Parses "saf:W.B=V", "tf:W.B=u|d", "ret:W.B=V".
 std::optional<Fault> parse_fault(const std::string& spec, std::ostream& err) {
   const auto colon = spec.find(':');
@@ -264,10 +282,10 @@ std::optional<api::CampaignSpec> spec_from_flags(const Options& o, std::ostream&
   api::CampaignSpec spec;
   if (o.positional.size() >= 2) spec.march = o.positional[1];
   const auto width = flag_unsigned(o, "width", std::nullopt, err);
-  const auto words = flag_unsigned(o, "words", std::nullopt, err);
+  const auto words = flag_u64(o, "words", std::nullopt, err);
   if (!width || !words) return std::nullopt;
   spec.width = *width;
-  spec.words = *words;
+  spec.words = static_cast<std::size_t>(*words);
 
   const auto threads = flag_unsigned(o, "threads", 1u, err);
   if (!threads) return std::nullopt;
@@ -311,6 +329,12 @@ std::optional<api::CampaignSpec> spec_from_flags(const Options& o, std::ostream&
       return std::nullopt;
     }
     spec.collapse = *on;
+  }
+
+  if (o.flags.count("regions")) {
+    const auto regions = flag_unsigned(o, "regions", std::nullopt, err);
+    if (!regions) return std::nullopt;
+    spec.regions = *regions;  // range/power-of-two vetting is validate()'s
   }
 
   const auto scheme_it = o.flags.find("scheme");
@@ -363,7 +387,7 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
     err << "usage: coverage <march> --width B --words N [--scheme S|all] [--classes C,..]\n"
            "                [--seeds 0,1,2] [--backend scalar|packed] [--threads T]\n"
            "                [--simd auto|64|256|512] [--schedule dense|repack]\n"
-           "                [--collapse on|off]\n";
+           "                [--collapse on|off] [--regions N]\n";
     return 1;
   }
   const auto spec = spec_from_flags(o, err);
@@ -391,7 +415,8 @@ int cmd_spec(const Options& o, std::ostream& out, std::ostream& err) {
 
 int cmd_run(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.positional.size() < 2) {
-    err << "usage: run <spec.json> [--sink jsonl|csv|table] [--out F]\n";
+    err << "usage: run <spec.json> [--sink jsonl|csv|table] [--out F]\n"
+           "           [--regions N] [--checkpoint F]\n";
     return 1;
   }
   const std::string& path = o.positional[1];
@@ -417,6 +442,25 @@ int cmd_run(const Options& o, std::ostream& out, std::ostream& err) {
   if (specs.empty()) {
     err << "error: " << path << ": batch contains no specs\n";
     return 1;
+  }
+
+  // --regions overrides the spec's run.regions (handy for sweeping the
+  // shard count over a stored spec without editing it); --checkpoint
+  // persists per-region progress and resumes an interrupted run.  A
+  // checkpoint file tracks ONE campaign, so it rejects batches.
+  std::string checkpoint_path;
+  if (auto it = o.flags.find("checkpoint"); it != o.flags.end()) {
+    if (specs.size() > 1) {
+      err << "error: --checkpoint tracks a single campaign, got a batch of "
+          << specs.size() << " specs\n";
+      return 1;
+    }
+    checkpoint_path = it->second;
+  }
+  if (o.flags.count("regions")) {
+    const auto regions = flag_unsigned(o, "regions", std::nullopt, err);
+    if (!regions) return 1;
+    for (api::CampaignSpec& spec : specs) spec.regions = *regions;
   }
 
   bool valid = true;
@@ -457,7 +501,9 @@ int cmd_run(const Options& o, std::ostream& out, std::ostream& err) {
   else
     sink = std::make_unique<api::TableSink>(*dest);
 
-  for (const api::CampaignSpec& spec : specs) api::run_campaign(spec, sink.get());
+  for (const api::CampaignSpec& spec : specs)
+    api::run_campaign(spec, sink.get(), /*cache=*/nullptr, /*cache_stats=*/nullptr,
+                      checkpoint_path);
   return 0;
 }
 

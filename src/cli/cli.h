@@ -18,7 +18,7 @@
 //            s1|tomt|ref|womarch|all] [--classes saf,tf,cfst,cfid,cfin,ret,af]
 //            [--seeds 0,1,2] [--backend scalar|packed] [--threads T]
 //            [--simd auto|64|256|512] [--schedule dense|repack]
-//            [--collapse on|off]
+//            [--collapse on|off] [--regions N]
 //                                          per-fault-class coverage campaign
 //                                          on the selected simulation backend
 //                                          (packed = one fault universe per
@@ -36,7 +36,11 @@
 //                                          faults (--collapse off isolates
 //                                          that), dense is the verdict-
 //                                          identical static reference
-//                                          scheduler
+//                                          scheduler; --regions N shards the
+//                                          fault list by victim address slice
+//                                          so a huge-memory campaign touches
+//                                          one region's page working set at a
+//                                          time (verdict-identical for any N)
 //   simd [--json]                          lane-block width support table for
 //                                          this CPU (cpuid probe) and the
 //                                          width `auto` resolves to; --json
@@ -47,11 +51,18 @@
 //                                          coverage command line denotes —
 //                                          the migration bridge from flags
 //                                          to declarative spec files
-//   run <spec.json> [--sink jsonl|csv|table] [--out F]
+//   run <spec.json> [--sink jsonl|csv|table] [--out F] [--regions N]
+//       [--checkpoint F]
 //                                          execute the campaign(s) in a spec
 //                                          file (single object or batch
 //                                          array), streaming per-unit
-//                                          records into the selected sink
+//                                          records into the selected sink;
+//                                          --regions overrides run.regions;
+//                                          --checkpoint (single spec only)
+//                                          persists per-region progress after
+//                                          every region settles and resumes
+//                                          an interrupted run of the same
+//                                          spec from the file
 //   serve [--host A] [--port P] [--cache-dir D] [--cache-entries N]
 //         [--max-clients M]
 //                                          campaign daemon: accepts submit

@@ -149,10 +149,7 @@ typename Engine::Verdict run_campaign_unit(const SchemePlan& plan, std::size_t w
                                            std::uint64_t seed,
                                            typename Engine::Brake* brake = nullptr) {
   typename Engine::Memory mem(words, plan.width);
-  if (seed != 0) {
-    Rng rng(seed);
-    mem.fill_random(rng);
-  }
+  if (seed != 0) mem.fill_seeded(seed);
 
   // TOMT's parity protection was established while the memory was healthy.
   std::vector<bool> ledger;
@@ -174,12 +171,10 @@ typename Engine::Verdict run_campaign_unit_in(typename Engine::Memory& mem,
                                               unsigned count, std::uint64_t seed,
                                               typename Engine::Brake* brake = nullptr) {
   mem.clear_faults();
-  if (seed == 0) {
-    mem.fill(BitVec::zeros(plan.width));
-  } else {
-    Rng rng(seed);
-    mem.fill_random(rng);
-  }
+  // Seed 0 = all-zero background; otherwise the cached per-seed baseline
+  // (contents of fill_random(Rng(seed))).  Either way the refill is O(live
+  // pages), not O(words), and repack rounds reuse freed pages.
+  mem.fill_seeded(seed);
 
   std::vector<bool> ledger;
   if (plan.scheme == SchemeKind::TomtModel) ledger = make_parity_ledger(mem);

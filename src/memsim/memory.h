@@ -22,10 +22,19 @@
 //      other effect on the same cell).
 // A read returns the stored word, distorted by any AF decoder fault on the
 // address (AFna: floating bus zeros; AFaw: wired-AND of the decoded words).
+//
+// Storage is paged like PackedMemoryT's (64-word pages over a lazy
+// background — a broadcast pattern or a seeded/loaded per-word baseline),
+// so a huge-geometry memory only allocates the pages a test actually
+// touches instead of an O(words) vector<BitVec>; fill()/fill_seeded()
+// reset in O(live pages) and recycle freed pages through a free-list.
 #ifndef TWM_MEMSIM_MEMORY_H
 #define TWM_MEMSIM_MEMORY_H
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "memsim/fault.h"
@@ -52,7 +61,7 @@ class Memory : public MemoryIf {
   Memory(std::size_t num_words, unsigned word_width);
 
   unsigned word_width() const override { return width_; }
-  std::size_t num_words() const override { return state_.size(); }
+  std::size_t num_words() const override { return words_; }
 
   BitVec read(std::size_t addr) override;
   void write(std::size_t addr, const BitVec& data) override;
@@ -73,23 +82,79 @@ class Memory : public MemoryIf {
   void load(const std::vector<BitVec>& contents);
   void fill(const BitVec& pattern);
   void fill_random(Rng& rng);
+  // Contents of fill_random(Rng(seed)) for seed != 0, fill(zeros) for seed
+  // 0 — the campaign unit contract — with the generated baseline cached
+  // per seed so repeated refills don't regenerate it.
+  void fill_seeded(std::uint64_t seed);
 
-  const BitVec& peek(std::size_t addr) const { return state_.at(addr); }
-  std::vector<BitVec> snapshot() const { return state_; }
-  bool equals(const std::vector<BitVec>& snap) const { return state_ == snap; }
+  BitVec peek(std::size_t addr) const;
+  std::vector<BitVec> snapshot() const;
+  bool equals(const std::vector<BitVec>& snap) const;
 
   // Number of read + write port operations performed (test-length metering).
   std::uint64_t op_count() const { return ops_; }
   void reset_op_count() { ops_ = 0; }
 
+  // --- page accounting (bench/stats surface) ----------------------------
+  std::size_t pages_live() const { return materialized_.size(); }
+  std::size_t pages_peak() const { return pages_peak_; }
+  // The scalar simulator has no lane-block representation; its pages are
+  // all the cheap limb form.  Mirrors PackedMemoryT's accounting surface so
+  // the campaign executor can report either backend.
+  std::size_t packed_pages_live() const { return 0; }
+  std::size_t packed_pages_peak() const { return 0; }
+  std::uint64_t page_allocations() const { return page_allocs_; }
+
  private:
-  bool get_bit(const CellAddr& c) const { return state_[c.word].get(c.bit); }
-  void set_bit(const CellAddr& c, bool v) { state_[c.word].set(c.bit, v); }
+  // One page: 64 words x width bits, i.e. width_ limbs.
+  struct Page {
+    std::vector<std::uint64_t> bits;
+  };
+  using Baseline = std::shared_ptr<const std::vector<std::uint64_t>>;
+
+  static bool get_limb_bit(const std::uint64_t* limbs, std::size_t pos) {
+    return (limbs[pos >> 6] >> (pos & 63)) & 1u;
+  }
+  static void set_limb_bit(std::uint64_t* limbs, std::size_t pos, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (pos & 63);
+    if (v)
+      limbs[pos >> 6] |= m;
+    else
+      limbs[pos >> 6] &= ~m;
+  }
+
+  bool cell_bit(std::size_t addr, unsigned j) const;
+  bool get_bit(const CellAddr& c) const { return cell_bit(c.word, c.bit); }
+  void set_bit(const CellAddr& c, bool v);
+  BitVec word_at(std::size_t addr) const;
+  void set_word(std::size_t addr, const BitVec& v);
+
+  Page& page_for_write(std::size_t addr);
+  void drop_pages();
+  void set_background_bits(Baseline bits);
+  Baseline generate_bits(Rng& rng) const;
+
   // Steps 4 and 5 of the write semantics; also run after load().
   void enforce_static_faults();
 
+  std::size_t words_;
   unsigned width_;
-  std::vector<BitVec> state_;
+
+  // [addr >> kMemPageShift (packed_memory.h)] -> page, or null while the
+  // page reads as the background.
+  std::vector<std::unique_ptr<Page>> table_;
+  std::vector<std::unique_ptr<Page>> free_;
+  std::vector<std::size_t> materialized_;
+  std::size_t pages_peak_ = 0;
+  std::uint64_t page_allocs_ = 0;
+
+  // Background of unmaterialized pages: a broadcast pattern (one page of it
+  // pre-expanded into pattern_limbs_) or a shared per-word bit baseline.
+  std::vector<std::uint64_t> pattern_limbs_;
+  BitVec bg_pattern_;
+  Baseline bg_bits_;  // null -> pattern background
+  std::map<std::uint64_t, Baseline> baselines_;
+
   std::vector<Fault> faults_;
   // Pause units since the last write of each retention fault's cell;
   // parallel to the RET entries' order of appearance in faults_.

@@ -21,22 +21,47 @@
 // would produce for its fault subset (tests/packed_memory_test.cpp proves
 // this differentially).
 //
+// Storage is PAGED, not dense.  A dense [addr * width + bit] lane-block
+// array costs words x width x sizeof(Block) — ~8 GiB for 16M words at
+// width 8 on the 512-lane backend — which caps workloads at toy
+// geometries.  Instead the address space is split into fixed 64-word
+// pages, each in one of three states:
+//
+//   * background — no page object at all; every cell reads as the fill
+//     background (a broadcast pattern, or one word of a seeded/loaded
+//     per-word bit baseline).  This is what fill()/fill_seeded() leave
+//     behind: an O(live pages) reset instead of an O(words) rewrite.
+//   * scalar — the page has been written, but only with lane-uniform
+//     (broadcast) data and holds no fault; it stores one bit per cell
+//     (64 x width bits), a ~sizeof(Block)*8 compression.  March sweeps
+//     over fault-free regions stay in this representation.
+//   * packed — full lane blocks plus the per-word fault index buckets.
+//     Every word in any injected fault's footprint (victim, aggressor,
+//     alias target) is materialized packed at inject() time and stays
+//     packed until the faults are cleared; a lane-divergent write to a
+//     fault-free page also promotes it.
+//
+// The invariant that fault footprints are always packed is what keeps the
+// port fast paths sound: an operation on a non-packed page can touch no
+// fault (its buckets are empty by construction) and lane-uniform state,
+// so it skips the fault machinery entirely.  Pages freed by a refill go
+// to a free-list and are reused, so the repack scheduler's
+// clear_faults()/fill() round rebuild allocates nothing in steady state.
+//
 // Wide batches carry proportionally more faults per memory, so the port
 // operations must not scan the whole fault list: faults are indexed by
-// class and address at injection time, and static-fault enforcement after
-// a write walks only the CFst/SAF faults whose aggressor or victim lives
-// in a word the write disturbed.  Entries the walk skips are idempotent
-// no-ops: statics were already enforced after the previous operation,
-// nothing in their words changed since, and — the load-bearing condition —
-// no *other* fault's effect can re-activate them, because every injected
-// lane mask is pairwise disjoint (one fault per universe, the campaign
-// contract), so cross-fault CFst chains cannot exist.  The moment two
-// faults share a lane (multi-fault universes, as the differential tests
-// build) the simulator detects the overlap at inject time and falls back
-// to the global two-pass enforcement the scalar Memory performs.  This
-// keeps per-write fault work proportional to the faults the write can
-// actually disturb, which is what lets 256/512-lane blocks turn into real
-// throughput instead of longer fault scans.
+// class and address at injection time (in per-page buckets), and
+// static-fault enforcement after a write walks only the CFst/SAF faults
+// whose aggressor or victim lives in a word the write disturbed.  Entries
+// the walk skips are idempotent no-ops: statics were already enforced
+// after the previous operation, nothing in their words changed since, and
+// — the load-bearing condition — no *other* fault's effect can
+// re-activate them, because every injected lane mask is pairwise disjoint
+// (one fault per universe, the campaign contract), so cross-fault CFst
+// chains cannot exist.  The moment two faults share a lane (multi-fault
+// universes, as the differential tests build) the simulator detects the
+// overlap at inject time and falls back to the global two-pass
+// enforcement the scalar Memory performs.
 //
 // A packed word is passed around as `const Block*` / `Block*` spanning
 // word_width() entries; entry j is bit j of the word across all lanes.
@@ -53,7 +78,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "memsim/fault.h"
@@ -68,6 +96,14 @@ inline constexpr unsigned kPackedLanes = 64;
 // Bit k set = the fault / event applies to (happened in) lane k.  The
 // 64-lane backend's mask type; wide backends use their Block as the mask.
 using LaneMask = std::uint64_t;
+
+// Page geometry shared by the packed and scalar paged simulators: 64 words
+// per page keeps a packed page (64 x width lane blocks + fault buckets)
+// tens of KiB even at 512 lanes, while the page table stays words/64
+// pointers.
+inline constexpr unsigned kMemPageShift = 6;
+inline constexpr std::size_t kMemPageWords = std::size_t{1} << kMemPageShift;
+inline constexpr std::size_t kMemPageMask = kMemPageWords - 1;
 
 // Broadcasts a lane-uniform (fault-free) word into packed form: entry j is
 // the all-ones or all-zero lane block of the word's bit j.
@@ -89,19 +125,24 @@ class PackedMemoryT {
   PackedMemoryT(std::size_t num_words, unsigned word_width)
       : words_(num_words),
         width_(word_width),
-        state_(num_words * word_width),
-        tf_at_(num_words),
-        dyn_at_(num_words),
-        af_at_(num_words),
-        ret_at_(num_words),
-        cfst_at_(num_words),
-        saf_at_(num_words),
         old_(word_width),
         next_(word_width),
-        read_buf_(word_width) {
+        read_buf_(word_width),
+        peek_buf_(word_width) {
     if (num_words == 0 || word_width == 0)
       throw std::invalid_argument("PackedMemory: empty geometry");
+    table_.resize((num_words + kMemPageWords - 1) / kMemPageWords);
+    bg_pattern_ = BitVec::zeros(width_);
+    pattern_limbs_.assign(width_, 0);  // 64 copies of the all-zero pattern
   }
+
+  // The background baseline pointers reference this object's own storage;
+  // copying would leave the copy aliasing the original.  Nothing copies a
+  // packed memory (workers construct their own), so forbid it outright.
+  PackedMemoryT(const PackedMemoryT&) = delete;
+  PackedMemoryT& operator=(const PackedMemoryT&) = delete;
+  PackedMemoryT(PackedMemoryT&&) = default;
+  PackedMemoryT& operator=(PackedMemoryT&&) = default;
 
   unsigned word_width() const { return width_; }
   std::size_t num_words() const { return words_; }
@@ -112,12 +153,20 @@ class PackedMemoryT {
   const Block* read(std::size_t addr) {
     ++ops_;
     if (addr >= words_) throw std::out_of_range("PackedMemory::read");
-    const Block* word = &state_[addr * width_];
-    if (af_at_[addr].empty()) return word;
+    const Page* p = table_[addr >> kMemPageShift].get();
+    if (!p || !p->packed) {
+      // Fault footprints are always packed, so no decoder fault can
+      // distort this port read — broadcast the scalar value.
+      expand_word(addr, p, read_buf_.data());
+      return read_buf_.data();
+    }
+    const Block* word = &p->cells[(addr & kMemPageMask) * width_];
+    const auto& af = p->buckets[kAf * kMemPageWords + (addr & kMemPageMask)];
+    if (af.empty()) return word;
     // AF port distortion, per fault in injection order: AFna lanes see the
     // floating bus (zeros), AFaw lanes the wired-AND of every decoded cell.
     std::copy(word, word + width_, read_buf_.begin());
-    for (const std::uint32_t i : af_at_[addr]) {
+    for (const std::uint32_t i : af) {
       const LaneFault& lf = faults_[i];
       const Block keep = ~lf.lanes;
       if (lf.fault.cls == FaultClass::AFna) {
@@ -134,7 +183,32 @@ class PackedMemoryT {
   void write(std::size_t addr, const Block* data) {
     ++ops_;
     if (addr >= words_) throw std::out_of_range("PackedMemory::write");
-    Block* word = &state_[addr * width_];
+    const std::size_t pi = addr >> kMemPageShift;
+    Page* p = table_[pi].get();
+    if (!p || !p->packed) {
+      // No fault lives anywhere on this page (footprints are packed), so
+      // the write cannot trigger, suppress or disturb anything: store the
+      // scalar value — unless the data itself is lane-divergent, which
+      // forces the full lane-block representation.
+      bool uniform = true;
+      for (unsigned j = 0; j < width_; ++j) {
+        const Block& b = data[j];
+        if (block_any(b) && block_any(~b)) {
+          uniform = false;
+          break;
+        }
+      }
+      if (uniform) {
+        Page& sp = p ? *p : materialize_scalar(pi);
+        const std::size_t base = (addr & kMemPageMask) * width_;
+        for (unsigned j = 0; j < width_; ++j)
+          set_limb_bit(sp.bits.data(), base + j, block_any(data[j]));
+        return;
+      }
+      p = &materialize_packed(pi);
+    }
+    const std::size_t local = addr & kMemPageMask;
+    Block* word = &p->cells[local * width_];
     std::copy(word, word + width_, old_.begin());
     std::copy(data, data + width_, next_.begin());
     touched_.clear();
@@ -143,7 +217,7 @@ class PackedMemoryT {
     // Step 0: an AFna address decodes to no cell — the write is lost in the
     // faulted lanes (the cells keep their old value, so the later steps see
     // no transitions there).
-    for (const std::uint32_t i : af_at_[addr]) {
+    for (const std::uint32_t i : p->buckets[kAf * kMemPageWords + local]) {
       const LaneFault& lf = faults_[i];
       if (lf.fault.cls != FaultClass::AFna) continue;
       for (unsigned j = 0; j < width_; ++j)
@@ -151,7 +225,7 @@ class PackedMemoryT {
     }
 
     // Step 1: transition faults suppress the failing transition (per lane).
-    for (const std::uint32_t i : tf_at_[addr]) {
+    for (const std::uint32_t i : p->buckets[kTf * kMemPageWords + local]) {
       const LaneFault& lf = faults_[i];
       const Fault& f = lf.fault;
       const Block o = old_[f.victim.bit];
@@ -168,7 +242,7 @@ class PackedMemoryT {
     // caused by this write.  The aggressor is sampled from the live state,
     // so earlier coupling effects on the same word are seen — matching the
     // scalar simulator's fault-by-fault ordering per lane.
-    for (const std::uint32_t i : dyn_at_[addr]) {
+    for (const std::uint32_t i : p->buckets[kDyn * kMemPageWords + local]) {
       const LaneFault& lf = faults_[i];
       const Fault& f = lf.fault;
       const Block o = old_[f.aggressor.bit];
@@ -185,7 +259,7 @@ class PackedMemoryT {
     // Step 3.5: an AFaw address additionally decodes to the alias word —
     // the committed value is raw-copied there in the faulted lanes (no
     // TF/coupling interplay at the target; statics are re-enforced below).
-    for (const std::uint32_t i : af_at_[addr]) {
+    for (const std::uint32_t i : p->buckets[kAf * kMemPageWords + local]) {
       const LaneFault& lf = faults_[i];
       if (lf.fault.cls != FaultClass::AFaw) continue;
       const Block keep = ~lf.lanes;
@@ -199,7 +273,8 @@ class PackedMemoryT {
     // A write refreshes the retention clock of any leaky cell it targets
     // (the row strobe happens even when a decoder fault loses the data).
     // The refresh is lane-independent: every lane performs the same write.
-    for (const std::uint32_t p : ret_at_[addr]) ret_entries_[p].age = 0;
+    for (const std::uint32_t e : p->buckets[kRet * kMemPageWords + local])
+      ret_entries_[e].age = 0;
 
     // Steps 4 and 5, over the candidates the touched words can reach.
     enforce_statics_touched();
@@ -249,25 +324,19 @@ class PackedMemoryT {
     faults_.push_back({f, lanes});
     seen_.push_back(0);
     retired_.push_back(0);
+    // The fault's whole footprint must live in packed pages before any of
+    // its effects (or any port op near it) can be applied.
+    materialize_footprint(f);
     switch (f.cls) {
-      case FaultClass::SAF:
-        saf_all_.push_back(idx);
-        saf_at_[f.victim.word].push_back(idx);
-        break;
-      case FaultClass::TF: tf_at_[f.victim.word].push_back(idx); break;
-      case FaultClass::CFst:
-        cfst_all_.push_back(idx);
-        cfst_at_[f.aggressor.word].push_back(idx);
-        if (f.victim.word != f.aggressor.word) cfst_at_[f.victim.word].push_back(idx);
-        break;
-      case FaultClass::CFid:
-      case FaultClass::CFin: dyn_at_[f.aggressor.word].push_back(idx); break;
-      case FaultClass::RET:
-        ret_at_[f.victim.word].push_back(static_cast<std::uint32_t>(ret_entries_.size()));
-        ret_entries_.push_back({idx, 0});
-        break;
-      case FaultClass::AFna:
-      case FaultClass::AFaw: af_at_[f.victim.word].push_back(idx); break;
+      case FaultClass::SAF: saf_all_.push_back(idx); break;
+      case FaultClass::CFst: cfst_all_.push_back(idx); break;
+      default: break;
+    }
+    if (f.cls == FaultClass::RET) {
+      bucket(f.victim.word, kRet).push_back(static_cast<std::uint32_t>(ret_entries_.size()));
+      ret_entries_.push_back({idx, 0});
+    } else {
+      index_fault_buckets(idx);
     }
     // Enforce the new fault's static condition.  With pairwise-disjoint
     // lane masks only the new fault itself can be newly active (its lanes
@@ -291,12 +360,11 @@ class PackedMemoryT {
     saf_all_.clear();
     cfst_all_.clear();
     ret_entries_.clear();
-    for (auto& v : tf_at_) v.clear();
-    for (auto& v : dyn_at_) v.clear();
-    for (auto& v : af_at_) v.clear();
-    for (auto& v : ret_at_) v.clear();
-    for (auto& v : cfst_at_) v.clear();
-    for (auto& v : saf_at_) v.clear();
+    for (const std::size_t pi : materialized_) {
+      Page& p = *table_[pi];
+      if (!p.packed) continue;
+      for (auto& b : p.buckets) b.clear();
+    }
     lanes_union_ = Block{};
     lanes_overlap_ = false;
     retired_union_ = Block{};
@@ -327,25 +395,25 @@ class PackedMemoryT {
       switch (f.cls) {
         case FaultClass::SAF:
           unindex(saf_all_, i);
-          unindex(saf_at_[f.victim.word], i);
+          unindex(bucket(f.victim.word, kSaf), i);
           break;
-        case FaultClass::TF: unindex(tf_at_[f.victim.word], i); break;
+        case FaultClass::TF: unindex(bucket(f.victim.word, kTf), i); break;
         case FaultClass::CFst:
           unindex(cfst_all_, i);
-          unindex(cfst_at_[f.aggressor.word], i);
-          if (f.victim.word != f.aggressor.word) unindex(cfst_at_[f.victim.word], i);
+          unindex(bucket(f.aggressor.word, kCfst), i);
+          if (f.victim.word != f.aggressor.word) unindex(bucket(f.victim.word, kCfst), i);
           break;
         case FaultClass::CFid:
-        case FaultClass::CFin: unindex(dyn_at_[f.aggressor.word], i); break;
+        case FaultClass::CFin: unindex(bucket(f.aggressor.word, kDyn), i); break;
         case FaultClass::RET:
-          for (std::size_t p = 0; p < ret_entries_.size(); ++p)
-            if (ret_entries_[p].idx == i) {
-              ret_entries_[p].dead = true;
-              unindex(ret_at_[f.victim.word], static_cast<std::uint32_t>(p));
+          for (std::size_t e = 0; e < ret_entries_.size(); ++e)
+            if (ret_entries_[e].idx == i) {
+              ret_entries_[e].dead = true;
+              unindex(bucket(f.victim.word, kRet), static_cast<std::uint32_t>(e));
             }
           break;
         case FaultClass::AFna:
-        case FaultClass::AFaw: unindex(af_at_[f.victim.word], i); break;
+        case FaultClass::AFaw: unindex(bucket(f.victim.word, kAf), i); break;
       }
     }
   }
@@ -356,29 +424,57 @@ class PackedMemoryT {
       throw std::invalid_argument("PackedMemory::load: word count mismatch");
     for (const auto& w : contents)
       if (w.width() != width_) throw std::invalid_argument("PackedMemory::load: width mismatch");
-    for (std::size_t a = 0; a < words_; ++a) broadcast_into(contents[a], &state_[a * width_]);
-    enforce_static_faults();
+    loaded_bits_.assign(table_.size() * width_, 0);
+    for (std::size_t a = 0; a < words_; ++a)
+      for (unsigned j = 0; j < width_; ++j)
+        set_limb_bit(loaded_bits_.data(), a * width_ + j, contents[a].get(j));
+    set_background_bits(loaded_bits_.data());
   }
 
   void fill(const BitVec& pattern) {
     if (pattern.width() != width_)
       throw std::invalid_argument("PackedMemory::fill: width mismatch");
-    for (std::size_t a = 0; a < words_; ++a) broadcast_into(pattern, &state_[a * width_]);
-    enforce_static_faults();
+    bg_pattern_ = pattern;
+    bg_bits_ = nullptr;
+    pattern_limbs_.assign(width_, 0);
+    for (std::size_t w = 0; w < kMemPageWords; ++w)
+      for (unsigned j = 0; j < width_; ++j)
+        set_limb_bit(pattern_limbs_.data(), w * width_ + j, pattern.get(j));
+    reset_to_background();
   }
 
   void fill_random(Rng& rng) {
     // Consumes the generator exactly like Memory::fill_random, so the same
     // seed broadcasts the same contents the scalar evaluation path sees.
-    for (std::size_t a = 0; a < words_; ++a)
-      broadcast_into(rng.next_word(width_), &state_[a * width_]);
-    enforce_static_faults();
+    generate_bits(rng, loaded_bits_);
+    set_background_bits(loaded_bits_.data());
+  }
+
+  // Contents of fill_random(Rng(seed)) for seed != 0, fill(zeros) for seed
+  // 0 — the campaign unit contract — but with the generated baseline
+  // cached per seed, so the repack scheduler's seed-major rounds pay the
+  // O(words) generation once per (worker, seed) instead of once per unit.
+  void fill_seeded(std::uint64_t seed) {
+    if (seed == 0) {
+      fill(BitVec::zeros(width_));
+      return;
+    }
+    auto& bits = baselines_[seed];
+    if (bits.empty()) {
+      Rng rng(seed);
+      generate_bits(rng, bits);
+    }
+    set_background_bits(bits.data());
   }
 
   // Lane extraction for differential checking against the scalar Memory.
   bool lane_bit(unsigned lane, std::size_t addr, unsigned bit) const {
     if (lane >= block_lanes_v<Block>) throw std::out_of_range("PackedMemory::lane_bit");
-    return block_bit(state_.at(addr * width_ + bit), lane);
+    if (addr >= words_ || bit >= width_) throw std::out_of_range("PackedMemory::lane_bit");
+    const Page* p = table_[addr >> kMemPageShift].get();
+    if (p && p->packed)
+      return block_bit(p->cells[(addr & kMemPageMask) * width_ + bit], lane);
+    return scalar_bit(addr, p, bit);
   }
   BitVec lane_word(unsigned lane, std::size_t addr) const {
     BitVec v(width_);
@@ -387,10 +483,32 @@ class PackedMemoryT {
   }
 
   // Direct cell access (no port-op accounting, no AF port distortion).
-  const Block* peek(std::size_t addr) const { return &state_[addr * width_]; }
+  // Non-packed words are expanded into an internal buffer, valid until the
+  // next peek or port operation.
+  const Block* peek(std::size_t addr) const {
+    if (addr >= words_) throw std::out_of_range("PackedMemory::peek");
+    const Page* p = table_[addr >> kMemPageShift].get();
+    if (p && p->packed) return &p->cells[(addr & kMemPageMask) * width_];
+    expand_word(addr, p, peek_buf_.data());
+    return peek_buf_.data();
+  }
 
   std::uint64_t op_count() const { return ops_; }
   void reset_op_count() { ops_ = 0; }
+
+  // --- page accounting (bench/stats surface) ----------------------------
+  std::size_t pages_live() const { return materialized_.size(); }
+  std::size_t pages_peak() const { return pages_peak_; }
+  // Pages holding full lane blocks — the expensive representation (64 x
+  // width lane blocks vs a scalar page's width limbs).  Bounded by the
+  // batch's fault footprint plus lane-divergent write spill, not by
+  // `words`: this is the memory-budget claim for huge geometries in one
+  // number.
+  std::size_t packed_pages_live() const { return packed_pages_; }
+  std::size_t packed_pages_peak() const { return packed_pages_peak_; }
+  // Fresh heap allocations; stays flat across refill rounds once the
+  // free-list is warm (the allocation-free repack contract).
+  std::uint64_t page_allocations() const { return page_allocs_; }
 
  private:
   struct LaneFault {
@@ -402,12 +520,192 @@ class PackedMemoryT {
     unsigned age;       // pause units since the cell's last write
     bool dead = false;  // retired via retire_lanes; skipped by elapse()
   };
+  // Per-page fault buckets, one per class kind per local word.
+  static constexpr unsigned kTf = 0, kDyn = 1, kAf = 2, kRet = 3, kCfst = 4, kSaf = 5;
+  static constexpr unsigned kBucketKinds = 6;
 
-  Block& cell(const CellAddr& c) { return state_[c.word * width_ + c.bit]; }
-  const Block& cell(const CellAddr& c) const { return state_[c.word * width_ + c.bit]; }
-  // Broadcast without the temporary vector broadcast_block allocates.
-  void broadcast_into(const BitVec& word, Block* dst) const {
-    for (unsigned j = 0; j < width_; ++j) dst[j] = word.get(j) ? block_ones<Block>() : Block{};
+  struct Page {
+    bool packed = false;
+    // scalar representation: bit (local * width + j); width limbs total.
+    std::vector<std::uint64_t> bits;
+    // packed representation: [local * width + bit] lane blocks.
+    std::vector<Block> cells;
+    // [kind * kMemPageWords + local] -> fault indexes, injection order.
+    // Sized only for packed pages.
+    std::vector<std::vector<std::uint32_t>> buckets;
+  };
+
+  static bool get_limb_bit(const std::uint64_t* limbs, std::size_t pos) {
+    return (limbs[pos >> 6] >> (pos & 63)) & 1u;
+  }
+  static void set_limb_bit(std::uint64_t* limbs, std::size_t pos, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (pos & 63);
+    if (v)
+      limbs[pos >> 6] |= m;
+    else
+      limbs[pos >> 6] &= ~m;
+  }
+
+  // Scalar value of bit j of a word on a non-packed page.
+  bool scalar_bit(std::size_t addr, const Page* p, unsigned j) const {
+    if (p) return get_limb_bit(p->bits.data(), (addr & kMemPageMask) * width_ + j);
+    if (bg_bits_) return get_limb_bit(bg_bits_, addr * width_ + j);
+    return bg_pattern_.get(j);
+  }
+
+  // Broadcasts a non-packed word into `dst` (width_ blocks).
+  void expand_word(std::size_t addr, const Page* p, Block* dst) const {
+    for (unsigned j = 0; j < width_; ++j)
+      dst[j] = scalar_bit(addr, p, j) ? block_ones<Block>() : Block{};
+  }
+
+  // --- page lifecycle ----------------------------------------------------
+  Page& acquire_page(std::size_t pi) {
+    std::unique_ptr<Page>& slot = table_[pi];
+    if (!free_.empty()) {
+      slot = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      slot = std::make_unique<Page>();
+      ++page_allocs_;
+    }
+    materialized_.push_back(pi);
+    pages_peak_ = std::max(pages_peak_, materialized_.size());
+    return *slot;
+  }
+
+  // Materializes a background page in scalar form.
+  Page& materialize_scalar(std::size_t pi) {
+    Page& p = acquire_page(pi);
+    p.packed = false;
+    p.bits.assign(width_, 0);
+    if (bg_bits_)
+      std::copy(bg_bits_ + pi * width_, bg_bits_ + (pi + 1) * width_, p.bits.begin());
+    else
+      std::copy(pattern_limbs_.begin(), pattern_limbs_.end(), p.bits.begin());
+    return p;
+  }
+
+  // Materializes (or promotes) a page to the full lane-block form.
+  Page& materialize_packed(std::size_t pi) {
+    Page* p = table_[pi].get();
+    if (p && p->packed) return *p;
+    const bool from_scalar = p != nullptr;
+    if (!p) p = &acquire_page(pi);
+    p->cells.resize(kMemPageWords * width_);
+    const std::size_t base_bit = pi * kMemPageWords * width_;
+    for (std::size_t pos = 0; pos < kMemPageWords * width_; ++pos) {
+      bool bit;
+      if (from_scalar)
+        bit = get_limb_bit(p->bits.data(), pos);
+      else if (bg_bits_)
+        bit = get_limb_bit(bg_bits_, base_bit + pos);
+      else
+        bit = get_limb_bit(pattern_limbs_.data(), pos);
+      p->cells[pos] = bit ? block_ones<Block>() : Block{};
+    }
+    p->bits.clear();
+    if (p->buckets.size() != kBucketKinds * kMemPageWords)
+      p->buckets.resize(kBucketKinds * kMemPageWords);
+    p->packed = true;
+    ++packed_pages_;
+    packed_pages_peak_ = std::max(packed_pages_peak_, packed_pages_);
+    return *p;
+  }
+
+  // Releases every materialized page to the free-list; the whole memory
+  // reads as the background afterwards.  Bucket entries are cleared here so
+  // recycled pages come back empty (capacity retained — no allocation).
+  void drop_pages() {
+    for (const std::size_t pi : materialized_) {
+      std::unique_ptr<Page>& slot = table_[pi];
+      Page& p = *slot;
+      if (p.packed) {
+        for (auto& b : p.buckets) b.clear();
+        p.cells.clear();
+        p.packed = false;
+      }
+      p.bits.clear();
+      free_.push_back(std::move(slot));
+    }
+    materialized_.clear();
+    packed_pages_ = 0;
+  }
+
+  // After a background switch: every live fault footprint is re-packed and
+  // re-indexed (injection order preserved), then statics re-enforced — the
+  // same result as the dense simulator's O(words) broadcast fill.
+  void reset_to_background() {
+    drop_pages();
+    for (std::uint32_t i = 0; i < faults_.size(); ++i) {
+      if (retired_[i]) continue;
+      const Fault& f = faults_[i].fault;
+      materialize_footprint(f);
+      if (f.cls != FaultClass::RET) index_fault_buckets(i);
+    }
+    for (std::size_t e = 0; e < ret_entries_.size(); ++e) {
+      if (ret_entries_[e].dead) continue;
+      const Fault& f = faults_[ret_entries_[e].idx].fault;
+      bucket(f.victim.word, kRet).push_back(static_cast<std::uint32_t>(e));
+    }
+    enforce_static_faults();
+  }
+
+  void set_background_bits(const std::uint64_t* bits) {
+    bg_bits_ = bits;
+    reset_to_background();
+  }
+
+  // Per-word baseline bits, padded to whole pages; consumes the generator
+  // exactly like the scalar Memory::fill_random (next_word per word).
+  void generate_bits(Rng& rng, std::vector<std::uint64_t>& bits) {
+    bits.assign(table_.size() * width_, 0);
+    for (std::size_t a = 0; a < words_; ++a)
+      for (unsigned j = 0; j < width_; ++j)
+        set_limb_bit(bits.data(), a * width_ + j, rng.next_bool());
+  }
+
+  void materialize_footprint(const Fault& f) {
+    materialize_packed(f.victim.word >> kMemPageShift);
+    if (f.is_coupling() || f.cls == FaultClass::AFaw)
+      materialize_packed(f.aggressor.word >> kMemPageShift);
+  }
+
+  // Registers a non-RET fault in its page buckets (RET buckets hold
+  // ret_entries_ positions and are handled by the callers).
+  void index_fault_buckets(std::uint32_t idx) {
+    const Fault& f = faults_[idx].fault;
+    switch (f.cls) {
+      case FaultClass::SAF: bucket(f.victim.word, kSaf).push_back(idx); break;
+      case FaultClass::TF: bucket(f.victim.word, kTf).push_back(idx); break;
+      case FaultClass::CFst:
+        bucket(f.aggressor.word, kCfst).push_back(idx);
+        if (f.victim.word != f.aggressor.word) bucket(f.victim.word, kCfst).push_back(idx);
+        break;
+      case FaultClass::CFid:
+      case FaultClass::CFin: bucket(f.aggressor.word, kDyn).push_back(idx); break;
+      case FaultClass::RET: break;
+      case FaultClass::AFna:
+      case FaultClass::AFaw: bucket(f.victim.word, kAf).push_back(idx); break;
+    }
+  }
+
+  // Bucket of a word known to live on a packed page (fault footprints).
+  std::vector<std::uint32_t>& bucket(std::size_t word, unsigned kind) {
+    Page& p = *table_[word >> kMemPageShift];
+    return p.buckets[kind * kMemPageWords + (word & kMemPageMask)];
+  }
+  const std::vector<std::uint32_t>& bucket_or_empty(std::size_t word, unsigned kind) const {
+    static const std::vector<std::uint32_t> kEmpty;
+    const Page* p = table_[word >> kMemPageShift].get();
+    if (!p || !p->packed) return kEmpty;
+    return p->buckets[kind * kMemPageWords + (word & kMemPageMask)];
+  }
+
+  // Cell of a word known to live on a packed page (fault footprints are
+  // materialized packed at inject time and stay packed).
+  Block& cell(const CellAddr& c) {
+    return table_[c.word >> kMemPageShift]->cells[(c.word & kMemPageMask) * width_ + c.bit];
   }
   // Forces `value` into the cell for the lanes in `mask`, leaving the other
   // lanes untouched.
@@ -467,18 +765,18 @@ class PackedMemoryT {
     }
     if (touched_.size() == 1) {
       const std::size_t w = touched_.front();
-      apply_statics(cfst_at_[w], saf_at_[w]);
+      apply_statics(bucket_or_empty(w, kCfst), bucket_or_empty(w, kSaf));
       return;
     }
     merge_cfst_.clear();
     merge_saf_.clear();
     for (const std::size_t w : touched_) {
-      for (const std::uint32_t i : cfst_at_[w])
+      for (const std::uint32_t i : bucket_or_empty(w, kCfst))
         if (!seen_[i]) {
           seen_[i] = 1;
           merge_cfst_.push_back(i);
         }
-      for (const std::uint32_t i : saf_at_[w])
+      for (const std::uint32_t i : bucket_or_empty(w, kSaf))
         if (!seen_[i]) {
           seen_[i] = 1;
           merge_saf_.push_back(i);
@@ -494,18 +792,30 @@ class PackedMemoryT {
 
   std::size_t words_;
   unsigned width_;
-  std::vector<Block> state_;  // [addr * width_ + bit] -> lane block
-  std::vector<LaneFault> faults_;
 
-  // Fault indexes (built incrementally at inject): per-address buckets of
-  // indexes into faults_, in injection order.
-  std::vector<std::vector<std::uint32_t>> tf_at_;   // TF by victim word
-  std::vector<std::vector<std::uint32_t>> dyn_at_;  // CFid/CFin by aggressor word
-  std::vector<std::vector<std::uint32_t>> af_at_;   // AFna/AFaw by faulty address
-  std::vector<std::vector<std::uint32_t>> ret_at_;  // RET by victim word -> ret_entries_ pos
-  std::vector<std::uint32_t> cfst_all_, saf_all_;   // statics, injection order
-  std::vector<std::vector<std::uint32_t>> cfst_at_;  // CFst by aggressor/victim word
-  std::vector<std::vector<std::uint32_t>> saf_at_;   // SAF by victim word
+  // [addr >> kMemPageShift] -> page, or null while the page still reads as
+  // the background.  O(words / 64) pointers — the only per-word-scaling
+  // allocation left.
+  std::vector<std::unique_ptr<Page>> table_;
+  std::vector<std::unique_ptr<Page>> free_;  // recycled pages (capacity kept)
+  std::vector<std::size_t> materialized_;    // page indexes with a live page
+  std::size_t pages_peak_ = 0;
+  std::size_t packed_pages_ = 0;  // subset of materialized_ in lane-block form
+  std::size_t packed_pages_peak_ = 0;
+  std::uint64_t page_allocs_ = 0;
+
+  // Background: what an unmaterialized page reads as.  Either a broadcast
+  // pattern (pattern_limbs_ caches one page worth of it) or a per-word bit
+  // baseline (seeded/loaded; bg_bits_ points into baselines_ or
+  // loaded_bits_ — this object's own storage, hence no copying).
+  BitVec bg_pattern_;
+  std::vector<std::uint64_t> pattern_limbs_;
+  const std::uint64_t* bg_bits_ = nullptr;
+  std::vector<std::uint64_t> loaded_bits_;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> baselines_;
+
+  std::vector<LaneFault> faults_;
+  std::vector<std::uint32_t> cfst_all_, saf_all_;  // statics, injection order
   std::vector<RetEntry> ret_entries_;
   Block lanes_union_{};          // OR of every injected lane mask
   bool lanes_overlap_ = false;   // two faults share a lane -> global statics
@@ -513,7 +823,8 @@ class PackedMemoryT {
   std::vector<char> retired_;    // [fault idx] dropped via retire_lanes
 
   std::vector<Block> old_, next_;  // write-path scratch (one word each)
-  std::vector<Block> read_buf_;    // AF-merged read scratch
+  std::vector<Block> read_buf_;    // AF-merged / broadcast read scratch
+  mutable std::vector<Block> peek_buf_;             // peek() expansion scratch
   std::vector<std::size_t> touched_;                // words disturbed by the current op
   std::vector<std::uint32_t> merge_cfst_, merge_saf_;  // candidate-merge scratch
   std::vector<char> seen_;                          // [fault idx] merge dedup flag

@@ -484,6 +484,141 @@ TEST(SpecContent, IdentityCoversEveryVerdictRelevantFieldAndNothingElse) {
   EXPECT_EQ(cell_key(changed, base.schemes[0], base.classes[0]), key);
 }
 
+// ---- region sharding ------------------------------------------------------
+
+TEST(SpecValidate, RegionsMustBeAPowerOfTwoWithinWords) {
+  auto s = valid_spec();
+  s.regions = 0;
+  {
+    const auto errors = validate(s);
+    ASSERT_TRUE(has_error_at(errors, "run.regions"));
+    EXPECT_NE(errors[0].message.find("at least 1"), std::string::npos);
+  }
+  s.regions = 3;
+  {
+    const auto errors = validate(s);
+    ASSERT_TRUE(has_error_at(errors, "run.regions"));
+    EXPECT_NE(errors[0].message.find("power of two"), std::string::npos);
+  }
+  s.regions = 8;  // words = 4: more shards than address slices
+  {
+    const auto errors = validate(s);
+    ASSERT_TRUE(has_error_at(errors, "run.regions"));
+    EXPECT_NE(errors[0].message.find("memory.words"), std::string::npos);
+  }
+  s.regions = 4;
+  EXPECT_TRUE(validate(s).empty());
+}
+
+TEST(SpecJson, RegionsRoundTripAndDefaultOmission) {
+  // regions = 1 is the implicit default: it must NOT appear in the JSON
+  // (pre-region spec files and golden serializations stay byte-stable).
+  auto s = valid_spec();
+  EXPECT_EQ(to_json(s, /*pretty=*/false).find("regions"), std::string::npos);
+  s.regions = 4;
+  const std::string json = to_json(s, /*pretty=*/false);
+  EXPECT_NE(json.find("\"regions\":4"), std::string::npos);
+  EXPECT_EQ(spec_from_json(json), s);
+  // Omitted -> default 1.
+  const auto parsed = spec_from_json(
+      R"({"name":"x","memory":{"words":2,"width":2},"march":"March C-",
+          "schemes":["twm"],"classes":["saf"],"seeds":[0]})");
+  EXPECT_EQ(parsed.regions, 1u);
+  // Wrong type names its path.
+  try {
+    spec_from_json(
+        R"({"name":"x","memory":{"words":2,"width":2},"march":"March C-",
+            "schemes":["twm"],"classes":["saf"],"seeds":[0],
+            "run":{"regions":"four"}})");
+    FAIL() << "expected SpecValidationError";
+  } catch (const SpecValidationError& e) {
+    EXPECT_TRUE(has_error_at(e.errors(), "run.regions"));
+  }
+}
+
+TEST(SpecJson, U64WordCountsRoundTripExactly) {
+  // Huge-memory campaigns routinely exceed 32-bit word counts; a
+  // double-based JSON number model would mangle these.
+  auto s = valid_spec();
+  for (const std::uint64_t words :
+       {std::uint64_t{16777216}, std::uint64_t{1} << 36, (std::uint64_t{1} << 53) + 1}) {
+    s.words = static_cast<std::size_t>(words);
+    const std::string json = to_json(s, /*pretty=*/false);
+    EXPECT_NE(json.find("\"words\":" + std::to_string(words)), std::string::npos) << json;
+    EXPECT_EQ(spec_from_json(json).words, s.words);
+  }
+}
+
+TEST(SpecContent, IdentityIgnoresRegionsAndCheckpointing) {
+  // Region sharding is execution-transparent (verdicts only depend on
+  // (fault, seed)), so cached cells are shared across region counts.
+  const CampaignSpec base = valid_spec();
+  CampaignSpec sharded = base;
+  sharded.regions = 4;
+  EXPECT_EQ(cell_key(sharded, base.schemes[0], base.classes[0]),
+            cell_key(base, base.schemes[0], base.classes[0]));
+}
+
+// ---- deterministic class sampling ("saf@2048") ----------------------------
+
+TEST(SpecEnums, SampledClassSpellingRoundTrips) {
+  const auto sampled = parse_class("saf@2048");
+  ASSERT_TRUE(sampled.has_value());
+  EXPECT_EQ(sampled->kind, ClassKind::Saf);
+  EXPECT_EQ(sampled->sample, 2048u);
+  EXPECT_EQ(to_string(*sampled), "saf@2048");
+  const auto scoped = parse_class("cfid:inter@1024");
+  ASSERT_TRUE(scoped.has_value());
+  EXPECT_EQ(scoped->scope, CfScope::InterWord);
+  EXPECT_EQ(scoped->sample, 1024u);
+  EXPECT_EQ(to_string(*scoped), "cfid:inter@1024");
+  // A pre-sampling selector keeps its exact spelling (identity stability).
+  EXPECT_EQ(to_string(ClassSel{ClassKind::Saf, CfScope::Both}), "saf");
+
+  EXPECT_FALSE(parse_class("saf@0").has_value());
+  EXPECT_FALSE(parse_class("saf@").has_value());
+  EXPECT_FALSE(parse_class("saf@x").has_value());
+  EXPECT_FALSE(parse_class("saf@12x").has_value());
+  EXPECT_FALSE(parse_class("saf@4294967296").has_value());  // > UINT32_MAX
+}
+
+TEST(SpecClasses, SampledFaultListIsDeterministicAndBounded) {
+  const ClassSel sel{ClassKind::Saf, CfScope::Both, 10};
+  const auto a = build_fault_list(sel, 64, 4);
+  const auto b = build_fault_list(sel, 64, 4);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cls, FaultClass::SAF);
+    EXPECT_LT(a[i].victim.word, 64u);
+    EXPECT_EQ(a[i].describe(), b[i].describe()) << "sampling must be deterministic";
+  }
+  // Requesting at least the exhaustive size degrades to the full list.
+  const auto full = build_fault_list({ClassKind::Saf, CfScope::Both}, 4, 4);
+  const auto capped = build_fault_list({ClassKind::Saf, CfScope::Both, 100000}, 4, 4);
+  ASSERT_EQ(capped.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i)
+    EXPECT_EQ(capped[i].describe(), full[i].describe());
+  // Sampled couplings respect the scope filter.
+  const auto cfs = build_fault_list({ClassKind::CFid, CfScope::InterWord, 50}, 64, 4);
+  ASSERT_EQ(cfs.size(), 50u);
+  for (const Fault& f : cfs) {
+    EXPECT_EQ(f.cls, FaultClass::CFid);
+    EXPECT_NE(f.aggressor.word, f.victim.word);
+  }
+  // The sample changes the identity (different denotation -> different key).
+  CampaignSpec s = valid_spec();
+  EXPECT_NE(cell_key(s, s.schemes[0], {ClassKind::Saf, CfScope::Both, 10}),
+            cell_key(s, s.schemes[0], {ClassKind::Saf, CfScope::Both}));
+}
+
+TEST(SpecJson, SampledClassRoundTripsThroughSpecJson) {
+  auto s = valid_spec();
+  s.classes = {{ClassKind::Saf, CfScope::Both, 2048},
+               {ClassKind::CFid, CfScope::InterWord, 1024}};
+  EXPECT_EQ(spec_from_json(to_json(s)), s);
+  EXPECT_NE(to_json(s, /*pretty=*/false).find("saf@2048"), std::string::npos);
+}
+
 TEST(SpecContent, IdentityFoldsInTheEngineRevision) {
   const CampaignSpec s = valid_spec();
   const std::string identity = cell_identity_json(s, s.schemes[0], s.classes[0]);

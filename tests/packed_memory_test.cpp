@@ -195,6 +195,148 @@ TEST(PackedMemoryTest, RetentionDecayIsLaneMasked) {
   EXPECT_FALSE(packed.lane_bit(4, 0, 0)) << "unfaulted lane must not decay";
 }
 
+// ---- paged sparse storage (huge-memory campaigns) --------------------------
+
+// On a multi-page geometry the paged store must evolve exactly like the
+// dense scalar reference while materializing only the pages the trace (and
+// the fault footprints) actually touch.  The fault list straddles page
+// boundaries and couples across pages.
+TEST(PackedMemoryTest, SparsePagingDifferentialAcrossPageBoundaries) {
+  const std::size_t words = 4096;  // many 64-word pages
+  const unsigned width = 4;
+  Rng rng(20260807);
+
+  PackedMemory packed(words, width);
+  std::map<unsigned, Memory> refs;
+  refs.emplace(0u, Memory(words, width));
+
+  const std::vector<Fault> list = {
+      Fault::saf({63, 1}, true),                             // last word of page 0
+      Fault::tf({64, 0}, Transition::Up),                    // first word of page 1
+      Fault::cfid({63, 2}, Transition::Up, {64, 3}, true),   // inter-page coupling
+      Fault::cfst({4095, 0}, true, {0, 0}, true),            // last page -> first page
+      Fault::ret({128, 3}, true, 2),
+      Fault::af_alias(130, 62),                              // inter-page alias copy
+  };
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const unsigned lane = 1 + static_cast<unsigned>(i);
+    refs.emplace(lane, Memory(words, width));
+    packed.inject(list[i], 1ull << lane);
+    refs.at(lane).inject(list[i]);
+  }
+
+  packed.fill_seeded(7);
+  for (auto& [lane, ref] : refs) ref.fill_seeded(7);
+
+  const std::vector<std::size_t> touched = {0,  62,  63,  64,  65,  127,
+                                            128, 129, 130, 2048, 4094, 4095};
+  std::vector<std::uint64_t> packed_data(width);
+  for (int op = 0; op < 250; ++op) {
+    const std::size_t addr = touched[rng.next_below(touched.size())];
+    const unsigned kind = static_cast<unsigned>(rng.next_below(8));
+    const std::string ctx = "op " + std::to_string(op);
+    if (kind == 0) {
+      packed.elapse(1);
+      for (auto& [lane, ref] : refs) ref.elapse(1);
+    } else if (kind <= 3) {
+      const std::uint64_t* v = packed.read(addr);
+      for (auto& [lane, ref] : refs) {
+        const BitVec expected = ref.read(addr);
+        for (unsigned j = 0; j < width; ++j)
+          ASSERT_EQ((v[j] >> lane) & 1u, static_cast<std::uint64_t>(expected.get(j)))
+              << ctx << ": read of word " << addr << ", lane " << lane << ", bit " << j;
+      }
+    } else {
+      const BitVec data = rng.next_word(width);
+      for (unsigned j = 0; j < width; ++j) packed_data[j] = data.get(j) ? ~0ull : 0ull;
+      packed.write(addr, packed_data.data());
+      for (auto& [lane, ref] : refs) ref.write(addr, data);
+    }
+    for (const std::size_t a : touched)
+      for (auto& [lane, ref] : refs)
+        ASSERT_EQ(packed.lane_word(lane, a), ref.peek(a))
+            << ctx << ": lane " << lane << ", word " << a;
+  }
+
+  // Sparse bound: only the touched/fault-footprint pages exist — nowhere
+  // near the 64 pages a dense store would hold.
+  EXPECT_LE(packed.pages_live(), touched.size() + 2 * list.size());
+  EXPECT_GT(packed.pages_live(), 0u);
+  for (auto& [lane, ref] : refs) {
+    EXPECT_LE(ref.pages_live(), touched.size() + 2);
+  }
+
+  // Untouched pages still read as the seeded background, in every lane.
+  for (const std::size_t a : {std::size_t{300}, std::size_t{1000}, std::size_t{3000}})
+    for (auto& [lane, ref] : refs)
+      ASSERT_EQ(packed.lane_word(lane, a), ref.peek(a)) << "background word " << a;
+}
+
+// Refill rounds (the repack scheduler's per-seed reset) must recycle freed
+// pages through the free-list instead of allocating: after the warm-up
+// round, page_allocations() stays flat.
+TEST(PackedMemoryTest, RefillRoundsReusePagesWithoutAllocating) {
+  PackedMemory m(4096, 8);
+  std::vector<std::uint64_t> data(8, ~0ull);
+  const std::vector<std::size_t> addrs = {0, 100, 1000, 4000};
+  const auto round = [&](std::uint64_t seed) {
+    m.clear_faults();
+    m.fill_seeded(seed);
+    m.inject(Fault::saf({100, 0}, true), 2);
+    for (const std::size_t a : addrs) m.write(a, data.data());
+  };
+  round(1);
+  round(2);  // warm-up: both cached baselines generated, free-list filled
+  const std::uint64_t warm = m.page_allocations();
+  EXPECT_GT(warm, 0u);
+  for (int r = 0; r < 6; ++r) round(1 + static_cast<std::uint64_t>(r % 2));
+  EXPECT_EQ(m.page_allocations(), warm) << "refill rounds must reuse freed pages";
+  EXPECT_EQ(m.pages_peak(), static_cast<std::size_t>(warm))
+      << "every allocation was a distinct concurrent page";
+}
+
+// The scalar Memory shares the paging design; same contract.
+TEST(MemoryPagingTest, ScalarRefillRoundsReusePagesWithoutAllocating) {
+  Memory m(4096, 8);
+  const std::vector<std::size_t> addrs = {5, 70, 200, 4095};
+  const auto round = [&](std::uint64_t seed) {
+    m.clear_faults();
+    m.fill_seeded(seed);
+    m.inject(Fault::saf({70, 3}, true));
+    for (const std::size_t a : addrs) m.write(a, BitVec::ones(8));
+  };
+  round(1);
+  round(2);
+  const std::uint64_t warm = m.page_allocations();
+  EXPECT_GT(warm, 0u);
+  for (int r = 0; r < 6; ++r) round(1 + static_cast<std::uint64_t>(r % 2));
+  EXPECT_EQ(m.page_allocations(), warm);
+  EXPECT_LE(m.pages_live(), addrs.size() + 1);
+}
+
+// Reads and peeks of unmaterialized pages must not materialize them — a
+// read-heavy march over a huge background costs no memory.
+TEST(MemoryPagingTest, ReadsOfBackgroundPagesDontMaterialize) {
+  Memory m(4096, 4);
+  m.fill_seeded(3);
+  for (std::size_t a = 0; a < 4096; a += 61) {
+    (void)m.read(a);
+    (void)m.peek(a);
+  }
+  EXPECT_EQ(m.pages_live(), 0u);
+
+  PackedMemory p(4096, 4);
+  p.fill_seeded(3);
+  for (std::size_t a = 0; a < 4096; a += 61) {
+    (void)p.read(a);
+    (void)p.peek(a);
+  }
+  EXPECT_EQ(p.pages_live(), 0u);
+  // The seeded background broadcast matches the scalar baseline.
+  for (std::size_t a = 0; a < 4096; a += 127)
+    ASSERT_EQ(p.lane_word(0, a), m.peek(a)) << "word " << a;
+}
+
 TEST(PackedMemoryTest, RejectsBadGeometryAndCells) {
   EXPECT_THROW(PackedMemory(0, 4), std::invalid_argument);
   EXPECT_THROW(PackedMemory(4, 0), std::invalid_argument);

@@ -54,7 +54,10 @@ INFO_KEYS = ("simd_lanes", "threads", "scalar_faults_per_sec",
              "settling_faults", "settling_seeds",
              "settling_dense_faults_per_sec", "settling_repack_faults_per_sec",
              "settling_repack_speedup", "settling_lane_occupancy",
-             "settling_dense_lane_occupancy")
+             "settling_dense_lane_occupancy",
+             "huge_words", "huge_faults", "huge_regions",
+             "huge_faults_per_sec", "huge_pages_peak",
+             "huge_packed_pages_peak", "huge_pages_total")
 
 
 def load(path):
