@@ -6,7 +6,7 @@
 //
 //   --backend=scalar|packed   simulation backend (default: packed)
 //   --threads=N               worker threads for the campaign (default: 1)
-//   --simd=auto|64|256|512    packed lane-block width (default: auto —
+//   --simd=auto|64|256|512|tiled[:N]  packed lane-block or tile width (default: auto —
 //                             widest the CPU supports; forced widths error
 //                             cleanly when the CPU lacks them)
 //   --schedule=dense|repack   fault-universe scheduler (default: repack —
@@ -64,7 +64,7 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
     } else if (starts("--simd=")) {
       const auto req = simd::parse_request(arg.substr(7));
       if (!req) {
-        std::fprintf(stderr, "unknown simd width '%s' (want auto|64|256|512)\n",
+        std::fprintf(stderr, "unknown simd width '%s' (want auto|64|256|512|tiled[:4096|:32768])\n",
                      arg.c_str() + 7);
         std::exit(1);
       }
@@ -88,7 +88,7 @@ inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& defa
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (want --backend=scalar|packed --threads=N "
-                   "--simd=auto|64|256|512 --schedule=dense|repack --collapse=on|off "
+                   "--simd=auto|64|256|512|tiled[:N] --schedule=dense|repack --collapse=on|off "
                    "--json=PATH)\n",
                    arg.c_str());
       std::exit(1);

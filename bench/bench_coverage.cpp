@@ -12,7 +12,7 @@
 // them) executed by api::run_campaign with the human table sink — exactly
 // what `twm_cli run` would do for the same spec file.  Flags select the
 // backend (--backend=scalar|packed), worker count (--threads=N), packed
-// lane-block width (--simd=auto|64|256|512), and scheduler
+// lane-block or tile width (--simd=auto|64|256|512|tiled[:N]), and scheduler
 // (--schedule=dense|repack, --collapse=on|off).  The bench then times the
 // scalar reference, the 64-lane packed baseline, and the selected wide
 // width (all on the dense static scheduler, the committed-baseline axis)
@@ -177,6 +177,30 @@ int main(int argc, char** argv) {
               static_cast<std::size_t>(repack_stats.faults_simulated.load()), workload.size(),
               100.0 * elements_frac);
 
+  // The tiled backend on the same workload: 4096 fault universes per pass
+  // (array-of-lane-blocks, memsim/lane_tile.h), repack scheduler — the
+  // whole 7680-fault list runs in two tile units per round.  Must agree
+  // verdict-for-verdict with every row above.
+  const simd::Width tiled_width = simd::Width::Tiled4096;
+  const CampaignRunner tiled_runner(
+      kBenchWords, kBenchWidth,
+      {CoverageBackend::Packed, threads, simd::Request::Tiled4096, ScheduleMode::Repack,
+       args.spec.collapse});
+  CampaignStats tiled_stats;
+  std::vector<bool> v_tiled;
+  const double t_tiled = bench::time_seconds([&] {
+    v_tiled = per_fault_stats(tiled_runner, workload, bench_seeds, &tiled_stats);
+  });
+  const double fps_tiled = workload.size() / t_tiled;
+  const double tiled_speedup = fps_tiled / fps_repack;
+  const double tiled_occupancy =
+      tiled_stats.mean_live_lanes() / (simd::lanes(tiled_width) - 1);
+  const bool tiled_equal = v_tiled == v_repack;
+  std::printf("  tiled/4096:    %8.0f faults/s  (%.3fs, %.0f%% live lanes)  -> %.2fx over "
+              "repack/%s\n",
+              fps_tiled, t_tiled, 100.0 * tiled_occupancy, tiled_speedup,
+              simd::to_string(simd_width).c_str());
+
   // The settling workload: most faults' verdicts settle in the first seed
   // round (RET faults are invisible to a Del-free March C-, so their "all"
   // verdict drops at seed 0), which is where survivor repacking pays —
@@ -259,10 +283,31 @@ int main(int argc, char** argv) {
               100.0 * static_cast<double>(huge_packed_peak) /
                   static_cast<double>(huge_pages_total));
 
+  // The tiled backend at the 1M-word geometry, region-sharded like the row
+  // above.  One 4096-lane tile swallows the whole sampled list per region
+  // pass; pages stay bounded by the fault footprint exactly as at
+  // single-block widths.
+  const CampaignRunner huge_tiled_runner(
+      kHugeWords, kHugeWidth,
+      {CoverageBackend::Packed, threads, simd::Request::Tiled4096, ScheduleMode::Repack,
+       args.spec.collapse, kHugeRegions});
+  CampaignStats huge_tiled_stats;
+  std::vector<bool> vh_tiled;
+  const double t_huge_tiled = bench::time_seconds([&] {
+    vh_tiled = per_fault_stats(huge_tiled_runner, huge, huge_seeds, &huge_tiled_stats);
+  });
+  const double fps_huge_tiled = huge.size() / t_huge_tiled;
+  const bool huge_tiled_equal = vh_tiled == vh_flat;
+  std::printf("  tiled/4096:    %8.0f faults/s  (%.3fs; peak %llu pages, %llu packed)\n",
+              fps_huge_tiled, t_huge_tiled,
+              static_cast<unsigned long long>(huge_tiled_stats.pages_peak.load()),
+              static_cast<unsigned long long>(huge_tiled_stats.packed_pages_peak.load()));
+
   const bool verdicts_equal = scalar_slice_equal && v_packed64 == v_packed &&
-                              schedule_equal && settling_equal && huge_equal;
-  std::printf("\n  verdict equality (scalar == packed/64 == packed/%s == repack, dense == "
-              "repack on settling, regions %u == 1 on huge): %s\n",
+                              schedule_equal && tiled_equal && settling_equal && huge_equal &&
+                              huge_tiled_equal;
+  std::printf("\n  verdict equality (scalar == packed/64 == packed/%s == repack == tiled/4096, "
+              "dense == repack on settling, regions %u == 1 == tiled on huge): %s\n",
               simd::to_string(simd_width).c_str(), kHugeRegions,
               verdicts_equal ? "EXACT" : "MISMATCH");
 
@@ -289,9 +334,14 @@ int main(int argc, char** argv) {
        << ",\"settling_repack_speedup\":" << settling_speedup
        << ",\"settling_lane_occupancy\":" << settling_occupancy
        << ",\"settling_dense_lane_occupancy\":" << settling_dense_occupancy
+       << ",\"tiled_lanes\":" << simd::lanes(tiled_width)
+       << ",\"tiled_faults_per_sec\":" << fps_tiled
+       << ",\"tiled_speedup\":" << tiled_speedup
+       << ",\"tiled_lane_occupancy\":" << tiled_occupancy
        << ",\"huge_words\":" << kHugeWords << ",\"huge_faults\":" << huge.size()
        << ",\"huge_regions\":" << kHugeRegions
        << ",\"huge_faults_per_sec\":" << fps_huge
+       << ",\"huge_tiled_faults_per_sec\":" << fps_huge_tiled
        << ",\"huge_pages_peak\":" << huge_pages_peak
        << ",\"huge_packed_pages_peak\":" << huge_packed_peak
        << ",\"huge_pages_total\":" << huge_pages_total

@@ -146,6 +146,20 @@ void CampaignRunner::dispatch(const CampaignJob& job, simd::Width simd_width) co
       break;
     case simd::Width::W256: run_campaign_w256(job); break;
     case simd::Width::W512: run_campaign_w512(job); break;
+    case simd::Width::Tiled4096:
+    case simd::Width::Tiled32768: {
+      // Tiled widths name a lane COUNT, not an instruction set: pick the
+      // widest inner block this CPU executes and let the tiled entry
+      // instantiate the matching LaneTile (memsim/lane_tile.h).
+      const unsigned lanes = simd::lanes(simd_width);
+      if (simd::supported(simd::Width::W512))
+        run_campaign_tiled_w512(job, lanes);
+      else if (simd::supported(simd::Width::W256))
+        run_campaign_tiled_w256(job, lanes);
+      else
+        run_campaign_tiled_base(job, lanes);
+      break;
+    }
   }
 }
 

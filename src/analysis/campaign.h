@@ -37,10 +37,12 @@ namespace twm {
 //   Scalar  one fault x one seed at a time through memsim::Memory — the
 //           reference implementation.
 //   Packed  bit-parallel batches of (lanes - 1) faults + 1 golden lane per
-//           packed-memory pass, where `lanes` is the resolved SIMD
-//           lane-block width (64 / 256 / 512; core/simd.h).  Verdicts are
-//           lane-for-lane identical to the scalar backend at every width
-//           (tests/coverage_backend_test.cpp).
+//           packed-memory pass, where `lanes` is the resolved SIMD width
+//           (a single lane block of 64 / 256 / 512 lanes, or a lane TILE
+//           of 4096 / 32768 lanes — core/simd.h, memsim/lane_tile.h).
+//           Verdicts are lane-for-lane identical to the scalar backend at
+//           every width (tests/coverage_backend_test.cpp,
+//           tests/tiled_engine_test.cpp).
 enum class CoverageBackend { Scalar, Packed };
 
 std::string to_string(CoverageBackend b);
@@ -121,6 +123,12 @@ struct CampaignStats {
   // one number: bounded by the batch's fault footprint (one region's slice
   // under address-region sharding), not by `words`.
   std::atomic<std::uint64_t> packed_pages_peak{0};
+  // Fresh page heap allocations across every worker memory (repack
+  // scheduler only).  The allocation-free round-rebuild contract in one
+  // number: worker memories live for the whole campaign and recycle pages
+  // through their free-lists, so this stays flat as seed rounds are added
+  // instead of growing per round (tests/tiled_engine_test.cpp pins it).
+  std::atomic<std::uint64_t> page_allocs{0};
 
   double mean_live_lanes() const {
     const std::uint64_t u = units.load();

@@ -11,18 +11,30 @@
 //   campaign_w256.cpp   PackedEngineT<LaneBlock<4>>   built with -mavx2
 //   campaign_w512.cpp   PackedEngineT<LaneBlock<8>>   built with -mavx512f
 //
-// The wide entry points (run_campaign_w256/w512) must only be called after
-// core/simd.h confirmed the CPU supports the width — they contain vector
-// instructions the dispatcher is the only guard for.
+// and the TILED backend (4096 / 32768 fault universes per pass) compiles
+// the same templates over LaneTile<Inner, T> blocks, one translation unit
+// per inner width:
+//
+//   campaign_tiled.cpp       LaneTile<std::uint64_t, 64|512>   (portable)
+//   campaign_tiled_w256.cpp  LaneTile<LaneBlock<4>, 16|128>    -mavx2
+//   campaign_tiled_w512.cpp  LaneTile<LaneBlock<8>, 8|64>      -mavx512f
+//
+// The wide entry points (run_campaign_w256/w512, run_campaign_tiled_*)
+// must only be called after core/simd.h confirmed the CPU supports the
+// width — they contain vector instructions the dispatcher is the only
+// guard for.  (The tiled BASE entry is portable; the campaign dispatcher
+// picks the widest-inner-block tiled entry the CPU executes.)
 #ifndef TWM_ANALYSIS_CAMPAIGN_EXEC_H
 #define TWM_ANALYSIS_CAMPAIGN_EXEC_H
 
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "analysis/campaign.h"
 #include "core/scheme_session.h"
+#include "memsim/lane_tile.h"
 
 namespace twm {
 
@@ -59,6 +71,10 @@ inline void check_golden_lane(std::uint64_t verdicts) { require_golden_lane_clea
 template <unsigned K>
 void check_golden_lane(const LaneBlock<K>& verdicts) {
   require_golden_lane_clear(verdicts.w[0]);
+}
+template <class Inner, unsigned T>
+void check_golden_lane(const LaneTile<Inner, T>& verdicts) {
+  require_golden_lane_clear(block_word0(verdicts));
 }
 
 template <class Engine>
@@ -158,21 +174,39 @@ void run_campaign_engine_repack(const CampaignJob& job) {
   // stream compare; the symmetric session never sees the brake).
   const bool arm_exit = job.settle_exit;
 
+  // Worker state lives for the WHOLE campaign, not one round: the memory's
+  // page free-list, fault index buckets, baseline cache and the batch
+  // scratch all keep their allocations across every seed round (run_pool
+  // spawns fresh threads per round, so each round's workers re-claim the
+  // states by slot — any state fits any worker, memories are fully reset
+  // per unit).  This is what makes the round rebuild allocation-free;
+  // stats->page_allocs stays flat as rounds are added.
+  struct WorkerState {
+    typename Engine::Memory mem;
+    std::vector<Fault> batch;
+    WorkerState(std::size_t words, unsigned width) : mem(words, width) {
+      batch.reserve(kPerUnit);
+    }
+  };
+  std::vector<std::unique_ptr<WorkerState>> states(threads);
+  std::atomic<unsigned> state_slot{0};
+
   std::vector<std::uint32_t> live(n);
   for (std::size_t i = 0; i < n; ++i) live[i] = static_cast<std::uint32_t>(i);
+  std::vector<std::uint32_t> survivors;  // reused across rounds
 
   bool cancelled = false;
   for (std::size_t s = 0; s < job.num_seeds && !live.empty() && !cancelled; ++s) {
     const std::size_t units = (live.size() + kPerUnit - 1) / kPerUnit;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> stop{false};
+    state_slot.store(0, std::memory_order_relaxed);
     run_pool(threads, [&] {
-      // One memory per worker, reset per unit: the fault index buckets and
-      // the cell state keep their allocations across every unit this
-      // worker claims (retire + reinject into a live batch).
-      typename Engine::Memory mem(job.words, job.plan->width);
-      std::vector<Fault> batch;
-      batch.reserve(kPerUnit);
+      std::unique_ptr<WorkerState>& st =
+          states[state_slot.fetch_add(1, std::memory_order_relaxed)];
+      if (!st) st = std::make_unique<WorkerState>(job.words, job.plan->width);
+      typename Engine::Memory& mem = st->mem;
+      std::vector<Fault>& batch = st->batch;
       for (;;) {
         if (job.observer && job.observer->cancelled()) {
           stop.store(true, std::memory_order_relaxed);
@@ -209,17 +243,6 @@ void run_campaign_engine_repack(const CampaignJob& job) {
           if (seed_events) job.observer->on_seed_verdict(g, s, bit);
         }
       }
-      if (job.stats) {
-        // fetch-max of this worker's page high-water marks.
-        const auto fetch_max = [](std::atomic<std::uint64_t>& slot, std::uint64_t mine) {
-          std::uint64_t cur = slot.load(std::memory_order_relaxed);
-          while (mine > cur &&
-                 !slot.compare_exchange_weak(cur, mine, std::memory_order_relaxed)) {
-          }
-        };
-        fetch_max(job.stats->pages_peak, mem.pages_peak());
-        fetch_max(job.stats->packed_pages_peak, mem.packed_pages_peak());
-      }
     });
     if (stop.load(std::memory_order_relaxed)) break;
 
@@ -227,7 +250,7 @@ void run_campaign_engine_repack(const CampaignJob& job) {
     // its final verdicts now and leaves the live set; the rest roll into
     // the next round's densely packed batches.
     const bool final_round = s + 1 == job.num_seeds;
-    std::vector<std::uint32_t> survivors;
+    survivors.clear();
     if (!final_round) survivors.reserve(live.size());
     for (const std::uint32_t g : live) {
       const bool decided =
@@ -243,6 +266,23 @@ void run_campaign_engine_repack(const CampaignJob& job) {
     }
     live.swap(survivors);
   }
+
+  if (job.stats) {
+    // High-water marks + allocation totals over every worker memory, once
+    // the rounds are done (single-threaded here; fetch-max because several
+    // region sub-campaigns may accumulate into the same stats).
+    const auto fetch_max = [](std::atomic<std::uint64_t>& slot, std::uint64_t mine) {
+      std::uint64_t cur = slot.load(std::memory_order_relaxed);
+      while (mine > cur && !slot.compare_exchange_weak(cur, mine, std::memory_order_relaxed)) {
+      }
+    };
+    for (const std::unique_ptr<WorkerState>& st : states) {
+      if (!st) continue;
+      fetch_max(job.stats->pages_peak, st->mem.pages_peak());
+      fetch_max(job.stats->packed_pages_peak, st->mem.packed_pages_peak());
+      job.stats->page_allocs.fetch_add(st->mem.page_allocations(), std::memory_order_relaxed);
+    }
+  }
 }
 
 // Wide-width entry points, each defined in its arch-flagged translation
@@ -257,6 +297,14 @@ void run_campaign_engine_repack(const CampaignJob& job) {
 #endif
 TWM_WIDE_ENTRY void run_campaign_w256(const CampaignJob& job);
 TWM_WIDE_ENTRY void run_campaign_w512(const CampaignJob& job);
+
+// Tiled entry points: one per compiled inner-block width, each dispatching
+// internally on `lanes` (kTileLanesSmall / kTileLanesLarge).  The base
+// entry is portable code — safe on any CPU; the _w256/_w512 ones carry the
+// same cpuid contract as the single-block entries above.
+TWM_WIDE_ENTRY void run_campaign_tiled_base(const CampaignJob& job, unsigned lanes);
+TWM_WIDE_ENTRY void run_campaign_tiled_w256(const CampaignJob& job, unsigned lanes);
+TWM_WIDE_ENTRY void run_campaign_tiled_w512(const CampaignJob& job, unsigned lanes);
 
 }  // namespace twm
 

@@ -1,0 +1,35 @@
+// Tiled campaign backend, AVX2 inner block: LaneTile<LaneBlock<4>, T> —
+// every per-cell tile loop is T 256-bit vector operations (4096 lanes =
+// 16 x LaneBlock<4>, 32768 lanes = 128 x LaneBlock<4>).
+//
+// Compiled with -mavx2 (see CMakeLists.txt).  Nothing in here may run
+// before simd::supported(Width::W256) returned true — the dispatcher in
+// analysis/campaign.cpp is the only caller and checks exactly that.
+#include <stdexcept>
+
+#include "analysis/campaign_exec.h"
+
+namespace twm {
+
+namespace {
+
+template <class Tile>
+void run_tiled(const CampaignJob& job) {
+  if (job.schedule == ScheduleMode::Repack)
+    run_campaign_engine_repack<PackedEngineT<Tile>>(job);
+  else
+    run_campaign_engine<PackedEngineT<Tile>>(job);
+}
+
+}  // namespace
+
+void run_campaign_tiled_w256(const CampaignJob& job, unsigned lanes) {
+  switch (lanes) {
+    case kTileLanesSmall: return run_tiled<LaneTile<LaneBlock<4>, 16>>(job);
+    case kTileLanesLarge: return run_tiled<LaneTile<LaneBlock<4>, 128>>(job);
+  }
+  throw std::logic_error("tiled backend: no tile compiled for " + std::to_string(lanes) +
+                         " lanes");
+}
+
+}  // namespace twm

@@ -519,7 +519,8 @@ class SpecReader {
           if (r)
             s.simd = *r;
           else
-            fail("run.simd", "must be \"auto\", \"64\", \"256\" or \"512\"");
+            fail("run.simd",
+                 "must be \"auto\", \"64\", \"256\", \"512\" or \"tiled[:4096|:32768]\"");
         }
         if (const JsonValue* schedule = run->find("schedule")) {
           const auto m = schedule->is_string() ? parse_schedule(schedule->as_string())

@@ -334,11 +334,22 @@ class PackedMarchRunnerT {
       if (brake) ++brake->elements_entered;
       if (elem.pause_before) mem_.elapse(1);
       if (elem.ops.empty()) continue;
-      for (AddressGen gen(elem.order, mem_.num_words()); !gen.done(); gen.advance()) {
-        const std::size_t addr = gen.current();
+      // Software-pipelined address loop: the generator runs one address
+      // ahead of the ops, and the NEXT address's cell span is prefetched
+      // while the CURRENT address's ops execute — with tile-sized lane
+      // blocks (memsim/lane_tile.h) each span is KiBs, so starting the
+      // stream an op early hides most of its memory latency.
+      AddressGen gen(elem.order, mem_.num_words());
+      std::size_t addr = gen.current();
+      for (;;) {
+        gen.advance();
+        const bool last = gen.done();
+        if (!last) mem_.prefetch(gen.current());
         for (std::size_t i = 0; i < elem.ops.size(); ++i)
           per_op(addr, elem.ops[i], masks[e][i].data());
         if (brake && brake->should_stop(verdict())) return;
+        if (last) break;
+        addr = gen.current();
       }
       if (brake) brake->on_element_end(verdict());
     }

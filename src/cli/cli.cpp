@@ -262,11 +262,25 @@ int cmd_simd(const Options& o, std::ostream& out) {
       out << "{\"width\":" << simd::lanes(w)
           << ",\"supported\":" << (simd::supported(w) ? "true" : "false") << "}";
     }
+    // Tiled widths separately: their run.simd spelling is a string
+    // ("tiled:4096"), not the numeric width, and they are dispatchable on
+    // every CPU (the inner block is cpuid-selected at dispatch).
+    out << "],\"tiled\":[";
+    first = true;
+    for (simd::Width w : simd::kTiledWidths) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"width\":\"" << simd::to_string(w) << "\",\"lanes\":" << simd::lanes(w)
+          << ",\"supported\":" << (simd::supported(w) ? "true" : "false") << "}";
+    }
     out << "],\"best\":" << simd::lanes(simd::best_width()) << "}\n";
     return 0;
   }
   Table t({"width", "lanes", "supported"});
   for (simd::Width w : simd::kAllWidths)
+    t.add_row({simd::to_string(w), std::to_string(simd::lanes(w)),
+               simd::supported(w) ? "yes" : "no"});
+  for (simd::Width w : simd::kTiledWidths)
     t.add_row({simd::to_string(w), std::to_string(simd::lanes(w)),
                simd::supported(w) ? "yes" : "no"});
   t.print(out);
@@ -307,7 +321,8 @@ std::optional<api::CampaignSpec> spec_from_flags(const Options& o, std::ostream&
   if (auto it = o.flags.find("simd"); it != o.flags.end()) {
     const auto req = simd::parse_request(it->second);
     if (!req) {
-      err << "error: unknown simd width '" << it->second << "' (want auto|64|256|512)\n";
+      err << "error: unknown simd width '" << it->second
+          << "' (want auto|64|256|512|tiled[:4096|:32768])\n";
       return std::nullopt;
     }
     spec.simd = *req;
@@ -386,7 +401,7 @@ int cmd_coverage(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.positional.size() < 2) {
     err << "usage: coverage <march> --width B --words N [--scheme S|all] [--classes C,..]\n"
            "                [--seeds 0,1,2] [--backend scalar|packed] [--threads T]\n"
-           "                [--simd auto|64|256|512] [--schedule dense|repack]\n"
+           "                [--simd auto|64|256|512|tiled[:N]] [--schedule dense|repack]\n"
            "                [--collapse on|off] [--regions N]\n";
     return 1;
   }

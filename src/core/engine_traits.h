@@ -10,10 +10,13 @@
 //   PackedEngineT<Block>  Verdict = Block    lane k of every value/verdict
 //                                            belongs to universe k; Block is
 //                                            std::uint64_t (64 lanes — the
-//                                            PackedEngine alias) or a wide
+//                                            PackedEngine alias), a wide
 //                                            LaneBlock<K> (256/512 lanes,
-//                                            compiled per width, selected at
-//                                            runtime via core/simd.h)
+//                                            compiled per width), or a
+//                                            LaneTile<Inner, T> (4096/32768
+//                                            lanes, memsim/lane_tile.h) —
+//                                            selected at runtime via
+//                                            core/simd.h
 //
 // Each trait struct maps the shared vocabulary — verdict algebra, fault
 // injection, the engine entry points, and the word/mask/signature
@@ -23,6 +26,28 @@
 // deliberately independent implementations so the differential check in
 // tests/coverage_backend_test.cpp keeps its power — only the orchestration
 // above the memory port is unified here.
+//
+// The contract a new backend (a new Block type, or a whole new Engine
+// struct) must honour — docs/ARCHITECTURE.md walks through each rule with
+// rationale; the short form:
+//
+//   * Verdict semantics: bit k of a Verdict is a latch for "universe k has
+//     detected its fault".  Session code only ORs verdicts together;
+//     nothing may ever clear a detection bit.
+//   * Golden lane: lane 0 carries no fault and must read back the
+//     fault-free memory image exactly.  `bit(v, slot)` therefore maps
+//     fault slot s to lane s+1, and `used_mask(count)` covers lanes
+//     1..count only — a partial final batch must neither report phantom
+//     universes nor mask the golden lane.
+//   * Brake monotonicity: SessionBrake::should_stop answers "are all used
+//     lanes settled"; once true for a verdict v it must stay true for any
+//     v' ⊇ v.  The settle-exit schedule relies on this to cut sessions
+//     short without changing any verdict bit that the full run would set.
+//   * Differential proof: a backend is correct when its VerdictMatrix is
+//     byte-identical to ScalarEngine's across every scheme — that check
+//     lives in tests/coverage_backend_test.cpp and
+//     tests/tiled_engine_test.cpp and is the required template for
+//     qualifying any new backend.
 #ifndef TWM_CORE_ENGINE_TRAITS_H
 #define TWM_CORE_ENGINE_TRAITS_H
 

@@ -76,6 +76,7 @@
 #define TWM_MEMSIM_PACKED_MEMORY_H
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -160,13 +161,13 @@ class PackedMemoryT {
       expand_word(addr, p, read_buf_.data());
       return read_buf_.data();
     }
-    const Block* word = &p->cells[(addr & kMemPageMask) * width_];
-    const auto& af = p->buckets[kAf * kMemPageWords + (addr & kMemPageMask)];
-    if (af.empty()) return word;
+    const std::size_t rd_local = addr & kMemPageMask;
+    const Block* word = &p->cells[rd_local * width_];
+    if (!bucket_nonempty(*p, kAf, rd_local)) return word;
     // AF port distortion, per fault in injection order: AFna lanes see the
     // floating bus (zeros), AFaw lanes the wired-AND of every decoded cell.
     std::copy(word, word + width_, read_buf_.begin());
-    for (const std::uint32_t i : af) {
+    for (const std::uint32_t i : p->buckets[kAf * kMemPageWords + rd_local]) {
       const LaneFault& lf = faults_[i];
       const Block keep = ~lf.lanes;
       if (lf.fault.cls == FaultClass::AFna) {
@@ -217,23 +218,26 @@ class PackedMemoryT {
     // Step 0: an AFna address decodes to no cell — the write is lost in the
     // faulted lanes (the cells keep their old value, so the later steps see
     // no transitions there).
-    for (const std::uint32_t i : p->buckets[kAf * kMemPageWords + local]) {
-      const LaneFault& lf = faults_[i];
-      if (lf.fault.cls != FaultClass::AFna) continue;
-      for (unsigned j = 0; j < width_; ++j)
-        next_[j] = (next_[j] & ~lf.lanes) | (old_[j] & lf.lanes);
-    }
+    const bool has_af = bucket_nonempty(*p, kAf, local);
+    if (has_af)
+      for (const std::uint32_t i : p->buckets[kAf * kMemPageWords + local]) {
+        const LaneFault& lf = faults_[i];
+        if (lf.fault.cls != FaultClass::AFna) continue;
+        for (unsigned j = 0; j < width_; ++j)
+          next_[j] = (next_[j] & ~lf.lanes) | (old_[j] & lf.lanes);
+      }
 
     // Step 1: transition faults suppress the failing transition (per lane).
-    for (const std::uint32_t i : p->buckets[kTf * kMemPageWords + local]) {
-      const LaneFault& lf = faults_[i];
-      const Fault& f = lf.fault;
-      const Block o = old_[f.victim.bit];
-      const Block n = next_[f.victim.bit];
-      const Block transitioning = f.trans == Transition::Up ? (~o & n) : (o & ~n);
-      const Block suppressed = transitioning & lf.lanes;
-      next_[f.victim.bit] = (n & ~suppressed) | (o & suppressed);
-    }
+    if (bucket_nonempty(*p, kTf, local))
+      for (const std::uint32_t i : p->buckets[kTf * kMemPageWords + local]) {
+        const LaneFault& lf = faults_[i];
+        const Fault& f = lf.fault;
+        const Block o = old_[f.victim.bit];
+        const Block n = next_[f.victim.bit];
+        const Block transitioning = f.trans == Transition::Up ? (~o & n) : (o & ~n);
+        const Block suppressed = transitioning & lf.lanes;
+        next_[f.victim.bit] = (n & ~suppressed) | (o & suppressed);
+      }
 
     // Step 2: commit.
     std::copy(next_.begin(), next_.end(), word);
@@ -242,42 +246,68 @@ class PackedMemoryT {
     // caused by this write.  The aggressor is sampled from the live state,
     // so earlier coupling effects on the same word are seen — matching the
     // scalar simulator's fault-by-fault ordering per lane.
-    for (const std::uint32_t i : p->buckets[kDyn * kMemPageWords + local]) {
-      const LaneFault& lf = faults_[i];
-      const Fault& f = lf.fault;
-      const Block o = old_[f.aggressor.bit];
-      const Block n = cell(f.aggressor);
-      const Block transitioning = f.trans == Transition::Up ? (~o & n) : (o & ~n);
-      const Block fired = transitioning & lf.lanes;
-      if (f.cls == FaultClass::CFid)
-        force(cell(f.victim), f.value, fired);
-      else
-        cell(f.victim) ^= fired;
-      touch(f.victim.word);
-    }
+    if (bucket_nonempty(*p, kDyn, local))
+      for (const std::uint32_t i : p->buckets[kDyn * kMemPageWords + local]) {
+        const LaneFault& lf = faults_[i];
+        const Fault& f = lf.fault;
+        const Block o = old_[f.aggressor.bit];
+        const Block n = cell(f.aggressor);
+        const Block transitioning = f.trans == Transition::Up ? (~o & n) : (o & ~n);
+        const Block fired = transitioning & lf.lanes;
+        if (f.cls == FaultClass::CFid)
+          force(cell(f.victim), f.value, fired);
+        else
+          cell(f.victim) ^= fired;
+        touch(f.victim.word);
+      }
 
     // Step 3.5: an AFaw address additionally decodes to the alias word —
     // the committed value is raw-copied there in the faulted lanes (no
     // TF/coupling interplay at the target; statics are re-enforced below).
-    for (const std::uint32_t i : p->buckets[kAf * kMemPageWords + local]) {
-      const LaneFault& lf = faults_[i];
-      if (lf.fault.cls != FaultClass::AFaw) continue;
-      const Block keep = ~lf.lanes;
-      for (unsigned j = 0; j < width_; ++j) {
-        Block& target = cell({lf.fault.aggressor.word, j});
-        target = (target & keep) | (cell({addr, j}) & lf.lanes);
+    if (has_af)
+      for (const std::uint32_t i : p->buckets[kAf * kMemPageWords + local]) {
+        const LaneFault& lf = faults_[i];
+        if (lf.fault.cls != FaultClass::AFaw) continue;
+        const Block keep = ~lf.lanes;
+        for (unsigned j = 0; j < width_; ++j) {
+          Block& target = cell({lf.fault.aggressor.word, j});
+          target = (target & keep) | (cell({addr, j}) & lf.lanes);
+        }
+        touch(lf.fault.aggressor.word);
       }
-      touch(lf.fault.aggressor.word);
-    }
 
     // A write refreshes the retention clock of any leaky cell it targets
     // (the row strobe happens even when a decoder fault loses the data).
     // The refresh is lane-independent: every lane performs the same write.
-    for (const std::uint32_t e : p->buckets[kRet * kMemPageWords + local])
-      ret_entries_[e].age = 0;
+    if (bucket_nonempty(*p, kRet, local))
+      for (const std::uint32_t e : p->buckets[kRet * kMemPageWords + local])
+        ret_entries_[e].age = 0;
 
     // Steps 4 and 5, over the candidates the touched words can reach.
     enforce_statics_touched();
+  }
+
+  // Prefetch hint for the cell span of `addr`.  The march sweep issues
+  // this one address ahead of the operation it is about to execute
+  // (bist/packed_engine.h), so a tile-sized lane-block span starts
+  // streaming toward L1 while the current address's ops still run.  Only
+  // the head of the span is touched — the hardware streamer follows the
+  // sequential access; the hint's job is to start the stream early.
+  // Non-packed pages need no hint (a scalar word is a few resident limbs).
+  void prefetch(std::size_t addr) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (addr >= words_) return;
+    const Page* p = table_[addr >> kMemPageShift].get();
+    if (!p || !p->packed) return;
+    const Block* word = &p->cells[(addr & kMemPageMask) * width_];
+    const char* c = reinterpret_cast<const char*>(word);
+    const char* end = reinterpret_cast<const char*>(word + width_);
+    constexpr std::ptrdiff_t kLine = 64, kMaxLines = 8;
+    if (end - c > kLine * kMaxLines) end = c + kLine * kMaxLines;
+    for (; c < end; c += kLine) __builtin_prefetch(c, 1, 3);
+#else
+    (void)addr;
+#endif
   }
 
   void elapse(unsigned units) {
@@ -333,7 +363,7 @@ class PackedMemoryT {
       default: break;
     }
     if (f.cls == FaultClass::RET) {
-      bucket(f.victim.word, kRet).push_back(static_cast<std::uint32_t>(ret_entries_.size()));
+      bucket_push(f.victim.word, kRet, static_cast<std::uint32_t>(ret_entries_.size()));
       ret_entries_.push_back({idx, 0});
     } else {
       index_fault_buckets(idx);
@@ -364,6 +394,7 @@ class PackedMemoryT {
       Page& p = *table_[pi];
       if (!p.packed) continue;
       for (auto& b : p.buckets) b.clear();
+      p.nonempty.fill(0);
     }
     lanes_union_ = Block{};
     lanes_overlap_ = false;
@@ -395,25 +426,25 @@ class PackedMemoryT {
       switch (f.cls) {
         case FaultClass::SAF:
           unindex(saf_all_, i);
-          unindex(bucket(f.victim.word, kSaf), i);
+          bucket_unindex(f.victim.word, kSaf, i);
           break;
-        case FaultClass::TF: unindex(bucket(f.victim.word, kTf), i); break;
+        case FaultClass::TF: bucket_unindex(f.victim.word, kTf, i); break;
         case FaultClass::CFst:
           unindex(cfst_all_, i);
-          unindex(bucket(f.aggressor.word, kCfst), i);
-          if (f.victim.word != f.aggressor.word) unindex(bucket(f.victim.word, kCfst), i);
+          bucket_unindex(f.aggressor.word, kCfst, i);
+          if (f.victim.word != f.aggressor.word) bucket_unindex(f.victim.word, kCfst, i);
           break;
         case FaultClass::CFid:
-        case FaultClass::CFin: unindex(bucket(f.aggressor.word, kDyn), i); break;
+        case FaultClass::CFin: bucket_unindex(f.aggressor.word, kDyn, i); break;
         case FaultClass::RET:
           for (std::size_t e = 0; e < ret_entries_.size(); ++e)
             if (ret_entries_[e].idx == i) {
               ret_entries_[e].dead = true;
-              unindex(bucket(f.victim.word, kRet), static_cast<std::uint32_t>(e));
+              bucket_unindex(f.victim.word, kRet, static_cast<std::uint32_t>(e));
             }
           break;
         case FaultClass::AFna:
-        case FaultClass::AFaw: unindex(bucket(f.victim.word, kAf), i); break;
+        case FaultClass::AFaw: bucket_unindex(f.victim.word, kAf, i); break;
       }
     }
   }
@@ -533,7 +564,18 @@ class PackedMemoryT {
     // [kind * kMemPageWords + local] -> fault indexes, injection order.
     // Sized only for packed pages.
     std::vector<std::vector<std::uint32_t>> buckets;
+    // nonempty[kind] bit `local` set <=> the bucket above is non-empty.
+    // The port hot paths test one resident bit per kind instead of chasing
+    // the bucket vector's heap header — on a packed page whose words carry
+    // few faults (the common repack case) that indirection was the single
+    // hottest cache miss of the write path.  kMemPageWords == 64, so one
+    // word per kind covers the page exactly.
+    std::array<std::uint64_t, kBucketKinds> nonempty{};
   };
+
+  static bool bucket_nonempty(const Page& p, unsigned kind, std::size_t local) {
+    return (p.nonempty[kind] >> local) & 1u;
+  }
 
   static bool get_limb_bit(const std::uint64_t* limbs, std::size_t pos) {
     return (limbs[pos >> 6] >> (pos & 63)) & 1u;
@@ -622,6 +664,7 @@ class PackedMemoryT {
       Page& p = *slot;
       if (p.packed) {
         for (auto& b : p.buckets) b.clear();
+        p.nonempty.fill(0);
         p.cells.clear();
         p.packed = false;
       }
@@ -646,7 +689,7 @@ class PackedMemoryT {
     for (std::size_t e = 0; e < ret_entries_.size(); ++e) {
       if (ret_entries_[e].dead) continue;
       const Fault& f = faults_[ret_entries_[e].idx].fault;
-      bucket(f.victim.word, kRet).push_back(static_cast<std::uint32_t>(e));
+      bucket_push(f.victim.word, kRet, static_cast<std::uint32_t>(e));
     }
     enforce_static_faults();
   }
@@ -676,29 +719,40 @@ class PackedMemoryT {
   void index_fault_buckets(std::uint32_t idx) {
     const Fault& f = faults_[idx].fault;
     switch (f.cls) {
-      case FaultClass::SAF: bucket(f.victim.word, kSaf).push_back(idx); break;
-      case FaultClass::TF: bucket(f.victim.word, kTf).push_back(idx); break;
+      case FaultClass::SAF: bucket_push(f.victim.word, kSaf, idx); break;
+      case FaultClass::TF: bucket_push(f.victim.word, kTf, idx); break;
       case FaultClass::CFst:
-        bucket(f.aggressor.word, kCfst).push_back(idx);
-        if (f.victim.word != f.aggressor.word) bucket(f.victim.word, kCfst).push_back(idx);
+        bucket_push(f.aggressor.word, kCfst, idx);
+        if (f.victim.word != f.aggressor.word) bucket_push(f.victim.word, kCfst, idx);
         break;
       case FaultClass::CFid:
-      case FaultClass::CFin: bucket(f.aggressor.word, kDyn).push_back(idx); break;
+      case FaultClass::CFin: bucket_push(f.aggressor.word, kDyn, idx); break;
       case FaultClass::RET: break;
       case FaultClass::AFna:
-      case FaultClass::AFaw: bucket(f.victim.word, kAf).push_back(idx); break;
+      case FaultClass::AFaw: bucket_push(f.victim.word, kAf, idx); break;
     }
   }
 
-  // Bucket of a word known to live on a packed page (fault footprints).
-  std::vector<std::uint32_t>& bucket(std::size_t word, unsigned kind) {
+  // Appends to the bucket of a word known to live on a packed page (fault
+  // footprints), keeping the page's nonempty bitmap in sync.
+  void bucket_push(std::size_t word, unsigned kind, std::uint32_t value) {
     Page& p = *table_[word >> kMemPageShift];
-    return p.buckets[kind * kMemPageWords + (word & kMemPageMask)];
+    const std::size_t local = word & kMemPageMask;
+    p.buckets[kind * kMemPageWords + local].push_back(value);
+    p.nonempty[kind] |= std::uint64_t{1} << local;
+  }
+  // Removes one index from a word's bucket (bitmap kept in sync).
+  void bucket_unindex(std::size_t word, unsigned kind, std::uint32_t idx) {
+    Page& p = *table_[word >> kMemPageShift];
+    const std::size_t local = word & kMemPageMask;
+    std::vector<std::uint32_t>& b = p.buckets[kind * kMemPageWords + local];
+    unindex(b, idx);
+    if (b.empty()) p.nonempty[kind] &= ~(std::uint64_t{1} << local);
   }
   const std::vector<std::uint32_t>& bucket_or_empty(std::size_t word, unsigned kind) const {
     static const std::vector<std::uint32_t> kEmpty;
     const Page* p = table_[word >> kMemPageShift].get();
-    if (!p || !p->packed) return kEmpty;
+    if (!p || !p->packed || !bucket_nonempty(*p, kind, word & kMemPageMask)) return kEmpty;
     return p->buckets[kind * kMemPageWords + (word & kMemPageMask)];
   }
 

@@ -152,7 +152,8 @@ TEST(SpecEnums, BackendRoundTrips) {
 
 TEST(SpecEnums, SimdRequestRoundTrips) {
   for (simd::Request r : {simd::Request::Auto, simd::Request::W64, simd::Request::W256,
-                          simd::Request::W512}) {
+                          simd::Request::W512, simd::Request::Tiled, simd::Request::Tiled4096,
+                          simd::Request::Tiled32768}) {
     const auto parsed = simd::parse_request(simd::to_string(r));
     ASSERT_TRUE(parsed.has_value()) << simd::to_string(r);
     EXPECT_EQ(*parsed, r);

@@ -294,9 +294,9 @@ TEST(Cli, CoverageForcedWidthsMatchDefault) {
   ASSERT_EQ(ref.rc, 0) << ref.err;
   for (const std::string w : {"256", "512"}) {
     const auto r = with_simd(w);
-    const auto probe = cli({"simd"});
-    const bool supported = probe.out.find("| " + w + "   | " + w + "   | yes") !=
-                           std::string::npos;
+    const auto probe = cli({"simd", "--json"});
+    const bool supported =
+        probe.out.find("{\"width\":" + w + ",\"supported\":true}") != std::string::npos;
     if (supported) {
       EXPECT_EQ(r.rc, 0) << r.err;
       // Same coverage numbers, fault counts, and totals at every width.

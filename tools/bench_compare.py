@@ -55,8 +55,11 @@ INFO_KEYS = ("simd_lanes", "threads", "scalar_faults_per_sec",
              "settling_dense_faults_per_sec", "settling_repack_faults_per_sec",
              "settling_repack_speedup", "settling_lane_occupancy",
              "settling_dense_lane_occupancy",
+             "tiled_lanes", "tiled_faults_per_sec", "tiled_speedup",
+             "tiled_lane_occupancy",
              "huge_words", "huge_faults", "huge_regions",
-             "huge_faults_per_sec", "huge_pages_peak",
+             "huge_faults_per_sec", "huge_tiled_faults_per_sec",
+             "huge_pages_peak",
              "huge_packed_pages_peak", "huge_pages_total")
 
 

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown docs resolve.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+
+For every inline markdown link [text](target) in the given files:
+  * http(s)/mailto links are skipped (no network access in CI),
+  * pure-fragment links (#section) are checked against the file's own
+    headings (GitHub anchor style: lowercase, spaces -> dashes, most
+    punctuation dropped),
+  * everything else must name an existing file or directory relative to
+    the linking file (a trailing #fragment is stripped first).
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link is
+reported on stderr).  This is the CI docs gate: architecture docs that
+name files which later PRs move or delete fail fast instead of rotting.
+"""
+
+import os
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+# [text](target) with no nested parens in target.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_anchor(heading):
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = "".join(c for c in text if c.isalnum() or c in " -_")
+    return text.lower().replace(" ", "-")
+
+
+def check_file(path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        content = f.read()
+    anchors = {github_anchor(h) for h in HEADING_RE.findall(content)}
+    base = os.path.dirname(os.path.abspath(path))
+    for target in LINK_RE.findall(content):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                broken.append((target, "no such heading"))
+            continue
+        rel = target.split("#", 1)[0]
+        if not os.path.exists(os.path.join(base, rel)):
+            broken.append((target, "no such file"))
+    for target, why in broken:
+        print(f"{path}: broken link ({why}): {target}", file=sys.stderr)
+    return not broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok = check_file(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
