@@ -99,7 +99,7 @@ bool replayable(const CellRecords& records, std::size_t num_faults) {
 CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCache* cache,
                              CacheStats* cache_stats, const std::string& checkpoint_path) {
   require_valid(spec);
-  const MarchTest march = march_by_name(spec.march);
+  const MarchTest march = resolve_march(spec);
 
   // Checkpoint/resume state: the loaded file (when it matches this engine
   // revision and region count) seeds the "already done" region set; the
@@ -317,7 +317,7 @@ std::vector<Diagnosis> diagnose_campaign(const CampaignSpec& spec) {
   std::vector<Fault> faults;
   for (const ClassSel& cls : spec.classes)
     for (const Fault& f : build_fault_list(cls, spec.words, spec.width)) faults.push_back(f);
-  const MarchTest march = march_by_name(spec.march);
+  const MarchTest march = resolve_march(spec);
   // Every requested seed is diagnosed (a fault can be invisible under one
   // content and localizable under another — e.g. RET to the value the cell
   // already holds); each fault keeps the diagnosis of the FIRST seed, in

@@ -23,7 +23,7 @@ const char* bool_str(bool b) { return b ? "true" : "false"; }
 void JsonLinesSink::on_campaign_begin(const CampaignMeta& meta) {
   const CampaignSpec& s = *meta.spec;
   out_ << "{\"type\":\"campaign_begin\",\"name\":" << json_quote(s.name)
-       << ",\"march\":" << json_quote(s.march) << ",\"words\":" << s.words
+       << ",\"march\":" << json_quote(march_display(s)) << ",\"words\":" << s.words
        << ",\"width\":" << s.width << ",\"schemes\":[";
   bool first = true;
   for (SchemeKind k : s.schemes) {
@@ -126,7 +126,8 @@ void TableSink::on_campaign_begin(const CampaignMeta& meta) {
   spec_ = *meta.spec;
   const bool all_schemes =
       spec_.schemes == std::vector<SchemeKind>(std::begin(kAllSchemes), std::end(kAllSchemes));
-  out_ << "coverage: " << spec_.march << ", N=" << spec_.words << ", B=" << spec_.width << ", ";
+  out_ << "coverage: " << march_display(spec_) << ", N=" << spec_.words << ", B=" << spec_.width
+       << ", ";
   if (all_schemes) {
     out_ << "all schemes";
   } else {

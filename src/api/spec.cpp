@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "api/json.h"
+#include "march/generator.h"
 #include "march/library.h"
+#include "march/parser.h"
+#include "march/printer.h"
 
 namespace twm::api {
 
@@ -18,6 +21,25 @@ std::string join_errors(const std::vector<SpecError>& errors) {
   return out;
 }
 
+// One inline march element ("up(r0,w1)") parsed through the march DSL.  A
+// multi-element string ("up(r0); down(r1)") is rejected so march_ops
+// entries stay one element each — the grain the round-trip and the cache
+// identity are defined over.
+std::optional<MarchElement> parse_inline_element(const std::string& text,
+                                                 std::string* error) {
+  try {
+    MarchTest t = parse_march("{ " + text + " }");
+    if (t.elements.size() != 1) {
+      if (error) *error = "must be a single march element";
+      return std::nullopt;
+    }
+    return std::move(t.elements.front());
+  } catch (const std::exception& e) {
+    if (error) *error = e.what();
+    return std::nullopt;
+  }
+}
+
 }  // namespace
 
 std::string to_string(const SpecError& e) { return e.path + ": " + e.message; }
@@ -29,12 +51,31 @@ std::vector<SpecError> validate(const CampaignSpec& spec) {
   std::vector<SpecError> errors;
   if (spec.words == 0) errors.push_back({"memory.words", "must be at least 1"});
   if (spec.width == 0) errors.push_back({"memory.width", "must be at least 1"});
-  if (spec.march.empty()) {
-    errors.push_back({"march", "is required"});
-  } else {
+  if (spec.march.empty() && spec.march_ops.empty()) {
+    errors.push_back({"march", "is required (library name, or inline march_ops)"});
+  } else if (!spec.march.empty() && !spec.march_ops.empty()) {
+    errors.push_back({"march_ops", "cannot be combined with march (pick one)"});
+  } else if (!spec.march.empty()) {
     const auto names = march_names();
     if (std::find(names.begin(), names.end(), spec.march) == names.end())
       errors.push_back({"march", "unknown march '" + spec.march + "' (see `twm_cli list`)"});
+  } else {
+    MarchTest t;
+    bool parsed_all = true;
+    for (std::size_t i = 0; i < spec.march_ops.size(); ++i) {
+      std::string why;
+      auto elem = parse_inline_element(spec.march_ops[i], &why);
+      if (elem) {
+        t.elements.push_back(std::move(*elem));
+      } else {
+        errors.push_back({"march_ops[" + std::to_string(i) + "]", why});
+        parsed_all = false;
+      }
+    }
+    if (parsed_all && !is_consistent_bit_march(t))
+      errors.push_back({"march_ops",
+                        "not a consistent bit-oriented march (must start with a "
+                        "write; every read must expect the last written value)"});
   }
   if (spec.schemes.empty()) errors.push_back({"schemes", "at least one scheme is required"});
   if (spec.classes.empty())
@@ -325,7 +366,38 @@ std::vector<Fault> build_fault_list(const ClassSel& c, std::size_t words, unsign
   return out;
 }
 
+MarchTest resolve_march(const CampaignSpec& spec) {
+  if (spec.march_ops.empty()) {
+    try {
+      return march_by_name(spec.march);
+    } catch (const std::out_of_range&) {
+      throw SpecValidationError(
+          {{"march", "unknown march '" + spec.march + "' (see `twm_cli list`)"}});
+    }
+  }
+  MarchTest t;
+  t.name = "inline";
+  std::vector<SpecError> errors;
+  for (std::size_t i = 0; i < spec.march_ops.size(); ++i) {
+    std::string why;
+    auto elem = parse_inline_element(spec.march_ops[i], &why);
+    if (elem)
+      t.elements.push_back(std::move(*elem));
+    else
+      errors.push_back({"march_ops[" + std::to_string(i) + "]", why});
+  }
+  if (!errors.empty()) throw SpecValidationError(std::move(errors));
+  return t;
+}
+
 // ---- content addressing ---------------------------------------------------
+
+std::string march_display(const CampaignSpec& spec) {
+  if (spec.march_ops.empty()) return spec.march;
+  MarchTest t = resolve_march(spec);
+  t.name.clear();
+  return twm::to_string(t);
+}
 
 std::string_view engine_revision() {
   // r6: the PR 5 scheduler generation (repack + settle-exit + collapsing,
@@ -337,7 +409,7 @@ std::string cell_identity_json(const CampaignSpec& spec, SchemeKind scheme,
                                const ClassSel& cls) {
   JsonValue v = JsonValue::object();
   v.set("engine", JsonValue::string(std::string(engine_revision())));
-  v.set("march", JsonValue::string(spec.march));
+  v.set("march", JsonValue::string(march_display(spec)));
   v.set("words", JsonValue::number(spec.words));
   v.set("width", JsonValue::number(spec.width));
   v.set("scheme", JsonValue::string(scheme_id(scheme)));
@@ -409,7 +481,15 @@ JsonValue spec_to_value(const CampaignSpec& s) {
   JsonValue v = JsonValue::object();
   v.set("name", JsonValue::string(s.name));
   v.set("memory", std::move(memory));
-  v.set("march", JsonValue::string(s.march));
+  // Library specs always carry "march" (every pre-inline serialization is
+  // byte-identical); inline specs carry "march_ops" instead.  A spec that
+  // (invalidly) sets both round-trips both so validate() can name the clash.
+  if (s.march_ops.empty() || !s.march.empty()) v.set("march", JsonValue::string(s.march));
+  if (!s.march_ops.empty()) {
+    JsonValue ops = JsonValue::array();
+    for (const std::string& op : s.march_ops) ops.push_back(JsonValue::string(op));
+    v.set("march_ops", std::move(ops));
+  }
   v.set("schemes", std::move(schemes));
   v.set("classes", std::move(classes));
   v.set("seeds", std::move(seeds));
@@ -429,8 +509,8 @@ class SpecReader {
       fail("", "spec must be a JSON object");
       throw SpecValidationError(std::move(errors_));
     }
-    static const char* kKnown[] = {"name", "memory", "march", "schemes",
-                                   "classes", "seeds", "run"};
+    static const char* kKnown[] = {"name", "memory", "march", "march_ops",
+                                   "schemes", "classes", "seeds", "run"};
     for (const auto& [key, member] : v.members()) {
       (void)member;
       if (std::find_if(std::begin(kKnown), std::end(kKnown),
@@ -463,8 +543,15 @@ class SpecReader {
         s.march = march->as_string();
       else
         fail("march", "must be a string");
-    } else {
-      fail("march", "is required");
+    } else if (!v.find("march_ops")) {
+      fail("march", "is required (or inline march_ops)");
+    }
+    if (v.find("march_ops")) {
+      read_array(v, "march_ops", [&](const JsonValue& item, const std::string& path) {
+        if (!item.is_string())
+          return fail(path, "must be a march element string (e.g. \"up(r0,w1)\")");
+        s.march_ops.push_back(item.as_string());
+      });
     }
 
     read_array(v, "schemes", [&](const JsonValue& item, const std::string& path) {

@@ -31,6 +31,7 @@
 #include "analysis/fault_list.h"
 #include "core/scheme_session.h"
 #include "core/simd.h"
+#include "march/test.h"
 
 namespace twm::api {
 
@@ -96,7 +97,14 @@ struct CampaignSpec {
   std::size_t words = 0;
   unsigned width = 0;
 
-  std::string march;                // march-library name ("March C-", ...)
+  // The march under test — exactly one of:
+  //   march      library name ("March C-", ...; JSON: "march"), or
+  //   march_ops  inline definition, one march element per string in the
+  //              march DSL ("any(w0)", "up(r0,w1)"; JSON: "march_ops").
+  //              The combined test must satisfy is_consistent_bit_march —
+  //              the same universe the catalog and random_march draw from.
+  std::string march;
+  std::vector<std::string> march_ops;
   std::vector<SchemeKind> schemes;  // at least one; order preserved
   std::vector<ClassSel> classes;    // at least one; order preserved
   std::vector<std::uint64_t> seeds;  // at least one; 0 = all-zero contents
@@ -171,6 +179,20 @@ std::optional<std::vector<ClassSel>> parse_classes(std::string_view csv);
 std::optional<std::vector<std::uint64_t>> parse_seeds(std::string_view csv,
                                                       std::string* bad_token = nullptr);
 
+// The march a spec denotes: the library entry named by `march`, or the
+// inline `march_ops` elements parsed through the march DSL.  Throws
+// SpecValidationError when the march cannot be resolved (unknown name,
+// unparseable element) — validate() reports the same problems without
+// throwing.
+MarchTest resolve_march(const CampaignSpec& spec);
+
+// What to call the spec's march in human- and machine-readable output (and
+// in cache identities): the library name, or for inline specs the canonical
+// printed body (parse -> print normalizes whitespace, so every spelling of
+// the same march shares cache cells; the leading '{' keeps bodies disjoint
+// from catalog names).
+std::string march_display(const CampaignSpec& spec);
+
 // The faults a class selector denotes in an N x B memory (exhaustive
 // generators from analysis/fault_list.h; RET uses hold_units = 1).  A
 // selector with sample != 0 denotes a deterministic subset: an even stride
@@ -198,7 +220,11 @@ std::string_view engine_revision();
 // Canonical identity of one scheme x class cell: compact JSON of exactly
 // the fields that determine its verdicts (engine revision, march,
 // geometry, scheme, class, seeds — in that fixed key order).  `name` and
-// the whole `run` request are deliberately excluded.
+// the whole `run` request are deliberately excluded.  The march field is
+// the library NAME for catalog specs (pre-inline identities stay
+// byte-stable) and the canonical printed BODY ("{ any(w0); up(r0,w1) }")
+// for inline specs — so formatting variants of the same march share cache
+// cells, and a body can never collide with a catalog name.
 std::string cell_identity_json(const CampaignSpec& spec, SchemeKind scheme,
                                const ClassSel& cls);
 

@@ -22,6 +22,8 @@
 #include "core/simd.h"
 #include "core/symmetric.h"
 #include "core/twm_ta.h"
+#include "explore/explore.h"
+#include "explore/spec.h"
 #include "march/library.h"
 #include "march/printer.h"
 #include "memsim/memory.h"
@@ -522,6 +524,137 @@ int cmd_run(const Options& o, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// Streams one human-readable line per completed search round and carries
+// the --stop-after budget: after K rounds have completed in THIS process,
+// cancelled() flips and the search stops at the next round boundary — the
+// checkpoint written for that round is exactly what --resume continues.
+class CliExploreObserver : public explore::ExploreObserver {
+ public:
+  CliExploreObserver(std::ostream& out, unsigned stop_after)
+      : out_(out), stop_after_(stop_after) {}
+
+  void on_search_begin(const explore::ExploreSpec& spec, bool resumed) override {
+    out_ << "exploring" << (spec.name.empty() ? "" : " '" + spec.name + "'")
+         << ": population " << spec.population << ", rounds " << spec.rounds
+         << (resumed ? " (resumed)" : "") << "\n";
+  }
+  void on_round(const explore::RoundSummary& s) override {
+    out_ << "round " << s.round << "/" << s.rounds << ": evaluated " << s.evaluations
+         << ", cells cached " << s.cells_cached << ", front " << s.front_size;
+    if (s.best_feasible != 0) out_ << ", best feasible " << s.best_feasible << "N";
+    out_ << "\n";
+    ++rounds_seen_;
+  }
+  bool cancelled() const override {
+    return stop_after_ != 0 && rounds_seen_ >= stop_after_;
+  }
+
+ private:
+  std::ostream& out_;
+  unsigned stop_after_;
+  unsigned rounds_seen_ = 0;
+};
+
+int cmd_explore(const Options& o, std::ostream& out, std::ostream& err) {
+  if (o.positional.size() < 2) {
+    err << "usage: explore <dse.json> [--out F] [--resume F] [--threads T]\n"
+           "               [--rounds R] [--stop-after K]\n";
+    return 1;
+  }
+  const std::string& path = o.positional[1];
+  std::ifstream in(path);
+  if (!in) {
+    err << "error: cannot read explore spec file '" << path << "'\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  explore::ExploreSpec spec;
+  try {
+    spec = explore::explore_from_json(text.str());
+  } catch (const api::SpecValidationError& e) {
+    for (const api::SpecError& se : e.errors())
+      err << "error: " << path << ": " << api::to_string(se) << "\n";
+    return 1;
+  } catch (const api::JsonParseError& e) {
+    err << "error: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+
+  // --threads and --rounds override the stored request; neither is part of
+  // the search identity, so a checkpointed search can resume with more
+  // rounds or a different thread count and stay on the same trajectory.
+  if (o.flags.count("threads")) {
+    const auto threads = flag_unsigned(o, "threads", std::nullopt, err);
+    if (!threads) return 1;
+    spec.threads = *threads;
+  }
+  if (o.flags.count("rounds")) {
+    const auto rounds = flag_unsigned(o, "rounds", std::nullopt, err);
+    if (!rounds) return 1;
+    spec.rounds = *rounds;
+  }
+  unsigned stop_after = 0;
+  if (o.flags.count("stop-after")) {
+    const auto k = flag_unsigned(o, "stop-after", std::nullopt, err);
+    if (!k) return 1;
+    stop_after = *k;
+  }
+
+  bool valid = true;
+  for (const api::SpecError& e : explore::validate(spec)) {
+    err << "error: " << path << ": " << api::to_string(e) << "\n";
+    valid = false;
+  }
+  if (!valid) return 1;
+
+  std::string state_path;
+  if (auto it = o.flags.find("resume"); it != o.flags.end()) state_path = it->second;
+
+  CliExploreObserver observer(out, stop_after);
+  const explore::ExploreResult result = explore::run_explore(spec, &observer, state_path);
+
+  out << "\nPareto front (" << result.front.size() << " march"
+      << (result.front.size() == 1 ? "" : "es") << ", " << result.evaluations
+      << " evaluations, " << result.cells_simulated << " cells simulated / "
+      << result.cells_cached << " cached):\n";
+  std::vector<std::string> header = {"march", "TCM", "TCP", "weighted", "feasible"};
+  for (const explore::ObjectiveClass& oc : spec.objective)
+    header.push_back(api::class_label(oc.sel));
+  Table t(header);
+  for (const explore::Candidate& c : result.front) {
+    std::vector<std::string> row;
+    std::string body = "{ ";
+    for (std::size_t i = 0; i < c.ops.size(); ++i)
+      body += (i ? "; " : "") + c.ops[i];
+    body += " }";
+    row.push_back(body);
+    row.push_back(std::to_string(c.complexity.tcm) + "N");
+    row.push_back(std::to_string(c.complexity.tcp) + "N");
+    row.push_back(std::to_string(c.weighted) + "N");
+    row.push_back(c.feasible ? "yes" : "no");
+    for (std::size_t i = 0; i < c.detected.size(); ++i)
+      row.push_back(std::to_string(c.detected[i]) + "/" + std::to_string(c.totals[i]));
+    t.add_row(std::move(row));
+  }
+  t.print(out);
+
+  if (auto it = o.flags.find("out"); it != o.flags.end()) {
+    std::ofstream file_out(it->second);
+    if (!file_out) {
+      err << "error: cannot write '" << it->second << "'\n";
+      return 1;
+    }
+    file_out << explore::result_to_json(spec, result) << "\n";
+  }
+  if (result.cancelled)
+    out << "\nstopped after round " << result.rounds_run << " of " << spec.rounds
+        << " — continue with --resume " << (state_path.empty() ? "<state.json>" : state_path)
+        << "\n";
+  return 0;
+}
+
 // The campaign daemon.  Prints one {"type":"serving",...} line (flushed)
 // before entering the accept loop so scripts can scrape the bound port —
 // `--port 0` asks the kernel for an ephemeral one.
@@ -656,8 +789,8 @@ int cmd_submit(const Options& o, std::ostream& out, std::ostream& err) {
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   const auto usage = [&err] {
-    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage|spec|run|simd|"
-           "serve|submit> ...\n"
+    err << "usage: twm_cli <list|show|transform|complexity|simulate|coverage|spec|run|"
+           "explore|simd|serve|submit> ...\n"
            "see src/cli/cli.h for the full synopsis\n";
     return 1;
   };
@@ -674,6 +807,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (cmd == "coverage") return cmd_coverage(*opts, out, err);
     if (cmd == "spec") return cmd_spec(*opts, out, err);
     if (cmd == "run") return cmd_run(*opts, out, err);
+    if (cmd == "explore") return cmd_explore(*opts, out, err);
     if (cmd == "simd") return cmd_simd(*opts, out);
     if (cmd == "serve") return cmd_serve(*opts, out, err);
     if (cmd == "submit") return cmd_submit(*opts, out, err);

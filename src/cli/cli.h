@@ -63,6 +63,27 @@
 //                                          every region settles and resumes
 //                                          an interrupted run of the same
 //                                          spec from the file
+//   explore <dse.json> [--out F] [--resume F] [--threads T] [--rounds R]
+//           [--stop-after K]
+//                                          coverage-guided evolutionary
+//                                          search over the march space
+//                                          (src/explore): seeds a population
+//                                          from the catalog plus random
+//                                          marches, mutates/splices with the
+//                                          validity-preserving operators,
+//                                          scores candidates through
+//                                          api::run_campaign (inline-march
+//                                          specs, shared result cache) and
+//                                          prints the Pareto front of
+//                                          (weighted complexity, per-class
+//                                          coverage); --resume persists the
+//                                          full search state after every
+//                                          round and continues an
+//                                          interrupted search on the same
+//                                          deterministic trajectory;
+//                                          --stop-after K stops after K
+//                                          rounds (pairs with --resume);
+//                                          --out writes the JSON report
 //   serve [--host A] [--port P] [--cache-dir D] [--cache-entries N]
 //         [--max-clients M]
 //                                          campaign daemon: accepts submit

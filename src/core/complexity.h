@@ -30,6 +30,8 @@ struct SchemeComplexity {
   std::size_t tcm = 0;  // transparent test length per word
   std::size_t tcp = 0;  // signature-prediction length per word
   std::size_t total() const { return tcm + tcp; }
+
+  friend bool operator==(const SchemeComplexity&, const SchemeComplexity&) = default;
 };
 
 // Closed forms (paper).  S/Q are the bit-oriented march's op/read counts.

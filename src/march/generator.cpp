@@ -70,4 +70,143 @@ bool is_consistent_bit_march(const MarchTest& t) {
   return true;
 }
 
+// ---- search operators ---------------------------------------------------
+
+namespace {
+
+AddrOrder random_order(Rng& rng) {
+  switch (rng.next_below(3)) {
+    case 0: return AddrOrder::Up;
+    case 1: return AddrOrder::Down;
+    default: return AddrOrder::Any;
+  }
+}
+
+// Read expectations are placeholders here; repair_bit_march sets them.
+Op random_solid_op(Rng& rng) {
+  const bool write = rng.next_bool();
+  const bool one = rng.next_bool();
+  if (write) return one ? Op::w1() : Op::w0();
+  return one ? Op::r1() : Op::r0();
+}
+
+}  // namespace
+
+std::string to_string(MarchMutation m) {
+  switch (m) {
+    case MarchMutation::InsertElement: return "insert-element";
+    case MarchMutation::DeleteElement: return "delete-element";
+    case MarchMutation::CloneElement: return "clone-element";
+    case MarchMutation::FlipOrder: return "flip-order";
+    case MarchMutation::AppendReadBack: return "append-read";
+    case MarchMutation::InsertOp: return "insert-op";
+    case MarchMutation::DeleteOp: return "delete-op";
+  }
+  return "?";
+}
+
+std::optional<MarchMutation> parse_mutation(std::string_view s) {
+  for (MarchMutation m : kAllMarchMutations)
+    if (s == to_string(m)) return m;
+  return std::nullopt;
+}
+
+void repair_bit_march(MarchTest& t) {
+  for (auto it = t.elements.begin(); it != t.elements.end();)
+    it = it->ops.empty() ? t.elements.erase(it) : it + 1;
+  for (auto& e : t.elements)
+    for (auto& op : e.ops) {
+      op.data.relative = false;
+      op.data.pattern = BitVec();
+      op.data.label.clear();
+    }
+  if (t.elements.empty() || !t.elements.front().ops.front().is_write()) {
+    MarchElement init;
+    init.order = AddrOrder::Any;
+    init.ops = {Op::w0()};
+    t.elements.insert(t.elements.begin(), std::move(init));
+  }
+  bool value = t.elements.front().ops.front().data.complement;
+  bool first = true;
+  for (auto& e : t.elements)
+    for (auto& op : e.ops) {
+      if (first) {
+        first = false;
+        continue;
+      }
+      if (op.is_write())
+        value = op.data.complement;
+      else
+        op.data.complement = value;
+    }
+  if (t.elements.size() < 2) {
+    MarchElement verify;
+    verify.order = AddrOrder::Any;
+    verify.ops = {value ? Op::r1() : Op::r0()};
+    t.elements.push_back(std::move(verify));
+  }
+}
+
+MarchTest mutate_march(Rng& rng, const MarchTest& parent, MarchMutation op) {
+  MarchTest t = parent;
+  t.name.clear();
+  auto& es = t.elements;
+  switch (op) {
+    case MarchMutation::InsertElement: {
+      MarchElement e;
+      e.order = random_order(rng);
+      const std::size_t n_ops = 1 + rng.next_below(3);
+      for (std::size_t i = 0; i < n_ops; ++i) e.ops.push_back(random_solid_op(rng));
+      const std::size_t at = es.empty() ? 0 : 1 + rng.next_below(es.size());
+      es.insert(es.begin() + static_cast<std::ptrdiff_t>(at), std::move(e));
+      break;
+    }
+    case MarchMutation::DeleteElement:
+      if (es.size() > 2)
+        es.erase(es.begin() + static_cast<std::ptrdiff_t>(1 + rng.next_below(es.size() - 1)));
+      break;
+    case MarchMutation::CloneElement:
+      if (!es.empty()) {
+        const std::size_t at = rng.next_below(es.size());
+        es.insert(es.begin() + static_cast<std::ptrdiff_t>(at) + 1, es[at]);
+      }
+      break;
+    case MarchMutation::FlipOrder:
+      if (!es.empty()) es[rng.next_below(es.size())].order = random_order(rng);
+      break;
+    case MarchMutation::AppendReadBack:
+      if (!es.empty()) es[rng.next_below(es.size())].ops.push_back(Op::r0());
+      break;
+    case MarchMutation::InsertOp:
+      if (!es.empty()) {
+        auto& ops = es[rng.next_below(es.size())].ops;
+        ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(rng.next_below(ops.size() + 1)),
+                   random_solid_op(rng));
+      }
+      break;
+    case MarchMutation::DeleteOp:
+      if (!es.empty()) {
+        auto& ops = es[rng.next_below(es.size())].ops;
+        if (!ops.empty())
+          ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(rng.next_below(ops.size())));
+      }
+      break;
+  }
+  repair_bit_march(t);
+  return t;
+}
+
+MarchTest splice_marches(Rng& rng, const MarchTest& a, const MarchTest& b) {
+  MarchTest t;
+  const std::size_t cut_a = a.elements.empty() ? 0 : 1 + rng.next_below(a.elements.size());
+  const std::size_t cut_b = b.elements.empty() ? 0 : rng.next_below(b.elements.size());
+  t.elements.assign(a.elements.begin(),
+                    a.elements.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  t.elements.insert(t.elements.end(),
+                    b.elements.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                    b.elements.end());
+  repair_bit_march(t);
+  return t;
+}
+
 }  // namespace twm

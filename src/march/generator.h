@@ -11,6 +11,10 @@
 #ifndef TWM_MARCH_GENERATOR_H
 #define TWM_MARCH_GENERATOR_H
 
+#include <optional>
+#include <string>
+#include <string_view>
+
 #include "march/test.h"
 #include "util/rng.h"
 
@@ -31,6 +35,52 @@ MarchTest random_march(Rng& rng, const GeneratorOptions& opts = {});
 // Validity predicate used by the generator's own tests: reads expect what
 // was last written (starting from the init element's value).
 bool is_consistent_bit_march(const MarchTest& t);
+
+// ---- search operators (src/explore) -------------------------------------
+//
+// Validity-preserving edits over the same universe random_march draws
+// from: every operator returns a march satisfying is_consistent_bit_march
+// (fuzz-checked in tests/generator_test.cpp).  Invalid intermediate states
+// are repaired, not rejected — repair_bit_march rewrites read expectations
+// after any structural edit, so the space stays closed under mutation and
+// the search never wastes draws on dead candidates.
+
+enum class MarchMutation {
+  InsertElement,   // new random element at a random non-init position
+  DeleteElement,   // drop a non-init element (keeps >= 2 elements)
+  CloneElement,    // duplicate one element in place
+  FlipOrder,       // redraw one element's address order (up/down/any)
+  AppendReadBack,  // append a verifying read to one element
+  InsertOp,        // insert a random op inside one element
+  DeleteOp,        // remove one op (repair reinstates the init write)
+};
+
+inline constexpr MarchMutation kAllMarchMutations[] = {
+    MarchMutation::InsertElement, MarchMutation::DeleteElement,
+    MarchMutation::CloneElement,  MarchMutation::FlipOrder,
+    MarchMutation::AppendReadBack, MarchMutation::InsertOp,
+    MarchMutation::DeleteOp,
+};
+
+// Canonical operator id ("insert-element", ...) — the ExploreSpec JSON
+// spelling; parse_mutation is its inverse (nullopt on unknown spellings).
+std::string to_string(MarchMutation m);
+std::optional<MarchMutation> parse_mutation(std::string_view s);
+
+// Rewrites `t` in place into a consistent bit-oriented march: data specs
+// are clamped to the absolute solid vocabulary, an initializing write is
+// prepended when missing, every Read is rewritten to expect the last
+// written value, empty elements are dropped, and a march shrunk below two
+// elements gets a verifying read element appended.
+void repair_bit_march(MarchTest& t);
+
+// One mutated copy of `parent` (repaired; `parent` untouched, result name
+// empty).
+MarchTest mutate_march(Rng& rng, const MarchTest& parent, MarchMutation op);
+
+// Crossover: a non-empty prefix of `a`'s elements spliced to a suffix of
+// `b`'s, repaired.
+MarchTest splice_marches(Rng& rng, const MarchTest& a, const MarchTest& b);
 
 }  // namespace twm
 

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 
 #include "util/bitvec.h"
 
@@ -27,6 +29,26 @@ class Rng {
     BitVec v(width);
     for (unsigned i = 0; i < width; ++i) v.set(i, next_bool());
     return v;
+  }
+
+  // Textual engine state (std::mt19937_64 stream form: space-separated
+  // decimal words).  set_state(state()) reproduces the stream bit-
+  // identically — how resumable searches checkpoint their randomness.
+  std::string state() const {
+    std::ostringstream os;
+    os << eng_;
+    return os.str();
+  }
+
+  // Restores a state captured by state(); returns false (engine untouched)
+  // when the text is not a well-formed mt19937_64 state.
+  bool set_state(const std::string& text) {
+    std::istringstream is(text);
+    std::mt19937_64 candidate;
+    is >> candidate;
+    if (is.fail()) return false;
+    eng_ = candidate;
+    return true;
   }
 
  private:

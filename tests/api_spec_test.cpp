@@ -8,6 +8,7 @@
 
 #include "api/json.h"
 #include "api/spec.h"
+#include "march/generator.h"
 
 namespace twm::api {
 namespace {
@@ -627,6 +628,76 @@ TEST(SpecContent, IdentityFoldsInTheEngineRevision) {
   // The identity is itself canonical compact JSON — reparse + rewrite is a
   // fixed point (the cache's verification step depends on this).
   EXPECT_EQ(json_write(json_parse(identity), /*pretty=*/false), identity);
+}
+
+// ---- inline marches (march_ops) ----------------------------------------
+
+CampaignSpec inline_spec() {
+  auto s = valid_spec();
+  s.march.clear();
+  s.march_ops = {"any(w0)", "up(r0,w1)", "down(r1,w0)", "any(r0)"};
+  return s;
+}
+
+TEST(SpecValidate, InlineMarchIsValidAndResolves) {
+  const CampaignSpec s = inline_spec();
+  EXPECT_TRUE(validate(s).empty());
+  const MarchTest t = resolve_march(s);
+  EXPECT_EQ(t.elements.size(), 4u);
+  EXPECT_TRUE(is_consistent_bit_march(t));
+}
+
+TEST(SpecValidate, MarchAndInlineOpsAreMutuallyExclusive) {
+  auto s = inline_spec();
+  s.march = "March C-";
+  const auto errors = validate(s);
+  ASSERT_TRUE(has_error_at(errors, "march_ops"));
+  EXPECT_NE(errors[0].message.find("pick one"), std::string::npos);
+}
+
+TEST(SpecValidate, NeitherMarchNorInlineOpsRejected) {
+  auto s = inline_spec();
+  s.march_ops.clear();
+  const auto errors = validate(s);
+  ASSERT_TRUE(has_error_at(errors, "march"));
+  EXPECT_NE(errors[0].message.find("inline march_ops"), std::string::npos);
+}
+
+TEST(SpecValidate, BadInlineElementNamesItsIndex) {
+  auto s = inline_spec();
+  s.march_ops[1] = "up(bogus)";
+  EXPECT_TRUE(has_error_at(validate(s), "march_ops[1]"));
+}
+
+TEST(SpecValidate, InconsistentInlineMarchNamesMarchOps) {
+  auto s = inline_spec();
+  s.march_ops = {"any(w0)", "up(r1)"};  // stale read — parses, but inconsistent
+  const auto errors = validate(s);
+  ASSERT_TRUE(has_error_at(errors, "march_ops"));
+  EXPECT_NE(errors[0].message.find("consistent"), std::string::npos);
+}
+
+TEST(SpecJson, InlineMarchRoundTripsExactly) {
+  const CampaignSpec s = inline_spec();
+  EXPECT_EQ(spec_from_json(to_json(s)), s);
+  // The library form is omitted when an inline march is present.
+  const std::string compact = to_json(s, /*pretty=*/false);
+  EXPECT_NE(compact.find("\"march_ops\":[\"any(w0)\""), std::string::npos);
+  EXPECT_EQ(compact.find("\"march\":\""), std::string::npos);
+}
+
+TEST(SpecContent, InlineIdentityIsTheCanonicalBody) {
+  const CampaignSpec s = inline_spec();
+  const std::string identity = cell_identity_json(s, s.schemes[0], s.classes[0]);
+  // The identity carries the canonical printed body, not the user spelling
+  // — so every spelling of the same march shares a cache cell.
+  EXPECT_NE(identity.find("{ any(w(0)); up(r(0),w(1)); down(r(1),w(0)); any(r(0)) }"),
+            std::string::npos);
+  auto variant = s;
+  variant.march_ops = {"any(w(0))", "up( r0 , w1 )", "down(r1,w0)", "any(r0)"};
+  EXPECT_EQ(cell_identity_json(variant, s.schemes[0], s.classes[0]), identity);
+  // A body can never collide with a library name (bodies start with '{').
+  EXPECT_NE(identity, cell_identity_json(valid_spec(), s.schemes[0], s.classes[0]));
 }
 
 }  // namespace

@@ -530,6 +530,108 @@ TEST(Cli, CoverageAcceptsScopedCouplingClasses) {
   EXPECT_NE(r.out.find("CFid intra"), std::string::npos);
 }
 
+TEST(Cli, RunExecutesInlineMarchSpec) {
+  const std::string path = write_temp(
+      "inline_spec.json",
+      R"json({"name":"inline","memory":{"words":2,"width":4},
+          "march_ops":["any(w0)","up(r0,w1)","down(r1,w0)","any(r0)"],
+          "schemes":["twm"],"classes":["saf"],"seeds":[0]})json");
+  const auto r = cli({"run", path});
+  ASSERT_EQ(r.rc, 0) << r.err;
+  // The table header names the march by its canonical printed body.
+  EXPECT_NE(r.out.find("coverage: { any(w(0)); up(r(0),w(1)); down(r(1),w(0)); any(r(0)) }"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("| SAF"), std::string::npos);
+
+  // Inline and library spellings of the same march report identical cells.
+  const std::string c_minus = write_temp(
+      "inline_cminus.json",
+      R"json({"name":"i","memory":{"words":2,"width":4},
+          "march_ops":["any(w0)","up(r0,w1)","up(r1,w0)","down(r0,w1)","down(r1,w0)","any(r0)"],
+          "schemes":["twm"],"classes":["saf","tf"],"seeds":[0,1]})json");
+  const auto inline_run = cli({"run", c_minus, "--sink", "csv"});
+  ASSERT_EQ(inline_run.rc, 0) << inline_run.err;
+  const std::string lib = write_temp(
+      "lib_cminus.json",
+      R"({"name":"i","memory":{"words":2,"width":4},"march":"March C-",
+          "schemes":["twm"],"classes":["saf","tf"],"seeds":[0,1]})");
+  const auto lib_run = cli({"run", lib, "--sink", "csv"});
+  ASSERT_EQ(lib_run.rc, 0) << lib_run.err;
+  EXPECT_EQ(inline_run.out, lib_run.out);
+}
+
+TEST(Cli, RunRejectsBadInlineMarch) {
+  const std::string path = write_temp(
+      "bad_inline.json",
+      R"json({"name":"x","memory":{"words":2,"width":4},
+          "march_ops":["any(w0)","up(bogus)"],
+          "schemes":["twm"],"classes":["saf"],"seeds":[0]})json");
+  const auto r = cli({"run", path});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("march_ops[1]"), std::string::npos) << r.err;
+}
+
+// ---- explore -----------------------------------------------------------
+
+std::string tiny_dse(const std::string& classes = R"(["saf"])",
+                     const std::string& search = R"({"population":4,"rounds":1,"seed":1})") {
+  return std::string(R"({"name":"cli-dse","memory":{"words":2,"width":4},)") +
+         R"("objective":{"scheme":"twm","classes":)" + classes + "}," +
+         R"("seeds":[0],"search":)" + search + "}";
+}
+
+TEST(Cli, ExploreRunsASmallSearch) {
+  const std::string path = write_temp("dse_ok.json", tiny_dse());
+  const auto r = cli({"explore", path});
+  ASSERT_EQ(r.rc, 0) << r.err;
+  EXPECT_NE(r.out.find("exploring 'cli-dse'"), std::string::npos);
+  EXPECT_NE(r.out.find("round 1/1"), std::string::npos);
+  EXPECT_NE(r.out.find("Pareto front"), std::string::npos);
+  EXPECT_NE(r.out.find("| SAF"), std::string::npos);
+}
+
+TEST(Cli, ExploreRejectsUnknownObjectiveClass) {
+  const std::string path = write_temp("dse_bad_class.json", tiny_dse(R"(["saf","warp"])"));
+  const auto r = cli({"explore", path});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("objective.classes[1]"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("warp"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ExploreRejectsDegeneratePopulation) {
+  const std::string path = write_temp(
+      "dse_pop.json", tiny_dse(R"(["saf"])", R"({"population":1,"rounds":1,"seed":1})"));
+  const auto r = cli({"explore", path});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("search.population"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("two parents"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ExploreRejectsMalformedResumeState) {
+  const std::string spec_path = write_temp("dse_resume_spec.json", tiny_dse());
+  const std::string state_path = write_temp("dse_state.json", "not json at all");
+  const auto r = cli({"explore", spec_path, "--resume", state_path});
+  EXPECT_EQ(r.rc, 1);
+  EXPECT_NE(r.err.find("not a search state"), std::string::npos) << r.err;
+
+  // A state for a different spec is rejected, not silently restarted.
+  const auto fresh = cli({"explore", spec_path, "--resume", state_path + ".new"});
+  ASSERT_EQ(fresh.rc, 0) << fresh.err;
+  const std::string other = write_temp("dse_other.json", tiny_dse(R"(["tf"])"));
+  const auto mismatch = cli({"explore", other, "--resume", state_path + ".new"});
+  EXPECT_EQ(mismatch.rc, 1);
+  EXPECT_NE(mismatch.err.find("identity mismatch"), std::string::npos) << mismatch.err;
+  std::remove((state_path + ".new").c_str());
+}
+
+TEST(Cli, ExploreUsageAndMissingFile) {
+  EXPECT_EQ(cli({"explore"}).rc, 1);
+  const auto missing = cli({"explore", "/nonexistent/dse.json"});
+  EXPECT_EQ(missing.rc, 1);
+  EXPECT_NE(missing.err.find("cannot read"), std::string::npos);
+}
+
 TEST(Cli, CoverageRejectsBadInput) {
   EXPECT_EQ(cli({"coverage", "March C-"}).rc, 1);  // no geometry
   EXPECT_EQ(cli({"coverage", "March C-", "--width", "4", "--words", "2", "--backend",

@@ -133,5 +133,69 @@ TEST(Generator, FuzzNicolaidis) {
   }
 }
 
+// ---- search operators (ISSUE 9) -----------------------------------------
+
+// Every mutation operator applied to any random_march output must yield a
+// march that still satisfies is_consistent_bit_march — the search space is
+// closed under mutation by construction (repair, not rejection).
+TEST(Generator, FuzzMutationsPreserveConsistency) {
+  Rng rng(31);
+  for (int i = 0; i < 300; ++i) {
+    const MarchTest parent = random_march(rng);
+    for (MarchMutation m : kAllMarchMutations) {
+      const MarchTest child = mutate_march(rng, parent, m);
+      EXPECT_TRUE(is_consistent_bit_march(child)) << "iteration " << i << ", op "
+                                                  << to_string(m);
+      EXPECT_GE(child.elements.size(), 2u) << "iteration " << i << ", op " << to_string(m);
+      EXPECT_TRUE(is_consistent_bit_march(parent)) << "parent mutated in place, op "
+                                                   << to_string(m);
+    }
+  }
+}
+
+TEST(Generator, FuzzSplicePreservesConsistency) {
+  Rng rng(37);
+  for (int i = 0; i < 300; ++i) {
+    const MarchTest a = random_march(rng);
+    const MarchTest b = random_march(rng);
+    const MarchTest child = splice_marches(rng, a, b);
+    EXPECT_TRUE(is_consistent_bit_march(child)) << "iteration " << i;
+    EXPECT_GE(child.elements.size(), 2u) << "iteration " << i;
+  }
+}
+
+// The catalog is part of the seeded population, so the operators must keep
+// its entries consistent too (March G brings del elements along).
+TEST(Generator, MutationsPreserveCatalogConsistency) {
+  Rng rng(41);
+  for (const auto& name : march_names()) {
+    const MarchTest parent = march_by_name(name);
+    for (MarchMutation m : kAllMarchMutations)
+      EXPECT_TRUE(is_consistent_bit_march(mutate_march(rng, parent, m)))
+          << name << ", op " << to_string(m);
+  }
+}
+
+TEST(Generator, RepairFixesArbitraryDamage) {
+  // Stale read, no init write, empty element in the middle.
+  MarchTest t = parse_march("{ any(r1); up(r0,w1); down(r0) }");
+  ASSERT_FALSE(is_consistent_bit_march(t));
+  t.elements.insert(t.elements.begin() + 1, MarchElement{});
+  repair_bit_march(t);
+  EXPECT_TRUE(is_consistent_bit_march(t));
+  EXPECT_GE(t.elements.size(), 2u);
+  EXPECT_TRUE(t.elements.front().ops.front().is_write());
+}
+
+TEST(Generator, MutationSpellingsRoundTrip) {
+  for (MarchMutation m : kAllMarchMutations) {
+    const auto parsed = parse_mutation(to_string(m));
+    ASSERT_TRUE(parsed.has_value()) << to_string(m);
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(parse_mutation("splice").has_value());  // crossover, not a mutation
+  EXPECT_FALSE(parse_mutation("nope").has_value());
+}
+
 }  // namespace
 }  // namespace twm
