@@ -7,6 +7,7 @@
 
 #include "analysis/campaign_exec.h"
 #include "analysis/fault_list.h"
+#include "util/failpoint.h"
 
 namespace twm {
 
@@ -31,6 +32,10 @@ void run_pool(unsigned threads, const std::function<void()>& worker) {
   std::exception_ptr err;
   auto guarded = [&] {
     try {
+      // Chaos hook: an injected worker death exercises the same first-
+      // exception-wins capture a genuine engine fault takes.
+      if (TWM_FAILPOINT("campaign.worker"))
+        throw std::runtime_error("injected worker failure (campaign.worker failpoint)");
       worker();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mu);

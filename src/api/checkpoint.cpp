@@ -5,10 +5,15 @@
 #include <sstream>
 
 #include "api/json.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
 
 namespace twm::api {
 
 std::optional<CheckpointFile> load_checkpoint(const std::string& path) {
+  // An unreadable checkpoint is indistinguishable from an absent one by
+  // contract ("valid or absent"): the campaign starts over.
+  if (TWM_FAILPOINT("checkpoint.load")) return std::nullopt;
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream buf;
@@ -65,7 +70,8 @@ std::optional<CheckpointFile> load_checkpoint(const std::string& path) {
   return file;
 }
 
-void save_checkpoint(const std::string& path, const CheckpointFile& file) {
+bool save_checkpoint(const std::string& path, const CheckpointFile& file) {
+  if (TWM_FAILPOINT("checkpoint.save")) return false;
   JsonValue doc = JsonValue::object();
   doc.set("checkpoint", JsonValue::number(1));
   doc.set("engine", JsonValue::string(std::string(engine_revision())));
@@ -88,18 +94,10 @@ void save_checkpoint(const std::string& path, const CheckpointFile& file) {
   }
   doc.set("cells", std::move(cells));
 
-  // tmp + rename: a reader (or a crashed writer) never sees a half-written
-  // checkpoint.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << json_write(doc, /*pretty=*/false);
-    if (!out) {
-      std::remove(tmp.c_str());
-      return;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+  // Crash-atomic replace: unique tmp + fsync(file) + rename + fsync(dir),
+  // so a reader, a crashed writer, or a power cut never sees a torn
+  // checkpoint under the final name.
+  return util::atomic_write_file(path, json_write(doc, /*pretty=*/false));
 }
 
 }  // namespace twm::api

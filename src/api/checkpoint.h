@@ -43,9 +43,13 @@ struct CheckpointFile {
 // resumable file are still validated per cell by the consumer).
 std::optional<CheckpointFile> load_checkpoint(const std::string& path);
 
-// Serializes and atomically replaces `path` (tmp + rename; a crashed
-// writer never leaves a half-written checkpoint behind).
-void save_checkpoint(const std::string& path, const CheckpointFile& file);
+// Serializes and crash-atomically replaces `path` (unique tmp + fsync +
+// rename + directory fsync, util/fs.h; a crashed writer or a power cut
+// never leaves a half-written checkpoint under the final name).  Returns
+// false on failure — the previous checkpoint, if any, is still intact, so
+// callers warn and continue rather than abort (the campaign itself is
+// unharmed; only resumability of not-yet-saved regions is lost).
+bool save_checkpoint(const std::string& path, const CheckpointFile& file);
 
 }  // namespace twm::api
 

@@ -1,0 +1,36 @@
+#include "api/error.h"
+
+#include <new>
+
+#include "api/spec.h"
+
+namespace twm::api {
+
+std::string_view to_string(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::Frame: return "frame";
+    case ErrorCategory::Spec: return "spec";
+    case ErrorCategory::Io: return "io";
+    case ErrorCategory::Resource: return "resource";
+    case ErrorCategory::Timeout: return "timeout";
+    case ErrorCategory::Engine: return "engine";
+  }
+  return "engine";
+}
+
+CampaignError::CampaignError(Error e)
+    : std::runtime_error(std::string(to_string(e.category)) + ": " + e.detail),
+      error_(std::move(e)) {}
+
+Error classify_exception(const std::exception& e) {
+  if (const auto* ce = dynamic_cast<const CampaignError*>(&e)) return ce->error();
+  if (dynamic_cast<const SpecValidationError*>(&e))
+    return {ErrorCategory::Spec, false, e.what()};
+  if (dynamic_cast<const std::bad_alloc*>(&e))
+    return {ErrorCategory::Resource, true, "allocation failed"};
+  if (dynamic_cast<const std::logic_error*>(&e))
+    return {ErrorCategory::Engine, false, e.what()};
+  return {ErrorCategory::Engine, true, e.what()};
+}
+
+}  // namespace twm::api

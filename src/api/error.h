@@ -1,0 +1,60 @@
+// Structured campaign errors: category + retryability + detail.
+//
+// A production client deciding what to do with a failed campaign needs two
+// bits the bare what() string cannot carry: WHAT failed (taxonomy below)
+// and whether resubmitting the same spec can succeed.  Error is that value;
+// it travels
+//
+//   * through ResultSink::on_error (a JSON-lines stream gains a typed
+//     {"type":"error",...} record before the campaign aborts),
+//   * inside CampaignError, the exception run_campaign wraps engine
+//     failures in (existing catch(std::exception&) sites keep working),
+//   * in the service protocol's error frames, which gain "retryable".
+//
+// Retrying is always safe on our side — specs are idempotent by
+// construction (resubmission replays byte-identical cached cells with
+// simulated:0) — so `retryable` means "the failure looks transient", not
+// "retrying is permitted".
+#ifndef TWM_API_ERROR_H
+#define TWM_API_ERROR_H
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace twm::api {
+
+// The failure taxonomy.  Spec/Frame are request-shaped (the client sent
+// something invalid — never retryable); Io/Resource/Timeout are
+// environment-shaped (transient by default); Engine covers everything that
+// escaped the engine itself.
+enum class ErrorCategory { Frame, Spec, Io, Resource, Timeout, Engine };
+
+std::string_view to_string(ErrorCategory c);
+
+struct Error {
+  ErrorCategory category = ErrorCategory::Engine;
+  bool retryable = false;
+  std::string detail;
+};
+
+// Maps an in-flight exception to a typed Error: CampaignError passes its
+// payload through, SpecValidationError -> Spec (not retryable),
+// std::bad_alloc -> Resource (retryable), std::logic_error -> Engine (an
+// engine invariant broke; rerunning the same spec re-breaks it), anything
+// else -> Engine retryable (assumed transient; retries are idempotent).
+Error classify_exception(const std::exception& e);
+
+// The exception form of Error.  what() is "category: detail".
+class CampaignError : public std::runtime_error {
+ public:
+  explicit CampaignError(Error e);
+  const Error& error() const { return error_; }
+
+ private:
+  Error error_;
+};
+
+}  // namespace twm::api
+
+#endif  // TWM_API_ERROR_H

@@ -1,15 +1,42 @@
 #include "api/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 
 #include "api/checkpoint.h"
+#include "api/error.h"
 #include "march/library.h"
 
 namespace twm::api {
 
 namespace {
+
+// run.deadline_ms as a poll: expired() is checked at exactly the
+// cancellation points (between units / repack rounds), from worker threads
+// — it latches, so one observation past the deadline stops every
+// subsequent poll without re-reading the clock.
+class DeadlineGate {
+ public:
+  explicit DeadlineGate(std::uint64_t deadline_ms)
+      : deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms)) {}
+
+  bool expired() const {
+    if (fired_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() < deadline_) return false;
+    fired_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+
+ private:
+  std::chrono::steady_clock::time_point deadline_;
+  mutable std::atomic<bool> fired_{false};
+};
 
 // Bridges the engine's raw UnitObserver events (fault ranges + flag
 // pointers, fired from worker threads) to the public ResultSink records
@@ -20,8 +47,10 @@ class SinkAdapter : public UnitObserver {
  public:
   SinkAdapter(ResultSink* sink, std::mutex& mu, SchemeKind scheme, const ClassSel& cls,
               const std::vector<Fault>& faults, const std::vector<std::uint64_t>& seeds,
-              std::size_t& units_emitted, std::vector<CachedUnit>* record)
+              std::size_t& units_emitted, std::vector<CachedUnit>* record,
+              const DeadlineGate* gate)
       : sink_(sink),
+        gate_(gate),
         mu_(mu),
         scheme_(scheme),
         cls_(cls),
@@ -66,10 +95,13 @@ class SinkAdapter : public UnitObserver {
   }
 
   bool want_seed_verdicts() const override { return sink_ && sink_->want_seed_records(); }
-  bool cancelled() const override { return sink_ && sink_->cancelled(); }
+  bool cancelled() const override {
+    return (gate_ && gate_->expired()) || (sink_ && sink_->cancelled());
+  }
 
  private:
   ResultSink* sink_;
+  const DeadlineGate* gate_;
   std::mutex& mu_;
   SchemeKind scheme_;
   ClassSel cls_;
@@ -96,16 +128,26 @@ bool replayable(const CellRecords& records, std::size_t num_faults) {
 
 }  // namespace
 
-CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCache* cache,
-                             CacheStats* cache_stats, const std::string& checkpoint_path) {
+namespace {
+
+CampaignSummary run_campaign_impl(const CampaignSpec& spec, ResultSink* sink,
+                                  CellCache* cache, CacheStats* cache_stats,
+                                  const std::string& checkpoint_path) {
   require_valid(spec);
   const MarchTest march = resolve_march(spec);
+
+  // The deadline clock starts here, after validation: a spec with
+  // run.deadline_ms budgets the simulation, not the request parsing.
+  std::optional<DeadlineGate> gate_storage;
+  if (spec.deadline_ms != 0) gate_storage.emplace(spec.deadline_ms);
+  const DeadlineGate* gate = gate_storage ? &*gate_storage : nullptr;
 
   // Checkpoint/resume state: the loaded file (when it matches this engine
   // revision and region count) seeds the "already done" region set; the
   // file is rewritten after every region this run completes.
   const unsigned regions = std::max(1u, spec.regions);
   const bool ck_active = !checkpoint_path.empty();
+  bool ck_save_warned = false;
   CheckpointFile ck;
   ck.regions = regions;
   if (ck_active) {
@@ -180,7 +222,8 @@ CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCac
             ++cache_stats->cells_cached;
             cache_stats->faults_replayed += hit->units.size();
           }
-          if (sink && sink->cancelled()) summary.cancelled = true;
+          if ((sink && sink->cancelled()) || (gate && gate->expired()))
+            summary.cancelled = true;
           continue;
         }
       }
@@ -229,7 +272,7 @@ CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCac
       std::vector<CachedUnit> recorded;
       std::size_t replayed = 0;
       if (cache_stats) ++cache_stats->cells_simulated;
-      if (sink || cache || ck_active) {
+      if (sink || cache || ck_active || gate) {
         // Replay the resumed regions' records first (they settled first in
         // the interrupted run), then simulate the rest.
         for (unsigned r = 0; r < regions; ++r) {
@@ -265,12 +308,21 @@ CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCac
                                           }),
                            ck.cells.end());
             ck.cells.push_back(std::move(e));
-            save_checkpoint(checkpoint_path, ck);
+            // Best-effort persistence: a failed save costs resumability of
+            // this region, never the campaign.  Warn once, keep trying —
+            // the failure may be transient (disk pressure, injected).
+            if (!save_checkpoint(checkpoint_path, ck) && !ck_save_warned) {
+              ck_save_warned = true;
+              std::fprintf(stderr,
+                           "twm: warning: checkpoint save to '%s' failed; campaign "
+                           "continues, an interrupted run may redo unsaved regions\n",
+                           checkpoint_path.c_str());
+            }
           };
         }
         SinkAdapter adapter(sink, sink_mu, scheme, spec.classes[c], faults, spec.seeds,
                             summary.units_emitted,
-                            cache || ck_active ? &recorded : nullptr);
+                            cache || ck_active ? &recorded : nullptr, gate);
         runner.run(scheme, march, faults, spec.seeds, /*need_any=*/true, all, any,
                    /*out_matrix=*/nullptr, &adapter, /*stats=*/nullptr,
                    ck_active ? &progress : nullptr);
@@ -283,7 +335,8 @@ CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCac
             any[u.fault_index] = static_cast<char>(u.detected_any);
           }
         }
-        if (sink && sink->cancelled()) summary.cancelled = true;
+        if ((sink && sink->cancelled()) || (gate && gate->expired()))
+          summary.cancelled = true;
         // The flag may flip only after the cell's last unit settled (or
         // every in-flight unit may still have completed): the aggregate of
         // a fully-streamed cell is valid and must not be dropped.
@@ -307,9 +360,33 @@ CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCac
   }
   summary.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  // The deadline reports as a cancellation with a cause, mirroring the sink
+  // contract: the stream is a truncated (possibly complete) prefix.
+  if (gate && gate->fired()) {
+    summary.timed_out = true;
+    summary.cancelled = true;
+  }
 
   if (sink) sink->on_campaign_end(summary);
   return summary;
+}
+
+}  // namespace
+
+CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink, CellCache* cache,
+                             CacheStats* cache_stats, const std::string& checkpoint_path) {
+  try {
+    return run_campaign_impl(spec, sink, cache, cache_stats, checkpoint_path);
+  } catch (const SpecValidationError&) {
+    throw;  // structured spec errors keep their own type (and field paths)
+  } catch (const std::exception& e) {
+    // Everything else aborted the campaign mid-flight: type it, tell the
+    // sink (its stream would otherwise just stop), rethrow carrying the
+    // taxonomy so the service can answer with a retryable-flagged frame.
+    Error err = classify_exception(e);
+    if (sink) sink->on_error(err);
+    throw CampaignError(std::move(err));
+  }
 }
 
 std::vector<Diagnosis> diagnose_campaign(const CampaignSpec& spec) {

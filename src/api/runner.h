@@ -77,11 +77,23 @@ struct CacheStats {
 // key hits (sinks that want seed records bypass the lookup — cached cells
 // carry no per-seed stream — but completed live cells are still stored).
 // With a non-empty `checkpoint_path`, per-region progress is persisted
-// there after every region settles (atomic tmp + rename; see
+// there after every region settles (crash-atomic replace; see
 // api/checkpoint.h) and a matching file from an interrupted run of the
 // same spec resumes it: completed regions replay through the sink instead
-// of re-simulating.  Throws SpecValidationError on an invalid spec; engine
-// errors (golden-lane corruption, pool failures) propagate unchanged.
+// of re-simulating.  A failed checkpoint save warns on stderr and the
+// campaign continues — persistence is best-effort, results are not.
+//
+// A spec with run.deadline_ms != 0 stops itself at the first between-units
+// cancellation point past the budget; the summary then has cancelled AND
+// timed_out set and carries the exact prefix that fit (no exception — a
+// deadline is an outcome, not an error).
+//
+// Throws SpecValidationError on an invalid spec.  Every other failure
+// (golden-lane corruption, pool failures, allocation exhaustion) is
+// classified into a typed api::Error, delivered to the sink via on_error,
+// and rethrown as CampaignError — catch sites that only need the message
+// keep catching std::exception, ones that route on retryability catch
+// CampaignError.
 CampaignSummary run_campaign(const CampaignSpec& spec, ResultSink* sink = nullptr,
                              CellCache* cache = nullptr, CacheStats* cache_stats = nullptr,
                              const std::string& checkpoint_path = {});

@@ -74,6 +74,7 @@ void JsonLinesSink::on_seed_settled(const SeedRecord& r) {
 
 void JsonLinesSink::on_campaign_end(const CampaignSummary& s) {
   out_ << "{\"type\":\"campaign_end\",\"cancelled\":" << bool_str(s.cancelled)
+       << ",\"timed_out\":" << bool_str(s.timed_out)
        << ",\"units\":" << s.units_emitted << ",\"total_faults\":" << s.total_faults
        << ",\"seconds\":" << seconds_str(s.seconds) << ",\"cells\":[";
   bool first = true;
@@ -87,6 +88,13 @@ void JsonLinesSink::on_campaign_end(const CampaignSummary& s) {
          << ",\"detected_any\":" << cell.outcome.detected_any << "}";
   }
   out_ << "]}\n";
+  out_.flush();
+}
+
+void JsonLinesSink::on_error(const Error& e) {
+  out_ << "{\"type\":\"error\",\"scope\":" << json_quote(std::string(to_string(e.category)))
+       << ",\"retryable\":" << bool_str(e.retryable)
+       << ",\"message\":" << json_quote(e.detail) << "}\n";
   out_.flush();
 }
 
@@ -194,8 +202,8 @@ void TableSink::on_campaign_end(const CampaignSummary& summary) {
   const std::size_t faults_run = summary.cancelled ? summary.units_emitted
                                                    : summary.total_faults;
   if (summary.cancelled)
-    out_ << "campaign cancelled by sink after " << faults_run << "/" << summary.total_faults
-         << " faults\n";
+    out_ << "campaign " << (summary.timed_out ? "stopped by run.deadline_ms" : "cancelled by sink")
+         << " after " << faults_run << "/" << summary.total_faults << " faults\n";
   out_ << faults_run << " faults in " << fixed_str(summary.seconds, 3) << "s ("
        << static_cast<std::uint64_t>(summary.seconds > 0 ? faults_run / summary.seconds : 0)
        << " faults/s)\n";

@@ -11,9 +11,20 @@
 //                       extraction costs real work on the packed backends)
 //   on_unit             one fault's final all/any verdict
 //   on_campaign_end     aggregate per scheme x class cells + wall time
+//   on_error            once, when the campaign dies on an engine error —
+//                       the typed api::Error, delivered right before
+//                       run_campaign rethrows it as CampaignError; a
+//                       failed campaign's stream ends in an error record,
+//                       not a campaign_end
 //   cancelled()         polled between units; returning true stops the
 //                       campaign cooperatively (in-flight units finish,
 //                       the record stream ends in a truncated prefix)
+//
+// A spec with run.deadline_ms set cancels ITSELF: the runner polls the
+// deadline at the same between-units granularity, and the summary of a
+// deadline-stopped campaign has cancelled:true AND timed_out:true — the
+// record stream is the exact prefix of the fault-free stream that fit in
+// the budget (the PR 4 cancellation contract, with a clock as the sink).
 //
 // Sink callbacks are SERIALIZED by the runner (a mutex around every event)
 // — implementations need no locking of their own, but cancelled() is read
@@ -29,6 +40,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "api/error.h"
 #include "api/spec.h"
 #include "memsim/fault.h"
 
@@ -74,6 +86,8 @@ struct CampaignSummary {
   std::size_t total_faults = 0;   // planned, across all cells
   std::size_t units_emitted = 0;  // UnitRecords actually streamed
   bool cancelled = false;
+  // Stopped by its own run.deadline_ms (implies cancelled).
+  bool timed_out = false;
   double seconds = 0.0;
 };
 
@@ -85,6 +99,9 @@ class ResultSink {
   virtual void on_unit(const UnitRecord& record) { (void)record; }
   virtual void on_seed_settled(const SeedRecord& record) { (void)record; }
   virtual void on_campaign_end(const CampaignSummary& summary) { (void)summary; }
+  // Delivered once when the campaign aborts on an engine failure (after
+  // which run_campaign throws CampaignError); never after on_campaign_end.
+  virtual void on_error(const Error& error) { (void)error; }
 
   virtual bool want_seed_records() const { return false; }
   // Polled (possibly concurrently) between units.
@@ -93,7 +110,8 @@ class ResultSink {
 
 // JSON-lines: one self-describing record per line, streamed as it happens.
 // Line shapes: {"type":"campaign_begin",...}, {"type":"seed",...},
-// {"type":"unit",...}, {"type":"campaign_end","cells":[...]}.
+// {"type":"unit",...}, {"type":"campaign_end","cells":[...]}, and on
+// abort {"type":"error","scope":...,"retryable":...,"message":...}.
 class JsonLinesSink : public ResultSink {
  public:
   explicit JsonLinesSink(std::ostream& out, bool include_seed_records = false)
@@ -103,6 +121,7 @@ class JsonLinesSink : public ResultSink {
   void on_unit(const UnitRecord& record) override;
   void on_seed_settled(const SeedRecord& record) override;
   void on_campaign_end(const CampaignSummary& summary) override;
+  void on_error(const Error& error) override;
   bool want_seed_records() const override { return include_seed_records_; }
 
  private:
@@ -153,6 +172,7 @@ class CollectingSink : public ResultSink {
   void on_unit(const UnitRecord& record) override;
   void on_seed_settled(const SeedRecord& record) override;
   void on_campaign_end(const CampaignSummary& summary) override;
+  void on_error(const Error& error) override { errors.push_back(error); }
   bool want_seed_records() const override { return seed_records_; }
   bool cancelled() const override { return cancelled_.load(std::memory_order_relaxed); }
 
@@ -165,6 +185,7 @@ class CollectingSink : public ResultSink {
   std::size_t begins = 0, ends = 0;
   std::vector<StoredUnit> units;
   std::vector<SeedRecord> seeds;
+  std::vector<Error> errors;
   CampaignSummary summary;
 
  private:

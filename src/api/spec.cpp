@@ -477,6 +477,8 @@ JsonValue spec_to_value(const CampaignSpec& s) {
   // regions = 1 is the implicit default; omitting it keeps every pre-region
   // serialization (and the golden-serialization test) byte-identical.
   if (s.regions != 1) run.set("regions", JsonValue::number(s.regions));
+  // Same contract for deadline_ms: 0 (no deadline) stays invisible.
+  if (s.deadline_ms != 0) run.set("deadline_ms", JsonValue::number(s.deadline_ms));
 
   JsonValue v = JsonValue::object();
   v.set("name", JsonValue::string(s.name));
@@ -582,7 +584,7 @@ class SpecReader {
         for (const auto& [key, member] : run->members()) {
           (void)member;
           if (key != "backend" && key != "threads" && key != "simd" && key != "schedule" &&
-              key != "collapse" && key != "regions")
+              key != "collapse" && key != "regions" && key != "deadline_ms")
             fail("run." + key, "unknown field");
         }
         if (const JsonValue* backend = run->find("backend")) {
@@ -629,6 +631,13 @@ class SpecReader {
             s.regions = static_cast<unsigned>(*r);
           else
             fail("run.regions", "must be an unsigned integer");
+        }
+        if (const JsonValue* deadline = run->find("deadline_ms")) {
+          const auto d = deadline->as_u64();
+          if (d)
+            s.deadline_ms = *d;
+          else
+            fail("run.deadline_ms", "must be an unsigned 64-bit integer");
         }
       } else {
         fail("run", "must be an object");

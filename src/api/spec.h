@@ -125,6 +125,14 @@ struct CampaignSpec {
   // identities are unchanged — only the working-set bound and the
   // checkpoint grain move.  Serialized only when != 1.
   unsigned regions = 1;
+  // Wall-clock budget in milliseconds (0 = none).  Enforced cooperatively
+  // at the between-units cancellation points: a campaign past its deadline
+  // stops claiming work, emits the exact prefix of unit records that fit,
+  // and ends with campaign_end{cancelled:true,timed_out:true} — the PR 4
+  // cancellation contract with a clock as the sink.  Part of the run block
+  // (not the cell identity), so a deadline never splits the result cache;
+  // serialized only when != 0.
+  std::uint64_t deadline_ms = 0;
 
   CoverageOptions options() const {
     return {backend, threads, simd, schedule, collapse, regions};

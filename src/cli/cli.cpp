@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include <algorithm>
 #include <chrono>
@@ -30,6 +31,7 @@
 #include "service/client.h"
 #include "service/protocol.h"
 #include "service/server.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -433,7 +435,7 @@ int cmd_spec(const Options& o, std::ostream& out, std::ostream& err) {
 int cmd_run(const Options& o, std::ostream& out, std::ostream& err) {
   if (o.positional.size() < 2) {
     err << "usage: run <spec.json> [--sink jsonl|csv|table] [--out F]\n"
-           "           [--regions N] [--checkpoint F]\n";
+           "           [--regions N] [--deadline-ms T] [--checkpoint F]\n";
     return 1;
   }
   const std::string& path = o.positional[1];
@@ -478,6 +480,12 @@ int cmd_run(const Options& o, std::ostream& out, std::ostream& err) {
     const auto regions = flag_unsigned(o, "regions", std::nullopt, err);
     if (!regions) return 1;
     for (api::CampaignSpec& spec : specs) spec.regions = *regions;
+  }
+  // --deadline-ms overrides run.deadline_ms the same way (0 clears it).
+  if (o.flags.count("deadline-ms")) {
+    const auto deadline = flag_u64(o, "deadline-ms", std::nullopt, err);
+    if (!deadline) return 1;
+    for (api::CampaignSpec& spec : specs) spec.deadline_ms = *deadline;
   }
 
   bool valid = true;
@@ -678,6 +686,9 @@ int cmd_serve(const Options& o, std::ostream& out, std::ostream& err) {
     return 1;
   }
   config.max_clients = *max_clients;
+  const auto idle = flag_unsigned(o, "idle-timeout-ms", 0u, err);
+  if (!idle) return 1;
+  config.idle_timeout_ms = *idle;
 
   service::ServiceServer server(std::move(config));
   const std::uint16_t bound = server.start();
@@ -690,37 +701,96 @@ int cmd_serve(const Options& o, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// How one request/response exchange with the daemon ended.
+enum class Drain {
+  kOk,              // terminator frame received
+  kRetryableError,  // server sent an error frame with retryable:true
+  kFatalError,      // server sent a non-retryable error frame
+  kLost,            // connection dropped mid-exchange
+};
+
 // Reads the daemon's response lines for one request, echoing each, until
-// the frame that ends the exchange.  Returns false when an error frame (or
-// a dropped connection) ended it.
-bool drain_response(service::LineClient& client, std::ostream& out, std::ostream& err) {
+// the frame that ends the exchange.  Error frames carry the server's typed
+// verdict (protocol.h error_frame); their retryable bit drives the submit
+// retry loop.  Connection-loss reporting is left to the caller, which knows
+// whether a retry follows.
+Drain drain_response(service::LineClient& client, std::ostream& out) {
   while (true) {
     const auto line = client.recv_line();
-    if (!line) {
-      err << "error: server closed the connection\n";
-      return false;
-    }
+    if (!line) return Drain::kLost;
     out << *line << "\n";
+    if (const auto info = service::parse_error_frame(*line))
+      return info->retryable ? Drain::kRetryableError : Drain::kFatalError;
     try {
       const api::JsonValue doc = api::json_parse(*line);
       const api::JsonValue* type = doc.is_object() ? doc.find("type") : nullptr;
       if (!type || !type->is_string()) continue;
       const std::string& t = type->as_string();
-      if (t == "error") return false;
-      if (t == "campaign_stats" || t == "pong" || t == "stats" || t == "bye") return true;
+      if (t == "campaign_stats" || t == "pong" || t == "stats" || t == "bye") return Drain::kOk;
     } catch (const api::JsonParseError&) {
       // Echoed verbatim above; keep draining.
     }
   }
 }
 
+// Jittered exponential backoff: attempt k (0-based) sleeps uniformly in
+// [base*2^k / 2, base*2^k], capped at 30 s.  The half-floor keeps retries
+// spaced out; the jitter decorrelates a fleet of clients hammering a
+// recovering daemon.
+unsigned retry_delay_ms(unsigned backoff_ms, unsigned attempt, Rng& rng) {
+  std::uint64_t d = static_cast<std::uint64_t>(backoff_ms) << std::min(attempt, 20u);
+  d = std::min<std::uint64_t>(d, 30'000);
+  const std::uint64_t lo = d / 2;
+  return static_cast<unsigned>(lo + rng.next_below(d - lo + 1));
+}
+
+// Sends one frame and drains its response, retrying on connect failures,
+// dropped connections, and error frames the server marked retryable —
+// non-retryable errors (bad spec, protocol misuse) fail immediately.  A
+// retried submit re-runs the campaign from the top; the daemon's result
+// cache makes that cheap and the record stream verdict-identical, though
+// the client's echoed output contains both attempts.
+bool exchange_with_retry(service::LineClient& client, const std::string& frame,
+                         const std::string& host, std::uint16_t port, unsigned retries,
+                         unsigned backoff_ms, Rng& rng, std::ostream& out, std::ostream& err) {
+  for (unsigned attempt = 0;; ++attempt) {
+    std::string why;
+    Drain result = Drain::kLost;
+    if (!client.connected()) {
+      std::string connect_error;
+      if (!client.connect(host, port, &connect_error)) why = "connect failed: " + connect_error;
+    }
+    if (client.connected()) {
+      if (!client.send_line(frame)) {
+        why = "server closed the connection";
+      } else {
+        result = drain_response(client, out);
+        why = result == Drain::kLost ? "server closed the connection"
+                                     : "server reported a retryable error";
+      }
+    }
+    if (result == Drain::kOk) return true;
+    if (result == Drain::kFatalError) return false;  // typed verdict already echoed
+    if (attempt >= retries) {
+      if (result == Drain::kLost) err << "error: " << why << "\n";
+      return false;
+    }
+    const unsigned delay = retry_delay_ms(backoff_ms, attempt, rng);
+    err << "warning: " << why << "; retrying in " << delay << " ms (attempt " << (attempt + 2)
+        << "/" << (retries + 1) << ")\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
 // Client of the daemon: submits the spec(s) in a file and tails the result
-// stream; --stats and --shutdown send the corresponding control frames.
+// stream; --stats and --shutdown send the corresponding control frames;
+// --retries/--backoff-ms wrap every exchange in the retry loop above.
 int cmd_submit(const Options& o, std::ostream& out, std::ostream& err) {
   const bool want_stats = o.flags.count("stats") != 0;
   const bool want_shutdown = o.flags.count("shutdown") != 0;
   if (o.positional.size() < 2 && !want_stats && !want_shutdown) {
-    err << "usage: submit <spec.json> [--host H] [--port P] [--stats] [--shutdown]\n";
+    err << "usage: submit <spec.json> [--host H] [--port P] [--retries N] [--backoff-ms B] "
+           "[--stats] [--shutdown]\n";
     return 1;
   }
   std::string host = "127.0.0.1";
@@ -729,6 +799,13 @@ int cmd_submit(const Options& o, std::ostream& out, std::ostream& err) {
   if (!port) return 1;
   if (*port == 0 || *port > 65535) {
     err << "error: --port must be 1..65535\n";
+    return 1;
+  }
+  const auto retries = flag_unsigned(o, "retries", 0u, err);
+  if (!retries) return 1;
+  const auto backoff = flag_unsigned(o, "backoff-ms", 100u, err);
+  if (!backoff || *backoff == 0) {
+    if (backoff) err << "error: --backoff-ms must be at least 1\n";
     return 1;
   }
 
@@ -759,29 +836,25 @@ int cmd_submit(const Options& o, std::ostream& out, std::ostream& err) {
   }
 
   service::LineClient client;
-  std::string connect_error;
-  if (!client.connect(host, static_cast<std::uint16_t>(*port), &connect_error)) {
-    err << "error: " << connect_error << "\n";
-    return 1;
-  }
+  const std::uint16_t port16 = static_cast<std::uint16_t>(*port);
+  // Jitter source: wall-clock seeded so concurrent clients desynchronize;
+  // determinism matters for campaigns, not for backoff spacing.
+  Rng rng(static_cast<std::uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()) |
+          1u);
+  const auto exchange = [&](const std::string& frame) {
+    return exchange_with_retry(client, frame, host, port16, *retries, *backoff, rng, out, err);
+  };
 
   bool ok = true;
   for (const api::CampaignSpec& spec : specs) {
-    if (!client.send_line(service::submit_frame(spec))) {
-      err << "error: server closed the connection\n";
-      return 1;
-    }
-    ok = drain_response(client, out, err) && ok;
-    if (!client.connected()) return 1;
+    ok = exchange(service::submit_frame(spec)) && ok;
+    // Retries exhausted with no connection left: later frames can't fare
+    // better — bail instead of burning the whole backoff schedule per spec.
+    if (!ok && !client.connected()) return 1;
   }
-  if (want_stats) {
-    if (!client.send_line(service::stats_frame())) return 1;
-    ok = drain_response(client, out, err) && ok;
-  }
-  if (want_shutdown) {
-    if (!client.send_line(service::shutdown_frame())) return 1;
-    ok = drain_response(client, out, err) && ok;
-  }
+  if (want_stats) ok = exchange(service::stats_frame()) && ok;
+  if (want_shutdown) ok = exchange(service::shutdown_frame()) && ok;
   return ok ? 0 : 1;
 }
 
@@ -796,6 +869,17 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   };
   const auto opts = parse_args(args, err);
   if (!opts) return 1;
+  // Global chaos switch, valid before any command: installs the failpoint
+  // spec in this process's registry (equivalent to TWM_FAILPOINTS for
+  // every static-lib site; the wide-backend .so self-configures from the
+  // environment only — see util/failpoint.h).
+  if (auto it = opts->flags.find("failpoints"); it != opts->flags.end()) {
+    std::string fperr;
+    if (!util::failpoints_configure(it->second, &fperr)) {
+      err << "error: --failpoints: " << fperr << "\n";
+      return 1;
+    }
+  }
   if (opts->positional.empty()) return usage();
   const std::string& cmd = opts->positional[0];
   try {

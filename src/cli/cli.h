@@ -52,12 +52,17 @@
 //                                          the migration bridge from flags
 //                                          to declarative spec files
 //   run <spec.json> [--sink jsonl|csv|table] [--out F] [--regions N]
-//       [--checkpoint F]
+//       [--deadline-ms T] [--checkpoint F]
 //                                          execute the campaign(s) in a spec
 //                                          file (single object or batch
 //                                          array), streaming per-unit
 //                                          records into the selected sink;
 //                                          --regions overrides run.regions;
+//                                          --deadline-ms overrides
+//                                          run.deadline_ms (cooperative
+//                                          wall-clock budget — see
+//                                          api/spec.h; the campaign_end
+//                                          record reports timed_out);
 //                                          --checkpoint (single spec only)
 //                                          persists per-region progress after
 //                                          every region settles and resumes
@@ -85,7 +90,7 @@
 //                                          rounds (pairs with --resume);
 //                                          --out writes the JSON report
 //   serve [--host A] [--port P] [--cache-dir D] [--cache-entries N]
-//         [--max-clients M]
+//         [--max-clients M] [--idle-timeout-ms T]
 //                                          campaign daemon: accepts submit
 //                                          frames over TCP (JSON-lines
 //                                          protocol, src/service/protocol.h),
@@ -99,14 +104,30 @@
 //                                          spec replays instead of
 //                                          re-simulating; --port 0 binds an
 //                                          ephemeral port, reported in the
-//                                          {"type":"serving",...} line
-//   submit <spec.json> [--host A] [--port P] [--stats] [--shutdown]
+//                                          {"type":"serving",...} line;
+//                                          --idle-timeout-ms drops clients
+//                                          that send no frame for T ms
+//                                          (typed timeout error frame; 0 =
+//                                          never, the default)
+//   submit <spec.json> [--host A] [--port P] [--retries N] [--backoff-ms B]
+//          [--stats] [--shutdown]
 //                                          send the spec(s) in a file to a
 //                                          running daemon and tail the
 //                                          JSON-lines result stream; exits 1
 //                                          when the server reports an error;
 //                                          --stats/--shutdown append the
-//                                          control frames
+//                                          control frames; --retries N
+//                                          re-attempts an exchange up to N
+//                                          extra times on connect failures,
+//                                          dropped connections and error
+//                                          frames marked retryable, with
+//                                          jittered exponential backoff
+//                                          starting at --backoff-ms
+//                                          (default 100)
+//
+// Every command also accepts --failpoints "name=action[@N|:P];..." — the
+// chaos-injection spec from util/failpoint.h, equivalent to setting
+// TWM_FAILPOINTS for the in-process registry.
 //
 // coverage, spec and run all speak twm::api (src/api): the flag surface is
 // parsed into a CampaignSpec, validated field by field, and executed by

@@ -1,9 +1,11 @@
 #include "memsim/memory.h"
 
 #include <algorithm>
+#include <new>
 #include <stdexcept>
 
 #include "memsim/packed_memory.h"  // kMemPageShift / kMemPageWords / kMemPageMask
+#include "util/failpoint.h"
 
 namespace twm {
 
@@ -33,6 +35,10 @@ Memory::Page& Memory::page_for_write(std::size_t addr) {
     slot = std::move(free_.back());
     free_.pop_back();
   } else {
+    // Chaos hook for allocation exhaustion on the scalar path; the real
+    // make_unique below throws the same bad_alloc when memory truly runs
+    // out, so injected and genuine OOM take one code path upward.
+    if (TWM_FAILPOINT("page.alloc")) throw std::bad_alloc();
     slot = std::make_unique<Page>();
     ++page_allocs_;
   }

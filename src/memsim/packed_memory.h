@@ -81,6 +81,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <new>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -88,6 +89,7 @@
 #include "memsim/fault.h"
 #include "memsim/lane_block.h"
 #include "util/bitvec.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace twm {
@@ -608,6 +610,12 @@ class PackedMemoryT {
       slot = std::move(free_.back());
       free_.pop_back();
     } else {
+      // Chaos hook for allocation exhaustion, same bad_alloc a genuine OOM
+      // raises here.  (Note the wide backends run inside twm_wide.so with
+      // its own failpoint registry — it self-configures from TWM_FAILPOINTS,
+      // so env-activated runs cover every width; in-process configure_
+      // calls only reach backends living in this image, e.g. --simd 64.)
+      if (TWM_FAILPOINT("page.alloc")) throw std::bad_alloc();
       slot = std::make_unique<Page>();
       ++page_allocs_;
     }

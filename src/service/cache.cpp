@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "api/json.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
 
 namespace twm::service {
 
@@ -59,7 +61,7 @@ std::optional<api::CellRecords> ResultCache::lookup(const std::string& key,
     ++counters_.hits;
     return it->second->records;
   }
-  if (!config_.dir.empty()) {
+  if (disk_usable_locked()) {
     if (auto from_disk = load_disk(key, identity)) {
       insert_locked(key, identity, *from_disk);
       ++counters_.hits;
@@ -76,7 +78,7 @@ void ResultCache::store(const std::string& key, const std::string& identity,
   const std::lock_guard<std::mutex> lock(mu_);
   insert_locked(key, identity, records);
   ++counters_.stores;
-  if (!config_.dir.empty()) store_disk(key, identity, records);
+  if (disk_usable_locked()) store_disk(key, identity, records);
 }
 
 void ResultCache::insert_locked(const std::string& key, const std::string& identity,
@@ -98,11 +100,20 @@ void ResultCache::insert_locked(const std::string& key, const std::string& ident
 }
 
 std::optional<api::CellRecords> ResultCache::load_disk(const std::string& key,
-                                                       const std::string& identity) const {
+                                                       const std::string& identity) {
+  if (TWM_FAILPOINT("cache.disk_read")) {
+    note_disk_result_locked(false);
+    return std::nullopt;
+  }
   std::ifstream in(path_for(key), std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) return std::nullopt;  // absent entry: a miss, not a disk failure
   std::ostringstream text;
   text << in.rdbuf();
+  if (in.bad()) {  // the file exists but the medium failed mid-read
+    note_disk_result_locked(false);
+    return std::nullopt;
+  }
+  note_disk_result_locked(true);
   try {
     const api::JsonValue doc = api::json_parse(text.str());
     if (!doc.is_object()) return std::nullopt;
@@ -131,22 +142,37 @@ std::optional<api::CellRecords> ResultCache::load_disk(const std::string& key,
 }
 
 void ResultCache::store_disk(const std::string& key, const std::string& identity,
-                             const api::CellRecords& records) const {
-  // tmp + rename: a reader (or a crashed writer) never sees a half-written
-  // entry.  Disk failures are non-fatal — the cache is an accelerator, the
-  // campaign result already streamed.
-  const std::string path = path_for(key);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return;
-    out << entry_json(identity, records);
-    if (!out.flush()) {
-      std::remove(tmp.c_str());
-      return;
-    }
+                             const api::CellRecords& records) {
+  // Crash-atomic (unique tmp + fsync + rename + dir fsync): a reader, a
+  // crashed writer, or a concurrent writer of the same key never leaves a
+  // torn entry under the final name.  Disk failures are non-fatal — the
+  // cache is an accelerator, the campaign result already streamed.
+  if (TWM_FAILPOINT("cache.disk_write")) {
+    note_disk_result_locked(false);
+    return;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
+  note_disk_result_locked(
+      util::atomic_write_file(path_for(key), entry_json(identity, records)));
+}
+
+void ResultCache::note_disk_result_locked(bool ok) {
+  if (ok) {
+    consecutive_disk_failures_ = 0;
+    return;
+  }
+  ++counters_.disk_errors;
+  if (++consecutive_disk_failures_ >= kMaxConsecutiveDiskFailures &&
+      !counters_.disk_degraded) {
+    counters_.disk_degraded = true;
+    std::fprintf(stderr,
+                 "twm: warning: result cache disk tier disabled after %d consecutive "
+                 "failures; continuing memory-only\n",
+                 kMaxConsecutiveDiskFailures);
+  }
+}
+
+bool ResultCache::disk_usable_locked() const {
+  return !config_.dir.empty() && !counters_.disk_degraded;
 }
 
 ResultCache::Counters ResultCache::counters() const {

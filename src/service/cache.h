@@ -8,9 +8,17 @@
 //
 //   memory   an LRU of the most recently touched cells (always on),
 //   disk     one JSON file per cell under `dir` (optional: empty dir =
-//            memory-only).  Files are written atomically (tmp + rename)
-//            and survive daemon restarts; a memory miss falls through to
-//            disk and promotes the entry back into the LRU.
+//            memory-only).  Files are written crash-atomically
+//            (unique tmp + fsync + rename + directory fsync,
+//            util/fs.h) and survive daemon restarts; a memory miss falls
+//            through to disk and promotes the entry back into the LRU.
+//
+// The disk tier is an accelerator, never a dependency: every disk failure
+// is counted (Counters::disk_errors) and swallowed, and after
+// kMaxConsecutiveDiskFailures in a row the tier turns itself off
+// (disk_degraded) and the cache runs memory-only — a full or dying disk
+// cannot abort or stall a campaign.  Chaos coverage injects these paths
+// via the cache.disk_write / cache.disk_read failpoints.
 //
 // Correctness over trust: every entry stores the full identity string and
 // lookup() verifies it, so a hash collision, a truncated file or a foreign
@@ -51,6 +59,8 @@ class ResultCache : public api::CellCache {
     std::uint64_t stores = 0;
     std::uint64_t evictions = 0;   // LRU entries displaced from memory
     std::uint64_t entries = 0;     // current memory-tier size
+    std::uint64_t disk_errors = 0; // failed disk reads/writes (non-fatal)
+    bool disk_degraded = false;    // disk tier disabled after repeated errors
   };
 
   // Creates `dir` (and parents) when persistence is requested.  Throws
@@ -74,12 +84,22 @@ class ResultCache : public api::CellCache {
   void insert_locked(const std::string& key, const std::string& identity,
                      const api::CellRecords& records);
   std::optional<api::CellRecords> load_disk(const std::string& key,
-                                            const std::string& identity) const;
+                                            const std::string& identity);
   void store_disk(const std::string& key, const std::string& identity,
-                  const api::CellRecords& records) const;
+                  const api::CellRecords& records);
+  // Degradation ladder: a disk failure bumps disk_errors; after
+  // kMaxConsecutiveDiskFailures in a row the disk tier is switched off and
+  // the cache runs memory-only for the rest of the process — campaigns are
+  // never aborted (or even slowed by retrying a dead disk) on behalf of an
+  // accelerator.  A success before the threshold resets the run.
+  void note_disk_result_locked(bool ok);
+  bool disk_usable_locked() const;
   std::string path_for(const std::string& key) const;
 
+  static constexpr int kMaxConsecutiveDiskFailures = 3;
+
   Config config_;
+  int consecutive_disk_failures_ = 0;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> by_identity_;

@@ -2,11 +2,14 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "service/net.h"
 
 namespace twm::service {
 
@@ -42,11 +45,28 @@ bool LineClient::connect(const std::string& host, std::uint16_t port, std::strin
     return false;
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error)
-      *error = "connect(" + host + ":" + std::to_string(port) +
-               "): " + std::strerror(errno);
-    close();
-    return false;
+    // EINTR during connect does NOT abort the handshake — the kernel keeps
+    // going; re-calling connect() would race it.  Wait for completion and
+    // read the verdict from SO_ERROR.
+    bool ok = false;
+    if (errno == EINTR) {
+      pollfd p{};
+      p.fd = fd_;
+      p.events = POLLOUT;
+      if (net_poll(&p, 1, /*timeout_ms=*/-1) > 0) {
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        ok = ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 && so_error == 0;
+        if (!ok) errno = so_error;
+      }
+    }
+    if (!ok) {
+      if (error)
+        *error = "connect(" + host + ":" + std::to_string(port) +
+                 "): " + std::strerror(errno);
+      close();
+      return false;
+    }
   }
   return true;
 }
@@ -54,18 +74,7 @@ bool LineClient::connect(const std::string& host, std::uint16_t port, std::strin
 bool LineClient::send_line(const std::string& frame) {
   if (fd_ < 0) return false;
   const std::string line = frame + "\n";
-  const char* data = line.data();
-  std::size_t size = line.size();
-  while (size > 0) {
-    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += static_cast<std::size_t>(n);
-    size -= static_cast<std::size_t>(n);
-  }
-  return true;
+  return net_send_all(fd_, line.data(), line.size());
 }
 
 std::optional<std::string> LineClient::recv_line() {
@@ -79,12 +88,8 @@ std::optional<std::string> LineClient::recv_line() {
       return line;
     }
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n == 0) return std::nullopt;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return std::nullopt;
-    }
+    const ssize_t n = net_recv(fd_, chunk, sizeof(chunk));
+    if (n <= 0) return std::nullopt;
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }

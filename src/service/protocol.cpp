@@ -65,8 +65,9 @@ std::string stats_frame() { return "{\"type\":\"stats\"}"; }
 std::string shutdown_frame() { return "{\"type\":\"shutdown\"}"; }
 
 std::string error_frame(const std::string& scope, const std::string& message,
-                        const std::vector<api::SpecError>& spec_errors) {
+                        const std::vector<api::SpecError>& spec_errors, bool retryable) {
   std::string out = "{\"type\":\"error\",\"scope\":" + api::json_quote(scope) +
+                    ",\"retryable\":" + (retryable ? "true" : "false") +
                     ",\"message\":" + api::json_quote(message);
   if (!spec_errors.empty()) {
     out += ",\"errors\":[";
@@ -81,6 +82,30 @@ std::string error_frame(const std::string& scope, const std::string& message,
   }
   out += "}";
   return out;
+}
+
+std::string error_frame(const api::Error& e) {
+  return error_frame(std::string(api::to_string(e.category)), e.detail, {}, e.retryable);
+}
+
+std::optional<ErrorInfo> parse_error_frame(const std::string& line) {
+  api::JsonValue doc;
+  try {
+    doc = api::json_parse(line);
+  } catch (const api::JsonParseError&) {
+    return std::nullopt;
+  }
+  if (!doc.is_object()) return std::nullopt;
+  const api::JsonValue* type = doc.find("type");
+  if (!type || !type->is_string() || type->as_string() != "error") return std::nullopt;
+  ErrorInfo info;
+  if (const api::JsonValue* scope = doc.find("scope"); scope && scope->is_string())
+    info.scope = scope->as_string();
+  if (const api::JsonValue* r = doc.find("retryable"); r && r->is_bool())
+    info.retryable = r->as_bool();
+  if (const api::JsonValue* m = doc.find("message"); m && m->is_string())
+    info.message = m->as_string();
+  return info;
 }
 
 }  // namespace twm::service

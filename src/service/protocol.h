@@ -21,12 +21,19 @@
 //              "frames_rejected":..,"cache":{...}}
 //   shutdown  {"type":"bye"} and the daemon exits its accept loop.
 //
-// Errors come back as {"type":"error","scope":"frame"|"spec"|"engine",
-// "message":...,"errors":[{"path":..,"message":..},...]?}.  A FRAME error
+// Errors come back typed (api/error.h taxonomy) as
+// {"type":"error","scope":"frame"|"spec"|"io"|"resource"|"timeout"|"engine",
+// "retryable":true|false,"message":...,
+// "errors":[{"path":..,"message":..},...]?}.  `retryable` means the failure
+// looks transient — resubmitting the identical spec is always idempotent
+// (cached cells replay with simulated:0), so a client may retry exactly
+// when that flag is set (`twm_cli submit --retries` does).  A FRAME error
 // (malformed JSON, nesting bomb, oversized line, unknown type, missing
 // spec) also closes the connection — a peer that cannot frame correctly is
 // not negotiated with.  A SPEC error (well-formed frame, semantically
-// invalid campaign) keeps the connection open for a corrected resubmit.
+// invalid campaign) keeps the connection open for a corrected resubmit, and
+// an idle client (ServerConfig.idle_timeout_ms) gets a retryable "timeout"
+// error before the server hangs up.
 //
 // Input hardening, because the peer is untrusted: one frame is capped at
 // kMaxFrameBytes, the JSON parser caps container nesting (api/json.h), and
@@ -40,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "api/error.h"
 #include "api/spec.h"
 
 namespace twm::service {
@@ -77,8 +85,23 @@ std::string stats_frame();
 std::string shutdown_frame();
 
 // Response-frame assembly for the server.  `spec_errors` may be empty.
+// Frame/spec errors are never retryable (the request itself is wrong).
 std::string error_frame(const std::string& scope, const std::string& message,
-                        const std::vector<api::SpecError>& spec_errors = {});
+                        const std::vector<api::SpecError>& spec_errors = {},
+                        bool retryable = false);
+
+// Typed-error form: scope = to_string(e.category).
+std::string error_frame(const api::Error& e);
+
+// Parses an error frame's retryability on the client side; nullopt when
+// `line` is not an error frame at all (callers then treat the response by
+// its own type).  Tolerates pre-typed frames without "retryable" (false).
+struct ErrorInfo {
+  std::string scope;
+  bool retryable = false;
+  std::string message;
+};
+std::optional<ErrorInfo> parse_error_frame(const std::string& line);
 
 }  // namespace twm::service
 

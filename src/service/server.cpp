@@ -12,9 +12,11 @@
 #include <stdexcept>
 #include <streambuf>
 
+#include "api/error.h"
 #include "api/json.h"
 #include "api/runner.h"
 #include "api/sink.h"
+#include "service/net.h"
 #include "service/protocol.h"
 
 // Half-close detection; glibc gates the real constant behind _GNU_SOURCE
@@ -27,23 +29,9 @@ namespace twm::service {
 
 namespace {
 
-bool send_all(int fd, const char* data, std::size_t size) {
-  while (size > 0) {
-    // MSG_NOSIGNAL: a vanished peer is a return value, not a SIGPIPE.
-    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += static_cast<std::size_t>(n);
-    size -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 bool send_line(int fd, const std::string& frame) {
   const std::string line = frame + "\n";
-  return send_all(fd, line.data(), line.size());
+  return net_send_all(fd, line.data(), line.size());
 }
 
 // std::streambuf over a socket so the existing JsonLinesSink can stream
@@ -71,7 +59,7 @@ class FdStreambuf : public std::streambuf {
  private:
   int flush_buffer() {
     const std::size_t pending = static_cast<std::size_t>(pptr() - pbase());
-    if (pending > 0 && !send_all(fd_, pbase(), pending))
+    if (pending > 0 && !net_send_all(fd_, pbase(), pending))
       failed_.store(true, std::memory_order_relaxed);
     setp(buffer_, buffer_ + sizeof(buffer_));
     // Report success even after a send failure: the sink keeps formatting
@@ -93,12 +81,17 @@ class SocketSink : public api::JsonLinesSink {
   SocketSink(std::ostream& out, int fd, std::atomic<bool>& send_failed)
       : JsonLinesSink(out), fd_(fd), send_failed_(send_failed) {}
 
+  // The service reports failures as one protocol-level error frame (the
+  // client's drain loop treats an error frame as the exchange terminator);
+  // an additional in-stream record would desynchronize the next exchange.
+  void on_error(const api::Error&) override {}
+
   bool cancelled() const override {
     if (send_failed_.load(std::memory_order_relaxed)) return true;
     pollfd p{};
     p.fd = fd_;
     p.events = POLLRDHUP;
-    const int rc = ::poll(&p, 1, /*timeout_ms=*/0);
+    const int rc = net_poll(&p, 1, /*timeout_ms=*/0);
     return rc > 0 && (p.revents & (POLLRDHUP | POLLERR | POLLHUP | POLLNVAL)) != 0;
   }
 
@@ -109,12 +102,15 @@ class SocketSink : public api::JsonLinesSink {
 
 // Reads '\n'-delimited lines from a socket, refusing to buffer more than
 // `cap` bytes of any single line (the frame-size ceiling enforced before
-// any parsing happens).
+// any parsing happens).  With a nonzero idle timeout, waiting longer than
+// `idle_timeout_ms` for the peer's next byte reports Timeout instead of
+// blocking forever.
 class LineReader {
  public:
-  enum class Status { Line, Eof, Overflow, Error };
+  enum class Status { Line, Eof, Overflow, Error, Timeout };
 
-  LineReader(int fd, std::size_t cap) : fd_(fd), cap_(cap) {}
+  LineReader(int fd, std::size_t cap, unsigned idle_timeout_ms = 0)
+      : fd_(fd), cap_(cap), idle_timeout_ms_(idle_timeout_ms) {}
 
   Status read_line(std::string& out) {
     while (true) {
@@ -126,13 +122,18 @@ class LineReader {
         return Status::Line;
       }
       if (buffer_.size() > cap_) return Status::Overflow;
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n == 0) return Status::Eof;
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::Error;
+      if (idle_timeout_ms_ > 0) {
+        pollfd p{};
+        p.fd = fd_;
+        p.events = POLLIN;
+        const int rc = net_poll(&p, 1, static_cast<int>(idle_timeout_ms_));
+        if (rc == 0) return Status::Timeout;
+        if (rc < 0) return Status::Error;
       }
+      char chunk[4096];
+      const ssize_t n = net_recv(fd_, chunk, sizeof(chunk));
+      if (n == 0) return Status::Eof;
+      if (n < 0) return Status::Error;
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
   }
@@ -140,6 +141,7 @@ class LineReader {
  private:
   int fd_;
   std::size_t cap_;
+  unsigned idle_timeout_ms_;
   std::string buffer_;
 };
 
@@ -182,11 +184,18 @@ std::uint16_t ServiceServer::start() {
 }
 
 void ServiceServer::serve_forever() {
+  // Belt to MSG_NOSIGNAL's suspenders: no write path anywhere in the
+  // process may turn a dying client into a fatal signal.
+  ignore_sigpipe();
   std::vector<std::thread> workers;
   while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    const int fd = net_accept(listen_fd_);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      // Transient per-connection failures (the peer aborted the handshake,
+      // fd pressure) must not take the whole daemon down with them.
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+          errno == ENOBUFS || errno == ENOMEM || errno == EPROTO)
+        continue;
       break;  // listener shut down (stop()) or unrecoverable
     }
     if (stopping_.load(std::memory_order_acquire)) {
@@ -237,6 +246,8 @@ std::string ServiceServer::compose_stats_frame() {
   out += ",\"campaigns_cancelled\":" + std::to_string(c.campaigns_cancelled);
   out += ",\"frames_rejected\":" + std::to_string(c.frames_rejected);
   out += ",\"specs_rejected\":" + std::to_string(c.specs_rejected);
+  out += ",\"campaigns_failed\":" + std::to_string(c.campaigns_failed);
+  out += ",\"clients_timed_out\":" + std::to_string(c.clients_timed_out);
   out += ",\"cache\":{";
   out += "\"entries\":" + std::to_string(k.entries);
   out += ",\"hits\":" + std::to_string(k.hits);
@@ -244,6 +255,8 @@ std::string ServiceServer::compose_stats_frame() {
   out += ",\"misses\":" + std::to_string(k.misses);
   out += ",\"stores\":" + std::to_string(k.stores);
   out += ",\"evictions\":" + std::to_string(k.evictions);
+  out += ",\"disk_errors\":" + std::to_string(k.disk_errors);
+  out += ",\"disk_degraded\":" + std::string(k.disk_degraded ? "true" : "false");
   out += "}}";
   return out;
 }
@@ -272,9 +285,14 @@ bool ServiceServer::handle_submit(int fd, const api::CampaignSpec& spec) {
     const api::CampaignSummary summary = api::run_campaign(spec, &sink, &cache_, &stats);
     cancelled = summary.cancelled;
   } catch (const std::exception& e) {
-    const std::lock_guard<std::mutex> lock(counters_mu_);
-    ++counters_.specs_rejected;
-    return send_line(fd, error_frame("engine", e.what()));
+    // The sink's own error record (if any) is suppressed on the socket
+    // path — the protocol-level error frame below is the one terminator
+    // the client's drain loop keys on.
+    {
+      const std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.campaigns_failed;
+    }
+    return send_line(fd, error_frame(api::classify_exception(e)));
   }
   out.flush();
 
@@ -299,12 +317,20 @@ bool ServiceServer::handle_submit(int fd, const api::CampaignSpec& spec) {
 void ServiceServer::client_loop(int fd) {
   // +2: allow the cap-sized payload plus its terminator to buffer; the
   // parse-level check in parse_frame is the authoritative one.
-  LineReader reader(fd, kMaxFrameBytes + 2);
+  LineReader reader(fd, kMaxFrameBytes + 2, config_.idle_timeout_ms);
   std::string line;
   bool running = true;
   while (running) {
     const LineReader::Status status = reader.read_line(line);
     if (status == LineReader::Status::Eof || status == LineReader::Status::Error) break;
+    if (status == LineReader::Status::Timeout) {
+      send_line(fd, error_frame({api::ErrorCategory::Timeout, /*retryable=*/true,
+                                 "idle timeout: no frame in " +
+                                     std::to_string(config_.idle_timeout_ms) + " ms"}));
+      const std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.clients_timed_out;
+      break;
+    }
     if (status == LineReader::Status::Overflow) {
       send_line(fd, error_frame("frame", "frame exceeds " + std::to_string(kMaxFrameBytes) +
                                              " bytes"));

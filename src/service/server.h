@@ -44,6 +44,12 @@ struct ServerConfig {
   std::string cache_dir;   // empty = memory-only result cache
   std::size_t cache_entries = 256;
   unsigned max_clients = 32;  // concurrent connections; excess refused
+  // Per-client idle timeout between frames (ms; 0 = never).  An idle
+  // client gets one retryable "timeout" error frame, then the connection
+  // closes — a stuck peer cannot pin a client slot forever.  Campaigns in
+  // flight are unaffected: the clock only runs while waiting for the next
+  // request frame.
+  unsigned idle_timeout_ms = 0;
 };
 
 class ServiceServer {
@@ -55,6 +61,8 @@ class ServiceServer {
     std::uint64_t campaigns_cancelled = 0;  // stopped by client disconnect
     std::uint64_t frames_rejected = 0;      // malformed frames (conn closed)
     std::uint64_t specs_rejected = 0;       // well-formed but invalid specs
+    std::uint64_t campaigns_failed = 0;     // engine errors (typed frame sent)
+    std::uint64_t clients_timed_out = 0;    // idle-timeout disconnects
   };
 
   explicit ServiceServer(ServerConfig config);

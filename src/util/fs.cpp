@@ -1,0 +1,83 @@
+#include "util/fs.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace twm::util {
+
+namespace {
+
+int open_retry(const char* path, int flags, mode_t mode = 0) {
+  int fd;
+  do {
+    fd = ::open(path, flags, mode);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool fsync_retry(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  return rc == 0;
+}
+
+// EINTR-safe close.  POSIX leaves the fd state unspecified after EINTR;
+// on Linux the fd is closed regardless, so retrying would race a reuse.
+void close_fd(int fd) { ::close(fd); }
+
+bool fsync_dir(const std::string& file_path) {
+  const std::size_t slash = file_path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : file_path.substr(0, slash);
+  const int fd = open_retry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = fsync_retry(fd);
+  close_fd(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view contents,
+                       const char* tmp_suffix) {
+  // Unique tmp name per write: two threads racing to store the SAME path
+  // (concurrent cache writers on one cell key) must not interleave writes
+  // into one tmp file — each writes its own and the renames serialize, so
+  // the final name always holds one complete entry.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = path + tmp_suffix + "." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  const int fd = open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  const bool wrote = write_all(fd, contents.data(), contents.size()) && fsync_retry(fd);
+  close_fd(fd);
+  if (!wrote || ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Pin the rename itself: without the directory fsync a crash can forget
+  // the new name while keeping the (already-synced) data.
+  return fsync_dir(path);
+}
+
+}  // namespace twm::util

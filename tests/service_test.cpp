@@ -464,6 +464,41 @@ TEST(ServiceCache, EvictionKeepsTheCacheBoundedAndCountersHonest) {
   EXPECT_EQ(c.stores, 3u);
 }
 
+TEST(ServiceCache, ConcurrentWritersOfTheSameCellLeaveOneValidEntry) {
+  // Two clients finishing the same cell race store(): the crash-atomic
+  // write path (unique tmp + rename, util/fs.h) must leave exactly one
+  // valid file and no torn or abandoned tmp droppings — whichever writer
+  // renames last wins, and both wrote identical records anyway.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("twm_cache_race_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  const api::CellRecords records{{{0, true, true}, {1, false, true}}};
+  // Identities embed verbatim into the entry JSON — must be valid JSON.
+  const std::string identity = R"("race-id")";
+  {
+    ResultCache cache({dir.string(), 8});
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 2; ++t)
+      writers.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) cache.store("race-key", identity, records);
+      });
+    for (auto& w : writers) w.join();
+    EXPECT_EQ(cache.counters().disk_errors, 0u);
+  }
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  // A cold cache parses the survivor back intact.
+  ResultCache cold({dir.string(), 8});
+  const auto loaded = cold.lookup("race-key", identity);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->units, records.units);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ServiceCache, LookupVerifiesIdentityNotJustTheKey) {
   ResultCache cache({"", 8});
   cache.store("same-key", "identity-A", {{{0, true, true}}});
